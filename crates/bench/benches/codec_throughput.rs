@@ -1,0 +1,67 @@
+//! Real wall-clock throughput of the from-scratch codecs on the synthetic
+//! datasets (Criterion). These are *host* numbers — the paper-shape
+//! figures come from the virtual-time harness binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pedal_datasets::DatasetId;
+use pedal_sz3::{Dims, Field, Sz3Config};
+
+const SAMPLE: usize = 2_000_000;
+
+fn bench_lossless(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lossless");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for id in [DatasetId::SilesiaXml, DatasetId::SilesiaMozilla, DatasetId::ObsError] {
+        let data = id.generate_bytes(SAMPLE);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("deflate_compress", id.name()), &data, |b, d| {
+            b.iter(|| pedal_deflate::compress(d, pedal_deflate::Level::DEFAULT))
+        });
+        let packed = pedal_deflate::compress(&data, pedal_deflate::Level::DEFAULT);
+        group.bench_with_input(BenchmarkId::new("deflate_decompress", id.name()), &packed, |b, p| {
+            b.iter(|| pedal_deflate::decompress(p).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("lz4_compress", id.name()), &data, |b, d| {
+            b.iter(|| pedal_lz4::compress_block(d, 1))
+        });
+        let lz = pedal_lz4::compress_block(&data, 1);
+        let n = data.len();
+        group.bench_with_input(BenchmarkId::new("lz4_decompress", id.name()), &lz, |b, p| {
+            b.iter(|| pedal_lz4::decompress_block(p, Some(n), usize::MAX).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("zlib_compress", id.name()), &data, |b, d| {
+            b.iter(|| pedal_zlib::compress(d, pedal_zlib::Level::DEFAULT))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sz3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sz3");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for id in DatasetId::LOSSY {
+        let bytes = id.generate_bytes(SAMPLE);
+        let n = bytes.len() / 4;
+        let field = Field::<f32>::from_bytes(Dims::d1(n), &bytes[..n * 4]);
+        group.throughput(Throughput::Bytes((n * 4) as u64));
+        let cfg = Sz3Config::with_error_bound(1e-4);
+        group.bench_with_input(BenchmarkId::new("compress", id.name()), &field, |b, f| {
+            b.iter(|| pedal_sz3::compress(f, &cfg))
+        });
+        let packed = pedal_sz3::compress(&field, &cfg);
+        group.bench_with_input(BenchmarkId::new("decompress", id.name()), &packed, |b, p| {
+            b.iter(|| pedal_sz3::decompress::<f32>(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lossless, bench_sz3);
+criterion_main!(benches);

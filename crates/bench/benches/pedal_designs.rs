@@ -1,0 +1,43 @@
+//! Wall-clock cost of the full PEDAL pipeline (header + design dispatch +
+//! codec + simulated engine bookkeeping) per design, on one dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pedal::{Datatype, Design, PedalConfig, PedalContext};
+use pedal_datasets::DatasetId;
+use pedal_dpu::Platform;
+
+const SAMPLE: usize = 1_000_000;
+
+fn bench_designs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pedal_designs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let text = DatasetId::SilesiaXml.generate_bytes(SAMPLE);
+    let floats = DatasetId::Exaalt1.generate_bytes(SAMPLE);
+    for design in Design::ALL {
+        let (data, datatype) = if design.is_lossy() {
+            (&floats, Datatype::Float32)
+        } else {
+            (&text, Datatype::Byte)
+        };
+        let ctx =
+            PedalContext::init(PedalConfig::new(Platform::BlueField2, design)).unwrap();
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("compress", design.name()),
+            data,
+            |b, d| b.iter(|| ctx.compress(datatype, d).unwrap()),
+        );
+        let packed = ctx.compress(datatype, data).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("decompress", design.name()),
+            &packed.payload,
+            |b, p| b.iter(|| ctx.decompress(p, data.len()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation A1: what PEDAL's memory pool buys (paper §III-C: the pool
+//! "eliminate\[s\] the frequent need for memory allocation, deallocation,
+//! and mapping ... during each compression and decompression execution").
+//!
+//! Compares steady-state per-message cost with the pool (PEDAL) against
+//! per-message allocation+mapping (baseline), separating the DOCA-init
+//! component from the buffer component.
+
+use bench::{banner, dataset, fmt_ms, run_design, Table};
+use pedal::{Datatype, Design, OverheadMode};
+use pedal_datasets::DatasetId;
+use pedal_dpu::Platform;
+
+fn main() {
+    banner("Ablation A1", "Memory pool on/off, per-message overhead decomposition");
+    let mut t = Table::new(vec![
+        "Platform", "Design", "Dataset", "Pool prep(ms)", "Unpooled prep(ms)",
+        "Unpooled init(ms)", "Op time(ms)", "Overhead x",
+    ]);
+    for platform in Platform::ALL {
+        for design in [Design::CE_DEFLATE, Design::SOC_DEFLATE, Design::SOC_SZ3] {
+            for id in [DatasetId::SilesiaXml, DatasetId::SilesiaMozilla] {
+                if design.is_lossy() && !id.is_lossy_dataset() {
+                    continue;
+                }
+                let data = dataset(id);
+                let datatype =
+                    if design.is_lossy() { Datatype::Float32 } else { Datatype::Byte };
+                let pooled = run_design(platform, design, OverheadMode::Pedal, &data, datatype);
+                let unpooled =
+                    run_design(platform, design, OverheadMode::Baseline, &data, datatype);
+                let p = pooled.total();
+                let u = unpooled.total();
+                let op = p.compress + p.decompress + p.checksum;
+                let overhead_factor = u.total().as_nanos() as f64 / p.total().as_nanos() as f64;
+                t.row(vec![
+                    platform.short_name().to_string(),
+                    design.name().to_string(),
+                    id.name().to_string(),
+                    fmt_ms(p.buffer_prep),
+                    fmt_ms(u.buffer_prep),
+                    fmt_ms(u.doca_init),
+                    fmt_ms(op),
+                    format!("{overhead_factor:.1}x"),
+                ]);
+            }
+        }
+        // SZ3 on the lossy dataset.
+        let data = dataset(DatasetId::Exaalt1);
+        let pooled =
+            run_design(platform, Design::SOC_SZ3, OverheadMode::Pedal, &data, Datatype::Float32);
+        let unpooled = run_design(
+            platform,
+            Design::SOC_SZ3,
+            OverheadMode::Baseline,
+            &data,
+            Datatype::Float32,
+        );
+        let p = pooled.total();
+        let u = unpooled.total();
+        t.row(vec![
+            platform.short_name().to_string(),
+            Design::SOC_SZ3.name().to_string(),
+            DatasetId::Exaalt1.name().to_string(),
+            fmt_ms(p.buffer_prep),
+            fmt_ms(u.buffer_prep),
+            fmt_ms(u.doca_init),
+            fmt_ms(p.compress + p.decompress),
+            format!("{:.1}x", u.total().as_nanos() as f64 / p.total().as_nanos() as f64),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "\"Overhead x\" = baseline total / PEDAL total per message. The pool turns\n\
+         per-message init+mapping into a one-time PEDAL_init cost."
+    );
+}

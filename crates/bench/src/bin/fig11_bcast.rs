@@ -1,0 +1,128 @@
+//! Regenerates Figure 11: MPI_Bcast over four nodes with compression, for
+//! small (5.1 MB), medium (20.6 MB), and large (48.8 MB) messages, on both
+//! BlueField generations, versus the per-message-init baseline.
+
+use bench::{banner, dataset, dataset_datatype, Table};
+use pedal::{Design, OverheadMode};
+use pedal_codesign::{PedalComm, PedalCommConfig};
+use pedal_datasets::DatasetId;
+use pedal_dpu::Platform;
+use pedal_mpi::{run_world, RankCtx, WorldConfig};
+
+/// Virtual time of a 4-node compressed broadcast (slowest rank's finish).
+fn bcast_ns(
+    platform: Platform,
+    design: Design,
+    mode: OverheadMode,
+    data: &[u8],
+    datatype: pedal::Datatype,
+) -> u64 {
+    let payload = data.to_vec();
+    let results = run_world(WorldConfig::new(4, platform), move |mpi: &mut RankCtx| {
+        let mut cfg = PedalCommConfig::new(design);
+        cfg.overhead_mode = mode;
+        let (mut comm, _) = PedalComm::init(mpi, cfg).unwrap();
+        let mut finish = 0u64;
+        for it in 0..2 {
+            // Fresh epoch per iteration: measure from a synchronized start.
+            let root_data = if mpi.rank == 0 { Some(&payload[..]) } else { None };
+            let t0 = mpi.now();
+            let (_, done) = comm.bcast(mpi, 0, datatype, root_data, payload.len()).unwrap();
+            if it == 1 {
+                finish = done.elapsed_since(t0).as_nanos();
+            }
+            pedal_mpi::barrier(mpi).unwrap();
+        }
+        finish
+    });
+    results.into_iter().max().unwrap()
+}
+
+fn main() {
+    banner("Figure 11", "MPI_Bcast over 4 nodes (ms; * = runs on C-Engine)");
+    // The paper's small/medium/large sizes map to xml/samba/mozilla.
+    let sizes =
+        [DatasetId::SilesiaXml, DatasetId::SilesiaSamba, DatasetId::SilesiaMozilla];
+    let lossy = DatasetId::Exaalt1;
+
+    let mut best_speedup: f64 = 0.0;
+    let mut bf3_soc_reductions: Vec<f64> = Vec::new();
+
+    for platform in Platform::ALL {
+        println!("[{}]", platform.name());
+        let mut t = Table::new(vec![
+            "Design", "5.1MB(xml)", "20.6MB(samba)", "48.8MB(mozilla)", "10MB(exaalt)",
+        ]);
+        for design in Design::ALL {
+            let mut row = vec![format!(
+                "{}{}",
+                design.name(),
+                if design.placement == pedal_dpu::Placement::CEngine { " *" } else { "" }
+            )];
+            for id in sizes {
+                if design.is_lossy() {
+                    row.push("-".into());
+                    continue;
+                }
+                let data = dataset(id);
+                let ns = bcast_ns(platform, design, OverheadMode::Pedal, &data, dataset_datatype(id));
+                row.push(format!("{:.2}", ns as f64 / 1e6));
+            }
+            if design.is_lossy() {
+                let data = dataset(lossy);
+                let ns =
+                    bcast_ns(platform, design, OverheadMode::Pedal, &data, dataset_datatype(lossy));
+                row.push(format!("{:.2}", ns as f64 / 1e6));
+            } else {
+                row.push("-".into());
+            }
+            t.row(row);
+        }
+        // Baseline row (per-message init, C-Engine DEFLATE family).
+        let mut row = vec!["Baseline(per-msg init)".to_string()];
+        for id in sizes {
+            let data = dataset(id);
+            let base = bcast_ns(
+                platform,
+                Design::CE_DEFLATE,
+                OverheadMode::Baseline,
+                &data,
+                dataset_datatype(id),
+            );
+            row.push(format!("{:.2}", base as f64 / 1e6));
+            if platform == Platform::BlueField2 {
+                let pedal_t = bcast_ns(
+                    platform,
+                    Design::CE_DEFLATE,
+                    OverheadMode::Pedal,
+                    &data,
+                    dataset_datatype(id),
+                );
+                best_speedup = best_speedup.max(base as f64 / pedal_t as f64);
+            } else {
+                let soc = bcast_ns(
+                    platform,
+                    Design::SOC_DEFLATE,
+                    OverheadMode::Pedal,
+                    &data,
+                    dataset_datatype(id),
+                );
+                bf3_soc_reductions.push(1.0 - soc as f64 / base as f64);
+            }
+        }
+        row.push("-".into());
+        t.row(row);
+        t.print();
+        println!();
+    }
+
+    println!(
+        "BF2 C-Engine vs baseline: up to {best_speedup:.1}x (paper: up to 68x)"
+    );
+    let avg =
+        bf3_soc_reductions.iter().sum::<f64>() / bf3_soc_reductions.len().max(1) as f64;
+    println!(
+        "BF3 SoC average broadcast-time reduction vs baseline: {:.1}% (paper: ~49%)",
+        avg * 100.0
+    );
+}

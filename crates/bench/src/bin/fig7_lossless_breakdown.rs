@@ -1,0 +1,70 @@
+//! Regenerates Figure 7: time distribution (DOCA init, buffer preparation,
+//! compression, decompression) for the six lossless designs over the five
+//! lossless datasets, on BlueField-2 and BlueField-3.
+//!
+//! This is the paper's *characterization* figure: the raw designs run
+//! without PEDAL's pooling, so every run pays initialization — exactly the
+//! overhead PEDAL then eliminates (compare `fig10_p2p_latency`).
+
+use bench::{banner, dataset, fmt_ms, run_design, Table};
+use pedal::{Datatype, Design, OverheadMode};
+use pedal_datasets::DatasetId;
+use pedal_dpu::Platform;
+
+fn main() {
+    banner("Figure 7", "Lossless time distribution (characterization, per-run init)");
+    for platform in Platform::ALL {
+        println!("--- {} ---", platform.name());
+        let mut t = Table::new(vec![
+            "Design", "Dataset", "DOCA_Init(ms)", "BufPrep(ms)", "Compress(ms)",
+            "Decompress(ms)", "Total(ms)", "Init+Prep%",
+        ]);
+        let mut max_speedup: f64 = 0.0;
+        for design in Design::LOSSLESS {
+            for id in DatasetId::LOSSLESS {
+                let data = dataset(id);
+                let run =
+                    run_design(platform, design, OverheadMode::Baseline, &data, Datatype::Byte);
+                let sum = run.characterization();
+                t.row(vec![
+                    design.name().to_string(),
+                    id.name().to_string(),
+                    fmt_ms(sum.doca_init),
+                    fmt_ms(sum.buffer_prep),
+                    fmt_ms(sum.compress),
+                    fmt_ms(sum.decompress),
+                    fmt_ms(sum.total()),
+                    format!("{:.1}%", sum.overhead_fraction() * 100.0),
+                ]);
+            }
+        }
+        t.print();
+
+        // Headline: total C-Engine vs SoC speedup for DEFLATE (paper: up to
+        // 9.67x on BF2 including initialization).
+        for id in DatasetId::LOSSLESS {
+            let data = dataset(id);
+            let soc = run_design(
+                platform,
+                Design::SOC_DEFLATE,
+                OverheadMode::Baseline,
+                &data,
+                Datatype::Byte,
+            );
+            let ce = run_design(
+                platform,
+                Design::CE_DEFLATE,
+                OverheadMode::Baseline,
+                &data,
+                Datatype::Byte,
+            );
+            let speedup = soc.characterization().total().as_nanos() as f64
+                / ce.characterization().total().as_nanos() as f64;
+            max_speedup = max_speedup.max(speedup);
+        }
+        println!(
+            "DEFLATE total C-Engine-vs-SoC speedup (incl. init): up to {max_speedup:.2}x \
+             (paper BF2: up to 9.67x)\n"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates Figure 9: time distribution for the lossy (SZ3) designs on
+//! BlueField-2/3 across the three exaalt datasets.
+//!
+//! Reproduced observations:
+//! * BF2: SoC and C-Engine totals are comparable (the lossless stage is
+//!   off the critical path).
+//! * BF3: the SoC design is up to ~1.58x faster than the C-Engine design,
+//!   because the engine cannot compress and the fallback SoC DEFLATE is
+//!   slower than SZ3's native backend.
+
+use bench::{banner, dataset, fmt_ms, run_design, Table};
+use pedal::{Datatype, Design, OverheadMode};
+use pedal_datasets::DatasetId;
+use pedal_dpu::Platform;
+
+fn main() {
+    banner("Figure 9", "Lossy (SZ3) time distribution, characterization mode");
+    for platform in Platform::ALL {
+        println!("--- {} ---", platform.name());
+        let mut t = Table::new(vec![
+            "Design", "Dataset", "Alloc/Prep(ms)", "Compress(ms)", "Decompress(ms)",
+            "Total(ms)",
+        ]);
+        let mut worst: f64 = 0.0;
+        for id in DatasetId::LOSSY {
+            let data = dataset(id);
+            let soc = run_design(
+                platform,
+                Design::SOC_SZ3,
+                OverheadMode::Baseline,
+                &data,
+                Datatype::Float32,
+            );
+            let ce = run_design(
+                platform,
+                Design::CE_SZ3,
+                OverheadMode::Baseline,
+                &data,
+                Datatype::Float32,
+            );
+            for (design, run) in [(Design::SOC_SZ3, soc), (Design::CE_SZ3, ce)] {
+                let sum = run.characterization();
+                t.row(vec![
+                    design.name().to_string(),
+                    id.name().to_string(),
+                    fmt_ms(sum.doca_init + sum.buffer_prep),
+                    fmt_ms(sum.compress),
+                    fmt_ms(sum.decompress),
+                    fmt_ms(sum.total()),
+                ]);
+            }
+            let rel = ce.characterization().total().as_nanos() as f64
+                / soc.characterization().total().as_nanos() as f64;
+            worst = worst.max(rel);
+        }
+        t.print();
+        match platform {
+            Platform::BlueField2 => println!(
+                "BF2: C-Engine/SoC total ratio stays near 1 (paper: \"comparable\"), worst {worst:.2}x\n"
+            ),
+            Platform::BlueField3 => println!(
+                "BF3: SoC is up to {worst:.2}x faster than the C-Engine design (paper: up to 1.58x)\n"
+            ),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Regenerates the paper's Tables I, II, and III: the selected algorithms,
+//! the hardware capability matrix, and PEDAL's extended design matrix.
+
+use bench::{banner, Table};
+use pedal::Design;
+use pedal_dpu::{Algorithm, Direction, Placement, Platform};
+
+fn main() {
+    banner("Table I", "Compression designs and features");
+    let mut t1 = Table::new(vec!["Algorithm", "Purpose", "Lossless", "Lossy"]);
+    for algo in Algorithm::ALL {
+        let purpose = if algo.is_lossy() {
+            "Scientific Data Compression"
+        } else {
+            "General Data Compression"
+        };
+        t1.row(vec![
+            algo.name().to_string(),
+            purpose.to_string(),
+            if algo.is_lossy() { "" } else { "x" }.to_string(),
+            if algo.is_lossy() { "x" } else { "" }.to_string(),
+        ]);
+    }
+    t1.print();
+
+    println!();
+    banner("Table II", "Algorithms supported by BlueField hardware");
+    let mut t2 = Table::new(vec!["Algorithm", "SoC", "C-Engine Compression", "C-Engine Decompression"]);
+    for algo in Algorithm::ALL {
+        let mut comp = Vec::new();
+        let mut decomp = Vec::new();
+        for p in Platform::ALL {
+            // Table II is the *raw* hardware matrix: zlib/SZ3 have no
+            // native engine support (that extension is PEDAL's, Table III).
+            let caps = p.spec().cengine;
+            let native = match algo {
+                Algorithm::Deflate => (caps.deflate_compress, caps.deflate_decompress),
+                Algorithm::Lz4 => (caps.lz4_compress, caps.lz4_decompress),
+                Algorithm::Zlib | Algorithm::Sz3 => (false, false),
+            };
+            if native.0 {
+                comp.push(p.short_name());
+            }
+            if native.1 {
+                decomp.push(p.short_name());
+            }
+        }
+        t2.row(vec![
+            algo.name().to_string(),
+            "BF2, BF3".to_string(),
+            if comp.is_empty() { "-".into() } else { comp.join(", ") },
+            if decomp.is_empty() { "-".into() } else { decomp.join(", ") },
+        ]);
+    }
+    t2.print();
+
+    println!();
+    banner("Table III", "Designs supported by PEDAL (zlib/SZ3 extended onto the engine)");
+    let mut t3 = Table::new(vec!["Algorithm", "SoC Core", "C-Engine Compression", "C-Engine Decompression"]);
+    for algo in Algorithm::ALL {
+        let mut comp = Vec::new();
+        let mut decomp = Vec::new();
+        for p in Platform::ALL {
+            let caps = p.spec().cengine;
+            if caps.supports(algo, Direction::Compress) {
+                comp.push(p.short_name());
+            }
+            if caps.supports(algo, Direction::Decompress) {
+                decomp.push(p.short_name());
+            }
+        }
+        t3.row(vec![
+            algo.name().to_string(),
+            "BF2, BF3".to_string(),
+            if comp.is_empty() { "-".into() } else { comp.join(", ") },
+            if decomp.is_empty() { "-".into() } else { decomp.join(", ") },
+        ]);
+    }
+    t3.print();
+
+    println!();
+    println!("The eight PEDAL compression designs (AlgoID on the wire):");
+    let mut t4 = Table::new(vec!["AlgoID", "Design", "Algorithm", "Placement"]);
+    for d in Design::ALL {
+        t4.row(vec![
+            d.algo_id().to_string(),
+            d.name().to_string(),
+            d.algorithm.name().to_string(),
+            match d.placement {
+                Placement::Soc => "SoC",
+                Placement::CEngine => "C-Engine",
+            }
+            .to_string(),
+        ]);
+    }
+    t4.print();
+}

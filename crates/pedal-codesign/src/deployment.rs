@@ -1,0 +1,129 @@
+//! Deployment scenarios for the compression stack (paper §VI, MPI
+//! community notes): the evaluated configuration runs MPI *on the DPU*;
+//! the alternative keeps MPI on the host and offloads only compression to
+//! the DPU, paying PCIe DMA on every message — "it is crucial to assess
+//! the overhead associated with data movement between the host and DPU".
+
+use pedal_dpu::{CostModel, SimDuration};
+
+/// Where the MPI process (and thus the user buffer) lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deployment {
+    /// Paper's evaluated mode: MPICH + PEDAL both run on the DPU; user
+    /// buffers are already in DPU memory.
+    OnDpu,
+    /// MPI on the host, compression offloaded to the DPU. Every send DMAs
+    /// the raw buffer host→DPU before compressing; every receive DMAs the
+    /// decompressed buffer DPU→host. `pipelined` overlaps the DMA with
+    /// (de)compression chunk-by-chunk instead of serializing them.
+    HostOffload { pipelined: bool },
+}
+
+impl Deployment {
+    /// Extra sender-side cost for a message of `raw_len` bytes whose
+    /// compression work costs `compress_time`.
+    ///
+    /// Returns the *total* time of the DMA + compress phase (the caller
+    /// replaces its plain compress time with this).
+    pub fn sender_phase(
+        self,
+        costs: &CostModel,
+        raw_len: usize,
+        compress_time: SimDuration,
+    ) -> SimDuration {
+        match self {
+            Deployment::OnDpu => compress_time,
+            Deployment::HostOffload { pipelined: false } => {
+                costs.pcie_transfer(raw_len) + compress_time
+            }
+            Deployment::HostOffload { pipelined: true } => {
+                // Chunked overlap: steady state is bounded by the slower of
+                // the two stages, plus one chunk of pipeline fill. Model the
+                // fill as one PCIe latency.
+                costs.pcie.latency + costs.pcie_transfer(raw_len).max(compress_time)
+            }
+        }
+    }
+
+    /// Extra receiver-side cost, mirroring [`Self::sender_phase`].
+    pub fn receiver_phase(
+        self,
+        costs: &CostModel,
+        raw_len: usize,
+        decompress_time: SimDuration,
+    ) -> SimDuration {
+        match self {
+            Deployment::OnDpu => decompress_time,
+            Deployment::HostOffload { pipelined: false } => {
+                decompress_time + costs.pcie_transfer(raw_len)
+            }
+            Deployment::HostOffload { pipelined: true } => {
+                costs.pcie.latency + costs.pcie_transfer(raw_len).max(decompress_time)
+            }
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Deployment::OnDpu => "MPI-on-DPU (paper)",
+            Deployment::HostOffload { pipelined: false } => "Host-offload (serialized)",
+            Deployment::HostOffload { pipelined: true } => "Host-offload (pipelined)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_dpu::Platform;
+
+    #[test]
+    fn on_dpu_adds_nothing() {
+        let costs = CostModel::for_platform(Platform::BlueField2);
+        let t = SimDuration::from_millis(3);
+        assert_eq!(Deployment::OnDpu.sender_phase(&costs, 10_000_000, t), t);
+        assert_eq!(Deployment::OnDpu.receiver_phase(&costs, 10_000_000, t), t);
+    }
+
+    #[test]
+    fn serialized_offload_pays_full_dma() {
+        let costs = CostModel::for_platform(Platform::BlueField2);
+        let t = SimDuration::from_millis(3);
+        let n = 20_000_000;
+        let serial = Deployment::HostOffload { pipelined: false }.sender_phase(&costs, n, t);
+        assert_eq!(serial, costs.pcie_transfer(n) + t);
+    }
+
+    #[test]
+    fn pipelining_hides_the_smaller_stage() {
+        let costs = CostModel::for_platform(Platform::BlueField2);
+        let n = 20_000_000;
+        let dma = costs.pcie_transfer(n);
+        // Compression slower than DMA: pipelined cost ≈ compression.
+        let slow = SimDuration::from_millis(500);
+        let piped = Deployment::HostOffload { pipelined: true }.sender_phase(&costs, n, slow);
+        assert!(piped < dma + slow);
+        assert!(piped >= slow);
+        // Compression faster than DMA: pipelined cost ≈ DMA.
+        let fast = SimDuration::from_micros(100);
+        let piped = Deployment::HostOffload { pipelined: true }.sender_phase(&costs, n, fast);
+        assert!(piped >= dma);
+        assert!(piped < dma + dma);
+    }
+
+    #[test]
+    fn pipelined_never_beats_on_dpu() {
+        let costs = CostModel::for_platform(Platform::BlueField3);
+        for n in [100_000usize, 1_000_000, 50_000_000] {
+            let t = costs.soc_lossless(
+                pedal_dpu::Algorithm::Deflate,
+                pedal_dpu::Direction::Compress,
+                n,
+            );
+            let on_dpu = Deployment::OnDpu.sender_phase(&costs, n, t);
+            let piped =
+                Deployment::HostOffload { pipelined: true }.sender_phase(&costs, n, t);
+            assert!(piped >= on_dpu, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # pedal-codesign
+//!
+//! The PEDAL × MPI co-design (paper §IV, Fig. 6): on-the-fly compression
+//! inside `MPI_Send`/`MPI_Recv` and `MPI_Bcast`, with `PEDAL_init` folded
+//! into `MPI_Init`.
+//!
+//! Key properties reproduced from the paper:
+//!
+//! * PEDAL sits between the shim and transport layers — user code calls the
+//!   unchanged MPI-style API and receives plain bytes.
+//! * Compression applies only to Rendezvous-class (large) messages; Eager
+//!   messages are passed through (§IV: latency overheads "prevent
+//!   compression techniques from benefiting short messages").
+//! * The receiver posts a PEDAL-owned buffer and decompresses into the user
+//!   buffer without an extra copy.
+//! * The baseline configuration charges memory allocation and DOCA
+//!   initialization on *every* message, as the paper's baseline does.
+
+pub mod comm;
+pub mod deployment;
+
+pub use comm::{CommStats, PedalComm, PedalCommConfig};
+pub use deployment::Deployment;

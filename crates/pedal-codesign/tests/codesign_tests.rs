@@ -1,0 +1,234 @@
+//! End-to-end tests of the PEDAL × MPI co-design across designs, platforms,
+//! and overhead modes.
+
+use pedal::{Datatype, Design, OverheadMode};
+use pedal_codesign::{PedalComm, PedalCommConfig};
+use pedal_dpu::Platform;
+use pedal_mpi::{run_world, WorldConfig};
+
+fn text_payload(n: usize) -> Vec<u8> {
+    pedal_datasets::DatasetId::SilesiaXml.generate_bytes(n)
+}
+
+fn float_payload(n_elems: usize) -> Vec<u8> {
+    pedal_datasets::DatasetId::Exaalt1.generate_bytes(n_elems * 4)
+}
+
+#[test]
+fn pingpong_roundtrip_all_lossless_designs() {
+    let data = text_payload(2_000_000);
+    for platform in Platform::ALL {
+        for design in Design::LOSSLESS {
+            let data = data.clone();
+            let results = run_world(WorldConfig::new(2, platform), move |mpi| {
+                let (mut comm, _) =
+                    PedalComm::init(mpi, PedalCommConfig::new(design)).unwrap();
+                if mpi.rank == 0 {
+                    comm.send(mpi, 1, 1, Datatype::Byte, &data).unwrap();
+                    let (echo, _) = comm.recv(mpi, 1, 2, data.len()).unwrap();
+                    assert_eq!(echo, data, "{design} on {platform:?}");
+                    comm.stats.wire_ratio()
+                } else {
+                    let (msg, _) = comm.recv(mpi, 0, 1, data.len()).unwrap();
+                    comm.send(mpi, 0, 2, Datatype::Byte, &msg).unwrap();
+                    comm.stats.wire_ratio()
+                }
+            });
+            assert!(results[0] > 1.5, "{design} on {platform:?}: ratio {}", results[0]);
+        }
+    }
+}
+
+#[test]
+fn lossy_transfer_respects_error_bound() {
+    let data = float_payload(400_000);
+    for design in [Design::SOC_SZ3, Design::CE_SZ3] {
+        let data = data.clone();
+        run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
+            let (mut comm, _) = PedalComm::init(
+                mpi,
+                PedalCommConfig::new(design).with_error_bound(1e-4),
+            )
+            .unwrap();
+            if mpi.rank == 0 {
+                comm.send(mpi, 1, 1, Datatype::Float32, &data).unwrap();
+            } else {
+                let (msg, _) = comm.recv(mpi, 0, 1, data.len()).unwrap();
+                for (a, b) in data.chunks_exact(4).zip(msg.chunks_exact(4)) {
+                    let x = f32::from_le_bytes(a.try_into().unwrap());
+                    let y = f32::from_le_bytes(b.try_into().unwrap());
+                    assert!(((x - y).abs() as f64) <= 1e-4, "{design}: |{x}-{y}|");
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn small_messages_skip_compression() {
+    let data = text_payload(10_000); // below the 256 KiB RNDV threshold
+    run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
+        let (mut comm, _) =
+            PedalComm::init(mpi, PedalCommConfig::new(Design::CE_DEFLATE)).unwrap();
+        if mpi.rank == 0 {
+            comm.send(mpi, 1, 1, Datatype::Byte, &data).unwrap();
+            assert_eq!(comm.stats.eager_passthroughs, 1);
+            // Wire bytes ≈ raw bytes (framing only).
+            assert!(comm.stats.wire_bytes_sent <= comm.stats.raw_bytes_sent + 16);
+        } else {
+            let (msg, _) = comm.recv(mpi, 0, 1, data.len()).unwrap();
+            assert_eq!(msg, data);
+        }
+    });
+}
+
+#[test]
+fn rndv_threshold_is_configurable() {
+    let data = text_payload(100_000);
+    run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
+        let cfg = PedalCommConfig::new(Design::SOC_DEFLATE).with_rndv_threshold(50_000);
+        let (mut comm, _) = PedalComm::init(mpi, cfg).unwrap();
+        if mpi.rank == 0 {
+            comm.send(mpi, 1, 1, Datatype::Byte, &data).unwrap();
+            assert_eq!(comm.stats.eager_passthroughs, 0, "100 KB > 50 KB threshold");
+            assert!(comm.stats.wire_ratio() > 2.0);
+        } else {
+            let (msg, _) = comm.recv(mpi, 0, 1, data.len()).unwrap();
+            assert_eq!(msg, data);
+        }
+    });
+}
+
+#[test]
+fn pedal_beats_baseline_latency_on_ce_designs() {
+    // The headline claim (Fig. 10): PEDAL's prepaid initialization makes
+    // C-Engine designs dramatically faster per message than the baseline.
+    let data = text_payload(2_000_000);
+    let latency_with = |mode: OverheadMode| {
+        let data = data.clone();
+        let results = run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
+            let mut cfg = PedalCommConfig::new(Design::CE_DEFLATE);
+            cfg.overhead_mode = mode;
+            let (mut comm, _) = PedalComm::init(mpi, cfg).unwrap();
+            if mpi.rank == 0 {
+                // Warmup then measure.
+                for it in 0..2 {
+                    let t0 = mpi.now();
+                    comm.send(mpi, 1, it, Datatype::Byte, &data).unwrap();
+                    let (_, done) = comm.recv(mpi, 1, 100 + it, data.len()).unwrap();
+                    if it == 1 {
+                        return done.elapsed_since(t0).as_nanos();
+                    }
+                }
+                unreachable!()
+            } else {
+                for it in 0..2 {
+                    let (msg, _) = comm.recv(mpi, 0, it, data.len()).unwrap();
+                    comm.send(mpi, 0, 100 + it, Datatype::Byte, &msg).unwrap();
+                }
+                0
+            }
+        });
+        results[0]
+    };
+    let pedal_ns = latency_with(OverheadMode::Pedal);
+    let baseline_ns = latency_with(OverheadMode::Baseline);
+    let speedup = baseline_ns as f64 / pedal_ns as f64;
+    assert!(
+        speedup > 20.0,
+        "PEDAL should be >20x faster than per-message-init baseline, got {speedup:.1}x"
+    );
+}
+
+#[test]
+fn bcast_four_nodes_all_designs() {
+    let data = text_payload(1_000_000);
+    for design in [Design::CE_DEFLATE, Design::SOC_ZLIB, Design::SOC_LZ4] {
+        let payload = data.clone();
+        let results = run_world(WorldConfig::new(4, Platform::BlueField2), move |mpi| {
+            let (mut comm, _) = PedalComm::init(mpi, PedalCommConfig::new(design)).unwrap();
+            let root_data = if mpi.rank == 0 { Some(&payload[..]) } else { None };
+            let (msg, _) =
+                comm.bcast(mpi, 0, Datatype::Byte, root_data, payload.len()).unwrap();
+            msg
+        });
+        for (rank, msg) in results.iter().enumerate() {
+            assert_eq!(msg, &data, "{design} rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn lossy_bcast_respects_bound_everywhere() {
+    let data = float_payload(300_000);
+    let results = run_world(WorldConfig::new(4, Platform::BlueField3), move |mpi| {
+        let (mut comm, _) = PedalComm::init(
+            mpi,
+            PedalCommConfig::new(Design::SOC_SZ3).with_error_bound(1e-3),
+        )
+        .unwrap();
+        let root_data = if mpi.rank == 0 { Some(&data[..]) } else { None };
+        let (msg, _) = comm.bcast(mpi, 0, Datatype::Float32, root_data, data.len()).unwrap();
+        (msg, data.clone())
+    });
+    for (rank, (msg, orig)) in results.iter().enumerate() {
+        for (a, b) in orig.chunks_exact(4).zip(msg.chunks_exact(4)) {
+            let x = f32::from_le_bytes(a.try_into().unwrap());
+            let y = f32::from_le_bytes(b.try_into().unwrap());
+            assert!(((x - y).abs() as f64) <= 1e-3, "rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn init_cost_reported_once() {
+    run_world(WorldConfig::new(1, Platform::BlueField2), |mpi| {
+        let (_comm, init_cost) =
+            PedalComm::init(mpi, PedalCommConfig::new(Design::CE_DEFLATE)).unwrap();
+        assert!(init_cost.as_millis_f64() > 50.0, "DOCA init should dominate");
+    });
+}
+
+#[test]
+fn stats_track_compression() {
+    let data = text_payload(1_500_000);
+    run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
+        let (mut comm, _) =
+            PedalComm::init(mpi, PedalCommConfig::new(Design::SOC_DEFLATE)).unwrap();
+        if mpi.rank == 0 {
+            for tag in 0..3 {
+                comm.send(mpi, 1, tag, Datatype::Byte, &data).unwrap();
+            }
+            assert_eq!(comm.stats.messages_sent, 3);
+            assert_eq!(comm.stats.raw_bytes_sent, 3 * data.len() as u64);
+            assert!(comm.stats.wire_ratio() > 3.0);
+            assert!(comm.stats.compress_time.as_nanos() > 0);
+        } else {
+            for tag in 0..3 {
+                let (msg, _) = comm.recv(mpi, 0, tag, data.len()).unwrap();
+                assert_eq!(msg.len(), data.len());
+            }
+            assert_eq!(comm.stats.messages_received, 3);
+            assert!(comm.stats.decompress_time.as_nanos() > 0);
+        }
+    });
+}
+
+#[test]
+fn compressed_gather_collects_everything() {
+    let results = run_world(WorldConfig::new(4, Platform::BlueField2), |mpi| {
+        let (mut comm, _) =
+            PedalComm::init(mpi, PedalCommConfig::new(Design::CE_DEFLATE)).unwrap();
+        // Rank-specific compressible payloads of differing RNDV classes.
+        let mine = pedal_datasets::DatasetId::SilesiaSamba
+            .generate_bytes(100_000 + mpi.rank * 400_000);
+        let gathered = comm.gather(mpi, 0, Datatype::Byte, &mine).unwrap();
+        (mine, gathered)
+    });
+    let (_, at_root) = &results[0];
+    assert_eq!(at_root.len(), 4);
+    for (rank, (mine, _)) in results.iter().enumerate() {
+        assert_eq!(&at_root[rank], mine, "rank {rank} payload corrupted");
+    }
+    assert!(results[1].1.is_empty(), "non-root gets nothing");
+}

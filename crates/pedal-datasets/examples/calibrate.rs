@@ -1,0 +1,45 @@
+//! Developer tool: print DEFLATE/LZ4 ratios for the lossless generators and
+//! SZ3 ratios for the exaalt generators, next to the paper's Table V
+//! targets. Used to tune generator constants.
+
+use pedal_datasets::DatasetId;
+
+fn main() {
+    let sample = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2_000_000);
+    println!("sample size: {} bytes", sample);
+    println!("{:<18} {:>8} {:>8}   paper(DEFLATE)", "dataset", "DEFLATE", "LZ4");
+    let paper = [7.769, 2.712, 3.963, 1.469, 2.683];
+    for (id, p) in DatasetId::LOSSLESS.iter().zip(paper) {
+        let data = id.generate_bytes(sample);
+        let d = pedal_deflate::compress(&data, pedal_deflate::Level::DEFAULT).len();
+        let l = pedal_lz4::compress_block(&data, 1).len();
+        println!(
+            "{:<18} {:>8.3} {:>8.3}   {:.3}",
+            id.name(),
+            data.len() as f64 / d as f64,
+            data.len() as f64 / l as f64,
+            p
+        );
+    }
+    println!();
+    println!("{:<18} {:>8}   paper(SZ3, eb=1e-4)", "dataset", "SZ3");
+    let paper_sz3 = [2.941, 5.745, 5.378];
+    for (id, p) in DatasetId::LOSSY.iter().zip(paper_sz3) {
+        let bytes = id.generate_bytes(sample);
+        let field = pedal_sz3::Field::<f32>::from_bytes(
+            pedal_sz3::Dims::d1(bytes.len() / 4),
+            &bytes[..(bytes.len() / 4) * 4],
+        );
+        let cfg = pedal_sz3::Sz3Config::with_error_bound(1e-4);
+        let packed = pedal_sz3::compress(&field, &cfg);
+        println!(
+            "{:<18} {:>8.3}   {:.3}",
+            id.name(),
+            bytes.len() as f64 / packed.len() as f64,
+            p
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! The individual dataset generators. Each takes a target byte count and a
+//! seed, and must produce exactly `target` bytes deterministically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// XML-like text: nested elements from a small vocabulary with numeric
+/// attributes and text runs. Highly compressible (target DEFLATE ~7.8).
+pub fn gen_xml(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tags = ["entry", "author", "title", "journal", "volume", "pages", "year", "booktitle"];
+    let words = [
+        "compression", "bluefield", "performance", "analysis", "parallel", "distributed",
+        "computing", "systems", "evaluation", "architecture",
+    ];
+    let mut out = Vec::with_capacity(target + 256);
+    out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<bibliography>\n");
+    let mut id = 0u32;
+    while out.len() < target {
+        id += 1;
+        out.extend_from_slice(
+            format!("  <entry id=\"{id}\" key=\"{:08x}\" kind=\"article\">\n", rng.gen::<u32>())
+                .as_bytes(),
+        );
+        let fields = 3 + (rng.gen::<u8>() % 4) as usize;
+        for _ in 0..fields {
+            let tag = tags[rng.gen_range(0..tags.len())];
+            out.extend_from_slice(format!("    <{tag}>").as_bytes());
+            let n_words = 2 + rng.gen_range(0..5);
+            for w in 0..n_words {
+                if w > 0 {
+                    out.push(b' ');
+                }
+                out.extend_from_slice(words[rng.gen_range(0..words.len())].as_bytes());
+            }
+            // Sprinkle numeric content (years, pages) for realistic entropy.
+            if rng.gen::<u8>() < 96 {
+                out.extend_from_slice(
+                    format!(" {}--{}", rng.gen_range(1990..2024), rng.gen_range(1..9999))
+                        .as_bytes(),
+                );
+            }
+            out.extend_from_slice(format!("</{tag}>\n").as_bytes());
+        }
+        out.extend_from_slice(b"  </entry>\n");
+    }
+    out.truncate(target);
+    out
+}
+
+/// MRI-like volume: 16-bit little-endian samples of a smooth 3-D intensity
+/// field plus acquisition noise and black background (DEFLATE ~2.7).
+pub fn gen_mri(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(target + 4);
+    // 256x256 slices; as many slices as the target needs.
+    let (nx, ny) = (256usize, 256usize);
+    let mut z = 0usize;
+    let mut prev_row: Vec<u8> = Vec::new();
+    while out.len() < target {
+        for y in 0..ny {
+            // Interpolated acquisition: ~35% of rows repeat the previous
+            // row exactly, as in upsampled DICOM slices.
+            if !prev_row.is_empty() && rng.gen::<u8>() < 90 {
+                let take = prev_row.len().min(target + 2 - out.len());
+                out.extend_from_slice(&prev_row[..take]);
+                if out.len() > target {
+                    break;
+                }
+                continue;
+            }
+            let row_start = out.len();
+            for x in 0..nx {
+                // Ellipsoidal "head" with internal smooth structure.
+                let dx = (x as f64 - 128.0) / 110.0;
+                let dy = (y as f64 - 128.0) / 120.0;
+                let dz = (z as f64 - 60.0) / 150.0;
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let v: u16 = if r2 > 1.0 {
+                    // Background: low detector noise floor.
+                    rng.gen::<u16>() & 0x07
+                } else {
+                    let base = 900.0
+                        + 500.0 * ((x as f64) * 0.07).sin() * ((y as f64) * 0.05).cos()
+                        + 300.0 * ((z as f64) * 0.15).sin();
+                    let noise = rng.gen_range(-90.0..90.0);
+                    (base + noise).clamp(0.0, 4095.0) as u16
+                };
+                out.extend_from_slice(&v.to_le_bytes());
+                if out.len() > target {
+                    break;
+                }
+            }
+            prev_row = out[row_start..].to_vec();
+            if out.len() > target {
+                break;
+            }
+        }
+        z += 1;
+    }
+    out.truncate(target);
+    out
+}
+
+/// Source-tree-like data: C code from templates with varied identifiers,
+/// plus occasional binary resource sections (DEFLATE ~4.0).
+pub fn gen_source_tree(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idents = [
+        "smbd_session", "request_ctx", "packet_buf", "tree_connect", "auth_state", "byte_count",
+        "reply_size", "dir_handle", "file_entry", "share_mode",
+    ];
+    let templates = [
+        "static int {A}_init(struct {B} *{C})\n{\n\tif ({C} == NULL) {\n\t\treturn -1;\n\t}\n\tmemset({C}, 0, sizeof(*{C}));\n\treturn 0;\n}\n\n",
+        "int {A}_process(struct {B} *{C}, uint32_t {A}_flags)\n{\n\tint ret;\n\tret = {A}_validate({C});\n\tif (ret != 0) {\n\t\tDEBUG(3, (\"{A}: validation failed\\n\"));\n\t\treturn ret;\n\t}\n\treturn {A}_dispatch({C}, {A}_flags);\n}\n\n",
+        "/*\n * {A}: handle {B} negotiation for the {C} path.\n * Returns 0 on success, -1 on failure.\n */\n",
+        "#define {A}_MAX_{B} {N}\n#define {A}_MIN_{B} {M}\n",
+    ];
+    let mut out = Vec::with_capacity(target + 512);
+    while out.len() < target {
+        if rng.gen::<u8>() < 16 {
+            // Binary resource blob (graphics): noise-dominated with runs.
+            let n = rng.gen_range(300..2000);
+            for _ in 0..n {
+                let b: u8 = if rng.gen::<u8>() < 150 { 0 } else { rng.gen::<u8>() & 0xF7 };
+                out.push(b);
+            }
+            continue;
+        }
+        let t = templates[rng.gen_range(0..templates.len())];
+        let a = idents[rng.gen_range(0..idents.len())];
+        let b = idents[rng.gen_range(0..idents.len())];
+        let c = idents[rng.gen_range(0..idents.len())];
+        let s = t
+            .replace("{A}", a)
+            .replace("{B}", b)
+            .replace("{C}", c)
+            .replace("{N}", &rng.gen_range(64..4096).to_string())
+            .replace("{M}", &rng.gen_range(1..64).to_string());
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.truncate(target);
+    out
+}
+
+/// Brightness-temperature error field: f32 values with a nearly constant
+/// exponent and noisy mantissa — barely compressible (DEFLATE ~1.47).
+pub fn gen_obs_error(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = target / 4 + 1;
+    let mut out = Vec::with_capacity(n * 4);
+    let mut walk = 0.0f64;
+    for i in 0..n {
+        // Slowly varying bias + observation noise quantized to the
+        // instrument's reporting precision (zeroing low mantissa bits, as
+        // real brightness-temperature products do).
+        walk += rng.gen_range(-0.02..0.02);
+        walk = walk.clamp(-1.5, 1.5);
+        let scan = ((i % 2048) as f64 * 0.003).sin() * 0.7;
+        let raw = walk + scan + rng.gen_range(-1.2..1.2);
+        let v = ((raw * 8192.0).round() / 8192.0) as f32;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.truncate(target);
+    out
+}
+
+/// Executable-like image: opcode-biased code pages, import-table strings,
+/// and zero padding (DEFLATE ~2.7).
+pub fn gen_executable(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Common x86-ish opcode bytes with realistic frequency skew.
+    let opcodes: [u8; 24] = [
+        0x8B, 0x89, 0xE8, 0xFF, 0x55, 0x48, 0x83, 0xC3, 0x0F, 0x85, 0x74, 0x75, 0x90, 0x31,
+        0xC0, 0x5D, 0x41, 0x89, 0x8D, 0x24, 0xEC, 0x84, 0x01, 0x00,
+    ];
+    let symbols = [
+        "NS_InitXPCOM", "PR_GetCurrentThread", "nsCOMPtr_release", "JS_CallFunctionValue",
+        "gfxContext_Paint", "nsDocShell_LoadURI", "PL_HashTableLookup", "NS_NewChannel",
+    ];
+    // Binaries repeat idioms heavily: draw code from a fixed pool of
+    // "function bodies" so LZ77 finds real matches, as in actual executables.
+    let pool: Vec<Vec<u8>> = (0..24)
+        .map(|_| {
+            let n = rng.gen_range(60..360);
+            (0..n)
+                .map(|_| {
+                    if rng.gen::<u8>() < 150 {
+                        opcodes[rng.gen_range(0..opcodes.len())]
+                    } else {
+                        rng.gen()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(target + 512);
+    out.extend_from_slice(b"MZ\x90\x00\x03\x00\x00\x00\x04\x00\x00\x00\xFF\xFF\x00\x00");
+    while out.len() < target {
+        match rng.gen_range(0..10) {
+            // Code section: pooled bodies with per-call-site immediates and
+            // relocation fixups scattered through the body.
+            0..=5 => {
+                for _ in 0..rng.gen_range(2..8) {
+                    let body = &pool[rng.gen_range(0..pool.len())];
+                    let start = out.len();
+                    out.extend_from_slice(body);
+                    // Patch ~7% of the copied bytes (addresses, offsets).
+                    let patches = body.len() / 16;
+                    for _ in 0..patches {
+                        let at = start + rng.gen_range(0..body.len());
+                        out[at] = rng.gen();
+                    }
+                    out.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+                }
+            }
+            // String/import table.
+            6..=7 => {
+                for _ in 0..rng.gen_range(4..24) {
+                    out.extend_from_slice(symbols[rng.gen_range(0..symbols.len())].as_bytes());
+                    out.push(0);
+                }
+            }
+            // Zero padding to a section boundary.
+            8 => {
+                let pad = 512 - (out.len() % 512);
+                out.extend(std::iter::repeat_n(0u8, pad));
+            }
+            // Packed resource data: high entropy.
+            _ => {
+                let n = rng.gen_range(300..1500);
+                for _ in 0..n {
+                    out.push(rng.gen());
+                }
+            }
+        }
+    }
+    out.truncate(target);
+    out
+}
+
+/// How rough the molecular-dynamics trajectory is — controls the SZ3
+/// ratio (noisier → more quantizer entropy → lower ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExaaltStyle {
+    /// dataset1: thermal noise dominates (SZ3 ~2.9).
+    Noisy,
+    /// dataset2: moderate (SZ3 ~5.4).
+    Medium,
+    /// dataset3: smooth, well-predicted (SZ3 ~5.7).
+    Smooth,
+}
+
+/// Molecular-dynamics-like positions: per-atom oscillation around lattice
+/// sites with thermal noise, stored as consecutive f32 snapshots.
+pub fn gen_exaalt(target: usize, seed: u64, style: ExaaltStyle) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = target / 4 + 1;
+    let (noise_amp, osc_amp) = match style {
+        ExaaltStyle::Noisy => (4.0e-2f64, 0.05),
+        ExaaltStyle::Medium => (2.8e-3, 0.08),
+        ExaaltStyle::Smooth => (2.2e-3, 0.10),
+    };
+    // Store each atom's coordinate as a contiguous time series (SDRBench's
+    // exaalt files are flat per-coordinate arrays), so neighbouring values
+    // are temporally adjacent and predictable.
+    let steps_per_atom = 8192usize;
+    let mut out = Vec::with_capacity(n * 4);
+    let mut atom = 0usize;
+    let mut i = 0usize;
+    'outer: loop {
+        let site = (atom % 64) as f64 * 2.5 + (atom / 64) as f64 * 0.04;
+        let freq = rng.gen_range(0.02..0.08);
+        let mut phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        for _ in 0..steps_per_atom {
+            phase += freq;
+            let v = site + osc_amp * phase.sin() + rng.gen_range(-noise_amp..noise_amp);
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+            i += 1;
+            if i >= n {
+                break 'outer;
+            }
+        }
+        atom += 1;
+    }
+    out.truncate(target);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_fill_exact_target() {
+        assert_eq!(gen_xml(10_000, 1).len(), 10_000);
+        assert_eq!(gen_mri(10_001, 1).len(), 10_001);
+        assert_eq!(gen_source_tree(9_999, 1).len(), 9_999);
+        assert_eq!(gen_obs_error(10_002, 1).len(), 10_002);
+        assert_eq!(gen_executable(10_003, 1).len(), 10_003);
+        assert_eq!(gen_exaalt(10_000, 1, ExaaltStyle::Smooth).len(), 10_000);
+    }
+
+    #[test]
+    fn xml_looks_like_xml() {
+        let data = gen_xml(5_000, 7);
+        let text = String::from_utf8_lossy(&data);
+        assert!(text.starts_with("<?xml"));
+        assert!(text.contains("<entry"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(gen_xml(5_000, 1), gen_xml(5_000, 2));
+        assert_ne!(
+            gen_exaalt(5_000, 1, ExaaltStyle::Smooth),
+            gen_exaalt(5_000, 2, ExaaltStyle::Smooth)
+        );
+    }
+
+    #[test]
+    fn exaalt_styles_have_increasing_smoothness() {
+        // Smoother styles quantize better: compare second-difference noise.
+        let roughness = |style: ExaaltStyle| {
+            let bytes = gen_exaalt(400_000, 9, style);
+            let vals: Vec<f32> = bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let mut acc = 0.0f64;
+            for w in vals.windows(3) {
+                acc += ((w[2] - 2.0 * w[1] + w[0]) as f64).abs();
+            }
+            acc / (vals.len() - 2) as f64
+        };
+        let noisy = roughness(ExaaltStyle::Noisy);
+        let smooth = roughness(ExaaltStyle::Smooth);
+        assert!(noisy > smooth, "noisy {noisy:.6} !> smooth {smooth:.6}");
+    }
+}

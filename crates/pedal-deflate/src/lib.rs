@@ -1,0 +1,83 @@
+//! # pedal-deflate
+//!
+//! A from-scratch implementation of the DEFLATE compressed data format
+//! (RFC 1951), built for the PEDAL reproduction. Provides:
+//!
+//! * [`compress`] / [`decompress`] — one-shot raw DEFLATE streams,
+//! * [`Level`] — a zlib-like 0..=9 effort ladder,
+//! * the LZ77 tokenizer and canonical Huffman machinery as public modules
+//!   so the SZ3 pipeline and the simulated C-Engine can reuse them.
+//!
+//! The bitstream is interoperable with other DEFLATE decoders: it emits
+//! stored, fixed-Huffman, and dynamic-Huffman blocks, choosing the cheapest
+//! per block.
+//!
+//! ```
+//! use pedal_deflate::{compress, decompress, Level};
+//! let data = b"compress me compress me compress me";
+//! let packed = compress(data, Level::DEFAULT);
+//! assert_eq!(decompress(&packed).unwrap(), data);
+//! ```
+
+pub mod bitio;
+pub mod consts;
+pub mod encoder;
+pub mod huffman;
+pub mod inflate;
+pub mod lz77;
+
+pub use encoder::{deflate as compress, Level};
+pub use inflate::{inflate as decompress, inflate_with_limit as decompress_with_limit, InflateError};
+
+/// Upper bound on the compressed size of `n` input bytes (stored-block
+/// worst case plus per-chunk framing; block splitting can leave a short
+/// trailing chunk per 64 KiB block, hence 10 bytes of slack per chunk).
+pub fn max_compressed_len(n: usize) -> usize {
+    let chunks = n.div_ceil(65_535).max(1);
+    n + chunks * 10 + 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_holds_for_incompressible_input() {
+        let mut x = 0x2545F491u64;
+        let data: Vec<u8> = (0..300_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        for level in [Level::STORED, Level::FAST, Level::DEFAULT, Level::BEST] {
+            let enc = compress(&data, level);
+            assert!(
+                enc.len() <= max_compressed_len(data.len()),
+                "level {level:?}: {} > bound {}",
+                enc.len(),
+                max_compressed_len(data.len())
+            );
+            assert_eq!(decompress(&enc).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        for level in [Level::STORED, Level::DEFAULT] {
+            let enc = compress(b"", level);
+            assert!(!enc.is_empty());
+            assert_eq!(decompress(&enc).unwrap(), b"");
+        }
+    }
+
+    #[test]
+    fn highly_compressible_shrinks_a_lot() {
+        let data = b"abcd".repeat(25_000);
+        let enc = compress(&data, Level::DEFAULT);
+        assert!(enc.len() * 50 < data.len(), "got {} bytes", enc.len());
+        assert_eq!(decompress(&enc).unwrap(), data);
+    }
+}

@@ -1,0 +1,339 @@
+//! LZ77 string matching with hash chains and optional lazy evaluation.
+//!
+//! Produces a token stream of literals and (length, distance) matches over a
+//! 32 KiB sliding window, the front half of DEFLATE compression.
+
+use crate::consts::{MAX_MATCH, MIN_MATCH, WINDOW_SIZE};
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes behind.
+    Match { len: u16, dist: u16 },
+}
+
+/// Tunable matcher effort, mirroring zlib's level ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatcherParams {
+    /// Maximum hash-chain links traversed per position.
+    pub max_chain: usize,
+    /// Stop searching early once a match of this length is found.
+    pub good_len: usize,
+    /// Use lazy matching (defer emission by one byte looking for better).
+    pub lazy: bool,
+    /// Matches at least this long skip the lazy search at the next byte.
+    pub lazy_skip_len: usize,
+}
+
+impl MatcherParams {
+    /// Parameters for a compression level 1..=9 (zlib-like ladder).
+    pub fn for_level(level: u8) -> Self {
+        match level.clamp(1, 9) {
+            1 => Self { max_chain: 4, good_len: 8, lazy: false, lazy_skip_len: 0 },
+            2 => Self { max_chain: 8, good_len: 16, lazy: false, lazy_skip_len: 0 },
+            3 => Self { max_chain: 32, good_len: 32, lazy: false, lazy_skip_len: 0 },
+            4 => Self { max_chain: 16, good_len: 16, lazy: true, lazy_skip_len: 32 },
+            5 => Self { max_chain: 32, good_len: 32, lazy: true, lazy_skip_len: 64 },
+            6 => Self { max_chain: 128, good_len: 128, lazy: true, lazy_skip_len: 128 },
+            7 => Self { max_chain: 256, good_len: 128, lazy: true, lazy_skip_len: 128 },
+            8 => Self { max_chain: 1024, good_len: 258, lazy: true, lazy_skip_len: 258 },
+            _ => Self { max_chain: 4096, good_len: 258, lazy: true, lazy_skip_len: 258 },
+        }
+    }
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    // Multiplicative hash of the next 3 bytes.
+    let v = (data[pos] as u32) | ((data[pos + 1] as u32) << 8) | ((data[pos + 2] as u32) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Hash-chain matcher state.
+pub struct Matcher {
+    /// head[h] = most recent position with hash h (+1, 0 = empty).
+    head: Vec<u32>,
+    /// prev[pos % WINDOW_SIZE] = previous position with the same hash (+1).
+    prev: Vec<u32>,
+    params: MatcherParams,
+}
+
+impl Matcher {
+    pub fn new(params: MatcherParams) -> Self {
+        Self { head: vec![0; HASH_SIZE], prev: vec![0; WINDOW_SIZE], params }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            self.prev[pos % WINDOW_SIZE] = self.head[h];
+            self.head[h] = pos as u32 + 1;
+        }
+    }
+
+    /// Longest match at `pos`, at least `min_len+1` long, or None.
+    fn find_match(&self, data: &[u8], pos: usize, min_len: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let max_len = MAX_MATCH.min(data.len() - pos);
+        if max_len < MIN_MATCH {
+            return None;
+        }
+        let h = hash3(data, pos);
+        let mut cand = self.head[h];
+        let mut best_len = min_len;
+        let mut best_dist = 0usize;
+        let mut chain = self.params.max_chain;
+        let window_floor = pos.saturating_sub(WINDOW_SIZE);
+
+        while cand != 0 && chain > 0 {
+            let cpos = (cand - 1) as usize;
+            if cpos < window_floor || cpos >= pos {
+                break;
+            }
+            // Quick reject: compare the byte just past the current best.
+            if best_len < max_len && data[cpos + best_len] == data[pos + best_len] {
+                let len = match_len(data, cpos, pos, max_len);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cpos;
+                    if len >= self.params.good_len || len == max_len {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[cpos % WINDOW_SIZE];
+            chain -= 1;
+        }
+        if best_dist > 0 && best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    // Compare 8 bytes at a time.
+    let mut i = 0usize;
+    while i + 8 <= max {
+        let x = u64::from_le_bytes(data[a + i..a + i + 8].try_into().unwrap());
+        let y = u64::from_le_bytes(data[b + i..b + i + 8].try_into().unwrap());
+        let diff = x ^ y;
+        if diff != 0 {
+            return i + (diff.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < max && data[a + i] == data[b + i] {
+        i += 1;
+    }
+    i
+}
+
+/// Tokenize `data` into literals and matches using the given parameters.
+///
+/// The callback is invoked once per token in order; this avoids materializing
+/// a token vector when the caller streams straight into an encoder.
+pub fn tokenize(data: &[u8], params: MatcherParams, mut emit: impl FnMut(Token)) {
+    let mut m = Matcher::new(params);
+    let n = data.len();
+    let mut pos = 0usize;
+    // Pending lazy match carried from the previous position.
+    let mut pending: Option<(usize, usize)> = None; // (len, dist) at pos-1
+
+    while pos < n {
+        let cur = m.find_match(data, pos, MIN_MATCH - 1);
+        if params.lazy {
+            match (pending.take(), cur) {
+                (Some((plen, _pdist)), Some((clen, _))) if clen > plen => {
+                    // Current match is better: previous byte becomes literal,
+                    // re-pend the current match.
+                    emit(Token::Literal(data[pos - 1]));
+                    pending = Some(cur.unwrap());
+                    m.insert(data, pos);
+                    pos += 1;
+                    continue;
+                }
+                (Some((plen, pdist)), _) => {
+                    // Previous match wins; emit it starting at pos-1.
+                    emit(Token::Match { len: plen as u16, dist: pdist as u16 });
+                    // Insert hash entries for covered positions.
+                    let end = (pos - 1 + plen).min(n);
+                    for p in pos..end {
+                        m.insert(data, p);
+                    }
+                    pos = end;
+                    continue;
+                }
+                (None, Some((clen, cdist))) => {
+                    if clen >= params.lazy_skip_len {
+                        // Long enough: take immediately.
+                        emit(Token::Match { len: clen as u16, dist: cdist as u16 });
+                        let end = (pos + clen).min(n);
+                        m.insert(data, pos);
+                        for p in pos + 1..end {
+                            m.insert(data, p);
+                        }
+                        pos = end;
+                    } else {
+                        pending = Some((clen, cdist));
+                        m.insert(data, pos);
+                        pos += 1;
+                    }
+                    continue;
+                }
+                (None, None) => {
+                    emit(Token::Literal(data[pos]));
+                    m.insert(data, pos);
+                    pos += 1;
+                    continue;
+                }
+            }
+        } else {
+            // Greedy.
+            if let Some((len, dist)) = cur {
+                emit(Token::Match { len: len as u16, dist: dist as u16 });
+                let end = (pos + len).min(n);
+                m.insert(data, pos);
+                for p in pos + 1..end {
+                    m.insert(data, p);
+                }
+                pos = end;
+            } else {
+                emit(Token::Literal(data[pos]));
+                m.insert(data, pos);
+                pos += 1;
+            }
+        }
+    }
+    // Flush any trailing pending match.
+    if let Some((plen, pdist)) = pending {
+        emit(Token::Match { len: plen as u16, dist: pdist as u16 });
+    }
+}
+
+/// Reconstruct original bytes from a token stream (reference decoder used in
+/// tests and by the SZ3 backend verification).
+pub fn detokenize(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], level: u8) {
+        let mut tokens = Vec::new();
+        tokenize(data, MatcherParams::for_level(level), |t| tokens.push(t));
+        assert_eq!(detokenize(&tokens), data, "level {level}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for level in [1, 6, 9] {
+            roundtrip(b"", level);
+            roundtrip(b"a", level);
+            roundtrip(b"ab", level);
+            roundtrip(b"abc", level);
+        }
+    }
+
+    #[test]
+    fn repeated_data_produces_matches() {
+        let data = b"abcabcabcabcabcabcabcabc";
+        let mut tokens = Vec::new();
+        tokenize(data, MatcherParams::for_level(6), |t| tokens.push(t));
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "expected at least one match token"
+        );
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // Classic RLE-via-LZ77: dist 1, long len.
+        let data = vec![0x41u8; 1000];
+        let mut tokens = Vec::new();
+        tokenize(&data, MatcherParams::for_level(6), |t| tokens.push(t));
+        assert!(tokens.len() < 20, "RLE data should compress to few tokens");
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn all_levels_roundtrip_mixed_data() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.push((i % 251) as u8);
+            if i % 7 == 0 {
+                data.extend_from_slice(b"common substring here");
+            }
+        }
+        for level in 1..=9 {
+            roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn matches_never_exceed_window() {
+        let mut data = vec![0u8; 40_000];
+        // Plant identical blocks farther apart than the window.
+        for i in 0..64 {
+            data[i] = 0xAB;
+            data[39_000 + i] = 0xAB;
+        }
+        let mut tokens = Vec::new();
+        tokenize(&data, MatcherParams::for_level(9), |t| tokens.push(t));
+        for t in &tokens {
+            if let Token::Match { dist, .. } = t {
+                assert!((*dist as usize) <= WINDOW_SIZE);
+            }
+        }
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn lazy_beats_greedy_on_crafted_input() {
+        // "ab" then "abcde" repeated: lazy matching should pick the longer
+        // match starting one byte later at least as well as greedy.
+        let data = b"xabyabcdez_abcdez_abcdez_abcdez".repeat(20);
+        let mut greedy = Vec::new();
+        tokenize(&data, MatcherParams { lazy: false, ..MatcherParams::for_level(9) }, |t| {
+            greedy.push(t)
+        });
+        let mut lazy = Vec::new();
+        tokenize(&data, MatcherParams::for_level(9), |t| lazy.push(t));
+        assert_eq!(detokenize(&greedy), data);
+        assert_eq!(detokenize(&lazy), data);
+        assert!(lazy.len() <= greedy.len() + 1);
+    }
+
+    #[test]
+    fn match_len_helper() {
+        let data = b"abcdefghabcdefgX";
+        assert_eq!(match_len(data, 0, 8, 8), 7);
+        assert_eq!(match_len(data, 0, 0, 16), 16);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the DOCA simulation layer: job round-trips for
+//! arbitrary data, FIFO timing laws, and inventory behaviour.
+
+use pedal_doca::{BufInventory, CompressJob, DocaContext, JobKind, MemMap};
+use pedal_dpu::{CostModel, Platform, SimInstant};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..16_384)) {
+        let ctx = DocaContext::open(Platform::BlueField2).unwrap();
+        let (c, _) = ctx
+            .submit(CompressJob::new(JobKind::DeflateCompress, data.clone()), SimInstant::EPOCH)
+            .unwrap();
+        let (d, _) = ctx
+            .submit(
+                CompressJob::new(JobKind::DeflateDecompress, c.output)
+                    .with_expected_len(data.len()),
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        prop_assert_eq!(d.output, data);
+    }
+
+    #[test]
+    fn engine_lz4_roundtrip_on_bf3(data in proptest::collection::vec(any::<u8>(), 0..8_192)) {
+        let ctx = DocaContext::open(Platform::BlueField3).unwrap();
+        let packed = pedal_lz4::compress_block(&data, 1);
+        let (d, _) = ctx
+            .submit(
+                CompressJob::new(JobKind::Lz4Decompress, packed).with_expected_len(data.len()),
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        prop_assert_eq!(d.output, data);
+    }
+
+    #[test]
+    fn fifo_completion_is_sum_of_service_times(
+        sizes in proptest::collection::vec(1usize..200_000, 1..8),
+    ) {
+        let ctx = DocaContext::open(Platform::BlueField2).unwrap();
+        let mut expected_total = 0u64;
+        let mut last_done = SimInstant::EPOCH;
+        for n in sizes {
+            let (r, done) = ctx
+                .submit(
+                    CompressJob::new(JobKind::DeflateCompress, vec![0xAA; n]),
+                    SimInstant::EPOCH,
+                )
+                .unwrap();
+            expected_total += r.service_time.as_nanos();
+            prop_assert!(done >= last_done);
+            last_done = done;
+        }
+        prop_assert_eq!(last_done.0, expected_total);
+    }
+
+    #[test]
+    fn submit_time_never_precedes_completion(
+        n in 1usize..100_000,
+        at_ns in 0u64..10_000_000,
+    ) {
+        let ctx = DocaContext::open(Platform::BlueField2).unwrap();
+        let now = SimInstant(at_ns);
+        let (r, done) = ctx
+            .submit(CompressJob::new(JobKind::DeflateCompress, vec![1; n]), now)
+            .unwrap();
+        prop_assert_eq!(done.0, at_ns + r.service_time.as_nanos());
+    }
+
+    #[test]
+    fn inventory_pool_never_loses_capacity(
+        requests in proptest::collection::vec(1usize..100_000, 1..32),
+    ) {
+        let memmap = Arc::new(MemMap::new(CostModel::for_platform(Platform::BlueField2)));
+        let inv = BufInventory::new(memmap);
+        inv.preallocate(4, 128 * 1024);
+        let before = inv.free_count();
+        for &n in &requests {
+            let (buf, _) = inv.acquire(n);
+            prop_assert!(buf.capacity >= n);
+            inv.release(buf);
+        }
+        prop_assert!(inv.free_count() >= before);
+    }
+
+    #[test]
+    fn garbage_never_panics_the_engine(
+        junk in proptest::collection::vec(any::<u8>(), 0..1024),
+        expected in 0usize..4096,
+    ) {
+        let ctx = DocaContext::open(Platform::BlueField2).unwrap();
+        let _ = ctx.submit(
+            CompressJob::new(JobKind::DeflateDecompress, junk).with_expected_len(expected),
+            SimInstant::EPOCH,
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # pedal-dpu
+//!
+//! Simulated NVIDIA BlueField DPU platform layer for the PEDAL
+//! reproduction:
+//!
+//! * [`platform`] — BlueField-2 / BlueField-3 hardware descriptors and the
+//!   C-Engine capability matrix (paper Table II),
+//! * [`clock`] — deterministic virtual time ([`SimClock`], [`SimDuration`]),
+//! * [`costs`] — the calibrated cost model turning operation sizes into
+//!   virtual durations that reproduce the paper's reported ratios.
+//!
+//! Real compression work happens in the codec crates; this crate only
+//! answers "how long would that have taken on the DPU".
+
+pub mod clock;
+pub mod costs;
+pub mod platform;
+
+pub use clock::{SimClock, SimDuration, SimInstant};
+pub use costs::CostModel;
+pub use platform::{Algorithm, CEngineSpec, Direction, Placement, Platform, PlatformSpec};

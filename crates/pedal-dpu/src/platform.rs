@@ -1,0 +1,215 @@
+//! BlueField platform descriptors: SoC, memory, network, and the C-Engine
+//! capability matrix of the paper's Table II.
+
+/// The two DPU generations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// NVIDIA BlueField-2: 8× ARM Cortex-A72 @ 2.75 GHz, DDR4,
+    /// ConnectX-6 (200 Gb/s), C-Engine with DEFLATE compress + decompress.
+    BlueField2,
+    /// NVIDIA BlueField-3: 16× ARM Cortex-A78, DDR5, ConnectX-7 (400 Gb/s),
+    /// C-Engine with DEFLATE/LZ4 *decompression only*.
+    BlueField3,
+}
+
+impl Platform {
+    pub const ALL: [Platform; 2] = [Platform::BlueField2, Platform::BlueField3];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::BlueField2 => "BlueField-2",
+            Platform::BlueField3 => "BlueField-3",
+        }
+    }
+
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Platform::BlueField2 => "BF2",
+            Platform::BlueField3 => "BF3",
+        }
+    }
+
+    /// Static hardware description.
+    pub fn spec(self) -> &'static PlatformSpec {
+        match self {
+            Platform::BlueField2 => &BF2_SPEC,
+            Platform::BlueField3 => &BF3_SPEC,
+        }
+    }
+}
+
+/// Hardware description of a BlueField DPU (paper §II-A and §V-B).
+#[derive(Debug, Clone)]
+pub struct PlatformSpec {
+    pub soc_cores: usize,
+    pub core_model: &'static str,
+    pub core_ghz: f64,
+    pub dram: &'static str,
+    pub dram_gb: usize,
+    /// Network line rate in Gb/s.
+    pub network_gbps: u64,
+    pub nic: &'static str,
+    /// Relative single-core SoC throughput vs BlueField-2 (A78 vs A72).
+    pub soc_speed_factor: f64,
+    /// Whether the C-Engine exists and what it can do.
+    pub cengine: CEngineSpec,
+}
+
+/// What the hardware compression engine supports (Table II).
+#[derive(Debug, Clone, Copy)]
+pub struct CEngineSpec {
+    pub deflate_compress: bool,
+    pub deflate_decompress: bool,
+    pub lz4_compress: bool,
+    pub lz4_decompress: bool,
+}
+
+pub static BF2_SPEC: PlatformSpec = PlatformSpec {
+    soc_cores: 8,
+    core_model: "ARM Cortex-A72",
+    core_ghz: 2.75,
+    dram: "DDR4",
+    dram_gb: 16,
+    network_gbps: 200,
+    nic: "ConnectX-6",
+    soc_speed_factor: 1.0,
+    cengine: CEngineSpec {
+        deflate_compress: true,
+        deflate_decompress: true,
+        lz4_compress: false,
+        lz4_decompress: false,
+    },
+};
+
+pub static BF3_SPEC: PlatformSpec = PlatformSpec {
+    soc_cores: 16,
+    core_model: "ARM Cortex-A78",
+    core_ghz: 3.0,
+    dram: "DDR5",
+    dram_gb: 16,
+    network_gbps: 400,
+    nic: "ConnectX-7",
+    // Paper §V-D observes ~40% lower SoC communication time on BF3.
+    soc_speed_factor: 5.0 / 3.0,
+    cengine: CEngineSpec {
+        deflate_compress: false,
+        deflate_decompress: true,
+        lz4_compress: false,
+        lz4_decompress: true,
+    },
+};
+
+/// Compression algorithms the stack knows about (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    Deflate,
+    Zlib,
+    Lz4,
+    Sz3,
+}
+
+impl Algorithm {
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::Deflate, Algorithm::Zlib, Algorithm::Lz4, Algorithm::Sz3];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Deflate => "DEFLATE",
+            Algorithm::Zlib => "zlib",
+            Algorithm::Lz4 => "LZ4",
+            Algorithm::Sz3 => "SZ3",
+        }
+    }
+
+    pub fn is_lossy(self) -> bool {
+        matches!(self, Algorithm::Sz3)
+    }
+}
+
+/// Where an operation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// ARM SoC cores.
+    Soc,
+    /// Hardware compression engine (via the simulated DOCA SDK).
+    CEngine,
+}
+
+impl Placement {
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::Soc => "SoC",
+            Placement::CEngine => "C-Engine",
+        }
+    }
+}
+
+/// Direction of a compression operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    Compress,
+    Decompress,
+}
+
+impl CEngineSpec {
+    /// Does this engine support `algo` in `dir`? zlib and SZ3 ride on the
+    /// engine's DEFLATE support (PEDAL's extension, Table III italics).
+    pub fn supports(&self, algo: Algorithm, dir: Direction) -> bool {
+        match (algo, dir) {
+            (Algorithm::Deflate | Algorithm::Zlib | Algorithm::Sz3, Direction::Compress) => {
+                self.deflate_compress
+            }
+            (Algorithm::Deflate | Algorithm::Zlib | Algorithm::Sz3, Direction::Decompress) => {
+                self.deflate_decompress
+            }
+            (Algorithm::Lz4, Direction::Compress) => self.lz4_compress,
+            (Algorithm::Lz4, Direction::Decompress) => self.lz4_decompress,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_capability_matrix() {
+        // BF2: DEFLATE compression + decompression on C-Engine.
+        let bf2 = Platform::BlueField2.spec().cengine;
+        assert!(bf2.supports(Algorithm::Deflate, Direction::Compress));
+        assert!(bf2.supports(Algorithm::Deflate, Direction::Decompress));
+        assert!(!bf2.supports(Algorithm::Lz4, Direction::Compress));
+        assert!(!bf2.supports(Algorithm::Lz4, Direction::Decompress));
+
+        // BF3: decompression only; LZ4 decompression appears.
+        let bf3 = Platform::BlueField3.spec().cengine;
+        assert!(!bf3.supports(Algorithm::Deflate, Direction::Compress));
+        assert!(bf3.supports(Algorithm::Deflate, Direction::Decompress));
+        assert!(!bf3.supports(Algorithm::Lz4, Direction::Compress));
+        assert!(bf3.supports(Algorithm::Lz4, Direction::Decompress));
+    }
+
+    #[test]
+    fn table_iii_extensions_ride_on_deflate() {
+        // PEDAL extends zlib and SZ3 onto the engine wherever DEFLATE goes.
+        let bf2 = Platform::BlueField2.spec().cengine;
+        assert!(bf2.supports(Algorithm::Zlib, Direction::Compress));
+        assert!(bf2.supports(Algorithm::Sz3, Direction::Compress));
+        let bf3 = Platform::BlueField3.spec().cengine;
+        assert!(!bf3.supports(Algorithm::Zlib, Direction::Compress));
+        assert!(bf3.supports(Algorithm::Zlib, Direction::Decompress));
+        assert!(bf3.supports(Algorithm::Sz3, Direction::Decompress));
+    }
+
+    #[test]
+    fn platform_specs_match_paper() {
+        let bf2 = Platform::BlueField2.spec();
+        assert_eq!(bf2.soc_cores, 8);
+        assert_eq!(bf2.network_gbps, 200);
+        assert_eq!(bf2.core_ghz, 2.75);
+        let bf3 = Platform::BlueField3.spec();
+        assert_eq!(bf3.soc_cores, 16);
+        assert_eq!(bf3.network_gbps, 400);
+        assert!(bf3.soc_speed_factor > 1.5 && bf3.soc_speed_factor < 1.8);
+    }
+}

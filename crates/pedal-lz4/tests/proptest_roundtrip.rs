@@ -1,0 +1,47 @@
+//! Property-based round-trip tests for the LZ4 block and frame codecs.
+
+use pedal_lz4::block::{compress_block, compress_bound, decompress_block};
+use pedal_lz4::frame::{compress_frame, decompress_frame};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn block_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let enc = compress_block(&data, 1);
+        prop_assert!(enc.len() <= compress_bound(data.len()));
+        prop_assert_eq!(decompress_block(&enc, Some(data.len()), usize::MAX).unwrap(), data);
+    }
+
+    #[test]
+    fn block_roundtrip_runs(
+        runs in proptest::collection::vec((any::<u8>(), 1usize..300), 0..48),
+    ) {
+        let mut data = Vec::new();
+        for (b, n) in runs {
+            data.extend(std::iter::repeat_n(b, n));
+        }
+        let enc = compress_block(&data, 1);
+        prop_assert_eq!(decompress_block(&enc, Some(data.len()), usize::MAX).unwrap(), data);
+    }
+
+    #[test]
+    fn frame_roundtrip_with_small_blocks(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        block_size in 16usize..512,
+    ) {
+        let enc = compress_frame(&data, block_size, 1);
+        prop_assert_eq!(decompress_frame(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn block_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = decompress_block(&data, None, 1 << 20);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = decompress_frame(&data);
+    }
+}

@@ -1,0 +1,503 @@
+//! Point-to-point message passing with Eager and Rendezvous protocols over
+//! a latency/bandwidth network model, carrying per-rank virtual clocks.
+//!
+//! Ranks are OS threads; real bytes move over crossbeam channels, while the
+//! virtual time of each transfer is computed from the platform's network
+//! model exactly like a PDES with Lamport-merged clocks:
+//!
+//! * **Eager** (small messages): the sender copies into an eager buffer and
+//!   returns immediately; the message arrives at
+//!   `sent_at + latency + size/bandwidth`.
+//! * **Rendezvous** (large messages): sender and receiver handshake
+//!   (RTS + CTS = two latencies) and the bulk transfer starts only when
+//!   both are ready — the sender *blocks* until the receiver has matched,
+//!   as MPICH does above the eager threshold. PEDAL compresses only on
+//!   this path (paper §IV).
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pedal_dpu::{CostModel, Platform, SimClock, SimDuration, SimInstant};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default Eager/Rendezvous switchover (MPICH's large-message regime).
+pub const DEFAULT_EAGER_THRESHOLD: usize = 256 * 1024;
+
+/// Message envelope travelling between rank threads.
+struct Envelope {
+    src: usize,
+    tag: u64,
+    data: Bytes,
+    sent_at: SimInstant,
+    /// For rendezvous: channel the receiver uses to report the sender's
+    /// virtual completion time (the CTS path).
+    ack: Option<Sender<SimInstant>>,
+}
+
+/// Wire for one rank.
+struct Mailbox {
+    rx: Receiver<Envelope>,
+    /// Messages received but not yet matched by a recv call.
+    pending: VecDeque<Envelope>,
+}
+
+/// Communicator handle owned by one rank's thread.
+pub struct RankCtx {
+    pub rank: usize,
+    pub size: usize,
+    pub platform: Platform,
+    pub costs: CostModel,
+    /// This rank's virtual clock.
+    pub clock: SimClock,
+    eager_threshold: usize,
+    peers: Vec<Sender<Envelope>>,
+    mailbox: Mailbox,
+    /// Bytes sent/received (for bandwidth accounting in harnesses).
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+}
+
+/// Errors from point-to-point operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination/source rank out of range.
+    InvalidRank(usize),
+    /// All peers hung up (world torn down mid-operation).
+    Disconnected,
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::Disconnected => write!(f, "communicator disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl RankCtx {
+    /// Blocking send of `data` to `dst` with `tag`.
+    ///
+    /// Returns the sender-side virtual completion time. Small messages use
+    /// the eager path (non-synchronizing); large ones rendezvous.
+    pub fn send(&mut self, dst: usize, tag: u64, data: Bytes) -> Result<SimInstant, MpiError> {
+        if dst >= self.size {
+            return Err(MpiError::InvalidRank(dst));
+        }
+        let sent_at = self.clock.now();
+        self.bytes_sent += data.len() as u64;
+        if data.len() <= self.eager_threshold {
+            // Eager: pay a local copy into the eager buffer and return.
+            let copy = self.costs.memcpy(data.len());
+            let env =
+                Envelope { src: self.rank, tag, data, sent_at, ack: None };
+            self.peers[dst].send(env).map_err(|_| MpiError::Disconnected)?;
+            Ok(self.clock.advance(copy))
+        } else {
+            // Rendezvous: block until the receiver matches and reports our
+            // completion time.
+            let (ack_tx, ack_rx) = unbounded();
+            let env = Envelope { src: self.rank, tag, data, sent_at, ack: Some(ack_tx) };
+            self.peers[dst].send(env).map_err(|_| MpiError::Disconnected)?;
+            let done = ack_rx.recv().map_err(|_| MpiError::Disconnected)?;
+            Ok(self.clock.merge(done))
+        }
+    }
+
+    /// Non-blocking send: returns a handle immediately; [`SendHandle::wait`]
+    /// blocks until the receiver matches (rendezvous) and merges the
+    /// sender's completion time into this rank's clock. Eager-class
+    /// messages complete immediately.
+    pub fn isend(&mut self, dst: usize, tag: u64, data: Bytes) -> Result<SendHandle, MpiError> {
+        if dst >= self.size {
+            return Err(MpiError::InvalidRank(dst));
+        }
+        let sent_at = self.clock.now();
+        self.bytes_sent += data.len() as u64;
+        if data.len() <= self.eager_threshold {
+            let copy = self.costs.memcpy(data.len());
+            let env = Envelope { src: self.rank, tag, data, sent_at, ack: None };
+            self.peers[dst].send(env).map_err(|_| MpiError::Disconnected)?;
+            let done = self.clock.advance(copy);
+            Ok(SendHandle { ack: None, done: Some(done) })
+        } else {
+            let (ack_tx, ack_rx) = unbounded();
+            let env = Envelope { src: self.rank, tag, data, sent_at, ack: Some(ack_tx) };
+            self.peers[dst].send(env).map_err(|_| MpiError::Disconnected)?;
+            Ok(SendHandle { ack: Some(ack_rx), done: None })
+        }
+    }
+
+    /// Blocking receive from `src` with `tag`. Returns the payload and the
+    /// receiver-side virtual completion time.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Result<(Bytes, SimInstant), MpiError> {
+        if src >= self.size {
+            return Err(MpiError::InvalidRank(src));
+        }
+        let posted_at = self.clock.now();
+        let env = self.match_envelope(src, tag)?;
+        self.bytes_received += env.data.len() as u64;
+        let size = env.data.len();
+        let wire = self.costs.network_transfer(size);
+        let latency = self.costs.network.latency;
+        let done = match env.ack {
+            None => {
+                // Eager: the message has been in flight since sent_at.
+                let arrive = env.sent_at + wire;
+                let done = arrive.max(posted_at);
+                self.clock.merge(done)
+            }
+            Some(ack) => {
+                // Rendezvous: RTS + CTS handshake, then the bulk transfer.
+                let start = env.sent_at.max(posted_at) + latency + latency;
+                let sender_done = start + wire.saturating_sub(latency);
+                let done = start + wire;
+                let _ = ack.send(sender_done);
+                self.clock.merge(done)
+            }
+        };
+        Ok((env.data, done))
+    }
+
+    /// Pull the next matching envelope, buffering out-of-order arrivals.
+    fn match_envelope(&mut self, src: usize, tag: u64) -> Result<Envelope, MpiError> {
+        if let Some(pos) =
+            self.mailbox.pending.iter().position(|e| e.src == src && e.tag == tag)
+        {
+            return Ok(self.mailbox.pending.remove(pos).unwrap());
+        }
+        loop {
+            let env = self.mailbox.rx.recv().map_err(|_| MpiError::Disconnected)?;
+            if env.src == src && env.tag == tag {
+                return Ok(env);
+            }
+            self.mailbox.pending.push_back(env);
+        }
+    }
+
+    /// Advance this rank's clock by a local compute duration.
+    pub fn compute(&self, d: SimDuration) -> SimInstant {
+        self.clock.advance(d)
+    }
+
+    /// Current virtual time at this rank.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// The eager/rendezvous switchover in force.
+    pub fn eager_threshold(&self) -> usize {
+        self.eager_threshold
+    }
+}
+
+/// Handle to an in-flight [`RankCtx::isend`].
+pub struct SendHandle {
+    ack: Option<Receiver<SimInstant>>,
+    done: Option<SimInstant>,
+}
+
+impl SendHandle {
+    /// Complete the send, merging the completion time into `ctx`'s clock.
+    pub fn wait(self, ctx: &RankCtx) -> Result<SimInstant, MpiError> {
+        match (self.ack, self.done) {
+            (None, Some(done)) => Ok(done),
+            (Some(rx), _) => {
+                let done = rx.recv().map_err(|_| MpiError::Disconnected)?;
+                Ok(ctx.clock.merge(done))
+            }
+            (None, None) => unreachable!("handle without ack or completion"),
+        }
+    }
+
+    /// Has the send already completed locally (eager path)?
+    pub fn is_complete(&self) -> bool {
+        self.done.is_some()
+    }
+}
+
+/// World configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    pub size: usize,
+    pub platform: Platform,
+    pub eager_threshold: usize,
+}
+
+impl WorldConfig {
+    pub fn new(size: usize, platform: Platform) -> Self {
+        Self { size, platform, eager_threshold: DEFAULT_EAGER_THRESHOLD }
+    }
+
+    pub fn with_eager_threshold(mut self, t: usize) -> Self {
+        self.eager_threshold = t;
+        self
+    }
+}
+
+/// Spawn `cfg.size` rank threads, run `body` on each, and collect the
+/// results in rank order. Panics in a rank propagate.
+pub fn run_world<T, F>(cfg: WorldConfig, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    assert!(cfg.size >= 1, "world needs at least one rank");
+    let costs = CostModel::for_platform(cfg.platform);
+    let mut senders = Vec::with_capacity(cfg.size);
+    let mut receivers = Vec::with_capacity(cfg.size);
+    for _ in 0..cfg.size {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+    let body = &body;
+
+    let mut out: Vec<Option<T>> = (0..cfg.size).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                let senders = senders.clone();
+                s.spawn(move |_| {
+                    let mut ctx = RankCtx {
+                        rank,
+                        size: cfg.size,
+                        platform: cfg.platform,
+                        costs,
+                        clock: SimClock::new(),
+                        eager_threshold: cfg.eager_threshold,
+                        peers: senders.as_ref().clone(),
+                        mailbox: Mailbox { rx, pending: VecDeque::new() },
+                        bytes_sent: 0,
+                        bytes_received: 0,
+                    };
+                    body(&mut ctx)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            out[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    })
+    .expect("world scope failed");
+    out.into_iter().map(|t| t.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n: usize) -> WorldConfig {
+        WorldConfig::new(n, Platform::BlueField2)
+    }
+
+    #[test]
+    fn eager_pingpong_delivers_payload() {
+        let results = run_world(world(2), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 7, Bytes::from_static(b"ping")).unwrap();
+                let (msg, _) = ctx.recv(1, 8).unwrap();
+                msg
+            } else {
+                let (msg, _) = ctx.recv(0, 7).unwrap();
+                assert_eq!(&msg[..], b"ping");
+                ctx.send(0, 8, Bytes::from_static(b"pong")).unwrap();
+                msg
+            }
+        });
+        assert_eq!(&results[0][..], b"pong");
+    }
+
+    #[test]
+    fn rendezvous_used_above_threshold() {
+        let big = Bytes::from(vec![3u8; DEFAULT_EAGER_THRESHOLD + 1]);
+        let results = run_world(world(2), move |ctx| {
+            if ctx.rank == 0 {
+                let done = ctx.send(1, 1, big.clone()).unwrap();
+                done.0
+            } else {
+                let (msg, done) = ctx.recv(0, 1).unwrap();
+                assert_eq!(msg.len(), DEFAULT_EAGER_THRESHOLD + 1);
+                done.0
+            }
+        });
+        // Receiver completes after (or with) the sender.
+        assert!(results[1] >= results[0]);
+        // Both clocks advanced beyond the raw handshake latency.
+        assert!(results[1] > 0);
+    }
+
+    #[test]
+    fn virtual_latency_matches_network_model() {
+        let n = 8 * 1024 * 1024usize;
+        let payload = Bytes::from(vec![9u8; n]);
+        let results = run_world(world(2), move |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 1, payload.clone()).unwrap();
+                0
+            } else {
+                let (_, done) = ctx.recv(0, 1).unwrap();
+                done.0
+            }
+        });
+        let costs = CostModel::for_platform(Platform::BlueField2);
+        let expected = (costs.network.latency + costs.network.latency
+            + costs.network_transfer(n))
+        .as_nanos();
+        assert_eq!(results[1], expected, "deterministic rendezvous timing");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            run_world(world(4), |ctx| {
+                let payload = Bytes::from(vec![ctx.rank as u8; 2_000_000]);
+                if ctx.rank == 0 {
+                    let mut last = 0;
+                    for src in 1..ctx.size {
+                        let (_, t) = ctx.recv(src, 5).unwrap();
+                        last = t.0;
+                    }
+                    last
+                } else {
+                    ctx.send(0, 5, payload).unwrap();
+                    0
+                }
+            })
+        };
+        assert_eq!(run(), run(), "virtual times must be reproducible");
+    }
+
+    #[test]
+    fn out_of_order_tags_buffered() {
+        let results = run_world(world(2), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 100, Bytes::from_static(b"first-sent")).unwrap();
+                ctx.send(1, 200, Bytes::from_static(b"second-sent")).unwrap();
+                Bytes::new()
+            } else {
+                // Receive in the opposite order.
+                let (b, _) = ctx.recv(0, 200).unwrap();
+                let (a, _) = ctx.recv(0, 100).unwrap();
+                assert_eq!(&a[..], b"first-sent");
+                assert_eq!(&b[..], b"second-sent");
+                a
+            }
+        });
+        assert_eq!(&results[1][..], b"first-sent");
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        run_world(world(2), |ctx| {
+            if ctx.rank == 0 {
+                assert_eq!(
+                    ctx.send(5, 0, Bytes::new()).unwrap_err(),
+                    MpiError::InvalidRank(5)
+                );
+                assert!(matches!(ctx.recv(9, 0), Err(MpiError::InvalidRank(9))));
+            }
+        });
+    }
+
+    #[test]
+    fn bf3_network_is_faster() {
+        let n = 16 * 1024 * 1024usize;
+        let time_on = |p: Platform| {
+            let payload = Bytes::from(vec![1u8; n]);
+            let r = run_world(WorldConfig::new(2, p), move |ctx| {
+                if ctx.rank == 0 {
+                    ctx.send(1, 1, payload.clone()).unwrap();
+                    0
+                } else {
+                    ctx.recv(0, 1).unwrap().1 .0
+                }
+            });
+            r[1]
+        };
+        let t2 = time_on(Platform::BlueField2);
+        let t3 = time_on(Platform::BlueField3);
+        assert!(t3 < t2, "BF3 (400 Gb/s) must beat BF2 (200 Gb/s): {t3} vs {t2}");
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        run_world(world(1), |ctx| {
+            let before = ctx.now();
+            ctx.compute(SimDuration::from_millis(5));
+            assert_eq!(ctx.now().elapsed_since(before), SimDuration::from_millis(5));
+        });
+    }
+}
+
+#[cfg(test)]
+mod isend_tests {
+    use super::*;
+
+    #[test]
+    fn windowed_isends_complete() {
+        let results = run_world(WorldConfig::new(2, Platform::BlueField2), |ctx| {
+            let window = 8usize;
+            let msg = Bytes::from(vec![7u8; 1_000_000]);
+            if ctx.rank == 0 {
+                let mut handles = Vec::new();
+                for w in 0..window as u64 {
+                    handles.push(ctx.isend(1, w, msg.clone()).unwrap());
+                }
+                let mut last = SimInstant::EPOCH;
+                for h in handles {
+                    last = h.wait(ctx).unwrap();
+                }
+                // Final ack round trip.
+                let (_, done) = ctx.recv(1, 999).unwrap();
+                assert!(done >= last);
+                done.0
+            } else {
+                for w in 0..window as u64 {
+                    let (m, _) = ctx.recv(0, w).unwrap();
+                    assert_eq!(m.len(), 1_000_000);
+                }
+                ctx.send(0, 999, Bytes::new()).unwrap();
+                0
+            }
+        });
+        assert!(results[0] > 0);
+    }
+
+    #[test]
+    fn eager_isend_completes_immediately() {
+        run_world(WorldConfig::new(2, Platform::BlueField2), |ctx| {
+            if ctx.rank == 0 {
+                let h = ctx.isend(1, 1, Bytes::from_static(b"small")).unwrap();
+                assert!(h.is_complete());
+                h.wait(ctx).unwrap();
+            } else {
+                let (m, _) = ctx.recv(0, 1).unwrap();
+                assert_eq!(&m[..], b"small");
+            }
+        });
+    }
+
+    #[test]
+    fn out_of_order_waits_do_not_deadlock() {
+        run_world(WorldConfig::new(2, Platform::BlueField2), |ctx| {
+            let big = Bytes::from(vec![3u8; 2_000_000]);
+            if ctx.rank == 0 {
+                let h1 = ctx.isend(1, 1, big.clone()).unwrap();
+                let h2 = ctx.isend(1, 2, big.clone()).unwrap();
+                // Wait in reverse order.
+                h2.wait(ctx).unwrap();
+                h1.wait(ctx).unwrap();
+            } else {
+                // Receiver matches tag 2 first.
+                let _ = ctx.recv(0, 2).unwrap();
+                let _ = ctx.recv(0, 1).unwrap();
+            }
+        });
+    }
+}

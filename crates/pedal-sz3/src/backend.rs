@@ -1,0 +1,119 @@
+//! Pluggable lossless back-end stage of the SZ3 pipeline.
+//!
+//! SZ3 finishes its pipeline with a general-purpose lossless compressor
+//! (zstd by default; DEFLATE/LZ4 selectable). PEDAL exploits exactly this
+//! plug point: the paper's "SZ3 (C-Engine)" design routes the lossless
+//! stage through the DPU's compression engine (paper §III-C.2, Fig. 4).
+//!
+//! The paper notes SZ3's native backend ("zstandard") has lower latency
+//! than DEFLATE — our `Zs` stand-in is an LZ4-frame-based fast compressor
+//! with the same role: fast, moderate ratio.
+
+/// Backend selector recorded in the compressed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// No lossless stage (encoded bytes pass through).
+    None,
+    /// Fast native backend (stands in for SZ3's zstd default).
+    Zs,
+    /// DEFLATE — the algorithm the BF2 C-Engine accelerates.
+    Deflate,
+    /// LZ4 block/frame compression.
+    Lz4,
+}
+
+impl BackendKind {
+    pub fn tag(self) -> u8 {
+        match self {
+            BackendKind::None => 0,
+            BackendKind::Zs => 1,
+            BackendKind::Deflate => 2,
+            BackendKind::Lz4 => 3,
+        }
+    }
+
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(BackendKind::None),
+            1 => Some(BackendKind::Zs),
+            2 => Some(BackendKind::Deflate),
+            3 => Some(BackendKind::Lz4),
+            _ => None,
+        }
+    }
+}
+
+/// Backend failure during decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError(pub String);
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lossless backend error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Compress `data` with the chosen backend.
+pub fn backend_compress(kind: BackendKind, data: &[u8]) -> Vec<u8> {
+    match kind {
+        BackendKind::None => data.to_vec(),
+        // The Zs stand-in favours speed: LZ4 with mild acceleration.
+        BackendKind::Zs => pedal_lz4::compress_frame(data, 256 * 1024, 1),
+        BackendKind::Deflate => pedal_deflate::compress(data, pedal_deflate::Level::DEFAULT),
+        BackendKind::Lz4 => pedal_lz4::compress_frame(data, pedal_lz4::DEFAULT_BLOCK_SIZE, 1),
+    }
+}
+
+/// Decompress `data` with the chosen backend.
+pub fn backend_decompress(kind: BackendKind, data: &[u8]) -> Result<Vec<u8>, BackendError> {
+    match kind {
+        BackendKind::None => Ok(data.to_vec()),
+        BackendKind::Zs | BackendKind::Lz4 => {
+            pedal_lz4::decompress_frame(data).map_err(|e| BackendError(e.to_string()))
+        }
+        BackendKind::Deflate => {
+            pedal_deflate::decompress(data).map_err(|e| BackendError(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_backends_roundtrip() {
+        let data = b"sz3 core bytes: quant codes + outliers + header".repeat(100);
+        for kind in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+            let packed = backend_compress(kind, &data);
+            assert_eq!(backend_decompress(kind, &packed).unwrap(), data, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn compressing_backends_shrink_redundant_data() {
+        let data = vec![0xABu8; 100_000];
+        for kind in [BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+            let packed = backend_compress(kind, &data);
+            assert!(packed.len() * 10 < data.len(), "{kind:?}: {} bytes", packed.len());
+        }
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for kind in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+            assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_tag(200), None);
+    }
+
+    #[test]
+    fn corrupt_stream_is_an_error_not_a_panic() {
+        for kind in [BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+            let junk = vec![0x5Au8; 64];
+            assert!(backend_decompress(kind, &junk).is_err(), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! The end-to-end SZ3-style pipeline: predict → quantize → entropy-encode →
+//! lossless backend, and its exact inverse.
+//!
+//! The pipeline is deliberately split into two halves:
+//!
+//! * [`encode_core`] / [`decode_core`] — everything up to (but excluding)
+//!   the lossless stage. The output is the "core" byte stream.
+//! * [`seal`] / [`unseal`] — apply / undo the lossless backend.
+//!
+//! PEDAL exploits the split: on BlueField-2 the lossless stage of "SZ3
+//! (C-Engine)" executes on the hardware compression engine while the core
+//! stages run on the SoC (paper Fig. 4). The simulated engine therefore
+//! needs to see the two halves as separate operations with separately
+//! attributable sizes and timings.
+
+use crate::backend::{backend_compress, backend_decompress, BackendError, BackendKind};
+use crate::field::{Dims, Field, Float};
+use crate::huff;
+use crate::interp_nd::interp_plan_nd;
+use crate::predictor::{interp_cubic, interp_linear, lorenzo_predict, PredictorKind};
+use crate::quantizer::{Quantized, Quantizer};
+use crate::varint::{get_uvarint, put_uvarint};
+
+/// Magic prefix of the core stream.
+const CORE_MAGIC: &[u8; 4] = b"SZ3R";
+/// Magic prefix of a sealed (backend-compressed) stream.
+const SEALED_MAGIC: &[u8; 4] = b"SZ3S";
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Sz3Config {
+    /// Error bound (the paper uses ABS 1e-4). Interpreted per
+    /// [`Self::relative`].
+    pub error_bound: f64,
+    /// When true, `error_bound` is *value-range relative* (SZ3's REL mode):
+    /// the effective absolute bound is `error_bound * (max - min)` of the
+    /// input. The effective absolute bound is what the stream records.
+    pub relative: bool,
+    pub predictor: PredictorKind,
+    pub backend: BackendKind,
+    /// Quantizer radius (codes per side).
+    pub radius: i64,
+}
+
+impl Default for Sz3Config {
+    fn default() -> Self {
+        Self {
+            error_bound: 1e-4,
+            relative: false,
+            predictor: PredictorKind::Interp,
+            backend: BackendKind::Zs,
+            radius: Quantizer::DEFAULT_RADIUS,
+        }
+    }
+}
+
+impl Sz3Config {
+    /// Absolute error bound (SZ3's ABS mode).
+    pub fn with_error_bound(eb: f64) -> Self {
+        Self { error_bound: eb, ..Self::default() }
+    }
+
+    /// Value-range-relative error bound (SZ3's REL mode).
+    pub fn with_relative_bound(rel: f64) -> Self {
+        Self { error_bound: rel, relative: true, ..Self::default() }
+    }
+}
+
+/// Decompression failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sz3Error {
+    /// Magic or header malformed.
+    BadHeader(&'static str),
+    /// Type tag does not match the requested element type.
+    TypeMismatch { expected: u8, found: u8 },
+    /// Entropy decode failed.
+    Entropy(huff::HuffStreamError),
+    /// Backend stage failed.
+    Backend(BackendError),
+    /// Stream is internally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for Sz3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sz3Error::BadHeader(what) => write!(f, "bad sz3 header: {what}"),
+            Sz3Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: stream {found:#x}, requested {expected:#x}")
+            }
+            Sz3Error::Entropy(e) => write!(f, "entropy stage: {e}"),
+            Sz3Error::Backend(e) => write!(f, "{e}"),
+            Sz3Error::Corrupt(what) => write!(f, "corrupt sz3 stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Sz3Error {}
+
+impl From<huff::HuffStreamError> for Sz3Error {
+    fn from(e: huff::HuffStreamError) -> Self {
+        Sz3Error::Entropy(e)
+    }
+}
+
+impl From<BackendError> for Sz3Error {
+    fn from(e: BackendError) -> Self {
+        Sz3Error::Backend(e)
+    }
+}
+
+/// Size accounting of the core encode, used by the DPU cost model to
+/// attribute time to pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Input bytes (elements * element size).
+    pub input_bytes: usize,
+    /// Number of quantized (predictable) elements.
+    pub quantized: usize,
+    /// Number of outliers stored raw.
+    pub outliers: usize,
+    /// Bytes of the core stream (input to the lossless backend).
+    pub core_bytes: usize,
+}
+
+/// Run predict+quantize+entropy-encode. Returns the core byte stream and
+/// stage statistics. The core stream is what the lossless backend (possibly
+/// the simulated C-Engine) compresses next.
+pub fn encode_core<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> (Vec<u8>, CoreStats) {
+    let dims = field.dims;
+    let n = dims.len();
+    // REL mode: scale the bound by the data's value range. A zero or
+    // non-finite range (constant/degenerate data) falls back to the raw
+    // bound, which is then trivially satisfied.
+    let abs_eb = if cfg.relative {
+        let (lo, hi) = field.range();
+        let range = hi - lo;
+        if range.is_finite() && range > 0.0 {
+            cfg.error_bound * range
+        } else {
+            cfg.error_bound
+        }
+    } else {
+        cfg.error_bound
+    };
+    let q = Quantizer::with_radius(abs_eb, cfg.radius);
+
+    let predictor = effective_predictor(cfg.predictor, dims);
+
+    let mut codes: Vec<u32> = Vec::with_capacity(n);
+    let mut outliers: Vec<u8> = Vec::new();
+    let mut n_outliers = 0usize;
+    let mut recon = vec![0.0f64; n];
+
+    let mut visit = |i: usize, pred: f64, value: f64, codes: &mut Vec<u32>, outliers: &mut Vec<u8>, recon: &mut Vec<f64>| {
+        // The decompressor stores reconstructions in T, so the bound must
+        // hold on the T-rounded value, not the f64 intermediate.
+        if let Quantized::Code { index, reconstructed } = q.quantize(value, pred) {
+            let stored = T::from_f64(reconstructed).to_f64();
+            if (stored - value).abs() <= q.eb {
+                codes.push(index);
+                recon[i] = stored;
+                return;
+            }
+        }
+        codes.push(Quantizer::OUTLIER);
+        outliers.extend_from_slice(&T::from_f64(value).to_le_bytes_vec()[..T::BYTES]);
+        n_outliers += 1;
+        // Reconstruct exactly what the decompressor will read back.
+        recon[i] = T::from_f64(value).to_f64();
+    };
+
+    match predictor {
+        PredictorKind::Lorenzo => {
+            for z in 0..dims.nz {
+                for y in 0..dims.ny {
+                    for x in 0..dims.nx {
+                        let i = dims.idx(x, y, z);
+                        let pred = lorenzo_predict(&recon, dims.nx, dims.ny, x, y, z);
+                        visit(i, pred, field.data[i].to_f64(), &mut codes, &mut outliers, &mut recon);
+                    }
+                }
+            }
+        }
+        PredictorKind::Interp | PredictorKind::InterpCubic => {
+            // Seed point 0 predicted as 0, then the multi-level N-D plan.
+            visit(0, 0.0, field.data[0].to_f64(), &mut codes, &mut outliers, &mut recon);
+            let cubic = predictor == PredictorKind::InterpCubic;
+            for p in interp_plan_nd(dims) {
+                let pred = if cubic { interp_cubic(&recon, p) } else { interp_linear(&recon, p) };
+                visit(p.pos, pred, field.data[p.pos].to_f64(), &mut codes, &mut outliers, &mut recon);
+            }
+        }
+    }
+
+    // Entropy-encode the code stream.
+    let encoded = huff::encode(&codes);
+
+    // Assemble the core stream.
+    let mut out = Vec::with_capacity(encoded.len() + outliers.len() + 64);
+    out.extend_from_slice(CORE_MAGIC);
+    out.push(1); // version
+    out.push(T::TYPE_TAG);
+    out.push(predictor.tag());
+    put_uvarint(&mut out, dims.nx as u64);
+    put_uvarint(&mut out, dims.ny as u64);
+    put_uvarint(&mut out, dims.nz as u64);
+    out.extend_from_slice(&abs_eb.to_le_bytes());
+    put_uvarint(&mut out, cfg.radius as u64);
+    put_uvarint(&mut out, n_outliers as u64);
+    put_uvarint(&mut out, encoded.len() as u64);
+    out.extend_from_slice(&encoded);
+    out.extend_from_slice(&outliers);
+
+    let stats = CoreStats {
+        input_bytes: n * T::BYTES,
+        quantized: n - n_outliers,
+        outliers: n_outliers,
+        core_bytes: out.len(),
+    };
+    (out, stats)
+}
+
+/// Pick the predictor actually used (header records this, not the request).
+/// Interpolation is supported for every rank via the N-D plan.
+fn effective_predictor(requested: PredictorKind, _dims: Dims) -> PredictorKind {
+    requested
+}
+
+/// Invert [`encode_core`].
+pub fn decode_core<T: Float>(core: &[u8]) -> Result<Field<T>, Sz3Error> {
+    if core.len() < 8 || &core[..4] != CORE_MAGIC {
+        return Err(Sz3Error::BadHeader("magic"));
+    }
+    let mut i = 4usize;
+    let version = core[i];
+    i += 1;
+    if version != 1 {
+        return Err(Sz3Error::BadHeader("version"));
+    }
+    let type_tag = core[i];
+    i += 1;
+    if type_tag != T::TYPE_TAG {
+        return Err(Sz3Error::TypeMismatch { expected: T::TYPE_TAG, found: type_tag });
+    }
+    let predictor =
+        PredictorKind::from_tag(core[i]).ok_or(Sz3Error::BadHeader("predictor"))?;
+    i += 1;
+    let nx = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("nx"))? as usize;
+    let ny = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("ny"))? as usize;
+    let nz = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("nz"))? as usize;
+    if i + 8 > core.len() {
+        return Err(Sz3Error::BadHeader("eb"));
+    }
+    let eb = f64::from_le_bytes(core[i..i + 8].try_into().unwrap());
+    i += 8;
+    if eb <= 0.0 || eb.is_nan() || !eb.is_finite() {
+        return Err(Sz3Error::BadHeader("eb value"));
+    }
+    let radius = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("radius"))? as i64;
+    if radius <= 1 {
+        return Err(Sz3Error::BadHeader("radius value"));
+    }
+    let n_outliers = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("outliers"))? as usize;
+    let enc_len = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("enc len"))? as usize;
+    if i + enc_len > core.len() {
+        return Err(Sz3Error::BadHeader("enc bytes"));
+    }
+    let codes = huff::decode(&core[i..i + enc_len])?;
+    i += enc_len;
+
+    let dims = Dims { nx, ny, nz };
+    let n = dims.len();
+    if codes.len() != n {
+        return Err(Sz3Error::Corrupt("code count != element count"));
+    }
+    let outlier_bytes = &core[i..];
+    if outlier_bytes.len() != n_outliers * T::BYTES {
+        return Err(Sz3Error::Corrupt("outlier byte count"));
+    }
+
+    let q = Quantizer::with_radius(eb, radius);
+    let mut recon = vec![0.0f64; n];
+    let mut out_data = vec![T::zero(); n];
+    let mut outlier_pos = 0usize;
+
+    // Codes were emitted in *visit order*, which for interpolation differs
+    // from position order; consume them with a running cursor.
+    let mut code_cursor = 0usize;
+    let mut place = |i: usize, pred: f64, recon: &mut Vec<f64>, out_data: &mut Vec<T>| -> Result<(), Sz3Error> {
+        let code = codes[code_cursor];
+        code_cursor += 1;
+        if code == Quantizer::OUTLIER {
+            if outlier_pos + T::BYTES > outlier_bytes.len() {
+                return Err(Sz3Error::Corrupt("outlier stream exhausted"));
+            }
+            let v = T::from_le_slice(&outlier_bytes[outlier_pos..outlier_pos + T::BYTES]);
+            outlier_pos += T::BYTES;
+            recon[i] = v.to_f64();
+            out_data[i] = v;
+        } else {
+            if code as i64 >= 2 * radius {
+                return Err(Sz3Error::Corrupt("quant code out of range"));
+            }
+            let v = q.reconstruct(code, pred);
+            let stored = T::from_f64(v);
+            // Mirror the encoder: reconstructions live in T precision.
+            recon[i] = stored.to_f64();
+            out_data[i] = stored;
+        }
+        Ok(())
+    };
+
+    match predictor {
+        PredictorKind::Lorenzo => {
+            for z in 0..nz {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let idx = dims.idx(x, y, z);
+                        let pred = lorenzo_predict(&recon, nx, ny, x, y, z);
+                        place(idx, pred, &mut recon, &mut out_data)?;
+                    }
+                }
+            }
+        }
+        PredictorKind::Interp | PredictorKind::InterpCubic => {
+            place(0, 0.0, &mut recon, &mut out_data)?;
+            let cubic = predictor == PredictorKind::InterpCubic;
+            for p in interp_plan_nd(dims) {
+                let pred =
+                    if cubic { interp_cubic(&recon, p) } else { interp_linear(&recon, p) };
+                place(p.pos, pred, &mut recon, &mut out_data)?;
+            }
+        }
+    }
+
+    Ok(Field::new(dims, out_data))
+}
+
+/// Apply the lossless backend, producing the final sealed stream.
+pub fn seal(core: &[u8], backend: BackendKind) -> Vec<u8> {
+    seal_with(core, backend, |data| backend_compress(backend, data))
+}
+
+/// Like [`seal`] but the actual compression is delegated to `compress_fn` —
+/// this is the hook the simulated C-Engine plugs into. The function must
+/// produce a stream that [`backend_decompress`] for `backend` can undo.
+pub fn seal_with(
+    core: &[u8],
+    backend: BackendKind,
+    compress_fn: impl FnOnce(&[u8]) -> Vec<u8>,
+) -> Vec<u8> {
+    let packed = compress_fn(core);
+    let mut out = Vec::with_capacity(packed.len() + 16);
+    out.extend_from_slice(SEALED_MAGIC);
+    out.push(backend.tag());
+    put_uvarint(&mut out, core.len() as u64);
+    out.extend_from_slice(&packed);
+    out
+}
+
+/// Undo [`seal`], recovering the core stream.
+pub fn unseal(sealed: &[u8]) -> Result<(Vec<u8>, BackendKind), Sz3Error> {
+    unseal_with(sealed, backend_decompress)
+}
+
+/// Like [`unseal`] but decompression is delegated (C-Engine hook).
+pub fn unseal_with(
+    sealed: &[u8],
+    decompress_fn: impl FnOnce(BackendKind, &[u8]) -> Result<Vec<u8>, BackendError>,
+) -> Result<(Vec<u8>, BackendKind), Sz3Error> {
+    if sealed.len() < 6 || &sealed[..4] != SEALED_MAGIC {
+        return Err(Sz3Error::BadHeader("sealed magic"));
+    }
+    let backend = BackendKind::from_tag(sealed[4]).ok_or(Sz3Error::BadHeader("backend tag"))?;
+    let mut i = 5usize;
+    let core_len = get_uvarint(sealed, &mut i).ok_or(Sz3Error::BadHeader("core len"))? as usize;
+    let core = decompress_fn(backend, &sealed[i..])?;
+    if core.len() != core_len {
+        return Err(Sz3Error::Corrupt("core length mismatch"));
+    }
+    Ok((core, backend))
+}
+
+/// One-shot compression: core encode + backend seal.
+pub fn compress<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> Vec<u8> {
+    let (core, _) = encode_core(field, cfg);
+    seal(&core, cfg.backend)
+}
+
+/// One-shot decompression.
+pub fn decompress<T: Float>(sealed: &[u8]) -> Result<Field<T>, Sz3Error> {
+    let (core, _) = unseal(sealed)?;
+    decode_core(&core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave_field_f32(n: usize) -> Field<f32> {
+        Field::from_fn(Dims::d1(n), |x, _, _| {
+            let t = x as f32 * 0.01;
+            t.sin() * 10.0 + (t * 3.7).cos() * 2.0
+        })
+    }
+
+    fn check_bound<T: Float>(orig: &Field<T>, recon: &Field<T>, eb: f64) {
+        let diff = orig.max_abs_diff(recon);
+        assert!(diff <= eb * (1.0 + 1e-12), "max diff {diff} > eb {eb}");
+    }
+
+    #[test]
+    fn roundtrip_1d_all_predictors() {
+        let field = wave_field_f32(10_000);
+        for predictor in
+            [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic]
+        {
+            let cfg = Sz3Config { predictor, ..Sz3Config::with_error_bound(1e-4) };
+            let sealed = compress(&field, &cfg);
+            let recon: Field<f32> = decompress(&sealed).unwrap();
+            check_bound(&field, &recon, cfg.error_bound);
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d_3d_lorenzo() {
+        let f2 = Field::<f64>::from_fn(Dims::d2(100, 80), |x, y, _| {
+            ((x as f64) * 0.05).sin() * ((y as f64) * 0.03).cos() * 50.0
+        });
+        let f3 = Field::<f64>::from_fn(Dims::d3(24, 20, 16), |x, y, z| {
+            (x + 2 * y + 3 * z) as f64 * 0.1 + ((x * y) as f64 * 0.01).sin()
+        });
+        let cfg = Sz3Config {
+            predictor: PredictorKind::Lorenzo,
+            ..Sz3Config::with_error_bound(1e-3)
+        };
+        for f in [&f2, &f3] {
+            let sealed = compress(f, &cfg);
+            let recon: Field<f64> = decompress(&sealed).unwrap();
+            check_bound(f, &recon, cfg.error_bound);
+        }
+    }
+
+    #[test]
+    fn interp_on_2d_uses_nd_plan_and_roundtrips() {
+        let f = Field::<f32>::from_fn(Dims::d2(50, 40), |x, y, _| (x * y) as f32 * 0.001);
+        let cfg = Sz3Config { predictor: PredictorKind::Interp, ..Default::default() };
+        let sealed = compress(&f, &cfg);
+        let recon: Field<f32> = decompress(&sealed).unwrap();
+        check_bound(&f, &recon, cfg.error_bound);
+    }
+
+    #[test]
+    fn all_backends_produce_identical_fields() {
+        let field = wave_field_f32(5_000);
+        let mut reference: Option<Vec<f32>> = None;
+        for backend in
+            [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4]
+        {
+            let cfg = Sz3Config { backend, ..Default::default() };
+            let sealed = compress(&field, &cfg);
+            let recon: Field<f32> = decompress(&sealed).unwrap();
+            match &reference {
+                None => reference = Some(recon.data),
+                Some(r) => assert_eq!(r, &recon.data, "{backend:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn split_phase_equals_one_shot() {
+        let field = wave_field_f32(3_000);
+        let cfg = Sz3Config::default();
+        let (core, stats) = encode_core(&field, &cfg);
+        assert_eq!(stats.input_bytes, 3_000 * 4);
+        assert_eq!(stats.quantized + stats.outliers, 3_000);
+        assert_eq!(stats.core_bytes, core.len());
+        let sealed = seal(&core, cfg.backend);
+        assert_eq!(sealed, compress(&field, &cfg));
+        let (core2, backend) = unseal(&sealed).unwrap();
+        assert_eq!(backend, cfg.backend);
+        assert_eq!(core2, core);
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let field = wave_field_f32(200_000);
+        let cfg = Sz3Config::with_error_bound(1e-4);
+        let sealed = compress(&field, &cfg);
+        let ratio = (field.data.len() * 4) as f64 / sealed.len() as f64;
+        assert!(ratio > 3.0, "ratio only {ratio:.2}");
+    }
+
+    #[test]
+    fn random_noise_still_bounded() {
+        // Worst case: incompressible noise. Bound must hold even if nearly
+        // everything lands in one quant bucket or becomes an outlier.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let field = Field::<f32>::from_fn(Dims::d1(20_000), |_, _, _| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x as f64 / u64::MAX as f64) as f32 * 2000.0 - 1000.0
+        });
+        let cfg = Sz3Config::with_error_bound(1e-4);
+        let recon: Field<f32> = decompress(&compress(&field, &cfg)).unwrap();
+        check_bound(&field, &recon, cfg.error_bound);
+    }
+
+    #[test]
+    fn nan_and_inf_survive_exactly() {
+        let mut field = wave_field_f32(100);
+        field.data[10] = f32::NAN;
+        field.data[20] = f32::INFINITY;
+        field.data[30] = f32::NEG_INFINITY;
+        let cfg = Sz3Config::default();
+        let recon: Field<f32> = decompress(&compress(&field, &cfg)).unwrap();
+        assert!(recon.data[10].is_nan());
+        assert_eq!(recon.data[20], f32::INFINITY);
+        assert_eq!(recon.data[30], f32::NEG_INFINITY);
+        // All finite values still bounded.
+        for (i, (&a, &b)) in field.data.iter().zip(&recon.data).enumerate() {
+            if a.is_finite() {
+                assert!((a - b).abs() as f64 <= cfg.error_bound, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let field = wave_field_f32(64);
+        let sealed = compress(&field, &Sz3Config::default());
+        let err = decompress::<f64>(&sealed).unwrap_err();
+        assert!(matches!(err, Sz3Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_or_corrupt_streams_error_cleanly() {
+        let field = wave_field_f32(512);
+        let sealed = compress(&field, &Sz3Config::default());
+        for cut in [0, 3, 5, sealed.len() / 2] {
+            assert!(decompress::<f32>(&sealed[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = sealed.clone();
+        bad[4] = 0xEE; // invalid backend tag
+        assert!(decompress::<f32>(&bad).is_err());
+    }
+
+    #[test]
+    fn tiny_fields() {
+        for n in [1usize, 2, 3, 5] {
+            let field = Field::<f64>::from_fn(Dims::d1(n), |x, _, _| x as f64 * 1.5);
+            let cfg = Sz3Config::with_error_bound(0.01);
+            let recon: Field<f64> = decompress(&compress(&field, &cfg)).unwrap();
+            check_bound(&field, &recon, 0.01);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_with_tight_bound() {
+        let field = Field::<f64>::from_fn(Dims::d1(8_000), |x, _, _| {
+            (x as f64 * 1e-3).exp().sin() * 1e-2
+        });
+        let cfg = Sz3Config::with_error_bound(1e-9);
+        let recon: Field<f64> = decompress(&compress(&field, &cfg)).unwrap();
+        check_bound(&field, &recon, 1e-9);
+    }
+}

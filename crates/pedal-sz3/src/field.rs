@@ -1,0 +1,268 @@
+//! N-dimensional scientific data fields (1D/2D/3D, f32/f64) — the input
+//! type for the SZ3-style pipeline.
+
+/// Floating-point element trait covering what the pipeline needs.
+pub trait Float:
+    Copy
+    + PartialOrd
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + 'static
+{
+    /// Size of the wire representation in bytes.
+    const BYTES: usize;
+    /// Type tag stored in compressed headers.
+    const TYPE_TAG: u8;
+    fn zero() -> Self;
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn to_le_bytes_vec(self) -> [u8; 8];
+    fn from_le_slice(b: &[u8]) -> Self;
+    fn abs(self) -> Self;
+    fn is_finite(self) -> bool;
+}
+
+impl Float for f32 {
+    const BYTES: usize = 4;
+    const TYPE_TAG: u8 = 0x32;
+    fn zero() -> Self {
+        0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn to_le_bytes_vec(self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[..4].copy_from_slice(&self.to_le_bytes());
+        out
+    }
+    fn from_le_slice(b: &[u8]) -> Self {
+        f32::from_le_bytes(b[..4].try_into().unwrap())
+    }
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Float for f64 {
+    const BYTES: usize = 8;
+    const TYPE_TAG: u8 = 0x64;
+    fn zero() -> Self {
+        0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn to_le_bytes_vec(self) -> [u8; 8] {
+        self.to_le_bytes()
+    }
+    fn from_le_slice(b: &[u8]) -> Self {
+        f64::from_le_bytes(b[..8].try_into().unwrap())
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+/// Dimensions of a field; trailing dimensions of 1 are allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    /// (nx, ny, nz); a 1D field is (n, 1, 1), a 2D field (nx, ny, 1).
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Dims {
+    pub fn d1(n: usize) -> Self {
+        Self { nx: n, ny: 1, nz: 1 }
+    }
+    pub fn d2(nx: usize, ny: usize) -> Self {
+        Self { nx, ny, nz: 1 }
+    }
+    pub fn d3(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Effective dimensionality (ignoring trailing 1s).
+    pub fn rank(&self) -> usize {
+        if self.nz > 1 {
+            3
+        } else if self.ny > 1 {
+            2
+        } else {
+            1
+        }
+    }
+    /// Row-major linear index for (x, y, z).
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.ny + y) * self.nx + x
+    }
+}
+
+/// An owned N-D field of scientific data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field<T: Float> {
+    pub dims: Dims,
+    pub data: Vec<T>,
+}
+
+impl<T: Float> Field<T> {
+    /// Construct from raw data; panics if the element count mismatches.
+    pub fn new(dims: Dims, data: Vec<T>) -> Self {
+        assert_eq!(dims.len(), data.len(), "dims {dims:?} != {} elements", data.len());
+        Self { dims, data }
+    }
+
+    /// A zero-filled field.
+    pub fn zeros(dims: Dims) -> Self {
+        Self { data: vec![T::zero(); dims.len()], dims }
+    }
+
+    /// Build a field by sampling a function of (x, y, z).
+    pub fn from_fn(dims: Dims, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(dims.len());
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    data.push(f(x, y, z));
+                }
+            }
+        }
+        Self { dims, data }
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> T {
+        self.data[self.dims.idx(x, y, z)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, z: usize, v: T) {
+        let i = self.dims.idx(x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Value range (min, max), ignoring non-finite entries.
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.data {
+            let v = v.to_f64();
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Reinterpret the field as raw little-endian bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * T::BYTES);
+        for &v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes_vec()[..T::BYTES]);
+        }
+        out
+    }
+
+    /// Parse a field back from little-endian bytes.
+    pub fn from_bytes(dims: Dims, bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), dims.len() * T::BYTES);
+        let data = bytes.chunks_exact(T::BYTES).map(T::from_le_slice).collect();
+        Self { dims, data }
+    }
+
+    /// Maximum absolute elementwise difference against another field.
+    pub fn max_abs_diff(&self, other: &Field<T>) -> f64 {
+        assert_eq!(self.dims, other.dims);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_rank_and_len() {
+        assert_eq!(Dims::d1(10).rank(), 1);
+        assert_eq!(Dims::d2(4, 5).rank(), 2);
+        assert_eq!(Dims::d3(2, 3, 4).rank(), 3);
+        assert_eq!(Dims::d3(2, 3, 4).len(), 24);
+        // Trailing singleton dims collapse rank.
+        assert_eq!(Dims::d3(7, 1, 1).rank(), 1);
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let d = Dims::d3(3, 4, 5);
+        assert_eq!(d.idx(0, 0, 0), 0);
+        assert_eq!(d.idx(1, 0, 0), 1);
+        assert_eq!(d.idx(0, 1, 0), 3);
+        assert_eq!(d.idx(0, 0, 1), 12);
+        assert_eq!(d.idx(2, 3, 4), 59);
+    }
+
+    #[test]
+    fn from_fn_and_get() {
+        let f = Field::<f32>::from_fn(Dims::d2(3, 2), |x, y, _| (x + 10 * y) as f32);
+        assert_eq!(f.get(2, 1, 0), 12.0);
+        assert_eq!(f.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn byte_roundtrip_f32_f64() {
+        let f32_field =
+            Field::<f32>::from_fn(Dims::d1(100), |x, _, _| (x as f32).sin());
+        let back = Field::<f32>::from_bytes(f32_field.dims, &f32_field.to_bytes());
+        assert_eq!(f32_field, back);
+
+        let f64_field =
+            Field::<f64>::from_fn(Dims::d2(8, 9), |x, y, _| (x as f64) / (y as f64 + 1.0));
+        let back = Field::<f64>::from_bytes(f64_field.dims, &f64_field.to_bytes());
+        assert_eq!(f64_field, back);
+    }
+
+    #[test]
+    fn range_ignores_nonfinite() {
+        let mut f = Field::<f64>::from_fn(Dims::d1(5), |x, _, _| x as f64);
+        f.data[2] = f64::NAN;
+        f.data[3] = f64::INFINITY;
+        assert_eq!(f.range(), (0.0, 4.0));
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        let a = Field::<f32>::from_fn(Dims::d1(4), |x, _, _| x as f32);
+        let mut b = a.clone();
+        b.data[3] += 0.5;
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+    }
+}

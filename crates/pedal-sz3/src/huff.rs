@@ -1,0 +1,306 @@
+//! Canonical Huffman coding for the quantization-code alphabet.
+//!
+//! SZ3's quantizer produces indexes over a potentially huge alphabet
+//! (up to 2*radius+1 symbols), so the table-driven decoder used for DEFLATE
+//! is unsuitable. This coder instead:
+//!
+//! * densifies the alphabet to the *observed* symbols,
+//! * builds length-limited canonical codes (reusing the DEFLATE machinery),
+//! * decodes bit-by-bit with per-length `first_code`/`first_index` arrays —
+//!   O(code length) per symbol with no giant tables.
+
+use pedal_deflate::bitio::{BitReader, BitWriter};
+use pedal_deflate::huffman::build_code_lengths;
+
+use crate::varint::{get_uvarint, put_uvarint};
+
+/// Maximum code length for the quantization alphabet.
+const MAX_LEN: usize = 27;
+
+/// Errors from Huffman stream decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffStreamError {
+    /// Header truncated or malformed.
+    BadHeader,
+    /// Bitstream ended early or contained an unassigned code.
+    BadStream,
+}
+
+impl std::fmt::Display for HuffStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffStreamError::BadHeader => write!(f, "bad huffman header"),
+            HuffStreamError::BadStream => write!(f, "bad huffman bitstream"),
+        }
+    }
+}
+
+impl std::error::Error for HuffStreamError {}
+
+/// Encode a slice of u32 symbols into a self-describing blob:
+/// header (symbol table + code lengths) followed by the bit-packed payload.
+pub fn encode(symbols: &[u32]) -> Vec<u8> {
+    // Observed alphabet, densified.
+    let distinct: Vec<u32> = {
+        let mut v = symbols.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    // Frequency per dense index.
+    let index_of = |s: u32, distinct: &[u32]| distinct.binary_search(&s).unwrap();
+    let mut freqs = vec![0u32; distinct.len()];
+    for &s in symbols {
+        freqs[index_of(s, &distinct)] += 1;
+    }
+    let lengths = build_code_lengths(&freqs, MAX_LEN);
+
+    // Header: n_symbols, count of distinct, then delta-varint symbol table,
+    // then code lengths (one byte each).
+    let mut out = Vec::with_capacity(symbols.len() / 2 + 64);
+    put_uvarint(&mut out, symbols.len() as u64);
+    put_uvarint(&mut out, distinct.len() as u64);
+    let mut prev = 0u64;
+    for &s in &distinct {
+        put_uvarint(&mut out, s as u64 - prev);
+        prev = s as u64;
+    }
+    out.extend(lengths.iter().copied());
+
+    // Canonical codes (MSB-first emission order).
+    let codes = canonical_codes(&lengths);
+    let mut w = BitWriter::with_capacity(symbols.len() / 2);
+    if distinct.len() == 1 {
+        // Single-symbol stream: payload carries nothing.
+    } else {
+        for &s in symbols {
+            let i = index_of(s, &distinct);
+            let (code, len) = (codes[i], lengths[i]);
+            // Emit MSB-first so canonical decode can accumulate.
+            for bit in (0..len).rev() {
+                w.write_bits(((code >> bit) & 1) as u64, 1);
+            }
+        }
+    }
+    let payload = w.finish();
+    put_uvarint(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode a blob produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Vec<u32>, HuffStreamError> {
+    let mut i = 0usize;
+    let n = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)? as usize;
+    let k = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)? as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if k == 0 {
+        return Err(HuffStreamError::BadHeader);
+    }
+    let mut distinct = Vec::with_capacity(k);
+    let mut prev = 0u64;
+    for _ in 0..k {
+        let d = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)?;
+        prev += d;
+        if prev > u32::MAX as u64 {
+            return Err(HuffStreamError::BadHeader);
+        }
+        distinct.push(prev as u32);
+    }
+    if i + k > data.len() {
+        return Err(HuffStreamError::BadHeader);
+    }
+    let lengths: Vec<u8> = data[i..i + k].to_vec();
+    i += k;
+    let payload_len = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)? as usize;
+    if i + payload_len > data.len() {
+        return Err(HuffStreamError::BadHeader);
+    }
+    let payload = &data[i..i + payload_len];
+
+    if k == 1 {
+        return Ok(vec![distinct[0]; n]);
+    }
+
+    // Canonical decode tables: first_code/first_index per length, and the
+    // dense index ordering implied by canonical assignment.
+    let decode_tab = CanonicalDecoder::new(&lengths).ok_or(HuffStreamError::BadHeader)?;
+    let mut r = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = decode_tab.decode(&mut r).ok_or(HuffStreamError::BadStream)?;
+        out.push(distinct[idx]);
+    }
+    Ok(out)
+}
+
+/// Canonical code values (not bit-reversed; MSB-first semantics).
+fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u32; max_len + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max_len + 2];
+    let mut code = 0u32;
+    for bits in 1..=max_len {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    let mut codes = vec![0u32; lengths.len()];
+    for (sym, &len) in lengths.iter().enumerate() {
+        if len > 0 {
+            codes[sym] = next_code[len as usize];
+            next_code[len as usize] += 1;
+        }
+    }
+    codes
+}
+
+/// Bit-by-bit canonical decoder (Moffat–Turpin style).
+struct CanonicalDecoder {
+    /// first_code[l]: canonical code value of the first code of length l.
+    first_code: Vec<u32>,
+    /// first_index[l]: position in `order` of that first code.
+    first_index: Vec<u32>,
+    /// count[l]: number of codes of length l.
+    count: Vec<u32>,
+    /// Symbol (dense) indexes sorted by (length, symbol) — canonical order.
+    order: Vec<u32>,
+    max_len: usize,
+}
+
+impl CanonicalDecoder {
+    fn new(lengths: &[u8]) -> Option<Self> {
+        let max_len = lengths.iter().copied().max()? as usize;
+        if max_len == 0 || max_len > MAX_LEN {
+            return None;
+        }
+        let mut count = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l as usize > max_len {
+                return None;
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Kraft check: reject oversubscribed sets.
+        let mut kraft = 0u64;
+        for (l, &c) in count.iter().enumerate().take(max_len + 1).skip(1) {
+            kraft += (c as u64) << (max_len - l);
+        }
+        if kraft > 1u64 << max_len {
+            return None;
+        }
+        let mut first_code = vec![0u32; max_len + 2];
+        let mut first_index = vec![0u32; max_len + 2];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=max_len {
+            code = (code + if l > 1 { count[l - 1] } else { 0 }) << 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            index += count[l];
+        }
+        // Canonical symbol order: by (length, symbol index).
+        let mut order: Vec<u32> = (0..lengths.len() as u32)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        order.sort_by_key(|&s| (lengths[s as usize], s));
+        Some(Self { first_code, first_index, count, order, max_len })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Option<usize> {
+        let mut code = 0u32;
+        for l in 1..=self.max_len {
+            code = (code << 1) | r.read_bits(1).ok()?;
+            if self.count[l] > 0 {
+                let offset = code.wrapping_sub(self.first_code[l]);
+                if offset < self.count[l] {
+                    let idx = self.order[(self.first_index[l] + offset) as usize];
+                    return Some(idx as usize);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small() {
+        let syms = vec![5u32, 5, 5, 7, 7, 100, 5, 7, 5];
+        assert_eq!(decode(&encode(&syms)).unwrap(), syms);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        let syms = vec![42u32; 1000];
+        let blob = encode(&syms);
+        // Single-symbol streams should be tiny (no payload bits).
+        assert!(blob.len() < 32, "blob is {} bytes", blob.len());
+        assert_eq!(decode(&blob).unwrap(), syms);
+    }
+
+    #[test]
+    fn roundtrip_wide_alphabet() {
+        // Alphabet spread across the u32 range, zipf-ish frequencies.
+        let mut syms = Vec::new();
+        for i in 0..2000u32 {
+            let s = i.wrapping_mul(i).wrapping_mul(2_654_435_761) % 500_000;
+            let reps = 1 + (i % 7) as usize;
+            syms.extend(std::iter::repeat_n(s, reps));
+        }
+        assert_eq!(decode(&encode(&syms)).unwrap(), syms);
+    }
+
+    #[test]
+    fn roundtrip_gaussian_like_quant_codes() {
+        // Typical quantizer output: codes clustered around the radius.
+        let radius = 32_768u32;
+        let mut syms = Vec::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Sum of 4 nibbles approximates a narrow distribution.
+            let jitter = ((x & 0xF) + ((x >> 4) & 0xF) + ((x >> 8) & 0xF) + ((x >> 12) & 0xF))
+                as i64
+                - 30;
+            syms.push((radius as i64 + jitter) as u32);
+        }
+        let blob = encode(&syms);
+        // Entropy ~4-5 bits/symbol: expect real compression vs 4 bytes/sym.
+        assert!(blob.len() < syms.len() * 2);
+        assert_eq!(decode(&blob).unwrap(), syms);
+    }
+
+    #[test]
+    fn garbage_input_does_not_panic() {
+        for n in 0..64 {
+            let junk: Vec<u8> = (0..n).map(|i| (i * 37 + 11) as u8).collect();
+            let _ = decode(&junk);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_detected() {
+        let syms: Vec<u32> = (0..100).map(|i| i % 9).collect();
+        let blob = encode(&syms);
+        assert!(decode(&blob[..blob.len() - 1]).is_err());
+    }
+}

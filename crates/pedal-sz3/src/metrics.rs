@@ -1,0 +1,108 @@
+//! Reconstruction-quality metrics for lossy compression (the standard
+//! SDRBench reporting set: max error, RMSE, PSNR, value range).
+
+use crate::field::{Field, Float};
+
+/// Quality report comparing a reconstruction against the original.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Maximum absolute elementwise error over finite values.
+    pub max_abs_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Peak signal-to-noise ratio in dB (∞ for exact reconstructions).
+    pub psnr_db: f64,
+    /// Value range (max - min) of the original data.
+    pub value_range: f64,
+    /// Number of elements compared.
+    pub elements: usize,
+}
+
+/// Compute the quality report for `recon` against `original`.
+///
+/// Non-finite originals are excluded from the error statistics (they are
+/// stored exactly by the pipeline and carry no meaningful distance).
+pub fn quality<T: Float>(original: &Field<T>, recon: &Field<T>) -> QualityReport {
+    assert_eq!(original.dims, recon.dims, "field shapes differ");
+    let (lo, hi) = original.range();
+    let range = if hi >= lo { hi - lo } else { 0.0 };
+    let mut max_err = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut n = 0usize;
+    for (&a, &b) in original.data.iter().zip(&recon.data) {
+        let a = a.to_f64();
+        let b = b.to_f64();
+        if !a.is_finite() {
+            continue;
+        }
+        let e = (a - b).abs();
+        max_err = max_err.max(e);
+        sum_sq += e * e;
+        n += 1;
+    }
+    let rmse = if n > 0 { (sum_sq / n as f64).sqrt() } else { 0.0 };
+    let psnr_db = if rmse == 0.0 || range == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (range / rmse).log10()
+    };
+    QualityReport { max_abs_error: max_err, rmse, psnr_db, value_range: range, elements: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Dims;
+
+    #[test]
+    fn exact_reconstruction_has_infinite_psnr() {
+        let f = Field::<f64>::from_fn(Dims::d1(100), |x, _, _| x as f64);
+        let q = quality(&f, &f.clone());
+        assert_eq!(q.max_abs_error, 0.0);
+        assert_eq!(q.rmse, 0.0);
+        assert!(q.psnr_db.is_infinite());
+        assert_eq!(q.value_range, 99.0);
+    }
+
+    #[test]
+    fn uniform_offset_statistics() {
+        let a = Field::<f64>::from_fn(Dims::d1(1000), |x, _, _| x as f64);
+        let mut b = a.clone();
+        for v in &mut b.data {
+            *v += 0.5;
+        }
+        let q = quality(&a, &b);
+        assert!((q.max_abs_error - 0.5).abs() < 1e-12);
+        assert!((q.rmse - 0.5).abs() < 1e-12);
+        // PSNR = 20 log10(999 / 0.5) ≈ 66.0 dB.
+        assert!((q.psnr_db - 20.0 * (999.0f64 / 0.5).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonfinite_values_excluded() {
+        let mut a = Field::<f32>::from_fn(Dims::d1(10), |x, _, _| x as f32);
+        a.data[3] = f32::NAN;
+        let b = a.clone();
+        let q = quality(&a, &b);
+        assert_eq!(q.elements, 9);
+        assert_eq!(q.max_abs_error, 0.0);
+    }
+
+    #[test]
+    fn sz3_psnr_improves_with_tighter_bound() {
+        let f = Field::<f32>::from_fn(Dims::d1(20_000), |x, _, _| {
+            (x as f32 * 0.01).sin() * 100.0
+        });
+        let mut last_psnr = 0.0;
+        for eb in [1.0f64, 0.1, 1e-3] {
+            let cfg = crate::Sz3Config::with_error_bound(eb);
+            let recon: Field<f32> =
+                crate::decompress(&crate::compress(&f, &cfg)).unwrap();
+            let q = quality(&f, &recon);
+            assert!(q.max_abs_error <= eb);
+            assert!(q.psnr_db > last_psnr, "eb {eb}: psnr {}", q.psnr_db);
+            last_psnr = q.psnr_db;
+        }
+        assert!(last_psnr > 80.0, "1e-3 bound on range 200 should exceed 80 dB");
+    }
+}

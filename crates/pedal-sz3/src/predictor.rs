@@ -1,0 +1,252 @@
+//! Prediction stages of the SZ3 pipeline.
+//!
+//! Two predictors are provided, mirroring SZ3's composable design:
+//!
+//! * [`PredictorKind::Lorenzo`] — the classic first-order Lorenzo predictor
+//!   for 1D/2D/3D grids, predicting each point from already-reconstructed
+//!   neighbours by inclusion–exclusion.
+//! * [`PredictorKind::Interp`] — multi-level interpolation (SZ3's flagship
+//!   predictor) with linear and cubic kernels. Implemented for 1D fields,
+//!   which covers the paper's lossy datasets (exaalt and obs_error are flat
+//!   float arrays); for rank > 1 the pipeline transparently falls back to
+//!   Lorenzo (recorded in the stream header so decompression matches).
+//!
+//! Prediction always consumes *reconstructed* values, never originals, so
+//! the decompressor — which only has reconstructed data — stays in lockstep.
+
+/// Predictor selector stored in the compressed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// First-order Lorenzo (any rank).
+    Lorenzo,
+    /// Multi-level linear interpolation (rank 1; falls back to Lorenzo).
+    Interp,
+    /// Multi-level cubic interpolation (rank 1; falls back to Lorenzo).
+    InterpCubic,
+}
+
+impl PredictorKind {
+    pub fn tag(self) -> u8 {
+        match self {
+            PredictorKind::Lorenzo => 0,
+            PredictorKind::Interp => 1,
+            PredictorKind::InterpCubic => 2,
+        }
+    }
+
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(PredictorKind::Lorenzo),
+            1 => Some(PredictorKind::Interp),
+            2 => Some(PredictorKind::InterpCubic),
+            _ => None,
+        }
+    }
+}
+
+/// Lorenzo prediction at (x, y, z) over a reconstructed buffer laid out
+/// row-major with dims (nx, ny, nz). Out-of-range neighbours contribute 0.
+#[inline]
+pub fn lorenzo_predict(
+    recon: &[f64],
+    nx: usize,
+    ny: usize,
+    x: usize,
+    y: usize,
+    z: usize,
+) -> f64 {
+    let at = |dx: usize, dy: usize, dz: usize| -> f64 {
+        // dx/dy/dz are 0 or 1 meaning "one step back".
+        if (dx == 1 && x == 0) || (dy == 1 && y == 0) || (dz == 1 && z == 0) {
+            0.0
+        } else {
+            recon[((z - dz) * ny + (y - dy)) * nx + (x - dx)]
+        }
+    };
+    // Inclusion-exclusion over the 7 causal neighbours.
+    at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1)
+        + at(1, 1, 1)
+}
+
+/// The visit order for multi-level interpolation over `n` points.
+///
+/// Level strides go 2^k, 2^(k-1), …, 2. Position 0 is the seed (predicted
+/// as 0). At stride `s`, points at odd multiples of `s/2` are predicted
+/// from their reconstructed neighbours at multiples of `s`.
+/// Returns (position, left anchor, right anchor option, far-left anchor
+/// option, far-right anchor option) tuples in visit order; anchors are used
+/// by the linear/cubic kernels.
+pub fn interp_plan(n: usize) -> Vec<InterpPoint> {
+    let mut plan = Vec::with_capacity(n);
+    if n == 0 {
+        return plan;
+    }
+    // Seed points: 0 predicted from nothing; handled by caller at stride max.
+    let mut stride = 1usize;
+    while stride < n {
+        stride <<= 1;
+    }
+    // stride is now >= n; seeds are the multiples of `stride` (just 0).
+    while stride >= 2 {
+        let half = stride / 2;
+        let mut pos = half;
+        while pos < n {
+            let left = pos - half;
+            let right = if pos + half < n { Some(pos + half) } else { None };
+            let far_left = if pos >= 3 * half { Some(pos - 3 * half) } else { None };
+            let far_right = if pos + 3 * half < n { Some(pos + 3 * half) } else { None };
+            plan.push(InterpPoint { pos, left, right, far_left, far_right });
+            pos += stride;
+        }
+        stride = half;
+    }
+    plan
+}
+
+/// One interpolated point and its anchor positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpPoint {
+    pub pos: usize,
+    pub left: usize,
+    pub right: Option<usize>,
+    pub far_left: Option<usize>,
+    pub far_right: Option<usize>,
+}
+
+/// Linear interpolation kernel over reconstructed anchors.
+#[inline]
+pub fn interp_linear(recon: &[f64], p: InterpPoint) -> f64 {
+    match p.right {
+        Some(r) => 0.5 * (recon[p.left] + recon[r]),
+        None => recon[p.left],
+    }
+}
+
+/// Cubic (4-point) interpolation kernel; falls back to linear near edges.
+#[inline]
+pub fn interp_cubic(recon: &[f64], p: InterpPoint) -> f64 {
+    match (p.far_left, p.right, p.far_right) {
+        (Some(fl), Some(r), Some(fr)) => {
+            // Catmull-Rom-style midpoint weights: (-1, 9, 9, -1)/16.
+            (-recon[fl] + 9.0 * recon[p.left] + 9.0 * recon[r] - recon[fr]) / 16.0
+        }
+        _ => interp_linear(recon, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorenzo_1d_is_previous_value() {
+        let recon = vec![1.0, 2.0, 3.0, 0.0];
+        // 1D: ny = nz = 1, only the x-1 term is in range.
+        assert_eq!(lorenzo_predict(&recon, 4, 1, 3, 0, 0), 3.0);
+        assert_eq!(lorenzo_predict(&recon, 4, 1, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn lorenzo_2d_plane_is_exact() {
+        // For f(x,y) = 3x + 5y + 2, the 2D Lorenzo prediction is exact.
+        let (nx, ny) = (6, 5);
+        let mut recon = vec![0.0f64; nx * ny];
+        for y in 0..ny {
+            for x in 0..nx {
+                recon[y * nx + x] = 3.0 * x as f64 + 5.0 * y as f64 + 2.0;
+            }
+        }
+        for y in 1..ny {
+            for x in 1..nx {
+                let pred = lorenzo_predict(&recon, nx, ny, x, y, 0);
+                assert!((pred - recon[y * nx + x]).abs() < 1e-12, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo_3d_linear_field_is_exact() {
+        let (nx, ny, nz) = (4, 4, 4);
+        let mut recon = vec![0.0f64; nx * ny * nz];
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    recon[(z * ny + y) * nx + x] =
+                        1.5 * x as f64 - 2.5 * y as f64 + 4.0 * z as f64;
+                }
+            }
+        }
+        for z in 1..nz {
+            for y in 1..ny {
+                for x in 1..nx {
+                    let pred = lorenzo_predict(&recon, nx, ny, x, y, z);
+                    let truth = recon[(z * ny + y) * nx + x];
+                    assert!((pred - truth).abs() < 1e-12, "({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interp_plan_covers_all_points_once() {
+        for n in [1usize, 2, 3, 4, 5, 17, 64, 100, 1023] {
+            let plan = interp_plan(n);
+            let mut seen = vec![false; n];
+            seen[0] = true; // seed
+            for p in &plan {
+                assert!(!seen[p.pos], "n={n} pos {} visited twice", p.pos);
+                // Anchors must already be reconstructed.
+                assert!(seen[p.left], "n={n} left anchor {} not ready", p.left);
+                if let Some(r) = p.right {
+                    assert!(seen[r], "n={n} right anchor {r} not ready");
+                }
+                seen[p.pos] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "n={n}: some points unvisited");
+        }
+    }
+
+    #[test]
+    fn interp_linear_exact_on_linear_data() {
+        let n = 33;
+        let recon: Vec<f64> = (0..n).map(|i| 2.0 * i as f64 + 1.0).collect();
+        for p in interp_plan(n) {
+            if p.right.is_some() {
+                let pred = interp_linear(&recon, p);
+                assert!((pred - recon[p.pos]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn interp_cubic_exact_on_cubic_data() {
+        // Catmull-Rom midpoint weights reproduce cubics exactly at midpoints
+        // of a uniform grid.
+        let n = 65;
+        let f = |i: usize| {
+            let t = i as f64;
+            0.01 * t * t * t - 0.3 * t * t + 2.0 * t - 5.0
+        };
+        let recon: Vec<f64> = (0..n).map(f).collect();
+        for p in interp_plan(n) {
+            if p.far_left.is_some() && p.far_right.is_some() && p.right.is_some() {
+                let pred = interp_cubic(&recon, p);
+                assert!(
+                    (pred - recon[p.pos]).abs() < 1e-9,
+                    "pos {}: {} vs {}",
+                    p.pos,
+                    pred,
+                    recon[p.pos]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_tags_roundtrip() {
+        for k in [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic] {
+            assert_eq!(PredictorKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(PredictorKind::from_tag(99), None);
+    }
+}

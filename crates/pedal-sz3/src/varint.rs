@@ -1,0 +1,81 @@
+//! LEB128-style varint encoding for compact headers.
+
+/// Append `v` as an unsigned LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Read an unsigned varint, advancing `i`. Returns None on truncation or
+/// overlong encodings (> 10 bytes).
+pub fn get_uvarint(data: &[u8], i: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if *i >= data.len() || shift >= 64 {
+            return None;
+        }
+        let b = data[*i];
+        *i += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed value for varint storage.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut i = 0;
+        for &v in &values {
+            assert_eq!(get_uvarint(&buf, &mut i), Some(v));
+        }
+        assert_eq!(i, buf.len());
+    }
+
+    #[test]
+    fn truncation_returns_none() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        let mut i = 0;
+        assert_eq!(get_uvarint(&buf[..buf.len() - 1], &mut i), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Tests for the value-range-relative (REL) error-bound mode.
+
+use pedal_sz3::{compress, decompress, quality, Dims, Field, Sz3Config};
+
+fn field_with_range(scale: f64) -> Field<f64> {
+    Field::from_fn(Dims::d1(20_000), |x, _, _| {
+        scale * ((x as f64 * 0.003).sin() + 0.2 * (x as f64 * 0.011).cos())
+    })
+}
+
+#[test]
+fn rel_bound_scales_with_data_range() {
+    let rel = 1e-3;
+    for scale in [1.0f64, 100.0, 1e6] {
+        let f = field_with_range(scale);
+        let (lo, hi) = f.range();
+        let cfg = Sz3Config::with_relative_bound(rel);
+        let recon: Field<f64> = decompress(&compress(&f, &cfg)).unwrap();
+        let q = quality(&f, &recon);
+        let abs_eb = rel * (hi - lo);
+        assert!(
+            q.max_abs_error <= abs_eb * (1.0 + 1e-12),
+            "scale {scale}: {} > {abs_eb}",
+            q.max_abs_error
+        );
+        // The bound should actually be exploited (not trivially tiny).
+        assert!(q.max_abs_error > abs_eb / 1e4, "scale {scale}: bound unused?");
+    }
+}
+
+#[test]
+fn rel_and_abs_agree_when_range_is_one() {
+    // On data with range exactly 1.0 the two modes must behave identically.
+    let f = Field::<f32>::from_fn(Dims::d1(10_000), |x, _, _| {
+        0.5 + 0.5 * (x as f32 * 0.01).sin()
+    });
+    let (lo, hi) = f.range();
+    assert!((hi - lo - 1.0).abs() < 1e-6);
+    let abs: Field<f32> =
+        decompress(&compress(&f, &Sz3Config::with_error_bound(1e-4))).unwrap();
+    let rel: Field<f32> =
+        decompress(&compress(&f, &Sz3Config::with_relative_bound(1e-4))).unwrap();
+    // Not necessarily bit-identical (range is float-computed), but the same
+    // bound class.
+    assert!(quality(&f, &abs).max_abs_error <= 1e-4 * 1.001);
+    assert!(quality(&f, &rel).max_abs_error <= 1e-4 * (hi - lo) * 1.001);
+}
+
+#[test]
+fn rel_mode_ratio_independent_of_scale() {
+    // REL mode's whole point: scaling the data must not change the ratio.
+    let rel = 1e-4;
+    let small = compress(&field_with_range(1.0), &Sz3Config::with_relative_bound(rel));
+    let large = compress(&field_with_range(1e8), &Sz3Config::with_relative_bound(rel));
+    let r = small.len() as f64 / large.len() as f64;
+    assert!((0.9..=1.1).contains(&r), "ratios diverged: {r:.3}");
+}
+
+#[test]
+fn constant_data_compresses_trivially_in_rel_mode() {
+    let f = Field::<f32>::new(Dims::d1(5_000), vec![42.0f32; 5_000]);
+    let cfg = Sz3Config::with_relative_bound(1e-3);
+    let packed = compress(&f, &cfg);
+    let recon: Field<f32> = decompress(&packed).unwrap();
+    assert_eq!(recon.data, f.data, "constant data reconstructs exactly");
+    assert!(packed.len() < 200, "constant field should be tiny: {}", packed.len());
+}

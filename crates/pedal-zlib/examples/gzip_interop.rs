@@ -1,0 +1,32 @@
+//! Interop check against CPython's gzip module.
+//!
+//! Setup (produces the fixtures this example consumes):
+//! ```console
+//! $ python3 -c "
+//! import gzip
+//! data = bytes((i*7+3) % 251 for i in range(200000)) + b'gzip interop '*500
+//! open('/tmp/gz_orig.bin','wb').write(data)
+//! open('/tmp/python.gz','wb').write(gzip.compress(data, 6))"
+//! $ cargo run -p pedal-zlib --example gzip_interop
+//! $ python3 -c "
+//! import gzip
+//! assert gzip.decompress(open('/tmp/ours.gz','rb').read()) == open('/tmp/gz_orig.bin','rb').read()
+//! print('python decoded our gzip stream OK')"
+//! ```
+
+fn main() {
+    let Ok(data) = std::fs::read("/tmp/gz_orig.bin") else {
+        eprintln!("fixtures missing; see the setup snippet in this example's docs");
+        return;
+    };
+    if let Ok(py) = std::fs::read("/tmp/python.gz") {
+        assert_eq!(pedal_zlib::gzip_decompress(&py).unwrap(), data);
+        println!("decoded python gzip stream OK");
+    }
+    std::fs::write(
+        "/tmp/ours.gz",
+        pedal_zlib::gzip_compress(&data, pedal_zlib::Level::DEFAULT),
+    )
+    .unwrap();
+    println!("wrote /tmp/ours.gz for python to verify");
+}

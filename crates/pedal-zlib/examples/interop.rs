@@ -1,0 +1,42 @@
+//! Interop check against CPython's zlib module (both directions).
+//!
+//! Setup:
+//! ```console
+//! $ python3 -c "
+//! import zlib
+//! data = bytearray()
+//! for i in range(50000):
+//!     data.append(i % 253)
+//!     if i % 11 == 0: data.extend(b'interop check ')
+//! open('/tmp/python.zz','wb').write(zlib.compress(bytes(data), 6))"
+//! $ cargo run -p pedal-zlib --example interop
+//! $ python3 -c "
+//! import zlib
+//! orig = open('/tmp/orig.bin','rb').read()
+//! for lvl in [0,1,6,9]:
+//!     assert zlib.decompress(open(f'/tmp/ours_{lvl}.zz','rb').read()) == orig
+//! print('python decoded all our zlib streams OK')"
+//! ```
+
+fn main() {
+    let mut data = Vec::new();
+    for i in 0..50_000u32 {
+        data.push((i % 253) as u8);
+        if i % 11 == 0 {
+            data.extend_from_slice(b"interop check ");
+        }
+    }
+    for level in [0u8, 1, 6, 9] {
+        let z = pedal_zlib::compress(&data, pedal_zlib::Level(level));
+        std::fs::write(format!("/tmp/ours_{level}.zz"), &z).unwrap();
+    }
+    std::fs::write("/tmp/orig.bin", &data).unwrap();
+    if let Ok(py) = std::fs::read("/tmp/python.zz") {
+        let dec = pedal_zlib::decompress(&py).expect("decode python zlib stream");
+        assert_eq!(dec, data, "python stream decodes to original");
+        println!("decoded python stream OK");
+    } else {
+        eprintln!("(no /tmp/python.zz fixture; see docs for the setup snippet)");
+    }
+    println!("wrote /tmp/ours_*.zz for python to verify");
+}

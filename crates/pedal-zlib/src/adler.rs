@@ -1,0 +1,105 @@
+//! Adler-32 checksum (RFC 1950 §8.2).
+
+/// Modulo for both checksum halves.
+const MOD_ADLER: u32 = 65_521;
+/// Largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1) fits in u32.
+const NMAX: usize = 5552;
+
+/// Incremental Adler-32 state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Adler32 {
+    /// Fresh checksum (value 1, per the spec).
+    pub fn new() -> Self {
+        Self { a: 1, b: 0 }
+    }
+
+    /// Resume from a previously finished checksum value.
+    pub fn from_checksum(sum: u32) -> Self {
+        Self { a: sum & 0xFFFF, b: sum >> 16 }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(NMAX) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= MOD_ADLER;
+            self.b %= MOD_ADLER;
+        }
+    }
+
+    /// Current checksum value.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot Adler-32 of a buffer.
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut s = Adler32::new();
+    s.update(data);
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Classic test vectors.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+        assert_eq!(adler32(b"abc"), 0x024d_0127);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b"message digest"), 0x2975_0586);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let full = adler32(&data);
+        for split in [0, 1, 13, 5552, 5553, 99_999, 100_000] {
+            let mut s = Adler32::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finish(), full, "split {split}");
+        }
+    }
+
+    #[test]
+    fn resume_from_checksum() {
+        let data = b"first half / second half";
+        let mut s1 = Adler32::new();
+        s1.update(&data[..10]);
+        let mut s2 = Adler32::from_checksum(s1.finish());
+        s2.update(&data[10..]);
+        assert_eq!(s2.finish(), adler32(data));
+    }
+
+    #[test]
+    fn long_0xff_run_does_not_overflow() {
+        let data = vec![0xFFu8; 1 << 20];
+        // Compare against a naive mod-every-byte reference.
+        let mut a = 1u64;
+        let mut b = 0u64;
+        for &byte in &data {
+            a = (a + byte as u64) % MOD_ADLER as u64;
+            b = (b + a) % MOD_ADLER as u64;
+        }
+        assert_eq!(adler32(&data), ((b as u32) << 16) | a as u32);
+    }
+}

@@ -1,0 +1,200 @@
+//! gzip member format (RFC 1952) over the workspace DEFLATE — rounding out
+//! the DEFLATE family (the C-Engine consumes raw DEFLATE; gzip/zlib are
+//! the host-side envelopes applications actually exchange).
+
+use crate::crc32::crc32;
+use pedal_deflate::Level;
+
+/// gzip magic bytes.
+const MAGIC: [u8; 2] = [0x1F, 0x8B];
+/// Compression method: deflate.
+const CM_DEFLATE: u8 = 8;
+/// OS byte: 255 = unknown.
+const OS_UNKNOWN: u8 = 255;
+
+/// gzip decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GzipError {
+    Truncated,
+    BadMagic([u8; 2]),
+    UnsupportedMethod(u8),
+    /// Reserved FLG bits set.
+    ReservedFlags(u8),
+    Inflate(pedal_deflate::InflateError),
+    CrcMismatch { expected: u32, actual: u32 },
+    SizeMismatch { expected: u32, actual: u32 },
+}
+
+impl std::fmt::Display for GzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GzipError::Truncated => write!(f, "truncated gzip member"),
+            GzipError::BadMagic(m) => write!(f, "bad gzip magic {m:02x?}"),
+            GzipError::UnsupportedMethod(m) => write!(f, "unsupported method {m}"),
+            GzipError::ReservedFlags(b) => write!(f, "reserved FLG bits {b:#04x}"),
+            GzipError::Inflate(e) => write!(f, "inflate: {e}"),
+            GzipError::CrcMismatch { expected, actual } => {
+                write!(f, "crc32 mismatch: stream {expected:#010x}, data {actual:#010x}")
+            }
+            GzipError::SizeMismatch { expected, actual } => {
+                write!(f, "isize mismatch: stream {expected}, data {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+impl From<pedal_deflate::InflateError> for GzipError {
+    fn from(e: pedal_deflate::InflateError) -> Self {
+        GzipError::Inflate(e)
+    }
+}
+
+/// Compress `data` into a single gzip member (no name, no extra fields).
+pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
+    let body = pedal_deflate::compress(data, level);
+    let mut out = Vec::with_capacity(body.len() + 18);
+    out.extend_from_slice(&MAGIC);
+    out.push(CM_DEFLATE);
+    out.push(0); // FLG: no extra/name/comment/hcrc
+    out.extend_from_slice(&0u32.to_le_bytes()); // MTIME unknown
+    // XFL: 2 = max compression, 4 = fastest.
+    out.push(if level.0 >= 9 { 2 } else if level.0 <= 1 { 4 } else { 0 });
+    out.push(OS_UNKNOWN);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompress a gzip member, verifying CRC-32 and ISIZE. Handles the
+/// optional EXTRA/NAME/COMMENT/HCRC fields.
+pub fn gzip_decompress(stream: &[u8]) -> Result<Vec<u8>, GzipError> {
+    if stream.len() < 18 {
+        return Err(GzipError::Truncated);
+    }
+    if stream[0..2] != MAGIC {
+        return Err(GzipError::BadMagic([stream[0], stream[1]]));
+    }
+    if stream[2] != CM_DEFLATE {
+        return Err(GzipError::UnsupportedMethod(stream[2]));
+    }
+    let flg = stream[3];
+    if flg & 0xE0 != 0 {
+        return Err(GzipError::ReservedFlags(flg));
+    }
+    let mut i = 10usize; // fixed header
+    // FEXTRA
+    if flg & 0x04 != 0 {
+        if i + 2 > stream.len() {
+            return Err(GzipError::Truncated);
+        }
+        let xlen = u16::from_le_bytes([stream[i], stream[i + 1]]) as usize;
+        i += 2 + xlen;
+    }
+    // FNAME, FCOMMENT: zero-terminated strings.
+    for flag in [0x08u8, 0x10] {
+        if flg & flag != 0 {
+            loop {
+                if i >= stream.len() {
+                    return Err(GzipError::Truncated);
+                }
+                let b = stream[i];
+                i += 1;
+                if b == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    // FHCRC: 2-byte header CRC.
+    if flg & 0x02 != 0 {
+        i += 2;
+    }
+    if i + 8 > stream.len() {
+        return Err(GzipError::Truncated);
+    }
+    let body = &stream[i..stream.len() - 8];
+    let expected_crc =
+        u32::from_le_bytes(stream[stream.len() - 8..stream.len() - 4].try_into().unwrap());
+    let expected_size =
+        u32::from_le_bytes(stream[stream.len() - 4..].try_into().unwrap());
+    let data = pedal_deflate::decompress(body)?;
+    let actual_crc = crc32(&data);
+    if actual_crc != expected_crc {
+        return Err(GzipError::CrcMismatch { expected: expected_crc, actual: actual_crc });
+    }
+    if data.len() as u32 != expected_size {
+        return Err(GzipError::SizeMismatch { expected: expected_size, actual: data.len() as u32 });
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_levels() {
+        let data = b"gzip member format round trip ".repeat(100);
+        for level in [Level(1), Level(6), Level(9)] {
+            let z = gzip_compress(&data, level);
+            assert_eq!(z[0], 0x1F);
+            assert_eq!(z[1], 0x8B);
+            assert_eq!(gzip_decompress(&z).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn empty_payload() {
+        let z = gzip_compress(b"", Level::DEFAULT);
+        assert_eq!(gzip_decompress(&z).unwrap(), b"");
+    }
+
+    #[test]
+    fn crc_corruption_detected() {
+        let mut z = gzip_compress(b"crc protected", Level::DEFAULT);
+        let n = z.len();
+        z[n - 6] ^= 1; // inside CRC field
+        assert!(matches!(gzip_decompress(&z), Err(GzipError::CrcMismatch { .. })));
+    }
+
+    #[test]
+    fn isize_corruption_detected() {
+        let mut z = gzip_compress(b"isize protected", Level::DEFAULT);
+        let n = z.len();
+        z[n - 1] ^= 0x40; // high byte of ISIZE
+        assert!(matches!(gzip_decompress(&z), Err(GzipError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn optional_name_field_skipped() {
+        // Hand-build a member with FNAME set.
+        let data = b"named member";
+        let body = pedal_deflate::compress(data, Level::DEFAULT);
+        let mut z = vec![0x1F, 0x8B, 8, 0x08, 0, 0, 0, 0, 0, 255];
+        z.extend_from_slice(b"file.txt\0");
+        z.extend_from_slice(&body);
+        z.extend_from_slice(&crc32(data).to_le_bytes());
+        z.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn garbage_and_truncation_rejected() {
+        assert_eq!(gzip_decompress(&[]), Err(GzipError::Truncated));
+        assert_eq!(
+            gzip_decompress(&[0u8; 20]),
+            Err(GzipError::BadMagic([0, 0]))
+        );
+        let z = gzip_compress(b"to be truncated severely", Level::DEFAULT);
+        for cut in [5, 12, z.len() - 1] {
+            assert!(gzip_decompress(&z[..cut]).is_err(), "cut {cut}");
+        }
+        // Reserved flag bits.
+        let mut bad = gzip_compress(b"x", Level::DEFAULT);
+        bad[3] = 0x80;
+        assert!(matches!(gzip_decompress(&bad), Err(GzipError::ReservedFlags(_))));
+    }
+}

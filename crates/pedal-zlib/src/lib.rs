@@ -1,0 +1,236 @@
+//! # pedal-zlib
+//!
+//! zlib stream format (RFC 1950) over [`pedal_deflate`], with the header /
+//! body / trailer phases exposed separately.
+//!
+//! The split API exists because PEDAL's C-Engine design (paper §III-C.1)
+//! computes the zlib *header and trailer on the SoC* while the DEFLATE body
+//! runs on the compression engine: "PEDAL assigns computation to the zlib
+//! header and trailer on the SoC, while diverting the actual data
+//! compression execution on the C-Engine." The simulated engine calls
+//! [`header_bytes`], offloads the body, then seals with [`trailer_bytes`].
+//!
+//! ```
+//! use pedal_zlib::{compress, decompress, Level};
+//! let data = b"zlib wraps deflate with an adler32 trailer";
+//! let z = compress(data, Level::DEFAULT);
+//! assert_eq!(decompress(&z).unwrap(), data);
+//! ```
+
+pub mod adler;
+pub mod crc32;
+pub mod gzip;
+
+pub use adler::{adler32, Adler32};
+pub use crc32::{crc32, Crc32};
+pub use gzip::{gzip_compress, gzip_decompress, GzipError};
+pub use pedal_deflate::Level;
+
+/// zlib decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZlibError {
+    /// Stream shorter than the minimal header + trailer.
+    Truncated,
+    /// Compression method is not 8 (deflate) or window size invalid.
+    BadHeader { cmf: u8, flg: u8 },
+    /// (CMF*256 + FLG) not a multiple of 31.
+    BadHeaderCheck,
+    /// A preset dictionary is requested (unsupported).
+    DictionaryRequired,
+    /// Body failed to inflate.
+    Inflate(pedal_deflate::InflateError),
+    /// Adler-32 of the decompressed data does not match the trailer.
+    ChecksumMismatch { expected: u32, actual: u32 },
+}
+
+impl std::fmt::Display for ZlibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZlibError::Truncated => write!(f, "truncated zlib stream"),
+            ZlibError::BadHeader { cmf, flg } => write!(f, "bad zlib header {cmf:#x},{flg:#x}"),
+            ZlibError::BadHeaderCheck => write!(f, "zlib header check failed"),
+            ZlibError::DictionaryRequired => write!(f, "preset dictionary unsupported"),
+            ZlibError::Inflate(e) => write!(f, "inflate: {e}"),
+            ZlibError::ChecksumMismatch { expected, actual } => {
+                write!(f, "adler32 mismatch: stream {expected:#10x}, data {actual:#10x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZlibError {}
+
+impl From<pedal_deflate::InflateError> for ZlibError {
+    fn from(e: pedal_deflate::InflateError) -> Self {
+        ZlibError::Inflate(e)
+    }
+}
+
+/// Build the 2-byte zlib header for a compression level (SoC-side work in
+/// the PEDAL split design).
+pub fn header_bytes(level: Level) -> [u8; 2] {
+    // CMF: CM=8 (deflate), CINFO=7 (32K window).
+    let cmf: u8 = 0x78;
+    // FLEVEL from the level ladder, FDICT=0.
+    let flevel: u8 = match level.0 {
+        0..=1 => 0,
+        2..=5 => 1,
+        6 => 2,
+        _ => 3,
+    };
+    let mut flg = flevel << 6;
+    // FCHECK makes (CMF<<8 | FLG) divisible by 31.
+    let rem = ((cmf as u16) << 8 | flg as u16) % 31;
+    if rem != 0 {
+        flg += (31 - rem) as u8;
+    }
+    [cmf, flg]
+}
+
+/// Build the 4-byte big-endian Adler-32 trailer for `data` (SoC-side work).
+pub fn trailer_bytes(data: &[u8]) -> [u8; 4] {
+    adler32(data).to_be_bytes()
+}
+
+/// Compress into a zlib stream.
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let body = pedal_deflate::compress(data, level);
+    assemble(level, &body, data)
+}
+
+/// Assemble a zlib stream from an already-deflated body. This is the
+/// entry point for the split SoC/C-Engine design: the body may come from the
+/// simulated compression engine.
+pub fn assemble(level: Level, deflate_body: &[u8], original: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(deflate_body.len() + 6);
+    out.extend_from_slice(&header_bytes(level));
+    out.extend_from_slice(deflate_body);
+    out.extend_from_slice(&trailer_bytes(original));
+    out
+}
+
+/// Parse and validate a zlib header; returns the stream with header removed
+/// plus the raw (body, trailer) split.
+pub fn split_stream(stream: &[u8]) -> Result<(&[u8], u32), ZlibError> {
+    if stream.len() < 6 {
+        return Err(ZlibError::Truncated);
+    }
+    let (cmf, flg) = (stream[0], stream[1]);
+    if cmf & 0x0F != 8 || (cmf >> 4) > 7 {
+        return Err(ZlibError::BadHeader { cmf, flg });
+    }
+    if !((cmf as u16) << 8 | flg as u16).is_multiple_of(31) {
+        return Err(ZlibError::BadHeaderCheck);
+    }
+    if flg & 0x20 != 0 {
+        return Err(ZlibError::DictionaryRequired);
+    }
+    let body = &stream[2..stream.len() - 4];
+    let trailer = u32::from_be_bytes(stream[stream.len() - 4..].try_into().unwrap());
+    Ok((body, trailer))
+}
+
+/// Decompress a zlib stream, verifying the Adler-32 trailer.
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, ZlibError> {
+    decompress_with_limit(stream, usize::MAX)
+}
+
+/// Decompress with an output size cap.
+pub fn decompress_with_limit(stream: &[u8], limit: usize) -> Result<Vec<u8>, ZlibError> {
+    let (body, expected) = split_stream(stream)?;
+    let data = pedal_deflate::decompress_with_limit(body, limit)?;
+    let actual = adler32(&data);
+    if actual != expected {
+        return Err(ZlibError::ChecksumMismatch { expected, actual });
+    }
+    Ok(data)
+}
+
+/// Upper bound on zlib stream size for `n` input bytes.
+pub fn max_compressed_len(n: usize) -> usize {
+    pedal_deflate::max_compressed_len(n) + 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_levels() {
+        let data = b"zlib zlib zlib zlib wrapping deflate with adler".repeat(20);
+        for level in [Level(0), Level(1), Level(6), Level(9)] {
+            let z = compress(&data, level);
+            assert_eq!(decompress(&z).unwrap(), data, "level {level:?}");
+        }
+    }
+
+    #[test]
+    fn header_check_divisible_by_31() {
+        for level in 0..=9 {
+            let [cmf, flg] = header_bytes(Level(level));
+            assert_eq!(((cmf as u16) << 8 | flg as u16) % 31, 0, "level {level}");
+            assert_eq!(cmf, 0x78);
+        }
+    }
+
+    #[test]
+    fn default_level_header_is_78_9c() {
+        // The famous zlib default header bytes.
+        assert_eq!(header_bytes(Level::DEFAULT), [0x78, 0x9C]);
+        assert_eq!(header_bytes(Level::BEST), [0x78, 0xDA]);
+        assert_eq!(header_bytes(Level(1)), [0x78, 0x01]);
+    }
+
+    #[test]
+    fn split_assembly_equals_direct() {
+        // The SoC/C-Engine split must produce the identical stream.
+        let data = b"split stream construction must be byte-identical".repeat(10);
+        let body = pedal_deflate::compress(&data, Level::DEFAULT);
+        let assembled = assemble(Level::DEFAULT, &body, &data);
+        assert_eq!(assembled, compress(&data, Level::DEFAULT));
+        assert_eq!(decompress(&assembled).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_trailer_detected() {
+        let mut z = compress(b"checksum protected payload", Level::DEFAULT);
+        let n = z.len();
+        z[n - 1] ^= 0x01;
+        assert!(matches!(decompress(&z), Err(ZlibError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupted_header_detected() {
+        let mut z = compress(b"data", Level::DEFAULT);
+        z[0] = 0x79; // CM != 8
+        assert!(matches!(decompress(&z), Err(ZlibError::BadHeader { .. })));
+        let mut z2 = compress(b"data", Level::DEFAULT);
+        z2[1] ^= 0x04; // break FCHECK
+        assert!(matches!(decompress(&z2), Err(ZlibError::BadHeaderCheck)));
+    }
+
+    #[test]
+    fn dictionary_flag_rejected() {
+        let mut z = compress(b"data", Level::DEFAULT);
+        // Set FDICT and fix up FCHECK.
+        z[1] = (z[1] & 0xC0) | 0x20;
+        let rem = ((z[0] as u16) << 8 | z[1] as u16) % 31;
+        if rem != 0 {
+            z[1] += (31 - rem) as u8;
+        }
+        assert_eq!(decompress(&z), Err(ZlibError::DictionaryRequired));
+    }
+
+    #[test]
+    fn tiny_streams_rejected() {
+        for n in 0..6 {
+            assert_eq!(decompress(&vec![0x78; n]), Err(ZlibError::Truncated));
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let z = compress(b"", Level::DEFAULT);
+        assert_eq!(decompress(&z).unwrap(), b"");
+    }
+}

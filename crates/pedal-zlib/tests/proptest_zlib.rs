@@ -1,0 +1,83 @@
+//! Property-based tests for the zlib envelope and Adler-32.
+
+use pedal_zlib::{adler32, compress, decompress, header_bytes, split_stream, Level, ZlibError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        for level in [Level(1), Level(6), Level(9)] {
+            let z = compress(&data, level);
+            prop_assert_eq!(&decompress(&z).unwrap(), &data);
+        }
+    }
+
+    #[test]
+    fn adler_incremental_split(data in proptest::collection::vec(any::<u8>(), 0..4096), cut in any::<prop::sample::Index>()) {
+        let cut = cut.index(data.len() + 1);
+        let mut s = pedal_zlib::Adler32::new();
+        s.update(&data[..cut]);
+        s.update(&data[cut..]);
+        prop_assert_eq!(s.finish(), adler32(&data));
+    }
+
+    #[test]
+    fn any_single_byte_flip_detected_or_decoded_identically(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        flip in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        // zlib carries a checksum: flipping any payload bit must either
+        // fail decoding or fail the checksum — silent corruption of the
+        // *content* is impossible.
+        let z = compress(&data, Level::DEFAULT);
+        let at = flip.index(z.len());
+        let mut bad = z.clone();
+        bad[at] ^= 1 << bit;
+        match decompress(&bad) {
+            Err(_) => {}
+            Ok(out) => prop_assert_eq!(out, data, "silent corruption"),
+        }
+    }
+
+    #[test]
+    fn split_stream_structure(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let z = compress(&data, Level::DEFAULT);
+        let (body, trailer) = split_stream(&z).unwrap();
+        prop_assert_eq!(body.len(), z.len() - 6);
+        prop_assert_eq!(trailer, adler32(&data));
+        prop_assert_eq!(pedal_deflate::decompress(body).unwrap(), data);
+    }
+
+    #[test]
+    fn decoder_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&junk);
+    }
+}
+
+#[test]
+fn level_bytes_stable() {
+    // Levels map deterministically to the canonical header bytes.
+    assert_eq!(header_bytes(Level(0)), [0x78, 0x01]);
+    assert_eq!(header_bytes(Level(5)), [0x78, 0x5E]);
+    assert_eq!(header_bytes(Level(6)), [0x78, 0x9C]);
+    assert_eq!(header_bytes(Level(9)), [0x78, 0xDA]);
+}
+
+#[test]
+fn truncated_zlib_always_errors() {
+    let z = compress(b"some payload for truncation testing, repeated twice over", Level(6));
+    for cut in 0..z.len() {
+        match decompress(&z[..cut]) {
+            Err(ZlibError::Truncated)
+            | Err(ZlibError::Inflate(_))
+            | Err(ZlibError::ChecksumMismatch { .. })
+            | Err(ZlibError::BadHeaderCheck)
+            | Err(ZlibError::BadHeader { .. }) => {}
+            Ok(_) => panic!("accepted truncated stream at {cut}"),
+            Err(other) => panic!("unexpected error at {cut}: {other:?}"),
+        }
+    }
+}

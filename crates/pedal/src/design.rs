@@ -1,0 +1,186 @@
+//! The eight PEDAL compression designs (paper Table III): each of the four
+//! algorithms placed on either the SoC or the C-Engine, with automatic
+//! per-generation capability fallback.
+
+use pedal_dpu::{Algorithm, Direction, Placement, Platform};
+
+/// One of PEDAL's eight compression designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Design {
+    pub algorithm: Algorithm,
+    pub placement: Placement,
+}
+
+impl Design {
+    pub const SOC_DEFLATE: Design =
+        Design { algorithm: Algorithm::Deflate, placement: Placement::Soc };
+    pub const CE_DEFLATE: Design =
+        Design { algorithm: Algorithm::Deflate, placement: Placement::CEngine };
+    pub const SOC_ZLIB: Design =
+        Design { algorithm: Algorithm::Zlib, placement: Placement::Soc };
+    pub const CE_ZLIB: Design =
+        Design { algorithm: Algorithm::Zlib, placement: Placement::CEngine };
+    pub const SOC_LZ4: Design = Design { algorithm: Algorithm::Lz4, placement: Placement::Soc };
+    pub const CE_LZ4: Design =
+        Design { algorithm: Algorithm::Lz4, placement: Placement::CEngine };
+    pub const SOC_SZ3: Design = Design { algorithm: Algorithm::Sz3, placement: Placement::Soc };
+    pub const CE_SZ3: Design =
+        Design { algorithm: Algorithm::Sz3, placement: Placement::CEngine };
+
+    /// All eight designs in Table III order.
+    pub const ALL: [Design; 8] = [
+        Design::SOC_DEFLATE,
+        Design::CE_DEFLATE,
+        Design::SOC_ZLIB,
+        Design::CE_ZLIB,
+        Design::SOC_LZ4,
+        Design::CE_LZ4,
+        Design::SOC_SZ3,
+        Design::CE_SZ3,
+    ];
+
+    /// The six lossless designs (Fig. 10 labels A–F).
+    pub const LOSSLESS: [Design; 6] = [
+        Design::SOC_DEFLATE,
+        Design::CE_DEFLATE,
+        Design::SOC_LZ4,
+        Design::CE_LZ4,
+        Design::SOC_ZLIB,
+        Design::CE_ZLIB,
+    ];
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match (self.algorithm, self.placement) {
+            (Algorithm::Deflate, Placement::Soc) => "SoC_DEFLATE",
+            (Algorithm::Deflate, Placement::CEngine) => "C-Engine_DEFLATE",
+            (Algorithm::Zlib, Placement::Soc) => "SoC_zlib",
+            (Algorithm::Zlib, Placement::CEngine) => "C-Engine_zlib",
+            (Algorithm::Lz4, Placement::Soc) => "SoC_LZ4",
+            (Algorithm::Lz4, Placement::CEngine) => "C-Engine_LZ4",
+            (Algorithm::Sz3, Placement::Soc) => "SoC_SZ3",
+            (Algorithm::Sz3, Placement::CEngine) => "C-Engine_SZ3",
+        }
+    }
+
+    pub fn is_lossy(self) -> bool {
+        self.algorithm.is_lossy()
+    }
+
+    /// The wire `AlgoID` carried in the PEDAL header's second byte.
+    /// 0 is reserved for "uncompressed passthrough".
+    pub fn algo_id(self) -> u8 {
+        match (self.algorithm, self.placement) {
+            (Algorithm::Deflate, Placement::Soc) => 1,
+            (Algorithm::Deflate, Placement::CEngine) => 2,
+            (Algorithm::Zlib, Placement::Soc) => 3,
+            (Algorithm::Zlib, Placement::CEngine) => 4,
+            (Algorithm::Lz4, Placement::Soc) => 5,
+            (Algorithm::Lz4, Placement::CEngine) => 6,
+            (Algorithm::Sz3, Placement::Soc) => 7,
+            (Algorithm::Sz3, Placement::CEngine) => 8,
+        }
+    }
+
+    pub fn from_algo_id(id: u8) -> Option<Design> {
+        Design::ALL.iter().copied().find(|d| d.algo_id() == id)
+    }
+
+    /// Where this design's work in `dir` actually lands on `platform`.
+    ///
+    /// This is PEDAL's capability fallback (paper §III-D: "intelligently
+    /// fall back to SoC-based compression designs if a compression
+    /// algorithm is unsupported by the C-Engine, thus avoiding software
+    /// failures"). For SZ3, placement refers to the lossless-backend stage.
+    pub fn effective_placement(self, platform: Platform, dir: Direction) -> Placement {
+        match self.placement {
+            Placement::Soc => Placement::Soc,
+            Placement::CEngine => {
+                if platform.spec().cengine.supports(self.algorithm, dir) {
+                    Placement::CEngine
+                } else {
+                    Placement::Soc
+                }
+            }
+        }
+    }
+
+    /// Did the fallback fire for this (platform, direction)?
+    pub fn falls_back(self, platform: Platform, dir: Direction) -> bool {
+        self.placement == Placement::CEngine
+            && self.effective_placement(platform, dir) == Placement::Soc
+    }
+}
+
+impl std::fmt::Display for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_designs_with_unique_ids() {
+        let mut ids: Vec<u8> = Design::ALL.iter().map(|d| d.algo_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+        assert!(!ids.contains(&0), "0 is reserved for passthrough");
+        for d in Design::ALL {
+            assert_eq!(Design::from_algo_id(d.algo_id()), Some(d));
+        }
+        assert_eq!(Design::from_algo_id(0), None);
+        assert_eq!(Design::from_algo_id(42), None);
+    }
+
+    #[test]
+    fn bf2_fallbacks_match_table_iii() {
+        use Direction::*;
+        let p = Platform::BlueField2;
+        assert!(!Design::CE_DEFLATE.falls_back(p, Compress));
+        assert!(!Design::CE_DEFLATE.falls_back(p, Decompress));
+        assert!(!Design::CE_ZLIB.falls_back(p, Compress));
+        assert!(!Design::CE_SZ3.falls_back(p, Compress));
+        // BF2's engine has no LZ4 at all: both directions fall back.
+        assert!(Design::CE_LZ4.falls_back(p, Compress));
+        assert!(Design::CE_LZ4.falls_back(p, Decompress));
+    }
+
+    #[test]
+    fn bf3_fallbacks_match_table_iii() {
+        use Direction::*;
+        let p = Platform::BlueField3;
+        // No compression on BF3's engine for anything.
+        assert!(Design::CE_DEFLATE.falls_back(p, Compress));
+        assert!(Design::CE_ZLIB.falls_back(p, Compress));
+        assert!(Design::CE_LZ4.falls_back(p, Compress));
+        assert!(Design::CE_SZ3.falls_back(p, Compress));
+        // Decompression exists for DEFLATE-family and LZ4.
+        assert!(!Design::CE_DEFLATE.falls_back(p, Decompress));
+        assert!(!Design::CE_ZLIB.falls_back(p, Decompress));
+        assert!(!Design::CE_LZ4.falls_back(p, Decompress));
+        assert!(!Design::CE_SZ3.falls_back(p, Decompress));
+    }
+
+    #[test]
+    fn soc_designs_never_fall_back() {
+        for d in [Design::SOC_DEFLATE, Design::SOC_ZLIB, Design::SOC_LZ4, Design::SOC_SZ3] {
+            for p in Platform::ALL {
+                for dir in [Direction::Compress, Direction::Decompress] {
+                    assert!(!d.falls_back(p, dir));
+                    assert_eq!(d.effective_placement(p, dir), Placement::Soc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Design::SOC_DEFLATE.name(), "SoC_DEFLATE");
+        assert_eq!(Design::CE_ZLIB.name(), "C-Engine_zlib");
+        assert_eq!(Design::LOSSLESS.len(), 6);
+    }
+}

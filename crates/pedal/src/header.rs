@@ -1,0 +1,134 @@
+//! The tiny 3-byte PEDAL header (paper §III-E, Fig. 5).
+//!
+//! ```text
+//! +------+--------+------+----------------------------+
+//! | 0xFF | AlgoID | 0xFF |  compressed payload ...    |
+//! +------+--------+------+----------------------------+
+//! ```
+//!
+//! The first and third bytes are `0xFF` indicators signalling that the
+//! message is PEDAL-framed; the `AlgoID` byte identifies the compression
+//! design so the receiver can pick the matching decompressor. `AlgoID = 0`
+//! marks an uncompressed passthrough (data that did not shrink).
+
+use crate::design::Design;
+
+/// The indicator byte used in positions 0 and 2.
+pub const INDICATOR: u8 = 0xFF;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 3;
+/// AlgoID for uncompressed passthrough payloads.
+pub const ALGO_ID_RAW: u8 = 0;
+
+/// Parsed header contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PedalHeader {
+    /// Payload is raw (compression was skipped or did not pay off).
+    Uncompressed,
+    /// Payload was produced by this design.
+    Compressed(Design),
+}
+
+/// Header parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer than three bytes.
+    TooShort,
+    /// Indicator bytes missing — the message is not PEDAL-framed.
+    NotPedal,
+    /// Unknown AlgoID.
+    UnknownAlgoId(u8),
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::TooShort => write!(f, "message shorter than the PEDAL header"),
+            HeaderError::NotPedal => write!(f, "missing 0xFF indicators"),
+            HeaderError::UnknownAlgoId(id) => write!(f, "unknown AlgoID {id}"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+impl PedalHeader {
+    /// Serialize into the 3-byte wire form.
+    pub fn to_bytes(self) -> [u8; HEADER_LEN] {
+        let algo_id = match self {
+            PedalHeader::Uncompressed => ALGO_ID_RAW,
+            PedalHeader::Compressed(d) => d.algo_id(),
+        };
+        [INDICATOR, algo_id, INDICATOR]
+    }
+
+    /// Parse the first three bytes of a message.
+    pub fn parse(bytes: &[u8]) -> Result<PedalHeader, HeaderError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(HeaderError::TooShort);
+        }
+        if bytes[0] != INDICATOR || bytes[2] != INDICATOR {
+            return Err(HeaderError::NotPedal);
+        }
+        match bytes[1] {
+            ALGO_ID_RAW => Ok(PedalHeader::Uncompressed),
+            id => Design::from_algo_id(id)
+                .map(PedalHeader::Compressed)
+                .ok_or(HeaderError::UnknownAlgoId(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_designs() {
+        for d in Design::ALL {
+            let h = PedalHeader::Compressed(d);
+            let bytes = h.to_bytes();
+            assert_eq!(bytes[0], 0xFF);
+            assert_eq!(bytes[2], 0xFF);
+            assert_eq!(PedalHeader::parse(&bytes).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn roundtrip_uncompressed() {
+        let h = PedalHeader::Uncompressed;
+        assert_eq!(h.to_bytes(), [0xFF, 0x00, 0xFF]);
+        assert_eq!(PedalHeader::parse(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert_eq!(PedalHeader::parse(&[]), Err(HeaderError::TooShort));
+        assert_eq!(PedalHeader::parse(&[0xFF, 1]), Err(HeaderError::TooShort));
+    }
+
+    #[test]
+    fn non_pedal_messages_detected() {
+        assert_eq!(PedalHeader::parse(&[0x00, 1, 0xFF]), Err(HeaderError::NotPedal));
+        assert_eq!(PedalHeader::parse(&[0xFF, 1, 0x00]), Err(HeaderError::NotPedal));
+        assert_eq!(PedalHeader::parse(b"abc"), Err(HeaderError::NotPedal));
+    }
+
+    #[test]
+    fn unknown_algo_id_rejected() {
+        assert_eq!(
+            PedalHeader::parse(&[0xFF, 200, 0xFF]),
+            Err(HeaderError::UnknownAlgoId(200))
+        );
+    }
+
+    #[test]
+    fn header_survives_prefix_of_longer_message() {
+        let mut msg = PedalHeader::Compressed(Design::CE_DEFLATE).to_bytes().to_vec();
+        msg.extend_from_slice(&[9u8; 100]);
+        assert_eq!(
+            PedalHeader::parse(&msg).unwrap(),
+            PedalHeader::Compressed(Design::CE_DEFLATE)
+        );
+    }
+}

@@ -1,0 +1,556 @@
+//! Parallel and hybrid compression — the paper's forward-looking designs.
+//!
+//! §IV: "future developments could involve various compression designs
+//! using the SoC and C-Engine to achieve parallel compression and
+//! decompression"; §V-C2 points at "a prospective hybrid design avenue for
+//! exploiting both SoC and C-Engine in parallel".
+//!
+//! This module implements both:
+//!
+//! * [`ParallelStrategy::SocParallel`] — the input is split into chunks
+//!   compressed concurrently on up to `soc_cores` ARM cores (real host
+//!   threads via crossbeam; virtual time is the slowest core's track),
+//! * [`ParallelStrategy::Hybrid`] — chunks are divided between the
+//!   C-Engine (a single FIFO server) and the SoC cores, split by their
+//!   calibrated throughput ratio so both tracks finish together.
+//!
+//! The container is a simple self-describing chunk stream, so any PEDAL
+//! peer can decompress regardless of how the chunks were produced.
+
+use crate::context::PedalError;
+use pedal_doca::{CompressJob, DocaContext, JobKind};
+use pedal_dpu::{Algorithm, CostModel, Direction, Placement, SimDuration, SimInstant};
+
+/// Chunked-container magic.
+const CHUNK_MAGIC: &[u8; 4] = b"PCHK";
+
+/// How to parallelize a chunked compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelStrategy {
+    /// Split across `cores` SoC cores.
+    SocParallel { cores: usize },
+    /// Split between the C-Engine and `soc_cores` SoC cores; if the engine
+    /// cannot compress on this platform, everything goes to the SoC.
+    Hybrid { soc_cores: usize },
+}
+
+/// Result of a chunked operation: payload (or data), the virtual makespan,
+/// and per-track times for analysis.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    pub bytes: Vec<u8>,
+    /// Virtual completion time of the slowest track.
+    pub makespan: SimDuration,
+    /// Virtual busy time of the engine track (zero when unused).
+    pub engine_time: SimDuration,
+    /// Virtual busy time of the slowest SoC core.
+    pub soc_time: SimDuration,
+    pub chunks: usize,
+}
+
+/// Default chunk size: big enough to amortize per-chunk costs, small enough
+/// to load-balance (matches DOCA's preferred job granularity).
+pub const DEFAULT_CHUNK: usize = 1 << 20;
+
+/// Compress `data` as a chunked container with DEFLATE.
+///
+/// Real chunk compression runs on host threads (one per simulated core);
+/// the virtual makespan models `cores` SoC cores plus, for
+/// [`ParallelStrategy::Hybrid`], the engine's FIFO track.
+pub fn compress_chunked(
+    doca: &DocaContext,
+    data: &[u8],
+    chunk_size: usize,
+    strategy: ParallelStrategy,
+) -> Result<ParallelOutcome, PedalError> {
+    let costs = doca.costs;
+    let chunk_size = chunk_size.max(4096);
+    let chunks: Vec<&[u8]> = data.chunks(chunk_size).collect();
+    let n = chunks.len();
+
+    // Decide which chunks the engine takes.
+    let engine_ok = doca.supports(JobKind::DeflateCompress);
+    let (engine_take, cores) = match strategy {
+        ParallelStrategy::SocParallel { cores } => (0usize, cores.max(1)),
+        ParallelStrategy::Hybrid { soc_cores } => {
+            let cores = soc_cores.max(1);
+            if engine_ok {
+                let take = optimal_engine_take(
+                    n,
+                    chunk_size,
+                    cores,
+                    costs,
+                    Direction::Compress,
+                );
+                (take, cores)
+            } else {
+                (0, cores)
+            }
+        }
+    };
+    let engine_take = engine_take.min(n);
+
+    // Really compress: engine chunks sequentially through the DOCA queue,
+    // SoC chunks in parallel threads.
+    let mut packed: Vec<Option<Vec<u8>>> = vec![None; n];
+    let mut engine_time = SimDuration::ZERO;
+    let t0 = SimInstant::EPOCH;
+    for (i, chunk) in chunks.iter().enumerate().take(engine_take) {
+        let (r, done) = doca
+            .submit(CompressJob::new(JobKind::DeflateCompress, chunk.to_vec()), t0 + engine_time)
+            .map_err(|e| PedalError::Doca(e.to_string()))?;
+        packed[i] = Some(r.output);
+        engine_time = done.elapsed_since(t0);
+    }
+
+    let soc_chunks = &chunks[engine_take..];
+    let mut soc_packed: Vec<Vec<u8>> = Vec::new();
+    if !soc_chunks.is_empty() {
+        let threads = cores.min(soc_chunks.len());
+        let mut results: Vec<Vec<(usize, Vec<u8>)>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let soc_chunks = &soc_chunks;
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut i = t;
+                        while i < soc_chunks.len() {
+                            out.push((
+                                i,
+                                pedal_deflate::compress(
+                                    soc_chunks[i],
+                                    pedal_deflate::Level::DEFAULT,
+                                ),
+                            ));
+                            i += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("compression worker panicked"));
+            }
+        })
+        .expect("scope");
+        let mut flat: Vec<(usize, Vec<u8>)> = results.into_iter().flatten().collect();
+        flat.sort_by_key(|(i, _)| *i);
+        soc_packed = flat.into_iter().map(|(_, v)| v).collect();
+    }
+
+    // Virtual SoC track: round-robin chunk assignment across cores.
+    let mut core_busy = vec![SimDuration::ZERO; cores];
+    for (k, chunk) in soc_chunks.iter().enumerate() {
+        core_busy[k % cores] +=
+            costs.soc_lossless(Algorithm::Deflate, Direction::Compress, chunk.len());
+    }
+    let soc_time = core_busy.into_iter().max().unwrap_or(SimDuration::ZERO);
+
+    // Assemble container.
+    for (slot, blob) in packed.iter_mut().skip(engine_take).zip(soc_packed) {
+        *slot = Some(blob);
+    }
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    out.extend_from_slice(CHUNK_MAGIC);
+    put_uvarint(&mut out, n as u64);
+    for (chunk, blob) in chunks.iter().zip(packed.iter()) {
+        let blob = blob.as_ref().expect("all chunks compressed");
+        put_uvarint(&mut out, chunk.len() as u64);
+        put_uvarint(&mut out, blob.len() as u64);
+    }
+    for blob in packed.iter() {
+        out.extend_from_slice(blob.as_ref().unwrap());
+    }
+
+    Ok(ParallelOutcome {
+        bytes: out,
+        makespan: engine_time.max(soc_time),
+        engine_time,
+        soc_time,
+        chunks: n,
+    })
+}
+
+/// Decompress a chunked container, splitting work the same way.
+pub fn decompress_chunked(
+    doca: &DocaContext,
+    payload: &[u8],
+    expected_len: usize,
+    strategy: ParallelStrategy,
+) -> Result<ParallelOutcome, PedalError> {
+    let costs = doca.costs;
+    if payload.len() < 5 || &payload[..4] != CHUNK_MAGIC {
+        return Err(PedalError::Codec("bad chunked container magic".into()));
+    }
+    let mut i = 4usize;
+    let n = get_uvarint(payload, &mut i)
+        .ok_or(PedalError::Codec("chunk count truncated".into()))? as usize;
+    if n > payload.len() {
+        return Err(PedalError::Codec("absurd chunk count".into()));
+    }
+    let mut sizes = Vec::with_capacity(n);
+    let mut total_orig = 0usize;
+    for _ in 0..n {
+        let orig = get_uvarint(payload, &mut i)
+            .ok_or(PedalError::Codec("chunk header truncated".into()))? as usize;
+        let comp = get_uvarint(payload, &mut i)
+            .ok_or(PedalError::Codec("chunk header truncated".into()))? as usize;
+        total_orig += orig;
+        sizes.push((orig, comp));
+    }
+    if total_orig != expected_len {
+        return Err(PedalError::LengthMismatch { expected: expected_len, actual: total_orig });
+    }
+    let mut blobs = Vec::with_capacity(n);
+    for &(_, comp) in &sizes {
+        if i + comp > payload.len() {
+            return Err(PedalError::Codec("chunk body truncated".into()));
+        }
+        blobs.push(&payload[i..i + comp]);
+        i += comp;
+    }
+
+    let engine_ok = doca.supports(JobKind::DeflateDecompress);
+    let (engine_take, cores) = match strategy {
+        ParallelStrategy::SocParallel { cores } => (0usize, cores.max(1)),
+        ParallelStrategy::Hybrid { soc_cores } => {
+            let cores = soc_cores.max(1);
+            if engine_ok {
+                // Chunks are near-uniform in original size; plan on the
+                // average decompressed chunk.
+                let avg = (total_orig / n.max(1)).max(1);
+                (optimal_engine_take(n, avg, cores, costs, Direction::Decompress), cores)
+            } else {
+                (0, cores)
+            }
+        }
+    };
+    let engine_take = engine_take.min(n);
+
+    let mut parts: Vec<Option<Vec<u8>>> = vec![None; n];
+    let mut engine_time = SimDuration::ZERO;
+    for k in 0..engine_take {
+        let (r, done) = doca
+            .submit(
+                CompressJob::new(JobKind::DeflateDecompress, blobs[k].to_vec())
+                    .with_expected_len(sizes[k].0),
+                SimInstant::EPOCH + engine_time,
+            )
+            .map_err(|e| PedalError::Doca(e.to_string()))?;
+        parts[k] = Some(r.output);
+        engine_time = done.elapsed_since(SimInstant::EPOCH);
+    }
+
+    let rest: Vec<(usize, &[u8], usize)> = (engine_take..n)
+        .map(|k| (k, blobs[k], sizes[k].0))
+        .collect();
+    let mut failures: Vec<String> = Vec::new();
+    if !rest.is_empty() {
+        let threads = cores.min(rest.len());
+        type ChunkResults = Vec<(usize, Result<Vec<u8>, String>)>;
+        let mut results: Vec<ChunkResults> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let rest = &rest;
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        let mut j = t;
+                        while j < rest.len() {
+                            let (k, blob, orig) = rest[j];
+                            let r = pedal_deflate::decompress_with_limit(blob, orig)
+                                .map_err(|e| e.to_string());
+                            out.push((k, r));
+                            j += threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("decompression worker panicked"));
+            }
+        })
+        .expect("scope");
+        for (k, r) in results.into_iter().flatten() {
+            match r {
+                Ok(v) => parts[k] = Some(v),
+                Err(e) => failures.push(e),
+            }
+        }
+    }
+    if let Some(e) = failures.pop() {
+        return Err(PedalError::Codec(e));
+    }
+
+    let mut core_busy = vec![SimDuration::ZERO; cores];
+    for (j, &(_, _, orig)) in rest.iter().enumerate() {
+        core_busy[j % cores] +=
+            costs.soc_lossless(Algorithm::Deflate, Direction::Decompress, orig);
+    }
+    let soc_time = core_busy.into_iter().max().unwrap_or(SimDuration::ZERO);
+
+    let mut out = Vec::with_capacity(expected_len);
+    for (k, part) in parts.into_iter().enumerate() {
+        let part = part.ok_or(PedalError::Codec("missing chunk".into()))?;
+        if part.len() != sizes[k].0 {
+            return Err(PedalError::Codec(format!("chunk {k} size mismatch")));
+        }
+        out.extend_from_slice(&part);
+    }
+    Ok(ParallelOutcome {
+        bytes: out,
+        makespan: engine_time.max(soc_time),
+        engine_time,
+        soc_time,
+        chunks: n,
+    })
+}
+
+/// Choose how many of `n` uniform chunks the engine should take so the
+/// discrete two-track makespan is minimal. Accounts for chunk granularity:
+/// when the engine dwarfs the combined SoC cores, the optimum is engine-only
+/// (a single SoC chunk would dominate the makespan).
+fn optimal_engine_take(
+    n: usize,
+    chunk_bytes: usize,
+    cores: usize,
+    costs: CostModel,
+    dir: Direction,
+) -> usize {
+    let engine_chunk = costs
+        .cengine_lossless(Algorithm::Deflate, dir, chunk_bytes)
+        .expect("caller checked engine capability");
+    let soc_chunk = costs.soc_lossless(Algorithm::Deflate, dir, chunk_bytes);
+    let mut best = (SimDuration(u64::MAX), n);
+    for k in 0..=n {
+        let engine = SimDuration(engine_chunk.0 * k as u64);
+        let rounds = (n - k).div_ceil(cores) as u64;
+        let soc = SimDuration(soc_chunk.0 * rounds);
+        let makespan = engine.max(soc);
+        if makespan < best.0 {
+            best = (makespan, k);
+        }
+    }
+    best.1
+}
+
+/// Placement summary for reporting.
+pub fn strategy_name(s: ParallelStrategy, engine_usable: bool) -> String {
+    match s {
+        ParallelStrategy::SocParallel { cores } => format!("SoC x{cores}"),
+        ParallelStrategy::Hybrid { soc_cores } if engine_usable => {
+            format!("Hybrid (engine + SoC x{soc_cores})")
+        }
+        ParallelStrategy::Hybrid { soc_cores } => {
+            format!("Hybrid -> SoC x{soc_cores} (engine unavailable)")
+        }
+    }
+}
+
+/// Which placement dominates the makespan of an outcome.
+pub fn bottleneck(o: &ParallelOutcome) -> Placement {
+    if o.engine_time >= o.soc_time {
+        Placement::CEngine
+    } else {
+        Placement::Soc
+    }
+}
+
+/// Predict the single-core sequential time for comparison tables.
+pub fn sequential_time(costs: &CostModel, dir: Direction, bytes: usize) -> SimDuration {
+    costs.soc_lossless(Algorithm::Deflate, dir, bytes)
+}
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_uvarint(data: &[u8], i: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if *i >= data.len() || shift >= 64 {
+            return None;
+        }
+        let b = data[*i];
+        *i += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_dpu::Platform;
+
+    fn data() -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..200_000u32 {
+            out.extend_from_slice(format!("record {} payload {}\n", i, i % 97).as_bytes());
+            if out.len() > 3_000_000 {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn soc_parallel_roundtrip() {
+        let doca = DocaContext::open(Platform::BlueField2).unwrap();
+        let data = data();
+        for cores in [1usize, 2, 8] {
+            let c = compress_chunked(
+                &doca,
+                &data,
+                512 * 1024,
+                ParallelStrategy::SocParallel { cores },
+            )
+            .unwrap();
+            let d = decompress_chunked(
+                &doca,
+                &c.bytes,
+                data.len(),
+                ParallelStrategy::SocParallel { cores },
+            )
+            .unwrap();
+            assert_eq!(d.bytes, data, "cores {cores}");
+        }
+    }
+
+    #[test]
+    fn more_cores_shrink_the_makespan() {
+        let doca = DocaContext::open(Platform::BlueField2).unwrap();
+        let data = data();
+        let t1 = compress_chunked(&doca, &data, 256 * 1024, ParallelStrategy::SocParallel { cores: 1 })
+            .unwrap()
+            .makespan;
+        let t8 = compress_chunked(&doca, &data, 256 * 1024, ParallelStrategy::SocParallel { cores: 8 })
+            .unwrap()
+            .makespan;
+        assert!(
+            t8.as_nanos() * 4 < t1.as_nanos(),
+            "8 cores should be >4x faster: {t1:?} vs {t8:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_roundtrip_and_beats_engine_alone_on_bf2() {
+        let doca = DocaContext::open(Platform::BlueField2).unwrap();
+        let data = data();
+        let hybrid =
+            compress_chunked(&doca, &data, 256 * 1024, ParallelStrategy::Hybrid { soc_cores: 8 })
+                .unwrap();
+        let rt = decompress_chunked(
+            &doca,
+            &hybrid.bytes,
+            data.len(),
+            ParallelStrategy::Hybrid { soc_cores: 8 },
+        )
+        .unwrap();
+        assert_eq!(rt.bytes, data);
+        assert!(hybrid.engine_time > SimDuration::ZERO, "engine must participate");
+        // The hybrid makespan can't exceed an engine-only run of all chunks.
+        doca.workq.reset();
+        let mut engine_only = SimDuration::ZERO;
+        for chunk in data.chunks(256 * 1024) {
+            let (r, done) = doca
+                .submit(
+                    CompressJob::new(JobKind::DeflateCompress, chunk.to_vec()),
+                    SimInstant::EPOCH + engine_only,
+                )
+                .unwrap();
+            let _ = r;
+            engine_only = done.elapsed_since(SimInstant::EPOCH);
+        }
+        assert!(hybrid.makespan <= engine_only);
+    }
+
+    #[test]
+    fn hybrid_on_bf3_degrades_to_soc() {
+        let doca = DocaContext::open(Platform::BlueField3).unwrap();
+        let data = data();
+        let out =
+            compress_chunked(&doca, &data, 512 * 1024, ParallelStrategy::Hybrid { soc_cores: 16 })
+                .unwrap();
+        assert_eq!(out.engine_time, SimDuration::ZERO, "BF3 engine cannot compress");
+        // Cross-platform: BF2 can decompress the container on its engine.
+        // With a single SoC core the planner must enlist the engine; with
+        // many cores it may legitimately choose SoC-only (the 1.5 ms
+        // engine job overhead dominates small chunk counts).
+        let bf2 = DocaContext::open(Platform::BlueField2).unwrap();
+        let rt = decompress_chunked(
+            &bf2,
+            &out.bytes,
+            data.len(),
+            ParallelStrategy::Hybrid { soc_cores: 1 },
+        )
+        .unwrap();
+        assert_eq!(rt.bytes, data);
+        assert!(rt.engine_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn corrupt_containers_error_cleanly() {
+        let doca = DocaContext::open(Platform::BlueField2).unwrap();
+        let data = data();
+        let c = compress_chunked(&doca, &data, 512 * 1024, ParallelStrategy::SocParallel { cores: 2 })
+            .unwrap();
+        // Bad magic.
+        let mut bad = c.bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(decompress_chunked(&doca, &bad, data.len(), ParallelStrategy::SocParallel { cores: 2 })
+            .is_err());
+        // Wrong expected length.
+        assert!(decompress_chunked(
+            &doca,
+            &c.bytes,
+            data.len() + 1,
+            ParallelStrategy::SocParallel { cores: 2 }
+        )
+        .is_err());
+        // Truncation.
+        assert!(decompress_chunked(
+            &doca,
+            &c.bytes[..c.bytes.len() / 2],
+            data.len(),
+            ParallelStrategy::SocParallel { cores: 2 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_chunk_and_empty_input() {
+        let doca = DocaContext::open(Platform::BlueField2).unwrap();
+        for input in [Vec::new(), b"tiny".to_vec()] {
+            let c = compress_chunked(
+                &doca,
+                &input,
+                DEFAULT_CHUNK,
+                ParallelStrategy::SocParallel { cores: 4 },
+            )
+            .unwrap();
+            let d = decompress_chunked(
+                &doca,
+                &c.bytes,
+                input.len(),
+                ParallelStrategy::SocParallel { cores: 4 },
+            )
+            .unwrap();
+            assert_eq!(d.bytes, input);
+        }
+    }
+}

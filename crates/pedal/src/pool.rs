@@ -1,0 +1,148 @@
+//! PEDAL's memory pool (paper §III-C): "PEDAL prearranges all essential
+//! buffers through a memory pool ... to reuse intermediate buffers, and
+//! eliminate the frequent need for memory allocation, deallocation, and
+//! mapping between regular and DOCA-operable memory during each compression
+//! and decompression execution."
+//!
+//! This pool manages plain SoC-side buffers; DOCA-operable buffers live in
+//! [`pedal_doca::BufInventory`]. Both charge virtual costs from the same
+//! model so the ablation harness can compare pooled vs unpooled designs.
+
+use parking_lot::Mutex;
+use pedal_dpu::{CostModel, SimDuration};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A recycling pool of host byte buffers.
+#[derive(Debug)]
+pub struct PedalPool {
+    costs: CostModel,
+    free: Mutex<Vec<Vec<u8>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Total virtual time spent acquiring buffers (hit + miss costs).
+    acquire_cost: Mutex<SimDuration>,
+}
+
+impl PedalPool {
+    pub fn new(costs: CostModel) -> Self {
+        Self {
+            costs,
+            free: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            acquire_cost: Mutex::new(SimDuration::ZERO),
+        }
+    }
+
+    /// Preallocate `count` buffers of `capacity` bytes; returns the virtual
+    /// cost paid (this happens inside PEDAL_Init).
+    pub fn preallocate(&self, count: usize, capacity: usize) -> SimDuration {
+        let mut free = self.free.lock();
+        let mut total = SimDuration::ZERO;
+        for _ in 0..count {
+            free.push(Vec::with_capacity(capacity));
+            total += self.costs.host_alloc(capacity, 1);
+        }
+        total
+    }
+
+    /// Acquire a buffer with at least `capacity`. Returns (buffer, cost).
+    pub fn acquire(&self, capacity: usize) -> (Vec<u8>, SimDuration) {
+        {
+            let mut free = self.free.lock();
+            if let Some(pos) = free.iter().position(|b| b.capacity() >= capacity) {
+                let mut buf = free.swap_remove(pos);
+                buf.clear();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let cost = self.costs.pool_hit();
+                *self.acquire_cost.lock() += cost;
+                return (buf, cost);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let cost = self.costs.host_alloc(capacity, 1);
+        *self.acquire_cost.lock() += cost;
+        (Vec::with_capacity(capacity), cost)
+    }
+
+    /// Return a buffer for reuse.
+    pub fn release(&self, buf: Vec<u8>) {
+        self.free.lock().push(buf);
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn total_acquire_cost(&self) -> SimDuration {
+        *self.acquire_cost.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_dpu::Platform;
+
+    fn pool() -> PedalPool {
+        PedalPool::new(CostModel::for_platform(Platform::BlueField2))
+    }
+
+    #[test]
+    fn hit_is_cheaper_than_miss() {
+        let p = pool();
+        let (buf, miss_cost) = p.acquire(1_000_000);
+        p.release(buf);
+        let (_buf, hit_cost) = p.acquire(1_000_000);
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 1);
+        assert!(hit_cost.as_nanos() * 10 < miss_cost.as_nanos());
+    }
+
+    #[test]
+    fn preallocation_prevents_misses() {
+        let p = pool();
+        p.preallocate(3, 2_000_000);
+        for _ in 0..50 {
+            let (a, _) = p.acquire(1_000_000);
+            let (b, _) = p.acquire(2_000_000);
+            p.release(a);
+            p.release(b);
+        }
+        assert_eq!(p.misses(), 0);
+        assert_eq!(p.hits(), 100);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let p = pool();
+        p.preallocate(1, 100);
+        let (big, _) = p.acquire(10_000);
+        assert!(big.capacity() >= 10_000);
+        assert_eq!(p.misses(), 1, "small pooled buffer must not satisfy big request");
+    }
+
+    #[test]
+    fn concurrent_acquire_release() {
+        let p = std::sync::Arc::new(pool());
+        p.preallocate(8, 64 * 1024);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let (buf, _) = p.acquire(32 * 1024);
+                    p.release(buf);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.hits() + p.misses(), 1600);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-operation virtual timing breakdown, matching the four fractions the
+//! paper's Figures 7 and 9 report: DOCA initialization, buffer preparation,
+//! compression, and decompression — plus the SoC-side checksum work of the
+//! zlib split design.
+
+use pedal_dpu::SimDuration;
+
+/// Virtual-time breakdown of one compression or decompression operation
+/// (or a whole round trip when breakdowns are summed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingBreakdown {
+    /// DOCA context/engine initialization charged to this operation
+    /// (zero under PEDAL steady state; per-message in the baseline).
+    pub doca_init: SimDuration,
+    /// Buffer allocation/mapping cost.
+    pub buffer_prep: SimDuration,
+    /// Compression work (engine or SoC).
+    pub compress: SimDuration,
+    /// Decompression work (engine or SoC).
+    pub decompress: SimDuration,
+    /// SoC-side checksum/header work (zlib split design, SZ3 core stages
+    /// are folded into compress/decompress).
+    pub checksum: SimDuration,
+}
+
+impl TimingBreakdown {
+    pub const ZERO: TimingBreakdown = TimingBreakdown {
+        doca_init: SimDuration::ZERO,
+        buffer_prep: SimDuration::ZERO,
+        compress: SimDuration::ZERO,
+        decompress: SimDuration::ZERO,
+        checksum: SimDuration::ZERO,
+    };
+
+    /// Total virtual time of the operation.
+    pub fn total(&self) -> SimDuration {
+        self.doca_init + self.buffer_prep + self.compress + self.decompress + self.checksum
+    }
+
+    /// Fraction of the total spent in init + buffer prep (the overhead the
+    /// paper attributes ~94% to on small datasets).
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.total().as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.doca_init + self.buffer_prep).as_nanos() as f64 / total as f64
+    }
+}
+
+impl std::ops::Add for TimingBreakdown {
+    type Output = TimingBreakdown;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            doca_init: self.doca_init + rhs.doca_init,
+            buffer_prep: self.buffer_prep + rhs.buffer_prep,
+            compress: self.compress + rhs.compress,
+            decompress: self.decompress + rhs.decompress,
+            checksum: self.checksum + rhs.checksum,
+        }
+    }
+}
+
+impl std::ops::AddAssign for TimingBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for TimingBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_fields() {
+        let t = TimingBreakdown {
+            doca_init: SimDuration(10),
+            buffer_prep: SimDuration(20),
+            compress: SimDuration(30),
+            decompress: SimDuration(40),
+            checksum: SimDuration(5),
+        };
+        assert_eq!(t.total(), SimDuration(105));
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let t = TimingBreakdown {
+            doca_init: SimDuration(90),
+            buffer_prep: SimDuration(4),
+            compress: SimDuration(3),
+            decompress: SimDuration(3),
+            checksum: SimDuration::ZERO,
+        };
+        assert!((t.overhead_fraction() - 0.94).abs() < 1e-9);
+        assert_eq!(TimingBreakdown::ZERO.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = TimingBreakdown { compress: SimDuration(5), ..TimingBreakdown::ZERO };
+        let b = TimingBreakdown { decompress: SimDuration(7), ..TimingBreakdown::ZERO };
+        let s: TimingBreakdown = [a, b].into_iter().sum();
+        assert_eq!(s.total(), SimDuration(12));
+    }
+}

@@ -1,0 +1,98 @@
+//! A small file compression utility built on the workspace codecs — the
+//! "standalone PEDAL library" usage mode from the paper's §VI ("directly
+//! program with PEDAL for designing their data compression and
+//! decompression pipelines").
+//!
+//! Usage:
+//!   cargo run -p pedal-examples --bin file_compressor -- compress   `<algo> <in> <out>`
+//!   cargo run -p pedal-examples --bin file_compressor -- decompress `<algo> <in> <out>`
+//! with `<algo>` one of: deflate | zlib | lz4 | sz3 (sz3 expects f32 input)
+//!
+//! With no arguments, runs a self-demo on generated data.
+
+use pedal_sz3::{Dims, Field, Sz3Config};
+
+fn compress(algo: &str, data: &[u8]) -> Vec<u8> {
+    match algo {
+        "deflate" => pedal_deflate::compress(data, pedal_deflate::Level::DEFAULT),
+        "zlib" => pedal_zlib::compress(data, pedal_zlib::Level::DEFAULT),
+        "lz4" => pedal_lz4::compress(data),
+        "sz3" => {
+            let n = data.len() / 4;
+            assert!(n > 0 && data.len().is_multiple_of(4), "sz3 input must be f32s");
+            let field = Field::<f32>::from_bytes(Dims::d1(n), data);
+            pedal_sz3::compress(&field, &Sz3Config::with_error_bound(1e-4))
+        }
+        other => {
+            eprintln!("unknown algorithm {other}; use deflate|zlib|lz4|sz3");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn decompress(algo: &str, data: &[u8]) -> Vec<u8> {
+    match algo {
+        "deflate" => pedal_deflate::decompress(data).expect("corrupt deflate stream"),
+        "zlib" => pedal_zlib::decompress(data).expect("corrupt zlib stream"),
+        "lz4" => pedal_lz4::decompress(data).expect("corrupt lz4 frame"),
+        "sz3" => pedal_sz3::decompress::<f32>(data).expect("corrupt sz3 stream").to_bytes(),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [mode, algo, input, output] if mode == "compress" || mode == "decompress" => {
+            let data = std::fs::read(input).expect("read input");
+            let out = if mode == "compress" {
+                compress(algo, &data)
+            } else {
+                decompress(algo, &data)
+            };
+            std::fs::write(output, &out).expect("write output");
+            println!("{mode}ed {} -> {} bytes ({} -> {})", data.len(), out.len(), input, output);
+        }
+        [] => self_demo(),
+        _ => {
+            eprintln!("usage: file_compressor [compress|decompress] <algo> <in> <out>");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn self_demo() {
+    println!("file_compressor self-demo (no arguments given)\n");
+    let text = pedal_datasets::DatasetId::SilesiaSamba.generate_bytes(1_000_000);
+    for algo in ["deflate", "zlib", "lz4"] {
+        let packed = compress(algo, &text);
+        let back = decompress(algo, &packed);
+        assert_eq!(back, text);
+        println!(
+            "{algo:<8} {:>8} -> {:>8} bytes (ratio {:.2}), round-trip OK",
+            text.len(),
+            packed.len(),
+            text.len() as f64 / packed.len() as f64
+        );
+    }
+    let floats = pedal_datasets::DatasetId::Exaalt3.generate_bytes(1_000_000);
+    let packed = compress("sz3", &floats);
+    let back = decompress("sz3", &packed);
+    let mut max_err = 0.0f32;
+    for (a, b) in floats.chunks_exact(4).zip(back.chunks_exact(4)) {
+        let x = f32::from_le_bytes(a.try_into().unwrap());
+        let y = f32::from_le_bytes(b.try_into().unwrap());
+        max_err = max_err.max((x - y).abs());
+    }
+    println!(
+        "{:<8} {:>8} -> {:>8} bytes (ratio {:.2}), max error {:.1e} <= 1e-4",
+        "sz3",
+        floats.len(),
+        packed.len(),
+        floats.len() as f64 / packed.len() as f64,
+        max_err
+    );
+}

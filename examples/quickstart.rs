@@ -1,0 +1,52 @@
+//! Quickstart: compress and decompress a message with PEDAL on a simulated
+//! BlueField-2, across all eight compression designs.
+//!
+//! Run with: `cargo run -p pedal-examples --bin quickstart`
+
+use pedal::{Datatype, Design, PedalConfig, PedalContext};
+use pedal_datasets::DatasetId;
+use pedal_dpu::Platform;
+
+fn main() {
+    // Some realistic data: 2 MB of XML-like text and 2 MB of MD floats.
+    let text = DatasetId::SilesiaXml.generate_bytes(2_000_000);
+    let floats = DatasetId::Exaalt1.generate_bytes(2_000_000);
+
+    println!("PEDAL quickstart on simulated {}\n", Platform::BlueField2.name());
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "design", "in(KB)", "wire(KB)", "ratio", "comp(ms)", "decomp(ms)"
+    );
+
+    for design in Design::ALL {
+        // PEDAL_init: DOCA setup + memory pool, paid once.
+        let ctx = PedalContext::init(PedalConfig::new(Platform::BlueField2, design))
+            .expect("init");
+
+        let (data, datatype) = if design.is_lossy() {
+            (&floats, Datatype::Float32)
+        } else {
+            (&text, Datatype::Byte)
+        };
+
+        // Warm the pool (first message registers buffers), then measure.
+        let _ = ctx.compress(datatype, data).unwrap();
+        let packed = ctx.compress(datatype, data).unwrap();
+        let out = ctx.decompress(&packed.payload, data.len()).unwrap();
+        assert_eq!(out.data.len(), data.len());
+
+        println!(
+            "{:<18} {:>10} {:>10} {:>8.2} {:>12.3} {:>12.3}{}",
+            design.name(),
+            data.len() / 1024,
+            packed.wire_len() / 1024,
+            packed.ratio(),
+            packed.timing.total().as_millis_f64(),
+            out.timing.total().as_millis_f64(),
+            if packed.fell_back { "  (fell back to SoC)" } else { "" }
+        );
+    }
+
+    println!();
+    println!("Times are virtual (calibrated BlueField-2 cost model); the bytes are real.");
+}
