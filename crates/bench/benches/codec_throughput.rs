@@ -1,67 +1,77 @@
 //! Real wall-clock throughput of the from-scratch codecs on the synthetic
-//! datasets (Criterion). These are *host* numbers — the paper-shape
-//! figures come from the virtual-time harness binaries.
+//! datasets. These are *host* numbers — the paper-shape figures come from
+//! the virtual-time harness binaries.
+//!
+//! Self-contained `std::time` harness (no external bench framework): each
+//! workload is warmed up once, then timed for a fixed number of iterations
+//! and reported as median MB/s. Run with
+//! `cargo bench -p bench --features bench-harness --bench codec_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pedal_datasets::DatasetId;
 use pedal_sz3::{Dims, Field, Sz3Config};
+use std::time::Instant;
 
 const SAMPLE: usize = 2_000_000;
+const ITERS: usize = 10;
 
-fn bench_lossless(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lossless");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    for id in [DatasetId::SilesiaXml, DatasetId::SilesiaMozilla, DatasetId::ObsError] {
-        let data = id.generate_bytes(SAMPLE);
-        group.throughput(Throughput::Bytes(data.len() as u64));
-
-        group.bench_with_input(BenchmarkId::new("deflate_compress", id.name()), &data, |b, d| {
-            b.iter(|| pedal_deflate::compress(d, pedal_deflate::Level::DEFAULT))
-        });
-        let packed = pedal_deflate::compress(&data, pedal_deflate::Level::DEFAULT);
-        group.bench_with_input(BenchmarkId::new("deflate_decompress", id.name()), &packed, |b, p| {
-            b.iter(|| pedal_deflate::decompress(p).unwrap())
-        });
-
-        group.bench_with_input(BenchmarkId::new("lz4_compress", id.name()), &data, |b, d| {
-            b.iter(|| pedal_lz4::compress_block(d, 1))
-        });
-        let lz = pedal_lz4::compress_block(&data, 1);
-        let n = data.len();
-        group.bench_with_input(BenchmarkId::new("lz4_decompress", id.name()), &lz, |b, p| {
-            b.iter(|| pedal_lz4::decompress_block(p, Some(n), usize::MAX).unwrap())
-        });
-
-        group.bench_with_input(BenchmarkId::new("zlib_compress", id.name()), &data, |b, d| {
-            b.iter(|| pedal_zlib::compress(d, pedal_zlib::Level::DEFAULT))
-        });
-    }
-    group.finish();
+/// Time `f` for `ITERS` iterations and print the median throughput.
+fn bench<R>(label: &str, bytes: usize, mut f: impl FnMut() -> R) {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let mbps = bytes as f64 / median / 1e6;
+    println!("{label:<44} {median:>10.4}s  {mbps:>9.1} MB/s");
 }
 
-fn bench_sz3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sz3");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_lossless() {
+    println!("== lossless ==");
+    for id in [DatasetId::SilesiaXml, DatasetId::SilesiaMozilla, DatasetId::ObsError] {
+        let data = id.generate_bytes(SAMPLE);
+        let n = data.len();
+
+        bench(&format!("deflate_compress/{}", id.name()), n, || {
+            pedal_deflate::compress(&data, pedal_deflate::Level::DEFAULT)
+        });
+        let packed = pedal_deflate::compress(&data, pedal_deflate::Level::DEFAULT);
+        bench(&format!("deflate_decompress/{}", id.name()), n, || {
+            pedal_deflate::decompress(&packed).unwrap()
+        });
+
+        bench(&format!("lz4_compress/{}", id.name()), n, || pedal_lz4::compress_block(&data, 1));
+        let lz = pedal_lz4::compress_block(&data, 1);
+        bench(&format!("lz4_decompress/{}", id.name()), n, || {
+            pedal_lz4::decompress_block(&lz, Some(n), usize::MAX).unwrap()
+        });
+
+        bench(&format!("zlib_compress/{}", id.name()), n, || {
+            pedal_zlib::compress(&data, pedal_zlib::Level::DEFAULT)
+        });
+    }
+}
+
+fn bench_sz3() {
+    println!("== sz3 ==");
     for id in DatasetId::LOSSY {
         let bytes = id.generate_bytes(SAMPLE);
         let n = bytes.len() / 4;
         let field = Field::<f32>::from_bytes(Dims::d1(n), &bytes[..n * 4]);
-        group.throughput(Throughput::Bytes((n * 4) as u64));
         let cfg = Sz3Config::with_error_bound(1e-4);
-        group.bench_with_input(BenchmarkId::new("compress", id.name()), &field, |b, f| {
-            b.iter(|| pedal_sz3::compress(f, &cfg))
-        });
+        bench(&format!("sz3_compress/{}", id.name()), n * 4, || pedal_sz3::compress(&field, &cfg));
         let packed = pedal_sz3::compress(&field, &cfg);
-        group.bench_with_input(BenchmarkId::new("decompress", id.name()), &packed, |b, p| {
-            b.iter(|| pedal_sz3::decompress::<f32>(p).unwrap())
+        bench(&format!("sz3_decompress/{}", id.name()), n * 4, || {
+            pedal_sz3::decompress::<f32>(&packed).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_lossless, bench_sz3);
-criterion_main!(benches);
+fn main() {
+    bench_lossless();
+    bench_sz3();
+}

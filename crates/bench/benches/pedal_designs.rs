@@ -1,43 +1,46 @@
 //! Wall-clock cost of the full PEDAL pipeline (header + design dispatch +
 //! codec + simulated engine bookkeeping) per design, on one dataset.
+//!
+//! Self-contained `std::time` harness (no external bench framework); see
+//! `codec_throughput.rs` for the measurement scheme. Run with
+//! `cargo bench -p bench --features bench-harness --bench pedal_designs`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pedal::{Datatype, Design, PedalConfig, PedalContext};
 use pedal_datasets::DatasetId;
 use pedal_dpu::Platform;
+use std::time::Instant;
 
 const SAMPLE: usize = 1_000_000;
+const ITERS: usize = 10;
 
-fn bench_designs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pedal_designs");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench<R>(label: &str, bytes: usize, mut f: impl FnMut() -> R) {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let mbps = bytes as f64 / median / 1e6;
+    println!("{label:<44} {median:>10.4}s  {mbps:>9.1} MB/s");
+}
+
+fn main() {
     let text = DatasetId::SilesiaXml.generate_bytes(SAMPLE);
     let floats = DatasetId::Exaalt1.generate_bytes(SAMPLE);
     for design in Design::ALL {
-        let (data, datatype) = if design.is_lossy() {
-            (&floats, Datatype::Float32)
-        } else {
-            (&text, Datatype::Byte)
-        };
-        let ctx =
-            PedalContext::init(PedalConfig::new(Platform::BlueField2, design)).unwrap();
-        group.throughput(Throughput::Bytes(data.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("compress", design.name()),
-            data,
-            |b, d| b.iter(|| ctx.compress(datatype, d).unwrap()),
-        );
+        let (data, datatype) =
+            if design.is_lossy() { (&floats, Datatype::Float32) } else { (&text, Datatype::Byte) };
+        let ctx = PedalContext::init(PedalConfig::new(Platform::BlueField2, design)).unwrap();
+        bench(&format!("compress/{}", design.name()), data.len(), || {
+            ctx.compress(datatype, data).unwrap()
+        });
         let packed = ctx.compress(datatype, data).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("decompress", design.name()),
-            &packed.payload,
-            |b, p| b.iter(|| ctx.decompress(p, data.len()).unwrap()),
-        );
+        bench(&format!("decompress/{}", design.name()), data.len(), || {
+            ctx.decompress(&packed.payload, data.len()).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_designs);
-criterion_main!(benches);

@@ -16,7 +16,11 @@ fn main() {
     let msg = &corpus[..4_000_000.min(corpus.len())];
 
     let mut t = Table::new(vec![
-        "Streams", "Mean latency(ms)", "P99-ish (last)(ms)", "Engine util", "Slowdown",
+        "Streams",
+        "Mean latency(ms)",
+        "P99-ish (last)(ms)",
+        "Engine util",
+        "Slowdown",
     ]);
     let ctx = DocaContext::open(Platform::BlueField2).expect("doca");
     let mut base_mean = 0.0f64;
@@ -26,13 +30,11 @@ fn main() {
         // the worst case for a FIFO engine).
         let mut completions: Vec<SimDuration> = Vec::new();
         for s in 0..streams {
-            let job =
-                CompressJob::new(JobKind::DeflateCompress, msg.to_vec()).with_tag(s as u64);
+            let job = CompressJob::new(JobKind::DeflateCompress, msg.to_vec()).with_tag(s as u64);
             let (_, done) = ctx.submit(job, SimInstant::EPOCH).expect("submit");
             completions.push(SimDuration(done.0));
         }
-        let mean = completions.iter().map(|d| d.as_millis_f64()).sum::<f64>()
-            / streams as f64;
+        let mean = completions.iter().map(|d| d.as_millis_f64()).sum::<f64>() / streams as f64;
         let last = completions.last().unwrap().as_millis_f64();
         let busy = ctx.workq.busy_until().0 as f64;
         let util = busy / (last * 1e6);

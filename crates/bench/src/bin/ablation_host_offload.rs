@@ -50,7 +50,10 @@ fn main() {
     for platform in Platform::ALL {
         println!("[{}]", platform.name());
         let mut t = Table::new(vec![
-            "Msg(MB)", "MPI-on-DPU", "Host-offload serial", "Host-offload pipelined",
+            "Msg(MB)",
+            "MPI-on-DPU",
+            "Host-offload serial",
+            "Host-offload pipelined",
             "Serial penalty",
         ]);
         let mut sizes = vec![1_000_000usize, 4_000_000, 16_000_000];

@@ -23,11 +23,18 @@ fn main() {
     for platform in Platform::ALL {
         let doca = DocaContext::open(platform).expect("doca");
         let cores_max = platform.spec().soc_cores;
-        println!("[{}] sequential single-core compress: {} ms", platform.name(),
-            fmt_ms(sequential_time(&doca.costs, Direction::Compress, data.len())));
+        println!(
+            "[{}] sequential single-core compress: {} ms",
+            platform.name(),
+            fmt_ms(sequential_time(&doca.costs, Direction::Compress, data.len()))
+        );
         let mut t = Table::new(vec![
-            "Strategy", "Compress(ms)", "Engine share(ms)", "SoC share(ms)",
-            "Bottleneck", "Decompress(ms)",
+            "Strategy",
+            "Compress(ms)",
+            "Engine share(ms)",
+            "SoC share(ms)",
+            "Bottleneck",
+            "Decompress(ms)",
         ]);
         let mut strategies = vec![
             ParallelStrategy::SocParallel { cores: 1 },
@@ -41,8 +48,7 @@ fn main() {
             doca.workq.reset();
             let c = compress_chunked(&doca, &data, DEFAULT_CHUNK, strategy).expect("compress");
             doca.workq.reset();
-            let d = decompress_chunked(&doca, &c.bytes, data.len(), strategy)
-                .expect("decompress");
+            let d = decompress_chunked(&doca, &c.bytes, data.len(), strategy).expect("decompress");
             assert_eq!(d.bytes, data, "round-trip");
             let engine_usable = c.engine_time.as_nanos() > 0;
             t.row(vec![

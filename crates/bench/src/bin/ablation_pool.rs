@@ -14,8 +14,14 @@ use pedal_dpu::Platform;
 fn main() {
     banner("Ablation A1", "Memory pool on/off, per-message overhead decomposition");
     let mut t = Table::new(vec![
-        "Platform", "Design", "Dataset", "Pool prep(ms)", "Unpooled prep(ms)",
-        "Unpooled init(ms)", "Op time(ms)", "Overhead x",
+        "Platform",
+        "Design",
+        "Dataset",
+        "Pool prep(ms)",
+        "Unpooled prep(ms)",
+        "Unpooled init(ms)",
+        "Op time(ms)",
+        "Overhead x",
     ]);
     for platform in Platform::ALL {
         for design in [Design::CE_DEFLATE, Design::SOC_DEFLATE, Design::SOC_SZ3] {
@@ -24,8 +30,7 @@ fn main() {
                     continue;
                 }
                 let data = dataset(id);
-                let datatype =
-                    if design.is_lossy() { Datatype::Float32 } else { Datatype::Byte };
+                let datatype = if design.is_lossy() { Datatype::Float32 } else { Datatype::Byte };
                 let pooled = run_design(platform, design, OverheadMode::Pedal, &data, datatype);
                 let unpooled =
                     run_design(platform, design, OverheadMode::Baseline, &data, datatype);
@@ -49,13 +54,8 @@ fn main() {
         let data = dataset(DatasetId::Exaalt1);
         let pooled =
             run_design(platform, Design::SOC_SZ3, OverheadMode::Pedal, &data, Datatype::Float32);
-        let unpooled = run_design(
-            platform,
-            Design::SOC_SZ3,
-            OverheadMode::Baseline,
-            &data,
-            Datatype::Float32,
-        );
+        let unpooled =
+            run_design(platform, Design::SOC_SZ3, OverheadMode::Baseline, &data, Datatype::Float32);
         let p = pooled.total();
         let u = unpooled.total();
         t.row(vec![

@@ -11,11 +11,11 @@
 //! pay a catastrophic per-message latency multiple for nothing.
 
 use bench::{banner, dataset, Table};
-use bytes::Bytes;
 use pedal::{Datatype, Design, OverheadMode};
 use pedal_codesign::{PedalComm, PedalCommConfig};
 use pedal_datasets::DatasetId;
 use pedal_dpu::Platform;
+use pedal_mpi::Bytes;
 use pedal_mpi::{run_world, RankCtx, WorldConfig};
 
 fn compressed_latency_ns(platform: Platform, data: &[u8], threshold: usize) -> u64 {
@@ -78,9 +78,7 @@ fn main() {
     ];
     for platform in Platform::ALL {
         println!("[{}]", platform.name());
-        let mut t = Table::new(vec![
-            "Msg(KB)", "Compressed(us)", "Uncompressed(us)", "Penalty",
-        ]);
+        let mut t = Table::new(vec!["Msg(KB)", "Compressed(us)", "Uncompressed(us)", "Penalty"]);
         let mut penalties: Vec<(usize, f64)> = Vec::new();
         for &size in &sizes {
             let chunk = &corpus[..size.min(corpus.len())];

@@ -1,0 +1,234 @@
+//! Ablation A7: the pedal-service offload engine. Sweeps offered load
+//! against p50/p99 virtual latency and throughput for 1/2/4 C-Engine
+//! channels, compares against the synchronous single-context baseline,
+//! and contrasts the three backpressure policies plus small-message
+//! batching. All timing is virtual (CostModel-charged), so every number
+//! here is deterministic.
+
+use bench::{banner, dataset, Table};
+use pedal::{Datatype, Design, PedalConfig, PedalContext};
+use pedal_datasets::DatasetId;
+use pedal_dpu::{Platform, SimDuration, SimInstant};
+use pedal_service::{BackpressurePolicy, JobDesc, PedalService, ServiceConfig, ServiceError};
+
+const MSG: usize = 64 * 1024;
+const JOBS: usize = 48;
+
+fn messages(corpus: &[u8], count: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| corpus.iter().cycle().skip(i * len / 3).take(len).copied().collect())
+        .collect()
+}
+
+fn fmt_us(d: SimDuration) -> String {
+    format!("{:.1}", d.as_micros_f64())
+}
+
+fn main() {
+    banner("Ablation A7", "Offload service: channels, offered load, backpressure");
+    let corpus = dataset(DatasetId::SilesiaXml);
+    let msgs = messages(&corpus, JOBS, MSG);
+    let total_bytes: usize = msgs.iter().map(Vec::len).sum();
+
+    // ------------------------------------------------------------------
+    // Baseline: the synchronous context compresses the same stream one
+    // message at a time on one engine context.
+    // ------------------------------------------------------------------
+    let ctx = PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_DEFLATE))
+        .expect("context");
+    let mut base_total = SimDuration::ZERO;
+    for m in &msgs {
+        base_total += ctx.compress(Datatype::Byte, m).expect("compress").timing.total();
+    }
+    let base_tput = total_bytes as f64 / 1e6 / base_total.as_secs_f64();
+    let mean_service = SimDuration(base_total.as_nanos() / JOBS as u64);
+
+    println!(
+        "Baseline (sync context, 1 engine): {} x {} KiB in {:.3} ms -> {:.1} MB/s\n",
+        JOBS,
+        MSG / 1024,
+        base_total.as_millis_f64(),
+        base_tput
+    );
+
+    // ------------------------------------------------------------------
+    // Channel scaling at saturating load (all jobs arrive at t=0).
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec![
+        "CE channels",
+        "Makespan(ms)",
+        "Tput(MB/s)",
+        "vs baseline",
+        "Wait p50(us)",
+        "Wait p99(us)",
+    ]);
+    for channels in [1usize, 2, 4] {
+        let svc = PedalService::start(
+            ServiceConfig::new(Platform::BlueField2).with_soc_workers(1).with_ce_channels(channels),
+        );
+        for m in &msgs {
+            svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone()))
+                .expect("submit");
+        }
+        svc.drain();
+        let (_, stats) = svc.shutdown();
+        t.row(vec![
+            channels.to_string(),
+            format!("{:.3}", stats.makespan.as_millis_f64()),
+            format!("{:.1}", stats.throughput_mbps()),
+            format!("{:.2}x", stats.throughput_mbps() / base_tput),
+            fmt_us(stats.queue_wait_p50),
+            fmt_us(stats.queue_wait_p99),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nEach channel is an independent DOCA work queue over its own engine\n\
+         FIFO; at saturating load the scheduler keeps all of them busy, so\n\
+         virtual throughput scales near-linearly until the admission path\n\
+         (pool acquire + framing) matters.\n"
+    );
+
+    // ------------------------------------------------------------------
+    // Offered load sweep on 4 channels: inter-arrival gap swept around
+    // the single-channel service rate.
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec![
+        "Offered load",
+        "Gap(us)",
+        "Wait p50(us)",
+        "Wait p99(us)",
+        "Latency p50(us)",
+        "Latency p99(us)",
+        "Tput(MB/s)",
+    ]);
+    for rho in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
+        let gap = SimDuration((mean_service.as_nanos() as f64 / rho) as u64);
+        let svc = PedalService::start(
+            ServiceConfig::new(Platform::BlueField2).with_soc_workers(1).with_ce_channels(4),
+        );
+        let mut arrival = SimInstant::EPOCH;
+        for m in &msgs {
+            arrival = arrival + gap;
+            svc.submit(
+                JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone())
+                    .with_arrival(arrival),
+            )
+            .expect("submit");
+        }
+        svc.drain();
+        let (_, stats) = svc.shutdown();
+        t.row(vec![
+            format!("{rho:.1}x"),
+            fmt_us(gap),
+            fmt_us(stats.queue_wait_p50),
+            fmt_us(stats.queue_wait_p99),
+            fmt_us(stats.latency_p50),
+            fmt_us(stats.latency_p99),
+            format!("{:.1}", stats.throughput_mbps()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nBelow 4x the offered load (4 channels), queue wait stays flat; past\n\
+         it, waiting dominates latency — the classic knee the admission queue's\n\
+         backpressure policies exist to handle.\n"
+    );
+
+    // ------------------------------------------------------------------
+    // Backpressure policies on a deterministic overload: scheduling is
+    // paused while a 3x-capacity burst (mixed priorities) is submitted.
+    // The Block policy cannot be overloaded this way (the submitter
+    // would park), so it is measured unpaused as the lossless reference.
+    // ------------------------------------------------------------------
+    let small = messages(&corpus, 48, 8 * 1024);
+    let mut t = Table::new(vec![
+        "Policy",
+        "Admitted",
+        "Completed",
+        "Rejected",
+        "Shed",
+        "Wait p50(us)",
+        "Wait p99(us)",
+    ]);
+    for policy in [BackpressurePolicy::Block, BackpressurePolicy::Reject, BackpressurePolicy::Shed]
+    {
+        let svc = PedalService::start(
+            ServiceConfig::new(Platform::BlueField2)
+                .with_queue_capacity(16)
+                .with_policy(policy)
+                .with_ce_channels(2),
+        );
+        if policy != BackpressurePolicy::Block {
+            svc.pause();
+        }
+        let mut admitted = 0u64;
+        for (i, m) in small.iter().enumerate() {
+            let job = JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone())
+                .with_priority((i % 4) as u8)
+                .with_tenant((i % 3) as u32);
+            match svc.submit(job) {
+                Ok(_) => admitted += 1,
+                Err(ServiceError::Overloaded) | Err(ServiceError::Shed) => {}
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        svc.resume();
+        svc.drain();
+        let (_, stats) = svc.shutdown();
+        t.row(vec![
+            format!("{policy:?}"),
+            admitted.to_string(),
+            stats.completed.to_string(),
+            stats.rejected.to_string(),
+            stats.shed.to_string(),
+            fmt_us(stats.queue_wait_p50),
+            fmt_us(stats.queue_wait_p99),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nBlock never loses work but exposes the submitter to the full queue\n\
+         delay; Reject caps latency by refusing excess; Shed keeps the queue\n\
+         full of the highest-priority work (victims count as Shed).\n"
+    );
+
+    // ------------------------------------------------------------------
+    // Small-message batching: sub-threshold C-Engine compress jobs
+    // coalesce into one engine submission, paying the fixed per-job
+    // submission overhead (60 us on BF2, Table III) once per batch.
+    // ------------------------------------------------------------------
+    let tiny = messages(&corpus, 64, 2 * 1024);
+    let mut t = Table::new(vec!["Batching", "Batches", "Makespan(ms)", "Tput(MB/s)", "Speedup"]);
+    let mut base_ms = 0.0f64;
+    for batching in [false, true] {
+        let mut cfg = ServiceConfig::new(Platform::BlueField2).with_ce_channels(1);
+        if batching {
+            cfg = cfg.with_batching(4 * 1024, 8, SimDuration::from_millis(5));
+        }
+        let svc = PedalService::start(cfg);
+        for m in &tiny {
+            svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone()))
+                .expect("submit");
+        }
+        svc.drain();
+        let (_, stats) = svc.shutdown();
+        let ms = stats.makespan.as_millis_f64();
+        if !batching {
+            base_ms = ms;
+        }
+        t.row(vec![
+            if batching { "on (8 jobs/batch)" } else { "off" }.to_string(),
+            stats.channel_lanes.iter().map(|l| l.batches).sum::<u64>().to_string(),
+            format!("{ms:.3}"),
+            format!("{:.1}", stats.throughput_mbps()),
+            format!("{:.2}x", base_ms / ms),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nAt 2 KiB per message the 60 us per-job engine overhead dwarfs the\n\
+         transfer itself; coalescing is the difference between the engine\n\
+         being overhead-bound and bandwidth-bound."
+    );
+}

@@ -14,7 +14,12 @@ fn main() {
     banner("Ablation A3", "SZ3 lossless-backend choice (SoC, BlueField-3)");
     let costs = CostModel::for_platform(Platform::BlueField3);
     let mut t = Table::new(vec![
-        "Dataset", "Backend", "Core(ms)", "Backend(ms)", "Total comp(ms)", "Ratio",
+        "Dataset",
+        "Backend",
+        "Core(ms)",
+        "Backend(ms)",
+        "Total comp(ms)",
+        "Ratio",
     ]);
     for id in DatasetId::LOSSY {
         let bytes = dataset(id);

@@ -4,11 +4,11 @@
 //! paper's baseline (per-message allocation + DOCA init on BlueField-2).
 
 use bench::{banner, data_scale, dataset, Table};
-use bytes::Bytes;
 use pedal::{Datatype, Design, OverheadMode};
 use pedal_codesign::{PedalComm, PedalCommConfig};
 use pedal_datasets::DatasetId;
 use pedal_dpu::Platform;
+use pedal_mpi::Bytes;
 use pedal_mpi::{run_world, RankCtx, WorldConfig};
 
 /// One-way virtual latency of a compressed ping-pong of `data`, measured
@@ -82,8 +82,15 @@ fn main() {
         println!("--- panel: {} ---", id.name());
         for platform in Platform::ALL {
             let mut t = Table::new(vec![
-                "Msg(MB)", "A:SoC_DEFLATE", "B:CE_DEFLATE", "C:SoC_LZ4", "D:CE_LZ4",
-                "E:SoC_zlib", "F:CE_zlib", "Baseline(BF2)", "NoComp",
+                "Msg(MB)",
+                "A:SoC_DEFLATE",
+                "B:CE_DEFLATE",
+                "C:SoC_LZ4",
+                "D:CE_LZ4",
+                "E:SoC_zlib",
+                "F:CE_zlib",
+                "Baseline(BF2)",
+                "NoComp",
             ]);
             for size in msg_sizes(full.len()) {
                 let chunk = &full[..size];

@@ -41,8 +41,7 @@ fn bcast_ns(
 fn main() {
     banner("Figure 11", "MPI_Bcast over 4 nodes (ms; * = runs on C-Engine)");
     // The paper's small/medium/large sizes map to xml/samba/mozilla.
-    let sizes =
-        [DatasetId::SilesiaXml, DatasetId::SilesiaSamba, DatasetId::SilesiaMozilla];
+    let sizes = [DatasetId::SilesiaXml, DatasetId::SilesiaSamba, DatasetId::SilesiaMozilla];
     let lossy = DatasetId::Exaalt1;
 
     let mut best_speedup: f64 = 0.0;
@@ -51,7 +50,11 @@ fn main() {
     for platform in Platform::ALL {
         println!("[{}]", platform.name());
         let mut t = Table::new(vec![
-            "Design", "5.1MB(xml)", "20.6MB(samba)", "48.8MB(mozilla)", "10MB(exaalt)",
+            "Design",
+            "5.1MB(xml)",
+            "20.6MB(samba)",
+            "48.8MB(mozilla)",
+            "10MB(exaalt)",
         ]);
         for design in Design::ALL {
             let mut row = vec![format!(
@@ -65,7 +68,8 @@ fn main() {
                     continue;
                 }
                 let data = dataset(id);
-                let ns = bcast_ns(platform, design, OverheadMode::Pedal, &data, dataset_datatype(id));
+                let ns =
+                    bcast_ns(platform, design, OverheadMode::Pedal, &data, dataset_datatype(id));
                 row.push(format!("{:.2}", ns as f64 / 1e6));
             }
             if design.is_lossy() {
@@ -116,11 +120,8 @@ fn main() {
         println!();
     }
 
-    println!(
-        "BF2 C-Engine vs baseline: up to {best_speedup:.1}x (paper: up to 68x)"
-    );
-    let avg =
-        bf3_soc_reductions.iter().sum::<f64>() / bf3_soc_reductions.len().max(1) as f64;
+    println!("BF2 C-Engine vs baseline: up to {best_speedup:.1}x (paper: up to 68x)");
+    let avg = bf3_soc_reductions.iter().sum::<f64>() / bf3_soc_reductions.len().max(1) as f64;
     println!(
         "BF3 SoC average broadcast-time reduction vs baseline: {:.1}% (paper: ~49%)",
         avg * 100.0

@@ -16,8 +16,14 @@ fn main() {
     for platform in Platform::ALL {
         println!("--- {} ---", platform.name());
         let mut t = Table::new(vec![
-            "Design", "Dataset", "DOCA_Init(ms)", "BufPrep(ms)", "Compress(ms)",
-            "Decompress(ms)", "Total(ms)", "Init+Prep%",
+            "Design",
+            "Dataset",
+            "DOCA_Init(ms)",
+            "BufPrep(ms)",
+            "Compress(ms)",
+            "Decompress(ms)",
+            "Total(ms)",
+            "Init+Prep%",
         ]);
         let mut max_speedup: f64 = 0.0;
         for design in Design::LOSSLESS {

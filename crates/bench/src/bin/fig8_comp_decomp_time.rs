@@ -14,7 +14,12 @@ fn main() {
     for platform in Platform::ALL {
         println!("--- {} ---", platform.name());
         let mut t = Table::new(vec![
-            "Design", "Dataset", "Size(MB)", "Compress(ms)", "Decompress(ms)", "Fallback",
+            "Design",
+            "Dataset",
+            "Size(MB)",
+            "Compress(ms)",
+            "Decompress(ms)",
+            "Fallback",
         ]);
         for design in Design::LOSSLESS {
             for id in DatasetId::LOSSLESS {

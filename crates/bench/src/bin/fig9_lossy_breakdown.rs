@@ -18,7 +18,11 @@ fn main() {
     for platform in Platform::ALL {
         println!("--- {} ---", platform.name());
         let mut t = Table::new(vec![
-            "Design", "Dataset", "Alloc/Prep(ms)", "Compress(ms)", "Decompress(ms)",
+            "Design",
+            "Dataset",
+            "Alloc/Prep(ms)",
+            "Compress(ms)",
+            "Decompress(ms)",
             "Total(ms)",
         ]);
         let mut worst: f64 = 0.0;

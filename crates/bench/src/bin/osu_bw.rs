@@ -8,9 +8,9 @@
 //! crossover.
 
 use bench::{banner, dataset, Table};
-use bytes::Bytes;
 use pedal_datasets::DatasetId;
 use pedal_dpu::Platform;
+use pedal_mpi::Bytes;
 use pedal_mpi::{run_world, RankCtx, WorldConfig};
 
 const WINDOW: usize = 16;

@@ -48,7 +48,8 @@ fn main() {
         // SoC design: native Zs backend; C-Engine design: DEFLATE backend.
         let soc = bytes.len() as f64
             / pedal_sz3::compress(&field, &Sz3Config::with_error_bound(1e-4)).len() as f64;
-        let ce_cfg = Sz3Config { backend: BackendKind::Deflate, ..Sz3Config::with_error_bound(1e-4) };
+        let ce_cfg =
+            Sz3Config { backend: BackendKind::Deflate, ..Sz3Config::with_error_bound(1e-4) };
         let ce = bytes.len() as f64 / pedal_sz3::compress(&field, &ce_cfg).len() as f64;
         t.row(vec![
             id.name().to_string(),

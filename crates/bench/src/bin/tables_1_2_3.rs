@@ -25,7 +25,8 @@ fn main() {
 
     println!();
     banner("Table II", "Algorithms supported by BlueField hardware");
-    let mut t2 = Table::new(vec!["Algorithm", "SoC", "C-Engine Compression", "C-Engine Decompression"]);
+    let mut t2 =
+        Table::new(vec!["Algorithm", "SoC", "C-Engine Compression", "C-Engine Decompression"]);
     for algo in Algorithm::ALL {
         let mut comp = Vec::new();
         let mut decomp = Vec::new();
@@ -56,7 +57,8 @@ fn main() {
 
     println!();
     banner("Table III", "Designs supported by PEDAL (zlib/SZ3 extended onto the engine)");
-    let mut t3 = Table::new(vec!["Algorithm", "SoC Core", "C-Engine Compression", "C-Engine Decompression"]);
+    let mut t3 =
+        Table::new(vec!["Algorithm", "SoC Core", "C-Engine Compression", "C-Engine Decompression"]);
     for algo in Algorithm::ALL {
         let mut comp = Vec::new();
         let mut decomp = Vec::new();

@@ -1,9 +1,10 @@
 //! Compressing Send/Recv/Bcast wrappers around the MPI runtime.
 
 use crate::deployment::Deployment;
-use bytes::Bytes;
+use pedal::wire::{get_uvarint, put_uvarint};
 use pedal::{Datatype, Design, OverheadMode, PedalConfig, PedalContext, PedalError};
 use pedal_dpu::{SimDuration, SimInstant};
+use pedal_mpi::Bytes;
 use pedal_mpi::{bcast, MpiError, RankCtx};
 
 /// Configuration of the co-designed communicator.
@@ -115,10 +116,7 @@ impl PedalComm {
     /// `MPI_Init` + `PEDAL_init`: the paper integrates PEDAL initialization
     /// into the MPI runtime's startup so it never appears on the message
     /// path. Returns the communicator and the one-time init cost.
-    pub fn init(
-        mpi: &RankCtx,
-        cfg: PedalCommConfig,
-    ) -> Result<(Self, SimDuration), CommError> {
+    pub fn init(mpi: &RankCtx, cfg: PedalCommConfig) -> Result<(Self, SimDuration), CommError> {
         let pcfg = PedalConfig {
             overhead_mode: cfg.overhead_mode,
             error_bound: cfg.error_bound,
@@ -146,11 +144,8 @@ impl PedalComm {
             let out = self.pedal.compress(datatype, data)?;
             // In the host-offload deployment the raw buffer first crosses
             // PCIe to the DPU; on-DPU deployment adds nothing.
-            let phase = self.cfg.deployment.sender_phase(
-                &self.pedal.costs,
-                data.len(),
-                out.timing.total(),
-            );
+            let phase =
+                self.cfg.deployment.sender_phase(&self.pedal.costs, data.len(), out.timing.total());
             self.stats.compress_time += phase;
             // Compression happens on the sender's critical path.
             mpi.compute(phase);
@@ -184,11 +179,8 @@ impl PedalComm {
         self.stats.messages_received += 1;
         // Host-offload: the decompressed buffer crosses PCIe back to the
         // host MPI process.
-        let phase = self.cfg.deployment.receiver_phase(
-            &self.pedal.costs,
-            expected_len,
-            out.timing.total(),
-        );
+        let phase =
+            self.cfg.deployment.receiver_phase(&self.pedal.costs, expected_len, out.timing.total());
         self.stats.decompress_time += phase;
         let done = mpi.compute(phase);
         Ok((out.data, done))
@@ -267,34 +259,5 @@ impl PedalComm {
             self.send(mpi, root, TAG + 1, datatype, data)?;
             Ok(Vec::new())
         }
-    }
-}
-
-fn get_uvarint(data: &[u8], i: &mut usize) -> Option<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if *i >= data.len() || shift >= 64 {
-            return None;
-        }
-        let b = data[*i];
-        *i += 1;
-        v |= ((b & 0x7F) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-    }
-}
-
-fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let b = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(b);
-            return;
-        }
-        out.push(b | 0x80);
     }
 }

@@ -121,8 +121,7 @@ mod tests {
                 n,
             );
             let on_dpu = Deployment::OnDpu.sender_phase(&costs, n, t);
-            let piped =
-                Deployment::HostOffload { pipelined: true }.sender_phase(&costs, n, t);
+            let piped = Deployment::HostOffload { pipelined: true }.sender_phase(&costs, n, t);
             assert!(piped >= on_dpu, "n={n}");
         }
     }

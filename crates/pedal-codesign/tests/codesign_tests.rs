@@ -21,8 +21,7 @@ fn pingpong_roundtrip_all_lossless_designs() {
         for design in Design::LOSSLESS {
             let data = data.clone();
             let results = run_world(WorldConfig::new(2, platform), move |mpi| {
-                let (mut comm, _) =
-                    PedalComm::init(mpi, PedalCommConfig::new(design)).unwrap();
+                let (mut comm, _) = PedalComm::init(mpi, PedalCommConfig::new(design)).unwrap();
                 if mpi.rank == 0 {
                     comm.send(mpi, 1, 1, Datatype::Byte, &data).unwrap();
                     let (echo, _) = comm.recv(mpi, 1, 2, data.len()).unwrap();
@@ -45,11 +44,8 @@ fn lossy_transfer_respects_error_bound() {
     for design in [Design::SOC_SZ3, Design::CE_SZ3] {
         let data = data.clone();
         run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
-            let (mut comm, _) = PedalComm::init(
-                mpi,
-                PedalCommConfig::new(design).with_error_bound(1e-4),
-            )
-            .unwrap();
+            let (mut comm, _) =
+                PedalComm::init(mpi, PedalCommConfig::new(design).with_error_bound(1e-4)).unwrap();
             if mpi.rank == 0 {
                 comm.send(mpi, 1, 1, Datatype::Float32, &data).unwrap();
             } else {
@@ -68,8 +64,7 @@ fn lossy_transfer_respects_error_bound() {
 fn small_messages_skip_compression() {
     let data = text_payload(10_000); // below the 256 KiB RNDV threshold
     run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
-        let (mut comm, _) =
-            PedalComm::init(mpi, PedalCommConfig::new(Design::CE_DEFLATE)).unwrap();
+        let (mut comm, _) = PedalComm::init(mpi, PedalCommConfig::new(Design::CE_DEFLATE)).unwrap();
         if mpi.rank == 0 {
             comm.send(mpi, 1, 1, Datatype::Byte, &data).unwrap();
             assert_eq!(comm.stats.eager_passthroughs, 1);
@@ -148,8 +143,7 @@ fn bcast_four_nodes_all_designs() {
         let results = run_world(WorldConfig::new(4, Platform::BlueField2), move |mpi| {
             let (mut comm, _) = PedalComm::init(mpi, PedalCommConfig::new(design)).unwrap();
             let root_data = if mpi.rank == 0 { Some(&payload[..]) } else { None };
-            let (msg, _) =
-                comm.bcast(mpi, 0, Datatype::Byte, root_data, payload.len()).unwrap();
+            let (msg, _) = comm.bcast(mpi, 0, Datatype::Byte, root_data, payload.len()).unwrap();
             msg
         });
         for (rank, msg) in results.iter().enumerate() {
@@ -162,11 +156,9 @@ fn bcast_four_nodes_all_designs() {
 fn lossy_bcast_respects_bound_everywhere() {
     let data = float_payload(300_000);
     let results = run_world(WorldConfig::new(4, Platform::BlueField3), move |mpi| {
-        let (mut comm, _) = PedalComm::init(
-            mpi,
-            PedalCommConfig::new(Design::SOC_SZ3).with_error_bound(1e-3),
-        )
-        .unwrap();
+        let (mut comm, _) =
+            PedalComm::init(mpi, PedalCommConfig::new(Design::SOC_SZ3).with_error_bound(1e-3))
+                .unwrap();
         let root_data = if mpi.rank == 0 { Some(&data[..]) } else { None };
         let (msg, _) = comm.bcast(mpi, 0, Datatype::Float32, root_data, data.len()).unwrap();
         (msg, data.clone())
@@ -217,11 +209,10 @@ fn stats_track_compression() {
 #[test]
 fn compressed_gather_collects_everything() {
     let results = run_world(WorldConfig::new(4, Platform::BlueField2), |mpi| {
-        let (mut comm, _) =
-            PedalComm::init(mpi, PedalCommConfig::new(Design::CE_DEFLATE)).unwrap();
+        let (mut comm, _) = PedalComm::init(mpi, PedalCommConfig::new(Design::CE_DEFLATE)).unwrap();
         // Rank-specific compressible payloads of differing RNDV classes.
-        let mine = pedal_datasets::DatasetId::SilesiaSamba
-            .generate_bytes(100_000 + mpi.rank * 400_000);
+        let mine =
+            pedal_datasets::DatasetId::SilesiaSamba.generate_bytes(100_000 + mpi.rank * 400_000);
         let gathered = comm.gather(mpi, 0, Datatype::Byte, &mine).unwrap();
         (mine, gathered)
     });

@@ -5,10 +5,7 @@
 use pedal_datasets::DatasetId;
 
 fn main() {
-    let sample = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(2_000_000);
+    let sample = std::env::args().nth(1).and_then(|s| s.parse::<usize>().ok()).unwrap_or(2_000_000);
     println!("sample size: {} bytes", sample);
     println!("{:<18} {:>8} {:>8}   paper(DEFLATE)", "dataset", "DEFLATE", "LZ4");
     let paper = [7.769, 2.712, 3.963, 1.469, 2.683];
@@ -35,11 +32,6 @@ fn main() {
         );
         let cfg = pedal_sz3::Sz3Config::with_error_bound(1e-4);
         let packed = pedal_sz3::compress(&field, &cfg);
-        println!(
-            "{:<18} {:>8.3}   {:.3}",
-            id.name(),
-            bytes.len() as f64 / packed.len() as f64,
-            p
-        );
+        println!("{:<18} {:>8.3}   {:.3}", id.name(), bytes.len() as f64 / packed.len() as f64, p);
     }
 }

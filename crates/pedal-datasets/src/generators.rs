@@ -1,17 +1,24 @@
 //! The individual dataset generators. Each takes a target byte count and a
 //! seed, and must produce exactly `target` bytes deterministically.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pedal_dpu::Pcg32;
 
 /// XML-like text: nested elements from a small vocabulary with numeric
 /// attributes and text runs. Highly compressible (target DEFLATE ~7.8).
 pub fn gen_xml(target: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let tags = ["entry", "author", "title", "journal", "volume", "pages", "year", "booktitle"];
     let words = [
-        "compression", "bluefield", "performance", "analysis", "parallel", "distributed",
-        "computing", "systems", "evaluation", "architecture",
+        "compression",
+        "bluefield",
+        "performance",
+        "analysis",
+        "parallel",
+        "distributed",
+        "computing",
+        "systems",
+        "evaluation",
+        "architecture",
     ];
     let mut out = Vec::with_capacity(target + 256);
     out.extend_from_slice(b"<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<bibliography>\n");
@@ -51,7 +58,7 @@ pub fn gen_xml(target: usize, seed: u64) -> Vec<u8> {
 /// MRI-like volume: 16-bit little-endian samples of a smooth 3-D intensity
 /// field plus acquisition noise and black background (DEFLATE ~2.7).
 pub fn gen_mri(target: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let mut out = Vec::with_capacity(target + 4);
     // 256x256 slices; as many slices as the target needs.
     let (nx, ny) = (256usize, 256usize);
@@ -105,10 +112,18 @@ pub fn gen_mri(target: usize, seed: u64) -> Vec<u8> {
 /// Source-tree-like data: C code from templates with varied identifiers,
 /// plus occasional binary resource sections (DEFLATE ~4.0).
 pub fn gen_source_tree(target: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let idents = [
-        "smbd_session", "request_ctx", "packet_buf", "tree_connect", "auth_state", "byte_count",
-        "reply_size", "dir_handle", "file_entry", "share_mode",
+        "smbd_session",
+        "request_ctx",
+        "packet_buf",
+        "tree_connect",
+        "auth_state",
+        "byte_count",
+        "reply_size",
+        "dir_handle",
+        "file_entry",
+        "share_mode",
     ];
     let templates = [
         "static int {A}_init(struct {B} *{C})\n{\n\tif ({C} == NULL) {\n\t\treturn -1;\n\t}\n\tmemset({C}, 0, sizeof(*{C}));\n\treturn 0;\n}\n\n",
@@ -135,8 +150,8 @@ pub fn gen_source_tree(target: usize, seed: u64) -> Vec<u8> {
             .replace("{A}", a)
             .replace("{B}", b)
             .replace("{C}", c)
-            .replace("{N}", &rng.gen_range(64..4096).to_string())
-            .replace("{M}", &rng.gen_range(1..64).to_string());
+            .replace("{N}", &rng.gen_range(64i32..4096).to_string())
+            .replace("{M}", &rng.gen_range(1i32..64).to_string());
         out.extend_from_slice(s.as_bytes());
     }
     out.truncate(target);
@@ -146,7 +161,7 @@ pub fn gen_source_tree(target: usize, seed: u64) -> Vec<u8> {
 /// Brightness-temperature error field: f32 values with a nearly constant
 /// exponent and noisy mantissa — barely compressible (DEFLATE ~1.47).
 pub fn gen_obs_error(target: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let n = target / 4 + 1;
     let mut out = Vec::with_capacity(n * 4);
     let mut walk = 0.0f64;
@@ -168,15 +183,21 @@ pub fn gen_obs_error(target: usize, seed: u64) -> Vec<u8> {
 /// Executable-like image: opcode-biased code pages, import-table strings,
 /// and zero padding (DEFLATE ~2.7).
 pub fn gen_executable(target: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     // Common x86-ish opcode bytes with realistic frequency skew.
     let opcodes: [u8; 24] = [
-        0x8B, 0x89, 0xE8, 0xFF, 0x55, 0x48, 0x83, 0xC3, 0x0F, 0x85, 0x74, 0x75, 0x90, 0x31,
-        0xC0, 0x5D, 0x41, 0x89, 0x8D, 0x24, 0xEC, 0x84, 0x01, 0x00,
+        0x8B, 0x89, 0xE8, 0xFF, 0x55, 0x48, 0x83, 0xC3, 0x0F, 0x85, 0x74, 0x75, 0x90, 0x31, 0xC0,
+        0x5D, 0x41, 0x89, 0x8D, 0x24, 0xEC, 0x84, 0x01, 0x00,
     ];
     let symbols = [
-        "NS_InitXPCOM", "PR_GetCurrentThread", "nsCOMPtr_release", "JS_CallFunctionValue",
-        "gfxContext_Paint", "nsDocShell_LoadURI", "PL_HashTableLookup", "NS_NewChannel",
+        "NS_InitXPCOM",
+        "PR_GetCurrentThread",
+        "nsCOMPtr_release",
+        "JS_CallFunctionValue",
+        "gfxContext_Paint",
+        "nsDocShell_LoadURI",
+        "PL_HashTableLookup",
+        "NS_NewChannel",
     ];
     // Binaries repeat idioms heavily: draw code from a fixed pool of
     // "function bodies" so LZ77 finds real matches, as in actual executables.
@@ -254,7 +275,7 @@ pub enum ExaaltStyle {
 /// Molecular-dynamics-like positions: per-atom oscillation around lattice
 /// sites with thermal noise, stored as consecutive f32 snapshots.
 pub fn gen_exaalt(target: usize, seed: u64, style: ExaaltStyle) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let n = target / 4 + 1;
     let (noise_amp, osc_amp) = match style {
         ExaaltStyle::Noisy => (4.0e-2f64, 0.05),
@@ -323,10 +344,8 @@ mod tests {
         // Smoother styles quantize better: compare second-difference noise.
         let roughness = |style: ExaaltStyle| {
             let bytes = gen_exaalt(400_000, 9, style);
-            let vals: Vec<f32> = bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-                .collect();
+            let vals: Vec<f32> =
+                bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
             let mut acc = 0.0f64;
             for w in vals.windows(3) {
                 acc += ((w[2] - 2.0 * w[1] + w[0]) as f64).abs();

@@ -9,6 +9,10 @@
 
 pub mod generators;
 
+/// The seeded PCG32 generator every dataset generator draws from
+/// (re-exported so test-case generators can share the same stream type).
+pub use pedal_dpu::rng::{self, Pcg32};
+
 use generators::*;
 
 /// The eight datasets of Table IV.
@@ -45,8 +49,7 @@ impl DatasetId {
 
     /// The three lossy datasets in the paper's listing order
     /// (dataset1: 10 MB, dataset3: 31 MB, dataset2: 64 MB).
-    pub const LOSSY: [DatasetId; 3] =
-        [DatasetId::Exaalt1, DatasetId::Exaalt3, DatasetId::Exaalt2];
+    pub const LOSSY: [DatasetId; 3] = [DatasetId::Exaalt1, DatasetId::Exaalt3, DatasetId::Exaalt2];
 
     pub const ALL: [DatasetId; 8] = [
         DatasetId::SilesiaXml,

@@ -87,8 +87,7 @@ fn encode_block(w: &mut BitWriter, tokens: &[Token], raw: &[u8], is_final: bool)
 
     let dyn_lit_lens = build_code_lengths(&lit_freq, MAX_CODE_LEN);
     let dyn_dist_lens = build_code_lengths(&dist_freq, MAX_CODE_LEN);
-    let (clc_stream, clc_lens, hlit, hdist, hclen) =
-        build_clc(&dyn_lit_lens, &dyn_dist_lens);
+    let (clc_stream, clc_lens, hlit, hdist, hclen) = build_clc(&dyn_lit_lens, &dyn_dist_lens);
 
     let fixed = fixed_tables();
     let fixed_cost = block_cost(tokens, &fixed.0.lengths, &fixed.1.lengths);

@@ -2,7 +2,7 @@
 //! frequencies, canonical code assignment (RFC 1951 §3.2.2), and a
 //! table-driven decoder.
 
-use crate::bitio::{BitReader, OutOfBits, reverse_bits};
+use crate::bitio::{reverse_bits, BitReader, OutOfBits};
 
 /// Build length-limited Huffman code lengths from frequencies.
 ///
@@ -47,8 +47,8 @@ pub fn build_code_lengths(freqs: &[u32], max_len: usize) -> Vec<u8> {
     let mut internal: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
 
     let take_min = |nodes: &Vec<Node>,
-                        leaf_i: &mut usize,
-                        internal: &mut std::collections::VecDeque<usize>|
+                    leaf_i: &mut usize,
+                    internal: &mut std::collections::VecDeque<usize>|
      -> usize {
         let leaf_ok = *leaf_i < num_leaves;
         let int_ok = !internal.is_empty();
@@ -71,12 +71,8 @@ pub fn build_code_lengths(freqs: &[u32], max_len: usize) -> Vec<u8> {
     while remaining > 1 {
         let a = take_min(&nodes, &mut leaf_i, &mut internal);
         let b = take_min(&nodes, &mut leaf_i, &mut internal);
-        let parent = Node {
-            freq: nodes[a].freq + nodes[b].freq,
-            left: a,
-            right: b,
-            sym: usize::MAX,
-        };
+        let parent =
+            Node { freq: nodes[a].freq + nodes[b].freq, left: a, right: b, sym: usize::MAX };
         nodes.push(parent);
         internal.push_back(nodes.len() - 1);
         remaining -= 1;
@@ -335,11 +331,8 @@ mod tests {
             let lengths = build_code_lengths(&freqs, max);
             assert!(lengths.iter().all(|&l| (l as usize) <= max));
             // Kraft sum must be exactly satisfiable.
-            let kraft: f64 = lengths
-                .iter()
-                .filter(|&&l| l > 0)
-                .map(|&l| 2f64.powi(-(l as i32)))
-                .sum();
+            let kraft: f64 =
+                lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
             assert!(kraft <= 1.0 + 1e-9, "kraft {kraft} for max {max}");
             // And decodable.
             Decoder::from_lengths(&lengths).unwrap();
@@ -372,10 +365,7 @@ mod tests {
     #[test]
     fn oversubscribed_lengths_rejected() {
         // Three 1-bit codes cannot coexist.
-        assert_eq!(
-            Decoder::from_lengths(&[1, 1, 1]).unwrap_err(),
-            HuffError::Oversubscribed
-        );
+        assert_eq!(Decoder::from_lengths(&[1, 1, 1]).unwrap_err(), HuffError::Oversubscribed);
     }
 
     #[test]

@@ -195,15 +195,13 @@ fn inflate_block(
             256 => return Ok(()),
             257..=285 => {
                 let lc = (sym - 257) as usize;
-                let len = LENGTH_BASE[lc] as usize
-                    + r.read_bits(LENGTH_EXTRA[lc] as u32)? as usize;
+                let len = LENGTH_BASE[lc] as usize + r.read_bits(LENGTH_EXTRA[lc] as u32)? as usize;
                 let dsym = dist.decode(r)?;
                 if dsym as usize >= NUM_DIST {
                     return Err(InflateError::InvalidSymbol(dsym));
                 }
                 let dc = dsym as usize;
-                let d = DIST_BASE[dc] as usize
-                    + r.read_bits(DIST_EXTRA[dc] as u32)? as usize;
+                let d = DIST_BASE[dc] as usize + r.read_bits(DIST_EXTRA[dc] as u32)? as usize;
                 if d > out.len() {
                     return Err(InflateError::DistanceTooFar { dist: d, available: out.len() });
                 }
@@ -252,9 +250,7 @@ mod tests {
     fn decode_known_zlib_fixture() {
         // Raw deflate of "hello hello hello hello\n" produced by zlib
         // (fixed-Huffman block): cb 48 cd c9 c9 57 c8 40 27 b9 00
-        let fixture: [u8; 11] = [
-            0xcb, 0x48, 0xcd, 0xc9, 0xc9, 0x57, 0xc8, 0x40, 0x27, 0xb9, 0x00,
-        ];
+        let fixture: [u8; 11] = [0xcb, 0x48, 0xcd, 0xc9, 0xc9, 0x57, 0xc8, 0x40, 0x27, 0xb9, 0x00];
         assert_eq!(inflate(&fixture).unwrap(), b"hello hello hello hello\n");
     }
 
@@ -312,10 +308,7 @@ mod tests {
     fn output_limit_enforced() {
         let data = vec![0u8; 10_000];
         let enc = deflate(&data, Level::DEFAULT);
-        assert_eq!(
-            inflate_with_limit(&enc, 100),
-            Err(InflateError::OutputLimitExceeded(100))
-        );
+        assert_eq!(inflate_with_limit(&enc, 100), Err(InflateError::OutputLimitExceeded(100)));
         assert_eq!(inflate_with_limit(&enc, 10_000).unwrap(), data);
     }
 

@@ -27,7 +27,9 @@ pub mod inflate;
 pub mod lz77;
 
 pub use encoder::{deflate as compress, Level};
-pub use inflate::{inflate as decompress, inflate_with_limit as decompress_with_limit, InflateError};
+pub use inflate::{
+    inflate as decompress, inflate_with_limit as decompress_with_limit, InflateError,
+};
 
 /// Upper bound on the compressed size of `n` input bytes (stored-block
 /// worst case plus per-chunk framing; block splitting can leave a short

@@ -16,12 +16,7 @@ pub struct CapabilityError {
 
 impl std::fmt::Display for CapabilityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} C-Engine does not support {:?}",
-            self.platform.name(),
-            self.kind
-        )
+        write!(f, "{} C-Engine does not support {:?}", self.platform.name(), self.kind)
     }
 }
 
@@ -112,7 +107,11 @@ impl DocaContext {
     }
 
     /// Convenience: submit at EPOCH and discard timing.
-    pub fn submit_and_wait(&self, job: CompressJob, now: SimInstant) -> Result<JobResult, DocaError> {
+    pub fn submit_and_wait(
+        &self,
+        job: CompressJob,
+        now: SimInstant,
+    ) -> Result<JobResult, DocaError> {
         self.submit(job, now).map(|(r, _)| r)
     }
 

@@ -140,12 +140,10 @@ mod tests {
     fn deflate_roundtrip_through_engine() {
         let costs = bf2_costs();
         let data = b"hardware engine compression job".repeat(50);
-        let c = execute(&CompressJob::new(JobKind::DeflateCompress, data.clone()), &costs)
-            .unwrap();
+        let c = execute(&CompressJob::new(JobKind::DeflateCompress, data.clone()), &costs).unwrap();
         assert!(c.service_time > SimDuration::ZERO);
         let d = execute(
-            &CompressJob::new(JobKind::DeflateDecompress, c.output)
-                .with_expected_len(data.len()),
+            &CompressJob::new(JobKind::DeflateDecompress, c.output).with_expected_len(data.len()),
             &costs,
         )
         .unwrap();
@@ -155,11 +153,8 @@ mod tests {
     #[test]
     fn decompress_requires_sized_destination() {
         let costs = bf2_costs();
-        let err = execute(
-            &CompressJob::new(JobKind::DeflateDecompress, vec![1, 2, 3]),
-            &costs,
-        )
-        .unwrap_err();
+        let err = execute(&CompressJob::new(JobKind::DeflateDecompress, vec![1, 2, 3]), &costs)
+            .unwrap_err();
         assert_eq!(err, EngineError::MissingOutputLen);
     }
 
@@ -177,16 +172,12 @@ mod tests {
     #[test]
     fn service_time_scales_with_size() {
         let costs = bf2_costs();
-        let small = execute(
-            &CompressJob::new(JobKind::DeflateCompress, vec![7u8; 100_000]),
-            &costs,
-        )
-        .unwrap();
-        let large = execute(
-            &CompressJob::new(JobKind::DeflateCompress, vec![7u8; 10_000_000]),
-            &costs,
-        )
-        .unwrap();
+        let small =
+            execute(&CompressJob::new(JobKind::DeflateCompress, vec![7u8; 100_000]), &costs)
+                .unwrap();
+        let large =
+            execute(&CompressJob::new(JobKind::DeflateCompress, vec![7u8; 10_000_000]), &costs)
+                .unwrap();
         assert!(large.service_time > small.service_time);
     }
 

@@ -30,4 +30,4 @@ pub mod workq;
 pub use device::{CapabilityError, DocaContext, DocaError};
 pub use engine::{CompressJob, JobKind, JobResult};
 pub use memmap::{BufInventory, DocaBuf, MemMap};
-pub use workq::{JobHandle, Workq};
+pub use workq::{BatchHandle, ChannelSet, JobHandle, QueueFull, Workq};

@@ -35,7 +35,7 @@ impl DocaBuf {
 pub struct MemMap {
     costs: CostModel,
     next_id: AtomicU64,
-    total_prep: parking_lot::Mutex<SimDuration>,
+    total_prep: std::sync::Mutex<SimDuration>,
     registered_bytes: AtomicU64,
 }
 
@@ -44,7 +44,7 @@ impl MemMap {
         Self {
             costs,
             next_id: AtomicU64::new(1),
-            total_prep: parking_lot::Mutex::new(SimDuration::ZERO),
+            total_prep: std::sync::Mutex::new(SimDuration::ZERO),
             registered_bytes: AtomicU64::new(0),
         }
     }
@@ -53,7 +53,7 @@ impl MemMap {
     /// virtual prep cost charged.
     pub fn register(&self, capacity: usize) -> (DocaBuf, SimDuration) {
         let cost = self.costs.buffer_prep(capacity);
-        *self.total_prep.lock() += cost;
+        *self.total_prep.lock().unwrap() += cost;
         self.registered_bytes.fetch_add(capacity as u64, Ordering::Relaxed);
         let buf = DocaBuf {
             data: Vec::with_capacity(capacity),
@@ -65,7 +65,7 @@ impl MemMap {
 
     /// Total mapping cost charged so far.
     pub fn total_prep_cost(&self) -> SimDuration {
-        *self.total_prep.lock()
+        *self.total_prep.lock().unwrap()
     }
 
     pub fn registered_bytes(&self) -> u64 {
@@ -80,7 +80,7 @@ impl MemMap {
 #[derive(Debug)]
 pub struct BufInventory {
     memmap: Arc<MemMap>,
-    free: parking_lot::Mutex<Vec<DocaBuf>>,
+    free: std::sync::Mutex<Vec<DocaBuf>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -89,7 +89,7 @@ impl BufInventory {
     pub fn new(memmap: Arc<MemMap>) -> Self {
         Self {
             memmap,
-            free: parking_lot::Mutex::new(Vec::new()),
+            free: std::sync::Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -99,7 +99,7 @@ impl BufInventory {
     /// Returns the total prep cost paid up front.
     pub fn preallocate(&self, count: usize, capacity: usize) -> SimDuration {
         let mut total = SimDuration::ZERO;
-        let mut free = self.free.lock();
+        let mut free = self.free.lock().unwrap();
         for _ in 0..count {
             let (buf, cost) = self.memmap.register(capacity);
             free.push(buf);
@@ -113,7 +113,7 @@ impl BufInventory {
     /// full registration cost on a miss).
     pub fn acquire(&self, capacity: usize) -> (DocaBuf, SimDuration) {
         {
-            let mut free = self.free.lock();
+            let mut free = self.free.lock().unwrap();
             if let Some(pos) = free.iter().position(|b| b.capacity >= capacity) {
                 let mut buf = free.swap_remove(pos);
                 buf.clear();
@@ -127,7 +127,7 @@ impl BufInventory {
 
     /// Return a buffer to the pool.
     pub fn release(&self, buf: DocaBuf) {
-        self.free.lock().push(buf);
+        self.free.lock().unwrap().push(buf);
     }
 
     pub fn hits(&self) -> u64 {
@@ -139,7 +139,7 @@ impl BufInventory {
     }
 
     pub fn free_count(&self) -> usize {
-        self.free.lock().len()
+        self.free.lock().unwrap().len()
     }
 }
 

@@ -1,16 +1,32 @@
-//! Property-based tests of the DOCA simulation layer: job round-trips for
-//! arbitrary data, FIFO timing laws, and inventory behaviour.
+//! Seeded random tests of the DOCA simulation layer: job round-trips for
+//! arbitrary data, FIFO timing laws, and inventory behaviour. Ported from
+//! proptest to an in-tree fixed-seed case generator (`--features fuzz`
+//! multiplies case counts).
 
 use pedal_doca::{BufInventory, CompressJob, DocaContext, JobKind, MemMap};
-use pedal_dpu::{CostModel, Platform, SimInstant};
-use proptest::prelude::*;
+use pedal_dpu::{CostModel, Pcg32, Platform, SimInstant};
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "fuzz") {
+        base * 16
+    } else {
+        base
+    }
+}
 
-    #[test]
-    fn engine_deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..16_384)) {
+fn arbitrary_vec(rng: &mut Pcg32, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn engine_deflate_roundtrip() {
+    let mut rng = Pcg32::seed_from_u64(0xD0CA_0001);
+    for case in 0..cases(16) {
+        let data = arbitrary_vec(&mut rng, 16_384);
         let ctx = DocaContext::open(Platform::BlueField2).unwrap();
         let (c, _) = ctx
             .submit(CompressJob::new(JobKind::DeflateCompress, data.clone()), SimInstant::EPOCH)
@@ -22,11 +38,15 @@ proptest! {
                 SimInstant::EPOCH,
             )
             .unwrap();
-        prop_assert_eq!(d.output, data);
+        assert_eq!(d.output, data, "case {case}");
     }
+}
 
-    #[test]
-    fn engine_lz4_roundtrip_on_bf3(data in proptest::collection::vec(any::<u8>(), 0..8_192)) {
+#[test]
+fn engine_lz4_roundtrip_on_bf3() {
+    let mut rng = Pcg32::seed_from_u64(0xD0CA_0002);
+    for case in 0..cases(16) {
+        let data = arbitrary_vec(&mut rng, 8_192);
         let ctx = DocaContext::open(Platform::BlueField3).unwrap();
         let packed = pedal_lz4::compress_block(&data, 1);
         let (d, _) = ctx
@@ -35,17 +55,20 @@ proptest! {
                 SimInstant::EPOCH,
             )
             .unwrap();
-        prop_assert_eq!(d.output, data);
+        assert_eq!(d.output, data, "case {case}");
     }
+}
 
-    #[test]
-    fn fifo_completion_is_sum_of_service_times(
-        sizes in proptest::collection::vec(1usize..200_000, 1..8),
-    ) {
+#[test]
+fn fifo_completion_is_sum_of_service_times() {
+    let mut rng = Pcg32::seed_from_u64(0xD0CA_0003);
+    for case in 0..cases(48) {
+        let n_jobs = rng.gen_range(1usize..8);
         let ctx = DocaContext::open(Platform::BlueField2).unwrap();
         let mut expected_total = 0u64;
         let mut last_done = SimInstant::EPOCH;
-        for n in sizes {
+        for _ in 0..n_jobs {
+            let n = rng.gen_range(1usize..200_000);
             let (r, done) = ctx
                 .submit(
                     CompressJob::new(JobKind::DeflateCompress, vec![0xAA; n]),
@@ -53,46 +76,51 @@ proptest! {
                 )
                 .unwrap();
             expected_total += r.service_time.as_nanos();
-            prop_assert!(done >= last_done);
+            assert!(done >= last_done, "case {case}");
             last_done = done;
         }
-        prop_assert_eq!(last_done.0, expected_total);
+        assert_eq!(last_done.0, expected_total, "case {case}");
     }
+}
 
-    #[test]
-    fn submit_time_never_precedes_completion(
-        n in 1usize..100_000,
-        at_ns in 0u64..10_000_000,
-    ) {
+#[test]
+fn submit_time_never_precedes_completion() {
+    let mut rng = Pcg32::seed_from_u64(0xD0CA_0004);
+    for case in 0..cases(48) {
+        let n = rng.gen_range(1usize..100_000);
+        let at_ns = rng.gen_range(0u64..10_000_000);
         let ctx = DocaContext::open(Platform::BlueField2).unwrap();
         let now = SimInstant(at_ns);
-        let (r, done) = ctx
-            .submit(CompressJob::new(JobKind::DeflateCompress, vec![1; n]), now)
-            .unwrap();
-        prop_assert_eq!(done.0, at_ns + r.service_time.as_nanos());
+        let (r, done) =
+            ctx.submit(CompressJob::new(JobKind::DeflateCompress, vec![1; n]), now).unwrap();
+        assert_eq!(done.0, at_ns + r.service_time.as_nanos(), "case {case}");
     }
+}
 
-    #[test]
-    fn inventory_pool_never_loses_capacity(
-        requests in proptest::collection::vec(1usize..100_000, 1..32),
-    ) {
+#[test]
+fn inventory_pool_never_loses_capacity() {
+    let mut rng = Pcg32::seed_from_u64(0xD0CA_0005);
+    for case in 0..cases(48) {
         let memmap = Arc::new(MemMap::new(CostModel::for_platform(Platform::BlueField2)));
         let inv = BufInventory::new(memmap);
         inv.preallocate(4, 128 * 1024);
         let before = inv.free_count();
-        for &n in &requests {
+        for _ in 0..rng.gen_range(1usize..32) {
+            let n = rng.gen_range(1usize..100_000);
             let (buf, _) = inv.acquire(n);
-            prop_assert!(buf.capacity >= n);
+            assert!(buf.capacity >= n, "case {case}");
             inv.release(buf);
         }
-        prop_assert!(inv.free_count() >= before);
+        assert!(inv.free_count() >= before, "case {case}");
     }
+}
 
-    #[test]
-    fn garbage_never_panics_the_engine(
-        junk in proptest::collection::vec(any::<u8>(), 0..1024),
-        expected in 0usize..4096,
-    ) {
+#[test]
+fn garbage_never_panics_the_engine() {
+    let mut rng = Pcg32::seed_from_u64(0xD0CA_0006);
+    for _ in 0..cases(48) {
+        let junk = arbitrary_vec(&mut rng, 1024);
+        let expected = rng.gen_range(0usize..4096);
         let ctx = DocaContext::open(Platform::BlueField2).unwrap();
         let _ = ctx.submit(
             CompressJob::new(JobKind::DeflateDecompress, junk).with_expected_len(expected),

@@ -1,0 +1,114 @@
+//! A minimal clone-cheap immutable byte buffer.
+//!
+//! Stand-in for the `bytes` crate's `Bytes`: the MPI runtime hands the same
+//! payload to several ranks (broadcast trees, rendezvous retries) and needs
+//! O(1) clones without aliasing mutable state. An `Arc<[u8]>` gives exactly
+//! that; slicing/windowing is not needed by any caller in this workspace.
+
+use std::sync::Arc;
+
+/// Immutable, reference-counted byte buffer with O(1) `clone`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer (no allocation is shared between instances, but an
+    /// empty `Arc<[u8]>` is as cheap as it gets).
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Wrap a static slice. Copies once; the name mirrors `bytes::Bytes`
+    /// so call sites read the same.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copy the contents out into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.0.len())
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_static() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default().len(), 0);
+        let s = Bytes::from_static(b"abc");
+        assert_eq!(s.to_vec(), b"abc");
+    }
+
+    #[test]
+    fn deref_and_eq() {
+        let a = Bytes::from(&b"hello"[..]);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, Bytes::from(b"hello".to_vec()));
+    }
+}

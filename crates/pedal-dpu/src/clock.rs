@@ -199,8 +199,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            [SimDuration(1), SimDuration(2), SimDuration(3)].into_iter().sum();
+        let total: SimDuration = [SimDuration(1), SimDuration(2), SimDuration(3)].into_iter().sum();
         assert_eq!(total, SimDuration(6));
     }
 }

@@ -77,9 +77,9 @@ pub struct CEngineRates {
 pub const BF2_CENGINE: CEngineRates = CEngineRates {
     compress_mbps: 3_700.0,
     decompress_mbps: 4_000.0,
-    compress_overhead: SimDuration(60_000),        // 60 us
-    decompress_overhead: SimDuration(1_500_000),   // 1.5 ms
-    lz4_decompress_mbps: 0.0,                      // unsupported
+    compress_overhead: SimDuration(60_000),      // 60 us
+    decompress_overhead: SimDuration(1_500_000), // 1.5 ms
+    lz4_decompress_mbps: 0.0,                    // unsupported
 };
 
 /// BlueField-3 C-Engine: decompression only; tuned for the paper's
@@ -143,12 +143,10 @@ pub struct PcieRates {
 }
 
 /// BlueField-2: PCIe Gen4 x16 (~26 GB/s raw, ~20 GB/s effective DMA).
-pub const BF2_PCIE: PcieRates =
-    PcieRates { latency: SimDuration(1_200), bandwidth_mbps: 20_000.0 };
+pub const BF2_PCIE: PcieRates = PcieRates { latency: SimDuration(1_200), bandwidth_mbps: 20_000.0 };
 
 /// BlueField-3: PCIe Gen5 x16 (~50 GB/s raw, ~40 GB/s effective DMA).
-pub const BF3_PCIE: PcieRates =
-    PcieRates { latency: SimDuration(1_000), bandwidth_mbps: 40_000.0 };
+pub const BF3_PCIE: PcieRates = PcieRates { latency: SimDuration(1_000), bandwidth_mbps: 40_000.0 };
 
 /// Network model: per-hop latency + line-rate serialization.
 #[derive(Debug, Clone, Copy)]
@@ -213,9 +211,7 @@ impl CostModel {
     /// Map `bytes` into DOCA-operable memory.
     pub fn buffer_prep(&self, bytes: usize) -> SimDuration {
         self.overheads.buffer_prep_base
-            + SimDuration(
-                (self.overheads.buffer_prep_per_mb.0 as f64 * bytes as f64 / MB) as u64,
-            )
+            + SimDuration((self.overheads.buffer_prep_per_mb.0 as f64 * bytes as f64 / MB) as u64)
     }
 
     /// Plain allocation of `n_buffers` buffers of `bytes` on the SoC.
@@ -253,6 +249,16 @@ impl CostModel {
     /// Adler-32 / zlib header+trailer work on the SoC.
     pub fn checksum(&self, bytes: usize) -> SimDuration {
         time_for(bytes, self.soc.checksum * self.soc_factor)
+    }
+
+    /// Fixed per-job C-Engine submission/completion overhead (Table III) —
+    /// the part of [`CostModel::cengine_lossless`] independent of payload
+    /// size. Batched submissions pay it once for the whole batch.
+    pub fn cengine_job_overhead(&self, dir: Direction) -> SimDuration {
+        match dir {
+            Direction::Compress => self.cengine.compress_overhead,
+            Direction::Decompress => self.cengine.decompress_overhead,
+        }
     }
 
     /// C-Engine lossless operation, or `None` when this generation's engine
@@ -438,10 +444,7 @@ mod tests {
         let m = bf3();
         assert!(m.cengine_lossless(Algorithm::Deflate, Direction::Compress, 1_000_000).is_none());
         assert!(m.cengine_lossless(Algorithm::Zlib, Direction::Compress, 1_000_000).is_none());
-        assert_eq!(
-            m.preferred_placement(Algorithm::Deflate, Direction::Compress),
-            Placement::Soc
-        );
+        assert_eq!(m.preferred_placement(Algorithm::Deflate, Direction::Compress), Placement::Soc);
         assert_eq!(
             m.preferred_placement(Algorithm::Deflate, Direction::Decompress),
             Placement::CEngine
@@ -464,12 +467,10 @@ mod tests {
             assert!(m.pcie_transfer(bytes) > SimDuration::from_micros(100));
         }
         // BF3's Gen5 link is ~2x BF2's Gen4.
-        let r = CostModel::for_platform(Platform::BlueField2)
-            .pcie_transfer(50_000_000)
-            .as_nanos() as f64
-            / CostModel::for_platform(Platform::BlueField3)
-                .pcie_transfer(50_000_000)
-                .as_nanos() as f64;
+        let r = CostModel::for_platform(Platform::BlueField2).pcie_transfer(50_000_000).as_nanos()
+            as f64
+            / CostModel::for_platform(Platform::BlueField3).pcie_transfer(50_000_000).as_nanos()
+                as f64;
         assert!((1.8..=2.2).contains(&r), "pcie ratio {r:.2}");
     }
 

@@ -7,15 +7,23 @@
 //!   C-Engine capability matrix (paper Table II),
 //! * [`clock`] — deterministic virtual time ([`SimClock`], [`SimDuration`]),
 //! * [`costs`] — the calibrated cost model turning operation sizes into
-//!   virtual durations that reproduce the paper's reported ratios.
+//!   virtual durations that reproduce the paper's reported ratios,
+//! * [`bytes`] — a clone-cheap immutable byte buffer shared by the MPI and
+//!   serving layers,
+//! * [`rng`] — a seeded PCG32 generator backing dataset synthesis and
+//!   in-tree test-case generation.
 //!
 //! Real compression work happens in the codec crates; this crate only
 //! answers "how long would that have taken on the DPU".
 
+pub mod bytes;
 pub mod clock;
 pub mod costs;
 pub mod platform;
+pub mod rng;
 
+pub use bytes::Bytes;
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use costs::CostModel;
 pub use platform::{Algorithm, CEngineSpec, Direction, Placement, Platform, PlatformSpec};
+pub use rng::Pcg32;

@@ -1,0 +1,233 @@
+//! Small deterministic PRNG for dataset synthesis and test-case generation.
+//!
+//! PCG32 (O'Neill, "PCG: A Family of Simple Fast Space-Efficient
+//! Statistically Good Algorithms for Random Number Generation"): one 64-bit
+//! LCG state, xorshift-rotate output. Seeded from a single `u64` via
+//! SplitMix64 so nearby seeds still give uncorrelated streams. Every output
+//! is a pure function of the seed, which is what the workspace actually
+//! needs — deterministic datasets and reproducible test cases — not
+//! cryptographic quality.
+
+/// A PCG-XSH-RR 64/32 generator.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Pcg32 {
+    /// Seed deterministically from a single value (mirrors
+    /// `StdRng::seed_from_u64` call sites).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let initstate = splitmix64(&mut s);
+        let initseq = splitmix64(&mut s);
+        let mut rng = Pcg32 { state: 0, inc: (initseq << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.next_u32();
+        rng
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample uniformly from a range, like `rand::Rng::gen_range`.
+    pub fn gen_range<T: SampleRange>(&mut self, range: T) -> T::Output {
+        T::sample(range, self)
+    }
+
+    /// An unbiased uniform draw from `[0, bound)` (Lemire-style rejection).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the draw exactly uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % bound;
+            }
+        }
+    }
+
+    /// Generate a value of a primitive type, like `rand::Rng::gen`.
+    pub fn gen<T: SampleUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Fill a byte slice with uniform bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let v = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Types producible by [`Pcg32::gen`].
+pub trait SampleUniform {
+    fn sample(rng: &mut Pcg32) -> Self;
+}
+
+impl SampleUniform for u8 {
+    fn sample(rng: &mut Pcg32) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl SampleUniform for u16 {
+    fn sample(rng: &mut Pcg32) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl SampleUniform for u32 {
+    fn sample(rng: &mut Pcg32) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample(rng: &mut Pcg32) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut Pcg32) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample(rng: &mut Pcg32) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges accepted by [`Pcg32::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut Pcg32) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Pcg32) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Pcg32) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                // span == 0 means the full u64 domain; nothing here needs it.
+                (lo as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Only f64 gets a float impl: a second float impl would make bare float
+// literals at `gen_range` call sites ambiguous.
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Pcg32) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be uncorrelated, {same}/64 equal");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values should appear");
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_varies() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let mut buf = [0u8; 33];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,47 +1,84 @@
-//! Property-based round-trip tests for the LZ4 block and frame codecs.
+//! Seeded random round-trip tests for the LZ4 block and frame codecs,
+//! ported from proptest to an in-tree fixed-seed case generator
+//! (`--features fuzz` multiplies case counts).
 
+use pedal_dpu::Pcg32;
 use pedal_lz4::block::{compress_block, compress_bound, decompress_block};
 use pedal_lz4::frame::{compress_frame, decompress_frame};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn block_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
-        let enc = compress_block(&data, 1);
-        prop_assert!(enc.len() <= compress_bound(data.len()));
-        prop_assert_eq!(decompress_block(&enc, Some(data.len()), usize::MAX).unwrap(), data);
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "fuzz") {
+        base * 16
+    } else {
+        base
     }
+}
 
-    #[test]
-    fn block_roundtrip_runs(
-        runs in proptest::collection::vec((any::<u8>(), 1usize..300), 0..48),
-    ) {
+fn arbitrary_vec(rng: &mut Pcg32, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn block_roundtrip_arbitrary() {
+    let mut rng = Pcg32::seed_from_u64(0x124C_0001);
+    for case in 0..cases(48) {
+        let data = arbitrary_vec(&mut rng, 8192);
+        let enc = compress_block(&data, 1);
+        assert!(enc.len() <= compress_bound(data.len()), "case {case}");
+        assert_eq!(
+            decompress_block(&enc, Some(data.len()), usize::MAX).unwrap(),
+            data,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn block_roundtrip_runs() {
+    let mut rng = Pcg32::seed_from_u64(0x124C_0002);
+    for case in 0..cases(64) {
         let mut data = Vec::new();
-        for (b, n) in runs {
+        for _ in 0..rng.gen_range(0usize..48) {
+            let (b, n) = (rng.gen::<u8>(), rng.gen_range(1usize..300));
             data.extend(std::iter::repeat_n(b, n));
         }
         let enc = compress_block(&data, 1);
-        prop_assert_eq!(decompress_block(&enc, Some(data.len()), usize::MAX).unwrap(), data);
+        assert_eq!(
+            decompress_block(&enc, Some(data.len()), usize::MAX).unwrap(),
+            data,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn frame_roundtrip_with_small_blocks(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
-        block_size in 16usize..512,
-    ) {
+#[test]
+fn frame_roundtrip_with_small_blocks() {
+    let mut rng = Pcg32::seed_from_u64(0x124C_0003);
+    for case in 0..cases(48) {
+        let data = arbitrary_vec(&mut rng, 4096);
+        let block_size = rng.gen_range(16usize..512);
         let enc = compress_frame(&data, block_size, 1);
-        prop_assert_eq!(decompress_frame(&enc).unwrap(), data);
+        assert_eq!(decompress_frame(&enc).unwrap(), data, "case {case} bs {block_size}");
     }
+}
 
-    #[test]
-    fn block_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+#[test]
+fn block_decoder_never_panics() {
+    let mut rng = Pcg32::seed_from_u64(0x124C_0004);
+    for _ in 0..cases(192) {
+        let data = arbitrary_vec(&mut rng, 1024);
         let _ = decompress_block(&data, None, 1 << 20);
     }
+}
 
-    #[test]
-    fn frame_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+#[test]
+fn frame_decoder_never_panics() {
+    let mut rng = Pcg32::seed_from_u64(0x124C_0005);
+    for _ in 0..cases(192) {
+        let data = arbitrary_vec(&mut rng, 1024);
         let _ = decompress_frame(&data);
     }
 }

@@ -2,7 +2,7 @@
 //! Broadcast (the paper's Fig. 11 workload), Barrier, Gather, and Reduce.
 
 use crate::comm::{MpiError, RankCtx};
-use bytes::Bytes;
+use pedal_dpu::Bytes;
 use pedal_dpu::SimInstant;
 
 /// Tag space reserved for collectives (high bit set keeps them clear of
@@ -68,11 +68,7 @@ pub fn barrier(ctx: &mut RankCtx) -> Result<SimInstant, MpiError> {
 }
 
 /// Gather byte payloads to `root`. Non-root ranks receive an empty vec.
-pub fn gather(
-    ctx: &mut RankCtx,
-    root: usize,
-    data: Bytes,
-) -> Result<Vec<Bytes>, MpiError> {
+pub fn gather(ctx: &mut RankCtx, root: usize, data: Bytes) -> Result<Vec<Bytes>, MpiError> {
     let tag = COLL_TAG_BASE | 0x6A;
     if ctx.rank == root {
         let mut out: Vec<Bytes> = vec![Bytes::new(); ctx.size];
@@ -185,8 +181,7 @@ mod tests {
         // completion is ~2 rendezvous transfers, not 3.
         let n = 5_100_000usize;
         let results = run_world(world(4), move |ctx| {
-            let data =
-                if ctx.rank == 0 { Some(Bytes::from(vec![7u8; n])) } else { None };
+            let data = if ctx.rank == 0 { Some(Bytes::from(vec![7u8; n])) } else { None };
             let (_, done) = bcast(ctx, 0, data).unwrap();
             done.0
         });
@@ -362,8 +357,7 @@ mod scatter_alltoall_tests {
     fn alltoall_with_rendezvous_sized_payloads() {
         // Large payloads force the RNDV path; isend keeps it deadlock-free.
         let results = run_world(WorldConfig::new(4, Platform::BlueField2), |ctx| {
-            let parts: Vec<Bytes> =
-                (0..4).map(|j| Bytes::from(vec![j as u8; 1_000_000])).collect();
+            let parts: Vec<Bytes> = (0..4).map(|j| Bytes::from(vec![j as u8; 1_000_000])).collect();
             alltoall(ctx, parts).unwrap()
         });
         for got in &results {

@@ -1,8 +1,9 @@
 //! Point-to-point message passing with Eager and Rendezvous protocols over
 //! a latency/bandwidth network model, carrying per-rank virtual clocks.
 //!
-//! Ranks are OS threads; real bytes move over crossbeam channels, while the
-//! virtual time of each transfer is computed from the platform's network
+//! Ranks are OS threads; real bytes move over `std::sync::mpsc` channels,
+//! while the virtual time of each transfer is computed from the platform's
+//! network
 //! model exactly like a PDES with Lamport-merged clocks:
 //!
 //! * **Eager** (small messages): the sender copies into an eager buffer and
@@ -14,10 +15,9 @@
 //!   as MPICH does above the eager threshold. PEDAL compresses only on
 //!   this path (paper §IV).
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use pedal_dpu::{CostModel, Platform, SimClock, SimDuration, SimInstant};
+use pedal_dpu::{Bytes, CostModel, Platform, SimClock, SimDuration, SimInstant};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 /// Default Eager/Rendezvous switchover (MPICH's large-message regime).
@@ -91,14 +91,13 @@ impl RankCtx {
         if data.len() <= self.eager_threshold {
             // Eager: pay a local copy into the eager buffer and return.
             let copy = self.costs.memcpy(data.len());
-            let env =
-                Envelope { src: self.rank, tag, data, sent_at, ack: None };
+            let env = Envelope { src: self.rank, tag, data, sent_at, ack: None };
             self.peers[dst].send(env).map_err(|_| MpiError::Disconnected)?;
             Ok(self.clock.advance(copy))
         } else {
             // Rendezvous: block until the receiver matches and reports our
             // completion time.
-            let (ack_tx, ack_rx) = unbounded();
+            let (ack_tx, ack_rx) = channel();
             let env = Envelope { src: self.rank, tag, data, sent_at, ack: Some(ack_tx) };
             self.peers[dst].send(env).map_err(|_| MpiError::Disconnected)?;
             let done = ack_rx.recv().map_err(|_| MpiError::Disconnected)?;
@@ -123,7 +122,7 @@ impl RankCtx {
             let done = self.clock.advance(copy);
             Ok(SendHandle { ack: None, done: Some(done) })
         } else {
-            let (ack_tx, ack_rx) = unbounded();
+            let (ack_tx, ack_rx) = channel();
             let env = Envelope { src: self.rank, tag, data, sent_at, ack: Some(ack_tx) };
             self.peers[dst].send(env).map_err(|_| MpiError::Disconnected)?;
             Ok(SendHandle { ack: Some(ack_rx), done: None })
@@ -163,9 +162,7 @@ impl RankCtx {
 
     /// Pull the next matching envelope, buffering out-of-order arrivals.
     fn match_envelope(&mut self, src: usize, tag: u64) -> Result<Envelope, MpiError> {
-        if let Some(pos) =
-            self.mailbox.pending.iter().position(|e| e.src == src && e.tag == tag)
-        {
+        if let Some(pos) = self.mailbox.pending.iter().position(|e| e.src == src && e.tag == tag) {
             return Ok(self.mailbox.pending.remove(pos).unwrap());
         }
         loop {
@@ -249,7 +246,7 @@ where
     let mut senders = Vec::with_capacity(cfg.size);
     let mut receivers = Vec::with_capacity(cfg.size);
     for _ in 0..cfg.size {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -257,13 +254,13 @@ where
     let body = &body;
 
     let mut out: Vec<Option<T>> = (0..cfg.size).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = receivers
             .into_iter()
             .enumerate()
             .map(|(rank, rx)| {
                 let senders = senders.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = RankCtx {
                         rank,
                         size: cfg.size,
@@ -283,8 +280,7 @@ where
         for (rank, h) in handles.into_iter().enumerate() {
             out[rank] = Some(h.join().expect("rank thread panicked"));
         }
-    })
-    .expect("world scope failed");
+    });
     out.into_iter().map(|t| t.unwrap()).collect()
 }
 
@@ -346,9 +342,8 @@ mod tests {
             }
         });
         let costs = CostModel::for_platform(Platform::BlueField2);
-        let expected = (costs.network.latency + costs.network.latency
-            + costs.network_transfer(n))
-        .as_nanos();
+        let expected =
+            (costs.network.latency + costs.network.latency + costs.network_transfer(n)).as_nanos();
         assert_eq!(results[1], expected, "deterministic rendezvous timing");
     }
 
@@ -396,10 +391,7 @@ mod tests {
     fn invalid_rank_rejected() {
         run_world(world(2), |ctx| {
             if ctx.rank == 0 {
-                assert_eq!(
-                    ctx.send(5, 0, Bytes::new()).unwrap_err(),
-                    MpiError::InvalidRank(5)
-                );
+                assert_eq!(ctx.send(5, 0, Bytes::new()).unwrap_err(), MpiError::InvalidRank(5));
                 assert!(matches!(ctx.recv(9, 0), Err(MpiError::InvalidRank(9))));
             }
         });

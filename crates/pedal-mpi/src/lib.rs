@@ -19,3 +19,4 @@ pub mod comm;
 
 pub use collectives::{allreduce, alltoall, barrier, bcast, gather, reduce, scatter};
 pub use comm::{run_world, MpiError, RankCtx, SendHandle, WorldConfig, DEFAULT_EAGER_THRESHOLD};
+pub use pedal_dpu::Bytes;

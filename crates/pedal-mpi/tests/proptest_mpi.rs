@@ -1,20 +1,26 @@
-//! Property-based tests of the message-passing runtime: payload integrity
+//! Seeded random tests of the message-passing runtime: payload integrity
 //! under random shapes/orders, collective correctness against sequential
-//! references, and virtual-time sanity.
+//! references, and virtual-time sanity. Ported from proptest to an in-tree
+//! fixed-seed case generator (`--features fuzz` multiplies case counts).
 
-use bytes::Bytes;
-use pedal_dpu::Platform;
-use pedal_mpi::{allreduce, bcast, gather, reduce, run_world, WorldConfig};
-use proptest::prelude::*;
+use pedal_dpu::{Pcg32, Platform};
+use pedal_mpi::{allreduce, bcast, gather, reduce, run_world, Bytes, WorldConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "fuzz") {
+        base * 16
+    } else {
+        base
+    }
+}
 
-    #[test]
-    fn pingpong_payload_integrity(
-        data in proptest::collection::vec(any::<u8>(), 0..100_000),
-        eager_threshold in prop_oneof![Just(64usize), Just(4096), Just(1 << 20)],
-    ) {
+#[test]
+fn pingpong_payload_integrity() {
+    let mut rng = Pcg32::seed_from_u64(0x3591_0001);
+    for case in 0..cases(8) {
+        let mut data = vec![0u8; rng.gen_range(0usize..100_000)];
+        rng.fill_bytes(&mut data);
+        let eager_threshold = [64usize, 4096, 1 << 20][rng.gen_range(0usize..3)];
         let expected = data.clone();
         let results = run_world(
             WorldConfig::new(2, Platform::BlueField2).with_eager_threshold(eager_threshold),
@@ -30,16 +36,18 @@ proptest! {
                 }
             },
         );
-        prop_assert_eq!(&results[0], &expected);
-        prop_assert_eq!(&results[1], &expected);
+        assert_eq!(results[0], expected, "case {case}");
+        assert_eq!(results[1], expected, "case {case}");
     }
+}
 
-    #[test]
-    fn bcast_delivers_same_bytes_to_all(
-        n_ranks in 2usize..7,
-        root_seed in any::<u64>(),
-        len in 1usize..40_000,
-    ) {
+#[test]
+fn bcast_delivers_same_bytes_to_all() {
+    let mut rng = Pcg32::seed_from_u64(0x3591_0002);
+    for case in 0..cases(8) {
+        let n_ranks = rng.gen_range(2usize..7);
+        let root_seed = rng.gen::<u64>();
+        let len = rng.gen_range(1usize..40_000);
         let root = (root_seed % n_ranks as u64) as usize;
         let payload: Vec<u8> = (0..len).map(|i| (i as u64 ^ root_seed) as u8).collect();
         let expected = payload.clone();
@@ -49,50 +57,55 @@ proptest! {
             msg.to_vec()
         });
         for r in results {
-            prop_assert_eq!(&r, &expected);
+            assert_eq!(r, expected, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn reduce_matches_sequential_reference(
-        n_ranks in 2usize..6,
-        values in proptest::collection::vec(-1e6f64..1e6, 1..50),
-    ) {
+#[test]
+fn reduce_matches_sequential_reference() {
+    let mut rng = Pcg32::seed_from_u64(0x3591_0003);
+    for case in 0..cases(8) {
+        let n_ranks = rng.gen_range(2usize..6);
+        let values: Vec<f64> =
+            (0..rng.gen_range(1usize..50)).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
         let len = values.len();
         let vals = values.clone();
         let results = run_world(WorldConfig::new(n_ranks, Platform::BlueField2), move |mpi| {
             // Rank r contributes values rotated by r.
-            let local: Vec<f64> =
-                (0..len).map(|i| vals[(i + mpi.rank) % len]).collect();
+            let local: Vec<f64> = (0..len).map(|i| vals[(i + mpi.rank) % len]).collect();
             reduce(mpi, 0, local, |a, b| a + b).unwrap()
         });
         let got = results[0].as_ref().unwrap();
         for i in 0..len {
-            let want: f64 =
-                (0..n_ranks).map(|r| values[(i + r) % len]).sum();
-            prop_assert!((got[i] - want).abs() < 1e-6 * want.abs().max(1.0));
+            let want: f64 = (0..n_ranks).map(|r| values[(i + r) % len]).sum();
+            assert!((got[i] - want).abs() < 1e-6 * want.abs().max(1.0), "case {case} idx {i}");
         }
     }
+}
 
-    #[test]
-    fn allreduce_is_uniform(
-        n_ranks in 2usize..6,
-        x in -100.0f64..100.0,
-    ) {
+#[test]
+fn allreduce_is_uniform() {
+    let mut rng = Pcg32::seed_from_u64(0x3591_0004);
+    for case in 0..cases(8) {
+        let n_ranks = rng.gen_range(2usize..6);
+        let x = rng.gen_range(-100.0f64..100.0);
         let results = run_world(WorldConfig::new(n_ranks, Platform::BlueField2), move |mpi| {
             allreduce(mpi, vec![x + mpi.rank as f64], |a, b| a.max(b)).unwrap()
         });
         let expect = x + (n_ranks - 1) as f64;
         for r in &results {
-            prop_assert!((r[0] - expect).abs() < 1e-12);
+            assert!((r[0] - expect).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gather_preserves_rank_payloads(
-        n_ranks in 2usize..6,
-        sizes in proptest::collection::vec(0usize..5_000, 6),
-    ) {
+#[test]
+fn gather_preserves_rank_payloads() {
+    let mut rng = Pcg32::seed_from_u64(0x3591_0005);
+    for case in 0..cases(8) {
+        let n_ranks = rng.gen_range(2usize..6);
+        let sizes: Vec<usize> = (0..6).map(|_| rng.gen_range(0usize..5_000)).collect();
         let sizes_cl = sizes.clone();
         let results = run_world(WorldConfig::new(n_ranks, Platform::BlueField2), move |mpi| {
             let len = sizes_cl[mpi.rank % sizes_cl.len()];
@@ -100,18 +113,20 @@ proptest! {
             gather(mpi, 0, Bytes::from(mine)).unwrap()
         });
         let at_root = &results[0];
-        prop_assert_eq!(at_root.len(), n_ranks);
+        assert_eq!(at_root.len(), n_ranks, "case {case}");
         for (rank, payload) in at_root.iter().enumerate() {
-            prop_assert_eq!(payload.len(), sizes[rank % sizes.len()]);
-            prop_assert!(payload.iter().all(|&b| b == rank as u8));
+            assert_eq!(payload.len(), sizes[rank % sizes.len()], "case {case} rank {rank}");
+            assert!(payload.iter().all(|&b| b == rank as u8), "case {case} rank {rank}");
         }
     }
+}
 
-    #[test]
-    fn virtual_time_monotonic_and_deterministic(
-        len_a in 1usize..2_000_000,
-        len_b in 1usize..2_000_000,
-    ) {
+#[test]
+fn virtual_time_monotonic_and_deterministic() {
+    let mut rng = Pcg32::seed_from_u64(0x3591_0006);
+    for case in 0..cases(8) {
+        let len_a = rng.gen_range(1usize..2_000_000);
+        let len_b = rng.gen_range(1usize..2_000_000);
         let run = || {
             run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
                 if mpi.rank == 0 {
@@ -126,6 +141,6 @@ proptest! {
                 }
             })[1]
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }

@@ -1,0 +1,305 @@
+//! Bounded admission queue with per-tenant round-robin fairness and
+//! three backpressure policies.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+use crate::job::{Job, ServiceError};
+
+/// What the service does when a submission finds the queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the submitter until a slot frees (lossless admission).
+    #[default]
+    Block,
+    /// Fail the submission with [`ServiceError::Overloaded`].
+    Reject,
+    /// Evict the lowest-priority queued job to admit a higher-priority
+    /// one; the submission itself is shed when nothing queued is lower.
+    Shed,
+}
+
+#[derive(Default)]
+struct QueueState {
+    /// Per-tenant FIFOs; `BTreeMap` keeps tenant order deterministic.
+    tenants: BTreeMap<u32, VecDeque<Job>>,
+    len: usize,
+    /// Next tenant id to serve (round-robin cursor).
+    cursor: u32,
+    flush_requests: usize,
+    closed: bool,
+    /// Scheduling quiesced: pops park until resumed (admission still
+    /// runs, so backpressure policies act on a deterministic backlog).
+    paused: bool,
+}
+
+/// What a scheduler pop observes.
+pub(crate) enum Popped {
+    Job(Job),
+    /// A drain barrier: every job pushed before it has been popped.
+    Flush,
+    /// Queue closed and empty.
+    Closed,
+}
+
+pub(crate) struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        Self {
+            state: Mutex::new(QueueState::default()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().len
+    }
+
+    /// Admit a job. `Ok(Some(victim))` means the shed policy evicted a
+    /// queued job to make room — the caller must record the victim as
+    /// completed-with-[`ServiceError::Shed`].
+    pub fn push(&self, job: Job) -> Result<Option<Job>, ServiceError> {
+        let mut st = self.state.lock().unwrap();
+        let mut victim = None;
+        loop {
+            if st.closed {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if st.len < self.capacity {
+                break;
+            }
+            match self.policy {
+                BackpressurePolicy::Block => {
+                    st = self.not_full.wait(st).unwrap();
+                }
+                BackpressurePolicy::Reject => {
+                    return Err(ServiceError::Overloaded);
+                }
+                BackpressurePolicy::Shed => {
+                    match take_lowest_priority(&mut st, job.desc.priority) {
+                        Some(evicted) => {
+                            st.len -= 1;
+                            victim = Some(evicted);
+                            break;
+                        }
+                        // The incoming job is (tied for) lowest priority.
+                        None => return Err(ServiceError::Shed),
+                    }
+                }
+            }
+        }
+        st.tenants.entry(job.desc.tenant).or_default().push_back(job);
+        st.len += 1;
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(victim)
+    }
+
+    /// Pop the next job round-robin across tenants; park when empty or
+    /// paused.
+    pub fn pop(&self) -> Popped {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.paused && !st.closed {
+                st = self.not_empty.wait(st).unwrap();
+                continue;
+            }
+            if st.len > 0 {
+                let job = pop_round_robin(&mut st);
+                st.len -= 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Popped::Job(job);
+            }
+            if st.flush_requests > 0 {
+                st.flush_requests -= 1;
+                return Popped::Flush;
+            }
+            if st.closed {
+                return Popped::Closed;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Ask the scheduler to flush pending batches once the queue drains.
+    pub fn request_flush(&self) {
+        self.state.lock().unwrap().flush_requests += 1;
+        self.not_empty.notify_one();
+    }
+
+    /// Quiesce scheduling: jobs keep being admitted (and backpressure
+    /// policies keep acting) but nothing is dispatched until resume.
+    pub fn pause(&self) {
+        self.state.lock().unwrap().paused = true;
+    }
+
+    pub fn resume(&self) {
+        self.state.lock().unwrap().paused = false;
+        self.not_empty.notify_all();
+    }
+
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Serve the first non-empty tenant at or after the cursor, wrapping.
+fn pop_round_robin(st: &mut QueueState) -> Job {
+    let tenant = st
+        .tenants
+        .range(st.cursor..)
+        .chain(st.tenants.range(..st.cursor))
+        .find(|(_, q)| !q.is_empty())
+        .map(|(t, _)| *t)
+        .expect("len > 0 implies a non-empty tenant queue");
+    let q = st.tenants.get_mut(&tenant).unwrap();
+    let job = q.pop_front().unwrap();
+    if q.is_empty() {
+        st.tenants.remove(&tenant);
+    }
+    st.cursor = tenant.wrapping_add(1);
+    job
+}
+
+/// Remove the queued job with the strictly lowest priority below
+/// `incoming`; ties break toward the youngest (largest id) so older
+/// work survives longer.
+fn take_lowest_priority(st: &mut QueueState, incoming: u8) -> Option<Job> {
+    let mut best: Option<(u32, usize, u8, u64)> = None;
+    for (&tenant, q) in st.tenants.iter() {
+        for (i, job) in q.iter().enumerate() {
+            let key = (job.desc.priority, std::cmp::Reverse(job.id));
+            if job.desc.priority < incoming
+                && best.is_none_or(|(_, _, p, id)| key < (p, std::cmp::Reverse(id)))
+            {
+                best = Some((tenant, i, job.desc.priority, job.id));
+            }
+        }
+    }
+    let (tenant, idx, _, _) = best?;
+    let q = st.tenants.get_mut(&tenant).unwrap();
+    let job = q.remove(idx).unwrap();
+    if q.is_empty() {
+        st.tenants.remove(&tenant);
+    }
+    Some(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobDesc, JobOp};
+    use pedal::{Datatype, Design};
+
+    fn job(id: u64, tenant: u32, priority: u8) -> Job {
+        let desc = JobDesc {
+            tenant,
+            priority,
+            design: Design::SOC_DEFLATE,
+            datatype: Datatype::Byte,
+            arrival: pedal_dpu::SimInstant::EPOCH,
+            op: JobOp::Compress { data: vec![0; 8] },
+        };
+        Job { id, desc }
+    }
+
+    fn pop_id(q: &AdmissionQueue) -> u64 {
+        match q.pop() {
+            Popped::Job(j) => j.id,
+            _ => panic!("expected a job"),
+        }
+    }
+
+    #[test]
+    fn reject_policy_returns_overloaded_and_never_exceeds_capacity() {
+        let q = AdmissionQueue::new(3, BackpressurePolicy::Reject);
+        for id in 0..3 {
+            assert!(q.push(job(id, 0, 0)).is_ok());
+        }
+        assert_eq!(q.len(), q.capacity());
+        assert!(matches!(q.push(job(3, 0, 0)), Err(ServiceError::Overloaded)));
+        assert_eq!(q.len(), 3, "a rejected push must not grow the queue");
+        // Freeing one slot re-admits.
+        assert!(matches!(q.pop(), Popped::Job(_)));
+        assert!(q.push(job(4, 0, 0)).is_ok());
+        assert_eq!(q.len(), q.capacity());
+    }
+
+    #[test]
+    fn shed_policy_evicts_the_lowest_priority_youngest_job() {
+        let q = AdmissionQueue::new(3, BackpressurePolicy::Shed);
+        q.push(job(0, 0, 5)).unwrap();
+        q.push(job(1, 0, 1)).unwrap();
+        q.push(job(2, 1, 1)).unwrap();
+        // Queue full; priority 3 evicts the youngest of the priority-1
+        // pair (id 2), not the older one.
+        let victim = q.push(job(3, 0, 3)).unwrap().expect("a job must be shed");
+        assert_eq!(victim.id, 2);
+        assert_eq!(q.len(), 3);
+        // A submission at (or below) the current minimum is itself shed.
+        assert!(matches!(q.push(job(4, 0, 1)), Err(ServiceError::Shed)));
+        assert!(matches!(q.push(job(5, 0, 0)), Err(ServiceError::Shed)));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn block_policy_waits_for_a_slot() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(1, BackpressurePolicy::Block));
+        q.push(job(0, 0, 0)).unwrap();
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                pop_id(&q)
+            })
+        };
+        // Blocks until the consumer pops, then succeeds.
+        q.push(job(1, 0, 0)).unwrap();
+        assert_eq!(consumer.join().unwrap(), 0);
+        assert_eq!(pop_id(&q), 1);
+    }
+
+    #[test]
+    fn pop_serves_tenants_round_robin() {
+        let q = AdmissionQueue::new(16, BackpressurePolicy::Reject);
+        // Tenant 0 floods; tenants 1 and 2 each submit one job.
+        for id in 0..4 {
+            q.push(job(id, 0, 0)).unwrap();
+        }
+        q.push(job(4, 1, 0)).unwrap();
+        q.push(job(5, 2, 0)).unwrap();
+        let order: Vec<u64> = (0..6).map(|_| pop_id(&q)).collect();
+        // Each tenant gets a turn per cycle instead of FIFO order.
+        assert_eq!(order, vec![0, 4, 5, 1, 2, 3]);
+    }
+
+    #[test]
+    fn flush_is_delivered_only_after_queued_jobs() {
+        let q = AdmissionQueue::new(4, BackpressurePolicy::Reject);
+        q.push(job(0, 0, 0)).unwrap();
+        q.request_flush();
+        assert_eq!(pop_id(&q), 0);
+        assert!(matches!(q.pop(), Popped::Flush));
+        q.close();
+        assert!(matches!(q.pop(), Popped::Closed));
+        assert!(matches!(q.push(job(1, 0, 0)), Err(ServiceError::ShuttingDown)));
+    }
+}

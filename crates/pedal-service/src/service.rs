@@ -1,0 +1,1021 @@
+//! The offload engine: admission, deterministic scheduling, lane
+//! execution, and graceful shutdown.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use pedal::{wire, Datatype, Design, PedalHeader};
+use pedal_doca::{ChannelSet, CompressJob, JobHandle, JobKind, Workq};
+use pedal_dpu::{
+    Algorithm, CostModel, Direction, Placement, Platform, SimClock, SimDuration, SimInstant,
+};
+
+use crate::job::{
+    CompletedJob, Job, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError,
+};
+use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
+use crate::stats::{LaneStats, ServiceStats};
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Tuning knobs for a [`PedalService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    pub platform: Platform,
+    /// Admission queue bound (jobs waiting for the scheduler).
+    pub queue_capacity: usize,
+    pub policy: BackpressurePolicy,
+    /// SoC worker threads serving SoC-placed designs.
+    pub soc_workers: usize,
+    /// Independent C-Engine channels (DOCA work queues).
+    pub ce_channels: usize,
+    /// Engine descriptors per channel.
+    pub channel_depth: usize,
+    /// Compress jobs smaller than this many bytes coalesce into one
+    /// engine submission; 0 disables batching.
+    pub batch_threshold: usize,
+    /// Maximum jobs per coalesced submission.
+    pub batch_max_jobs: usize,
+    /// Virtual-time window a pending batch stays open after its first
+    /// member arrives.
+    pub batch_window: SimDuration,
+    /// Error bound applied to SZ3 (lossy) jobs.
+    pub error_bound: f64,
+}
+
+impl ServiceConfig {
+    pub fn new(platform: Platform) -> Self {
+        Self {
+            platform,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            soc_workers: 2,
+            ce_channels: 1,
+            channel_depth: Workq::DEFAULT_DEPTH,
+            batch_threshold: 0,
+            batch_max_jobs: 8,
+            batch_window: SimDuration::from_micros(200),
+            error_bound: 1e-4,
+        }
+    }
+
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    pub fn with_policy(mut self, policy: BackpressurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_soc_workers(mut self, workers: usize) -> Self {
+        self.soc_workers = workers;
+        self
+    }
+
+    pub fn with_ce_channels(mut self, channels: usize) -> Self {
+        self.ce_channels = channels;
+        self
+    }
+
+    pub fn with_channel_depth(mut self, depth: usize) -> Self {
+        self.channel_depth = depth;
+        self
+    }
+
+    pub fn with_batching(mut self, threshold: usize, max_jobs: usize, window: SimDuration) -> Self {
+        self.batch_threshold = threshold;
+        self.batch_max_jobs = max_jobs;
+        self.batch_window = window;
+        self
+    }
+
+    pub fn with_error_bound(mut self, error_bound: f64) -> Self {
+        self.error_bound = error_bound;
+        self
+    }
+
+    fn normalized(mut self) -> Self {
+        self.queue_capacity = self.queue_capacity.max(1);
+        self.soc_workers = self.soc_workers.max(1);
+        self.ce_channels = self.ce_channels.max(1);
+        self.channel_depth = self.channel_depth.max(1);
+        // A batch must fit a channel's descriptor ring.
+        self.batch_max_jobs = self.batch_max_jobs.clamp(1, self.channel_depth);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared completion state
+// ---------------------------------------------------------------------
+
+struct Shared {
+    completed: Mutex<Vec<CompletedJob>>,
+    /// Jobs admitted but not yet recorded (queued, batched, or in-lane).
+    outstanding: Mutex<u64>,
+    all_done: Condvar,
+    rejected: AtomicU64,
+    shed_at_submit: AtomicU64,
+    /// Lamport clock merged with every completion instant.
+    clock: SimClock,
+}
+
+impl Shared {
+    fn start_one(&self) {
+        *self.outstanding.lock().unwrap() += 1;
+    }
+
+    fn finish_one(&self) {
+        let mut n = self.outstanding.lock().unwrap();
+        *n -= 1;
+        if *n == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn record(&self, job: CompletedJob) {
+        if let Some(m) = &job.metrics {
+            self.clock.merge(m.completed);
+        }
+        self.completed.lock().unwrap().push(job);
+        self.finish_one();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------
+
+/// Asynchronous compression offload engine: jobs enter a bounded
+/// admission queue, a scheduler routes them by design placement to SoC
+/// worker threads or C-Engine channels, and completions carry virtual
+/// queue-wait/service telemetry.
+pub struct PedalService {
+    cfg: ServiceConfig,
+    queue: Arc<AdmissionQueue>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    scheduler: Option<JoinHandle<()>>,
+    lanes: Vec<JoinHandle<LaneStats>>,
+}
+
+impl PedalService {
+    /// Spawn the scheduler and all lanes.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let cfg = cfg.normalized();
+        let costs = CostModel::for_platform(cfg.platform);
+        let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.policy));
+        let shared = Arc::new(Shared {
+            completed: Mutex::new(Vec::new()),
+            outstanding: Mutex::new(0),
+            all_done: Condvar::new(),
+            rejected: AtomicU64::new(0),
+            shed_at_submit: AtomicU64::new(0),
+            clock: SimClock::new(),
+        });
+        let channels = Arc::new(ChannelSet::new(costs, cfg.ce_channels, cfg.channel_depth));
+
+        let mut lanes = Vec::new();
+        let mut soc_tx = Vec::new();
+        for w in 0..cfg.soc_workers {
+            let (tx, rx) = mpsc::channel();
+            soc_tx.push(tx);
+            let env = LaneEnv {
+                platform: cfg.platform,
+                costs,
+                error_bound: cfg.error_bound,
+                shared: shared.clone(),
+            };
+            lanes.push(
+                std::thread::Builder::new()
+                    .name(format!("pedal-soc{w}"))
+                    .spawn(move || run_lane(env, LaneId::Soc(w), rx, None))
+                    .expect("spawn SoC lane"),
+            );
+        }
+        let mut ce_tx = Vec::new();
+        for c in 0..cfg.ce_channels {
+            let (tx, rx) = mpsc::channel();
+            ce_tx.push(tx);
+            let env = LaneEnv {
+                platform: cfg.platform,
+                costs,
+                error_bound: cfg.error_bound,
+                shared: shared.clone(),
+            };
+            let channels = channels.clone();
+            lanes.push(
+                std::thread::Builder::new()
+                    .name(format!("pedal-ce{c}"))
+                    .spawn(move || run_lane(env, LaneId::Channel(c), rx, Some((channels, c))))
+                    .expect("spawn channel lane"),
+            );
+        }
+
+        let scheduler = {
+            let queue = queue.clone();
+            let sched = Scheduler {
+                platform: cfg.platform,
+                costs,
+                soc_tx,
+                ce_tx,
+                soc_free: vec![SimInstant::EPOCH; cfg.soc_workers],
+                ce_free: vec![SimInstant::EPOCH; cfg.ce_channels],
+                ce_busy: vec![VecDeque::new(); cfg.ce_channels],
+                channel_depth: cfg.channel_depth,
+                batch_threshold: cfg.batch_threshold,
+                batch_max_jobs: cfg.batch_max_jobs,
+                batch_window: cfg.batch_window,
+                pending: None,
+            };
+            std::thread::Builder::new()
+                .name("pedal-sched".into())
+                .spawn(move || scheduler_loop(queue, sched))
+                .expect("spawn scheduler")
+        };
+
+        Self { cfg, queue, shared, next_id: AtomicU64::new(0), scheduler: Some(scheduler), lanes }
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Latest virtual completion instant observed service-wide.
+    pub fn now(&self) -> SimInstant {
+        self.shared.clock.now()
+    }
+
+    /// Jobs currently waiting for the scheduler.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Quiesce scheduling: jobs are still admitted (and the backpressure
+    /// policy still acts on the growing backlog) but none dispatch until
+    /// [`PedalService::resume`]. Lets callers build a deterministic
+    /// overload.
+    pub fn pause(&self) {
+        self.queue.pause();
+    }
+
+    pub fn resume(&self) {
+        self.queue.resume();
+    }
+
+    /// Admit a job. Behaviour when the queue is full depends on the
+    /// configured [`BackpressurePolicy`].
+    pub fn submit(&self, desc: JobDesc) -> Result<JobId, ServiceError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.start_one();
+        match self.queue.push(Job { id, desc }) {
+            Ok(None) => Ok(id),
+            Ok(Some(victim)) => {
+                // The shed policy evicted a queued job to admit this one.
+                self.shared.record(CompletedJob {
+                    id: victim.id,
+                    tenant: victim.desc.tenant,
+                    design: victim.desc.design,
+                    direction: victim.desc.op.direction(),
+                    result: Err(ServiceError::Shed),
+                    metrics: None,
+                });
+                Ok(id)
+            }
+            Err(e) => {
+                match e {
+                    ServiceError::Overloaded => {
+                        self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServiceError::Shed => {
+                        self.shared.shed_at_submit.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                self.shared.finish_one();
+                Err(e)
+            }
+        }
+    }
+
+    /// Wait for every admitted job (including pending batches) to finish
+    /// and return a snapshot of all completions so far, ordered by job
+    /// id. Completions stay recorded for [`PedalService::shutdown`]'s
+    /// statistics.
+    pub fn drain(&self) -> Vec<CompletedJob> {
+        self.queue.request_flush();
+        let mut n = self.shared.outstanding.lock().unwrap();
+        while *n > 0 {
+            n = self.shared.all_done.wait(n).unwrap();
+        }
+        drop(n);
+        let mut jobs = self.shared.completed.lock().unwrap().clone();
+        jobs.sort_by_key(|j| j.id);
+        jobs
+    }
+
+    /// Stop admitting, flush pending batches, run every admitted job to
+    /// completion, join all threads, and summarize.
+    pub fn shutdown(mut self) -> (Vec<CompletedJob>, ServiceStats) {
+        self.queue.close();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        let mut lane_stats = Vec::new();
+        for h in self.lanes.drain(..) {
+            if let Ok(s) = h.join() {
+                lane_stats.push(s);
+            }
+        }
+        let mut jobs = std::mem::take(&mut *self.shared.completed.lock().unwrap());
+        jobs.sort_by_key(|j| j.id);
+        let mut stats =
+            ServiceStats::build(&jobs, self.shared.rejected.load(Ordering::Relaxed), lane_stats);
+        stats.shed += self.shared.shed_at_submit.load(Ordering::Relaxed);
+        (jobs, stats)
+    }
+}
+
+impl Drop for PedalService {
+    fn drop(&mut self) {
+        self.queue.close();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        for h in self.lanes.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+enum LaneMsg {
+    One {
+        job: Job,
+        admitted_at: SimInstant,
+    },
+    /// Sub-threshold compress jobs coalesced into one engine submission
+    /// (C-Engine lanes only).
+    Batch {
+        jobs: Vec<Job>,
+        admitted_at: SimInstant,
+    },
+}
+
+struct PendingBatch {
+    jobs: Vec<Job>,
+    window_end: SimInstant,
+}
+
+/// Single-threaded router. It tracks its *own* predicted per-lane free
+/// times rather than reading live `Workq` state, so routing — and hence
+/// every per-job metric — is a pure function of the submission order.
+struct Scheduler {
+    platform: Platform,
+    costs: CostModel,
+    soc_tx: Vec<Sender<LaneMsg>>,
+    ce_tx: Vec<Sender<LaneMsg>>,
+    soc_free: Vec<SimInstant>,
+    ce_free: Vec<SimInstant>,
+    /// Predicted completion instant of each descriptor a channel holds.
+    ce_busy: Vec<VecDeque<SimInstant>>,
+    channel_depth: usize,
+    batch_threshold: usize,
+    batch_max_jobs: usize,
+    batch_window: SimDuration,
+    pending: Option<PendingBatch>,
+}
+
+fn scheduler_loop(queue: Arc<AdmissionQueue>, mut sched: Scheduler) {
+    loop {
+        match queue.pop() {
+            Popped::Job(job) => sched.on_job(job),
+            Popped::Flush => sched.flush(),
+            Popped::Closed => {
+                sched.flush();
+                break;
+            }
+        }
+    }
+    // Dropping the scheduler drops every lane sender; lanes exit.
+}
+
+impl Scheduler {
+    fn on_job(&mut self, job: Job) {
+        // Any arrival past the window closes the open batch, whatever
+        // lane the new job itself targets — the window is virtual time,
+        // not queue occupancy, so it cannot race with producers.
+        if self.pending.as_ref().is_some_and(|p| job.desc.arrival > p.window_end) {
+            self.flush();
+        }
+        let dir = job.desc.op.direction();
+        match job.desc.design.effective_placement(self.platform, dir) {
+            Placement::Soc => self.dispatch_soc(job),
+            Placement::CEngine => {
+                let batchable = self.batch_threshold > 0
+                    && self.batch_max_jobs > 1
+                    && matches!(dir, Direction::Compress)
+                    && matches!(job.desc.design.algorithm, Algorithm::Deflate)
+                    && job.desc.op.input_len() < self.batch_threshold;
+                if batchable {
+                    self.enqueue_batch(job);
+                } else {
+                    self.dispatch_ce(vec![job]);
+                }
+            }
+        }
+    }
+
+    fn enqueue_batch(&mut self, job: Job) {
+        match &mut self.pending {
+            Some(p) => {
+                p.jobs.push(job);
+                if p.jobs.len() >= self.batch_max_jobs {
+                    self.flush();
+                }
+            }
+            None => {
+                let window_end = job.desc.arrival + self.batch_window;
+                self.pending = Some(PendingBatch { jobs: vec![job], window_end });
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(p) = self.pending.take() {
+            self.dispatch_ce(p.jobs);
+        }
+    }
+
+    fn dispatch_soc(&mut self, job: Job) {
+        let arrival = job.desc.arrival;
+        let service = predict_service(&self.costs, &job.desc, Placement::Soc);
+        let mut best = 0;
+        for w in 1..self.soc_free.len() {
+            if self.soc_free[w].max(arrival) < self.soc_free[best].max(arrival) {
+                best = w;
+            }
+        }
+        self.soc_free[best] = self.soc_free[best].max(arrival) + service;
+        let _ = self.soc_tx[best].send(LaneMsg::One { job, admitted_at: arrival });
+    }
+
+    /// Dispatch one job (`jobs.len() == 1`) or a coalesced batch to the
+    /// channel predicted to finish it first, honouring per-channel
+    /// descriptor depth in virtual time.
+    fn dispatch_ce(&mut self, mut jobs: Vec<Job>) {
+        let k = jobs.len();
+        let mut at = jobs.iter().map(|j| j.desc.arrival).max().expect("non-empty dispatch");
+        // Wait (virtually) until some channel has k free descriptors.
+        loop {
+            for q in &mut self.ce_busy {
+                while q.front().is_some_and(|&t| t <= at) {
+                    q.pop_front();
+                }
+            }
+            if self.ce_busy.iter().any(|q| q.len() + k <= self.channel_depth) {
+                break;
+            }
+            match self.ce_busy.iter().filter_map(|q| q.front().copied()).min() {
+                Some(t) => at = at.max(t),
+                None => break,
+            }
+        }
+        let service = {
+            let per_job: SimDuration = jobs
+                .iter()
+                .map(|j| predict_service(&self.costs, &j.desc, Placement::CEngine))
+                .sum();
+            let saved = self.costs.cengine_job_overhead(Direction::Compress) * (k as u64 - 1);
+            per_job.saturating_sub(saved)
+        };
+        let mut best = usize::MAX;
+        for c in 0..self.ce_free.len() {
+            if self.ce_busy[c].len() + k > self.channel_depth {
+                continue;
+            }
+            if best == usize::MAX || self.ce_free[c].max(at) < self.ce_free[best].max(at) {
+                best = c;
+            }
+        }
+        let best = if best == usize::MAX { 0 } else { best };
+        let done = self.ce_free[best].max(at) + service;
+        self.ce_free[best] = done;
+        for _ in 0..k {
+            self.ce_busy[best].push_back(done);
+        }
+        let msg = if k == 1 {
+            LaneMsg::One { job: jobs.pop().unwrap(), admitted_at: at }
+        } else {
+            LaneMsg::Batch { jobs, admitted_at: at }
+        };
+        let _ = self.ce_tx[best].send(msg);
+    }
+}
+
+/// Deterministic service-time estimate used only for routing; lanes
+/// charge the real costs.
+fn predict_service(costs: &CostModel, desc: &JobDesc, eff: Placement) -> SimDuration {
+    let dir = desc.op.direction();
+    let bytes = match &desc.op {
+        JobOp::Compress { data } => data.len(),
+        JobOp::Decompress { expected_len, .. } => *expected_len,
+    };
+    let algo = desc.design.algorithm;
+    let main = match algo {
+        Algorithm::Sz3 => {
+            let core = bytes / 3 + 64;
+            let backend = match eff {
+                Placement::CEngine => costs
+                    .cengine_lossless(Algorithm::Deflate, dir, core)
+                    .unwrap_or_else(|| costs.soc_lossless(Algorithm::Deflate, dir, core)),
+                Placement::Soc => costs.sz3_zs_backend(dir, core),
+            };
+            costs.sz3_core(dir, bytes) + backend
+        }
+        _ => {
+            let engine_algo =
+                if matches!(algo, Algorithm::Zlib) { Algorithm::Deflate } else { algo };
+            let checksum = if matches!(algo, Algorithm::Zlib) {
+                costs.checksum(bytes)
+            } else {
+                SimDuration::ZERO
+            };
+            match eff {
+                Placement::CEngine => {
+                    costs
+                        .cengine_lossless(engine_algo, dir, bytes)
+                        .unwrap_or_else(|| costs.soc_lossless(algo, dir, bytes))
+                        + checksum
+                }
+                Placement::Soc => costs.soc_lossless(algo, dir, bytes),
+            }
+        }
+    };
+    costs.pool_hit() + main
+}
+
+// ---------------------------------------------------------------------
+// Lane execution
+// ---------------------------------------------------------------------
+
+struct LaneEnv {
+    platform: Platform,
+    costs: CostModel,
+    error_bound: f64,
+    shared: Arc<Shared>,
+}
+
+struct Outcome {
+    result: Result<JobOutput, ServiceError>,
+    completed: SimInstant,
+}
+
+fn fail(msg: String, completed: SimInstant) -> Outcome {
+    Outcome { result: Err(ServiceError::Pedal(msg)), completed }
+}
+
+/// Each lane is a serial server in virtual time: a job starts at
+/// `max(dispatch instant, previous completion)`. C-Engine lanes own one
+/// channel of the shared [`ChannelSet`] and are its only submitter, so
+/// the channel's FIFO state evolves deterministically.
+fn run_lane(
+    env: LaneEnv,
+    lane: LaneId,
+    rx: Receiver<LaneMsg>,
+    channels: Option<(Arc<ChannelSet>, usize)>,
+) -> LaneStats {
+    let wq: Option<&Workq> = channels.as_ref().map(|(cs, i)| cs.channel(*i));
+    let mut stats = LaneStats::new(lane);
+    let mut virt_free = SimInstant::EPOCH;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            LaneMsg::One { job, admitted_at } => {
+                let start = virt_free.max(admitted_at);
+                let begin = start + env.costs.pool_hit();
+                let outcome = exec_job(&env, wq, &job.desc, begin);
+                virt_free = outcome.completed.max(begin);
+                record_one(&env, &mut stats, lane, job, start, virt_free, outcome.result, false);
+            }
+            LaneMsg::Batch { jobs, admitted_at } => {
+                let wq = wq.expect("batches only target C-Engine lanes");
+                let start = virt_free.max(admitted_at);
+                let begin = start + env.costs.pool_hit();
+                let engine_jobs: Vec<CompressJob> = jobs
+                    .iter()
+                    .map(|j| match &j.desc.op {
+                        JobOp::Compress { data } => {
+                            CompressJob::new(JobKind::DeflateCompress, data.clone())
+                        }
+                        JobOp::Decompress { .. } => unreachable!("batching is compress-only"),
+                    })
+                    .collect();
+                let batch = wq
+                    .submit_batch(engine_jobs, begin)
+                    .expect("batch size is clamped to channel depth");
+                virt_free = batch.completed_at.max(begin);
+                stats.batches += 1;
+                for (i, job) in jobs.into_iter().enumerate() {
+                    let result = match &batch.results[i] {
+                        Ok(r) => {
+                            let JobOp::Compress { data } = &job.desc.op else { unreachable!() };
+                            let (payload, passthrough) =
+                                wire::frame_compressed(job.desc.design, data, r.output.clone());
+                            Ok(JobOutput { bytes: payload, passthrough })
+                        }
+                        Err(e) => Err(ServiceError::Pedal(e.to_string())),
+                    };
+                    record_one(&env, &mut stats, lane, job, start, virt_free, result, true);
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_one(
+    env: &LaneEnv,
+    stats: &mut LaneStats,
+    lane: LaneId,
+    job: Job,
+    started: SimInstant,
+    completed: SimInstant,
+    result: Result<JobOutput, ServiceError>,
+    batched: bool,
+) {
+    let desc = &job.desc;
+    let bytes_in = desc.op.input_len();
+    let bytes_out = result.as_ref().map(|o| o.bytes.len()).unwrap_or(0);
+    let metrics = JobMetrics {
+        arrival: desc.arrival,
+        started,
+        completed,
+        queue_wait: started.elapsed_since(desc.arrival),
+        service: completed.elapsed_since(started),
+        bytes_in,
+        bytes_out,
+        lane,
+        batched,
+    };
+    stats.jobs += 1;
+    stats.bytes_in += bytes_in as u64;
+    stats.bytes_out += bytes_out as u64;
+    stats.busy += metrics.service;
+    stats.last_completion = stats.last_completion.max(completed);
+    env.shared.record(CompletedJob {
+        id: job.id,
+        tenant: desc.tenant,
+        design: desc.design,
+        direction: desc.op.direction(),
+        result,
+        metrics: Some(metrics),
+    });
+}
+
+fn exec_job(env: &LaneEnv, wq: Option<&Workq>, desc: &JobDesc, begin: SimInstant) -> Outcome {
+    match &desc.op {
+        JobOp::Compress { data } => exec_compress(env, wq, desc, data, begin),
+        JobOp::Decompress { payload, expected_len } => {
+            exec_decompress(env, wq, payload, *expected_len, begin)
+        }
+    }
+}
+
+fn exec_compress(
+    env: &LaneEnv,
+    wq: Option<&Workq>,
+    desc: &JobDesc,
+    data: &[u8],
+    begin: SimInstant,
+) -> Outcome {
+    let eff = desc.design.effective_placement(env.platform, Direction::Compress);
+    if let (Some(wq), Placement::CEngine) = (wq, eff) {
+        return exec_compress_engine(env, wq, desc, data, begin);
+    }
+    match wire::compress_payload(desc.design, desc.datatype, env.error_bound, data) {
+        Ok((payload, profile)) => Outcome {
+            completed: begin
+                + soc_stage_time(&env.costs, desc.design, Direction::Compress, &profile),
+            result: Ok(JobOutput { bytes: payload, passthrough: profile.passthrough }),
+        },
+        Err(e) => fail(e.to_string(), begin),
+    }
+}
+
+fn exec_compress_engine(
+    env: &LaneEnv,
+    wq: &Workq,
+    desc: &JobDesc,
+    data: &[u8],
+    begin: SimInstant,
+) -> Outcome {
+    let design = desc.design;
+    match design.algorithm {
+        Algorithm::Deflate => {
+            let h = wq
+                .submit(CompressJob::new(JobKind::DeflateCompress, data.to_vec()), begin)
+                .expect("serial lane cannot overfill its channel");
+            match h.result {
+                Ok(r) => {
+                    let (payload, passthrough) = wire::frame_compressed(design, data, r.output);
+                    Outcome {
+                        result: Ok(JobOutput { bytes: payload, passthrough }),
+                        completed: h.completed_at,
+                    }
+                }
+                Err(e) => fail(e.to_string(), h.completed_at),
+            }
+        }
+        Algorithm::Zlib => {
+            // Split design: DEFLATE body on the engine, zlib header +
+            // Adler-32 trailer on the SoC side of the lane.
+            let h = wq
+                .submit(CompressJob::new(JobKind::DeflateCompress, data.to_vec()), begin)
+                .expect("serial lane cannot overfill its channel");
+            match h.result {
+                Ok(r) => {
+                    let body = pedal_zlib::assemble(pedal_zlib::Level::DEFAULT, &r.output, data);
+                    let (payload, passthrough) = wire::frame_compressed(design, data, body);
+                    Outcome {
+                        result: Ok(JobOutput { bytes: payload, passthrough }),
+                        completed: h.completed_at + env.costs.checksum(data.len()),
+                    }
+                }
+                Err(e) => fail(e.to_string(), h.completed_at),
+            }
+        }
+        Algorithm::Sz3 => {
+            let cfg = wire::sz3_config(design, env.error_bound);
+            let encoded = match desc.datatype {
+                Datatype::Float32 => {
+                    field_from_bytes::<f32>(data).map(|f| pedal_sz3::encode_core(&f, &cfg))
+                }
+                Datatype::Float64 => {
+                    field_from_bytes::<f64>(data).map(|f| pedal_sz3::encode_core(&f, &cfg))
+                }
+                Datatype::Byte => Err(format!("{design} cannot compress opaque bytes")),
+            };
+            let (core, core_stats) = match encoded {
+                Ok(t) => t,
+                Err(e) => return fail(e, begin),
+            };
+            let core_t = env.costs.sz3_core(Direction::Compress, core_stats.input_bytes);
+            let h = wq
+                .submit(CompressJob::new(JobKind::DeflateCompress, core.clone()), begin + core_t)
+                .expect("serial lane cannot overfill its channel");
+            match h.result {
+                Ok(r) => {
+                    let sealed =
+                        pedal_sz3::seal_with(&core, pedal_sz3::BackendKind::Deflate, |_| r.output);
+                    let (payload, passthrough) = wire::frame_compressed(design, data, sealed);
+                    Outcome {
+                        result: Ok(JobOutput { bytes: payload, passthrough }),
+                        completed: h.completed_at,
+                    }
+                }
+                Err(e) => fail(e.to_string(), h.completed_at),
+            }
+        }
+        Algorithm::Lz4 => unreachable!("no BlueField generation compresses LZ4 on the engine"),
+    }
+}
+
+fn exec_decompress(
+    env: &LaneEnv,
+    wq: Option<&Workq>,
+    payload: &[u8],
+    expected_len: usize,
+    begin: SimInstant,
+) -> Outcome {
+    let (header, original_len, body) = match wire::unframe(payload) {
+        Ok(t) => t,
+        Err(e) => return fail(e.to_string(), begin),
+    };
+    if original_len != expected_len {
+        return fail(
+            format!("length mismatch: payload says {original_len}, caller expects {expected_len}"),
+            begin,
+        );
+    }
+    match header {
+        PedalHeader::Uncompressed => {
+            if body.len() != expected_len {
+                return fail(
+                    format!("passthrough body is {} bytes, expected {expected_len}", body.len()),
+                    begin,
+                );
+            }
+            Outcome {
+                result: Ok(JobOutput { bytes: body.to_vec(), passthrough: true }),
+                completed: begin + env.costs.memcpy(body.len()),
+            }
+        }
+        PedalHeader::Compressed(design) => {
+            // Execution follows the payload's header, not the submitted
+            // design — exactly like the receiver side of the context.
+            let eff = design.effective_placement(env.platform, Direction::Decompress);
+            if let (Some(wq), Placement::CEngine) = (wq, eff) {
+                exec_decompress_engine(env, wq, design, body, expected_len, begin)
+            } else {
+                match wire::decompress_payload(payload, expected_len) {
+                    Ok((data, profile)) => Outcome {
+                        completed: begin
+                            + soc_stage_time(&env.costs, design, Direction::Decompress, &profile),
+                        result: Ok(JobOutput { bytes: data, passthrough: false }),
+                    },
+                    Err(e) => fail(e.to_string(), begin),
+                }
+            }
+        }
+    }
+}
+
+fn exec_decompress_engine(
+    env: &LaneEnv,
+    wq: &Workq,
+    design: Design,
+    body: &[u8],
+    expected_len: usize,
+    begin: SimInstant,
+) -> Outcome {
+    match design.algorithm {
+        Algorithm::Deflate => {
+            let h = wq
+                .submit(
+                    CompressJob::new(JobKind::DeflateDecompress, body.to_vec())
+                        .with_expected_len(expected_len),
+                    begin,
+                )
+                .expect("serial lane cannot overfill its channel");
+            finish_engine_decode(h, expected_len)
+        }
+        Algorithm::Zlib => {
+            let (deflate_body, expected_sum) = match pedal_zlib::split_stream(body) {
+                Ok(t) => t,
+                Err(e) => return fail(e.to_string(), begin),
+            };
+            let h = wq
+                .submit(
+                    CompressJob::new(JobKind::DeflateDecompress, deflate_body.to_vec())
+                        .with_expected_len(expected_len),
+                    begin,
+                )
+                .expect("serial lane cannot overfill its channel");
+            match h.result {
+                Ok(r) => {
+                    // Adler verification stays on the SoC.
+                    let actual = pedal_zlib::adler32(&r.output);
+                    if actual != expected_sum {
+                        return fail(
+                            format!("adler32 mismatch: {actual:#x} != {expected_sum:#x}"),
+                            h.completed_at,
+                        );
+                    }
+                    let completed = h.completed_at + env.costs.checksum(expected_len);
+                    if r.output.len() != expected_len {
+                        return fail(
+                            format!("got {} bytes, expected {expected_len}", r.output.len()),
+                            completed,
+                        );
+                    }
+                    Outcome {
+                        result: Ok(JobOutput { bytes: r.output, passthrough: false }),
+                        completed,
+                    }
+                }
+                Err(e) => fail(e.to_string(), h.completed_at),
+            }
+        }
+        Algorithm::Lz4 => {
+            let h = wq
+                .submit(
+                    CompressJob::new(JobKind::Lz4Decompress, body.to_vec())
+                        .with_expected_len(expected_len),
+                    begin,
+                )
+                .expect("serial lane cannot overfill its channel");
+            finish_engine_decode(h, expected_len)
+        }
+        Algorithm::Sz3 => {
+            let mut engine_done = begin;
+            let mut used_engine = false;
+            let unsealed = pedal_sz3::unseal_with(body, |backend, packed| match backend {
+                pedal_sz3::BackendKind::Deflate => {
+                    // The engine needs a sized destination; the core is
+                    // never larger than the original plus slack.
+                    let limit = expected_len + expected_len / 2 + 4096;
+                    let h = wq
+                        .submit(
+                            CompressJob::new(JobKind::DeflateDecompress, packed.to_vec())
+                                .with_expected_len(limit),
+                            begin,
+                        )
+                        .expect("serial lane cannot overfill its channel");
+                    engine_done = h.completed_at;
+                    used_engine = true;
+                    h.result.map(|r| r.output).map_err(|e| pedal_sz3::BackendError(e.to_string()))
+                }
+                other => pedal_sz3::backend_decompress(other, packed),
+            });
+            let (core, backend) = match unsealed {
+                Ok(t) => t,
+                Err(e) => return fail(e.to_string(), engine_done),
+            };
+            let backend_t = if used_engine {
+                SimDuration::ZERO // already inside engine_done
+            } else {
+                match backend {
+                    pedal_sz3::BackendKind::Deflate => env.costs.soc_lossless(
+                        Algorithm::Deflate,
+                        Direction::Decompress,
+                        core.len(),
+                    ),
+                    _ => env.costs.sz3_zs_backend(Direction::Decompress, core.len()),
+                }
+            };
+            let completed =
+                engine_done + backend_t + env.costs.sz3_core(Direction::Decompress, expected_len);
+            let data = match core.get(5).copied() {
+                Some(0x32) => pedal_sz3::decode_core::<f32>(&core)
+                    .map(|f| f.to_bytes())
+                    .map_err(|e| e.to_string()),
+                Some(0x64) => pedal_sz3::decode_core::<f64>(&core)
+                    .map(|f| f.to_bytes())
+                    .map_err(|e| e.to_string()),
+                other => Err(format!("bad sz3 type tag {other:?}")),
+            };
+            match data {
+                Ok(data) if data.len() == expected_len => {
+                    Outcome { result: Ok(JobOutput { bytes: data, passthrough: false }), completed }
+                }
+                Ok(data) => {
+                    fail(format!("got {} bytes, expected {expected_len}", data.len()), completed)
+                }
+                Err(e) => fail(e, completed),
+            }
+        }
+    }
+}
+
+fn finish_engine_decode(h: JobHandle, expected_len: usize) -> Outcome {
+    match h.result {
+        Ok(r) if r.output.len() == expected_len => Outcome {
+            result: Ok(JobOutput { bytes: r.output, passthrough: false }),
+            completed: h.completed_at,
+        },
+        Ok(r) => {
+            fail(format!("got {} bytes, expected {expected_len}", r.output.len()), h.completed_at)
+        }
+        Err(e) => fail(e.to_string(), h.completed_at),
+    }
+}
+
+/// Virtual time of one pure-SoC operation, charged from the byte counts
+/// the pure codec recorded — mirrors [`pedal::PedalContext`]'s charging.
+fn soc_stage_time(
+    costs: &CostModel,
+    design: Design,
+    dir: Direction,
+    profile: &wire::CostProfile,
+) -> SimDuration {
+    if profile.passthrough && matches!(dir, Direction::Decompress) {
+        return costs.memcpy(profile.lossless_bytes);
+    }
+    match design.algorithm {
+        Algorithm::Sz3 => {
+            let backend = match design.placement {
+                Placement::Soc => costs.sz3_zs_backend(dir, profile.lossless_bytes),
+                // CE design running on the SoC (BF3 redirect): the
+                // backend is DEFLATE at SoC speed — the paper's 1.58x
+                // penalty.
+                Placement::CEngine => {
+                    costs.soc_lossless(Algorithm::Deflate, dir, profile.lossless_bytes)
+                }
+            };
+            costs.sz3_core(dir, profile.sz3_core_bytes) + backend
+        }
+        algo => costs.soc_lossless(algo, dir, profile.lossless_bytes),
+    }
+}
+
+fn field_from_bytes<T: pedal_sz3::Float>(data: &[u8]) -> Result<pedal_sz3::Field<T>, String> {
+    if !data.len().is_multiple_of(T::BYTES) {
+        return Err(format!(
+            "{} bytes is not a whole number of {}-byte elements",
+            data.len(),
+            T::BYTES
+        ));
+    }
+    Ok(pedal_sz3::Field::from_bytes(pedal_sz3::Dims::d1(data.len() / T::BYTES), data))
+}

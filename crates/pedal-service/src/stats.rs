@@ -1,0 +1,153 @@
+//! Aggregate service telemetry in virtual time.
+
+use pedal_dpu::{SimDuration, SimInstant};
+
+use crate::job::{CompletedJob, LaneId};
+
+/// Per-executor counters, accumulated lock-free inside each lane thread.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneStats {
+    pub lane: LaneId,
+    pub jobs: u64,
+    /// Coalesced C-Engine submissions (0 for SoC lanes).
+    pub batches: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Total virtual time spent serving jobs.
+    pub busy: SimDuration,
+    /// Virtual instant the lane last finished work.
+    pub last_completion: SimInstant,
+}
+
+impl LaneStats {
+    pub(crate) fn new(lane: LaneId) -> Self {
+        Self {
+            lane,
+            jobs: 0,
+            batches: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            busy: SimDuration::ZERO,
+            last_completion: SimInstant::EPOCH,
+        }
+    }
+}
+
+/// Whole-service summary produced by [`crate::PedalService::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    pub completed: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub failed: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Jobs served through a coalesced C-Engine submission.
+    pub batched_jobs: u64,
+    pub queue_wait_p50: SimDuration,
+    pub queue_wait_p99: SimDuration,
+    pub service_p50: SimDuration,
+    pub service_p99: SimDuration,
+    /// End-to-end (arrival to completion) latency percentiles.
+    pub latency_p50: SimDuration,
+    pub latency_p99: SimDuration,
+    /// Last virtual completion instant, as elapsed time since the epoch.
+    pub makespan: SimDuration,
+    pub soc_lanes: Vec<LaneStats>,
+    pub channel_lanes: Vec<LaneStats>,
+}
+
+impl ServiceStats {
+    pub(crate) fn build(jobs: &[CompletedJob], rejected: u64, lanes: Vec<LaneStats>) -> Self {
+        let mut waits = Vec::new();
+        let mut services = Vec::new();
+        let mut latencies = Vec::new();
+        let mut stats = ServiceStats {
+            completed: 0,
+            rejected,
+            shed: 0,
+            failed: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            batched_jobs: 0,
+            queue_wait_p50: SimDuration::ZERO,
+            queue_wait_p99: SimDuration::ZERO,
+            service_p50: SimDuration::ZERO,
+            service_p99: SimDuration::ZERO,
+            latency_p50: SimDuration::ZERO,
+            latency_p99: SimDuration::ZERO,
+            makespan: SimDuration::ZERO,
+            soc_lanes: Vec::new(),
+            channel_lanes: Vec::new(),
+        };
+        let mut last_completion = SimInstant::EPOCH;
+        for job in jobs {
+            match (&job.result, &job.metrics) {
+                (Ok(out), Some(m)) => {
+                    stats.completed += 1;
+                    stats.bytes_in += m.bytes_in as u64;
+                    stats.bytes_out += out.bytes.len() as u64;
+                    stats.batched_jobs += m.batched as u64;
+                    waits.push(m.queue_wait);
+                    services.push(m.service);
+                    latencies.push(m.completed.elapsed_since(m.arrival));
+                    last_completion = last_completion.max(m.completed);
+                }
+                (Err(crate::ServiceError::Shed), _) => stats.shed += 1,
+                (Err(_), _) => stats.failed += 1,
+                (Ok(_), None) => unreachable!("executed jobs always carry metrics"),
+            }
+        }
+        waits.sort_unstable();
+        services.sort_unstable();
+        latencies.sort_unstable();
+        stats.queue_wait_p50 = percentile(&waits, 0.50);
+        stats.queue_wait_p99 = percentile(&waits, 0.99);
+        stats.service_p50 = percentile(&services, 0.50);
+        stats.service_p99 = percentile(&services, 0.99);
+        stats.latency_p50 = percentile(&latencies, 0.50);
+        stats.latency_p99 = percentile(&latencies, 0.99);
+        stats.makespan = last_completion.elapsed_since(SimInstant::EPOCH);
+        for lane in lanes {
+            match lane.lane {
+                LaneId::Soc(_) => stats.soc_lanes.push(lane),
+                LaneId::Channel(_) => stats.channel_lanes.push(lane),
+            }
+        }
+        stats.soc_lanes.sort_by_key(|l| match l.lane {
+            LaneId::Soc(i) => i,
+            LaneId::Channel(i) => i,
+        });
+        stats.channel_lanes.sort_by_key(|l| match l.lane {
+            LaneId::Soc(i) => i,
+            LaneId::Channel(i) => i,
+        });
+        stats
+    }
+
+    /// Input bytes over makespan, in MB/s of virtual time.
+    pub fn throughput_mbps(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.bytes_in as f64 / 1e6 / secs
+    }
+
+    /// Aggregate compression ratio (input over output).
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_out == 0 {
+            return 0.0;
+        }
+        self.bytes_in as f64 / self.bytes_out as f64
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+pub(crate) fn percentile(sorted: &[SimDuration], p: f64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}

@@ -152,7 +152,12 @@ pub fn encode_core<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> (Vec<u8>, Cor
     let mut n_outliers = 0usize;
     let mut recon = vec![0.0f64; n];
 
-    let mut visit = |i: usize, pred: f64, value: f64, codes: &mut Vec<u32>, outliers: &mut Vec<u8>, recon: &mut Vec<f64>| {
+    let mut visit = |i: usize,
+                     pred: f64,
+                     value: f64,
+                     codes: &mut Vec<u32>,
+                     outliers: &mut Vec<u8>,
+                     recon: &mut Vec<f64>| {
         // The decompressor stores reconstructions in T, so the bound must
         // hold on the T-rounded value, not the f64 intermediate.
         if let Quantized::Code { index, reconstructed } = q.quantize(value, pred) {
@@ -177,7 +182,14 @@ pub fn encode_core<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> (Vec<u8>, Cor
                     for x in 0..dims.nx {
                         let i = dims.idx(x, y, z);
                         let pred = lorenzo_predict(&recon, dims.nx, dims.ny, x, y, z);
-                        visit(i, pred, field.data[i].to_f64(), &mut codes, &mut outliers, &mut recon);
+                        visit(
+                            i,
+                            pred,
+                            field.data[i].to_f64(),
+                            &mut codes,
+                            &mut outliers,
+                            &mut recon,
+                        );
                     }
                 }
             }
@@ -188,7 +200,14 @@ pub fn encode_core<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> (Vec<u8>, Cor
             let cubic = predictor == PredictorKind::InterpCubic;
             for p in interp_plan_nd(dims) {
                 let pred = if cubic { interp_cubic(&recon, p) } else { interp_linear(&recon, p) };
-                visit(p.pos, pred, field.data[p.pos].to_f64(), &mut codes, &mut outliers, &mut recon);
+                visit(
+                    p.pos,
+                    pred,
+                    field.data[p.pos].to_f64(),
+                    &mut codes,
+                    &mut outliers,
+                    &mut recon,
+                );
             }
         }
     }
@@ -243,8 +262,7 @@ pub fn decode_core<T: Float>(core: &[u8]) -> Result<Field<T>, Sz3Error> {
     if type_tag != T::TYPE_TAG {
         return Err(Sz3Error::TypeMismatch { expected: T::TYPE_TAG, found: type_tag });
     }
-    let predictor =
-        PredictorKind::from_tag(core[i]).ok_or(Sz3Error::BadHeader("predictor"))?;
+    let predictor = PredictorKind::from_tag(core[i]).ok_or(Sz3Error::BadHeader("predictor"))?;
     i += 1;
     let nx = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("nx"))? as usize;
     let ny = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("ny"))? as usize;
@@ -287,7 +305,11 @@ pub fn decode_core<T: Float>(core: &[u8]) -> Result<Field<T>, Sz3Error> {
     // Codes were emitted in *visit order*, which for interpolation differs
     // from position order; consume them with a running cursor.
     let mut code_cursor = 0usize;
-    let mut place = |i: usize, pred: f64, recon: &mut Vec<f64>, out_data: &mut Vec<T>| -> Result<(), Sz3Error> {
+    let mut place = |i: usize,
+                     pred: f64,
+                     recon: &mut Vec<f64>,
+                     out_data: &mut Vec<T>|
+     -> Result<(), Sz3Error> {
         let code = codes[code_cursor];
         code_cursor += 1;
         if code == Quantizer::OUTLIER {
@@ -327,8 +349,7 @@ pub fn decode_core<T: Float>(core: &[u8]) -> Result<Field<T>, Sz3Error> {
             place(0, 0.0, &mut recon, &mut out_data)?;
             let cubic = predictor == PredictorKind::InterpCubic;
             for p in interp_plan_nd(dims) {
-                let pred =
-                    if cubic { interp_cubic(&recon, p) } else { interp_linear(&recon, p) };
+                let pred = if cubic { interp_cubic(&recon, p) } else { interp_linear(&recon, p) };
                 place(p.pos, pred, &mut recon, &mut out_data)?;
             }
         }
@@ -413,8 +434,7 @@ mod tests {
     #[test]
     fn roundtrip_1d_all_predictors() {
         let field = wave_field_f32(10_000);
-        for predictor in
-            [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic]
+        for predictor in [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic]
         {
             let cfg = Sz3Config { predictor, ..Sz3Config::with_error_bound(1e-4) };
             let sealed = compress(&field, &cfg);
@@ -431,10 +451,8 @@ mod tests {
         let f3 = Field::<f64>::from_fn(Dims::d3(24, 20, 16), |x, y, z| {
             (x + 2 * y + 3 * z) as f64 * 0.1 + ((x * y) as f64 * 0.01).sin()
         });
-        let cfg = Sz3Config {
-            predictor: PredictorKind::Lorenzo,
-            ..Sz3Config::with_error_bound(1e-3)
-        };
+        let cfg =
+            Sz3Config { predictor: PredictorKind::Lorenzo, ..Sz3Config::with_error_bound(1e-3) };
         for f in [&f2, &f3] {
             let sealed = compress(f, &cfg);
             let recon: Field<f64> = decompress(&sealed).unwrap();
@@ -455,8 +473,7 @@ mod tests {
     fn all_backends_produce_identical_fields() {
         let field = wave_field_f32(5_000);
         let mut reference: Option<Vec<f32>> = None;
-        for backend in
-            [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4]
+        for backend in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4]
         {
             let cfg = Sz3Config { backend, ..Default::default() };
             let sealed = compress(&field, &cfg);
@@ -559,9 +576,8 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_with_tight_bound() {
-        let field = Field::<f64>::from_fn(Dims::d1(8_000), |x, _, _| {
-            (x as f64 * 1e-3).exp().sin() * 1e-2
-        });
+        let field =
+            Field::<f64>::from_fn(Dims::d1(8_000), |x, _, _| (x as f64 * 1e-3).exp().sin() * 1e-2);
         let cfg = Sz3Config::with_error_bound(1e-9);
         let recon: Field<f64> = decompress(&compress(&field, &cfg)).unwrap();
         check_bound(&field, &recon, 1e-9);

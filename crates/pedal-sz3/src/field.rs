@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn byte_roundtrip_f32_f64() {
-        let f32_field =
-            Field::<f32>::from_fn(Dims::d1(100), |x, _, _| (x as f32).sin());
+        let f32_field = Field::<f32>::from_fn(Dims::d1(100), |x, _, _| (x as f32).sin());
         let back = Field::<f32>::from_bytes(f32_field.dims, &f32_field.to_bytes());
         assert_eq!(f32_field, back);
 

@@ -208,9 +208,8 @@ impl CanonicalDecoder {
             index += count[l];
         }
         // Canonical symbol order: by (length, symbol index).
-        let mut order: Vec<u32> = (0..lengths.len() as u32)
-            .filter(|&s| lengths[s as usize] > 0)
-            .collect();
+        let mut order: Vec<u32> =
+            (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
         order.sort_by_key(|&s| (lengths[s as usize], s));
         Some(Self { first_code, first_index, count, order, max_len })
     }
@@ -278,9 +277,8 @@ mod tests {
             x ^= x >> 7;
             x ^= x << 17;
             // Sum of 4 nibbles approximates a narrow distribution.
-            let jitter = ((x & 0xF) + ((x >> 4) & 0xF) + ((x >> 8) & 0xF) + ((x >> 12) & 0xF))
-                as i64
-                - 30;
+            let jitter =
+                ((x & 0xF) + ((x >> 4) & 0xF) + ((x >> 8) & 0xF) + ((x >> 12) & 0xF)) as i64 - 30;
             syms.push((radius as i64 + jitter) as u32);
         }
         let blob = encode(&syms);

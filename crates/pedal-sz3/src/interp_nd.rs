@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn plan_covers_2d_grids() {
-        for (nx, ny) in [(2usize, 2usize), (3, 3), (4, 4), (5, 7), (16, 16), (17, 13), (1, 9), (64, 3)] {
+        for (nx, ny) in
+            [(2usize, 2usize), (3, 3), (4, 4), (5, 7), (16, 16), (17, 13), (1, 9), (64, 3)]
+        {
             check_plan(Dims::d2(nx, ny));
         }
     }

@@ -41,11 +41,8 @@ pub fn quality<T: Float>(original: &Field<T>, recon: &Field<T>) -> QualityReport
         n += 1;
     }
     let rmse = if n > 0 { (sum_sq / n as f64).sqrt() } else { 0.0 };
-    let psnr_db = if rmse == 0.0 || range == 0.0 {
-        f64::INFINITY
-    } else {
-        20.0 * (range / rmse).log10()
-    };
+    let psnr_db =
+        if rmse == 0.0 || range == 0.0 { f64::INFINITY } else { 20.0 * (range / rmse).log10() };
     QualityReport { max_abs_error: max_err, rmse, psnr_db, value_range: range, elements: n }
 }
 
@@ -90,14 +87,11 @@ mod tests {
 
     #[test]
     fn sz3_psnr_improves_with_tighter_bound() {
-        let f = Field::<f32>::from_fn(Dims::d1(20_000), |x, _, _| {
-            (x as f32 * 0.01).sin() * 100.0
-        });
+        let f = Field::<f32>::from_fn(Dims::d1(20_000), |x, _, _| (x as f32 * 0.01).sin() * 100.0);
         let mut last_psnr = 0.0;
         for eb in [1.0f64, 0.1, 1e-3] {
             let cfg = crate::Sz3Config::with_error_bound(eb);
-            let recon: Field<f32> =
-                crate::decompress(&crate::compress(&f, &cfg)).unwrap();
+            let recon: Field<f32> = crate::decompress(&crate::compress(&f, &cfg)).unwrap();
             let q = quality(&f, &recon);
             assert!(q.max_abs_error <= eb);
             assert!(q.psnr_db > last_psnr, "eb {eb}: psnr {}", q.psnr_db);

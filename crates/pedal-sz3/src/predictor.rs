@@ -47,14 +47,7 @@ impl PredictorKind {
 /// Lorenzo prediction at (x, y, z) over a reconstructed buffer laid out
 /// row-major with dims (nx, ny, nz). Out-of-range neighbours contribute 0.
 #[inline]
-pub fn lorenzo_predict(
-    recon: &[f64],
-    nx: usize,
-    ny: usize,
-    x: usize,
-    y: usize,
-    z: usize,
-) -> f64 {
+pub fn lorenzo_predict(recon: &[f64], nx: usize, ny: usize, x: usize, y: usize, z: usize) -> f64 {
     let at = |dx: usize, dy: usize, dz: usize| -> f64 {
         // dx/dy/dz are 0 or 1 meaning "one step back".
         if (dx == 1 && x == 0) || (dy == 1 && y == 0) || (dz == 1 && z == 0) {
@@ -64,8 +57,7 @@ pub fn lorenzo_predict(
         }
     };
     // Inclusion-exclusion over the 7 causal neighbours.
-    at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1)
-        + at(1, 1, 1)
+    at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) - at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1) + at(1, 1, 1)
 }
 
 /// The visit order for multi-level interpolation over `n` points.
@@ -171,8 +163,7 @@ mod tests {
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    recon[(z * ny + y) * nx + x] =
-                        1.5 * x as f64 - 2.5 * y as f64 + 4.0 * z as f64;
+                    recon[(z * ny + y) * nx + x] = 1.5 * x as f64 - 2.5 * y as f64 + 4.0 * z as f64;
                 }
             }
         }

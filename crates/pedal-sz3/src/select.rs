@@ -60,8 +60,7 @@ pub fn estimate<T: Float>(field: &Field<T>, predictor: PredictorKind, eb: f64) -
             let step = (plan.len() / SAMPLE_BUDGET).max(1);
             let cubic = predictor == PredictorKind::InterpCubic;
             for p in plan.iter().step_by(step) {
-                let pred =
-                    if cubic { interp_cubic(&vals, *p) } else { interp_linear(&vals, *p) };
+                let pred = if cubic { interp_cubic(&vals, *p) } else { interp_linear(&vals, *p) };
                 let v = vals[p.pos];
                 if v.is_finite() && pred.is_finite() {
                     err += (((v - pred).abs() + noise) / eb + 1.0).log2();
@@ -79,11 +78,7 @@ pub fn estimate<T: Float>(field: &Field<T>, predictor: PredictorKind, eb: f64) -
 
 /// Pick the predictor with the smallest estimated bit cost at bound `eb`.
 pub fn select_predictor<T: Float>(field: &Field<T>, eb: f64) -> PredictorKind {
-    let candidates = [
-        PredictorKind::Lorenzo,
-        PredictorKind::Interp,
-        PredictorKind::InterpCubic,
-    ];
+    let candidates = [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic];
     let mut best = (f64::INFINITY, PredictorKind::Interp);
     for cand in candidates {
         let e = estimate(field, cand, eb);
@@ -115,9 +110,8 @@ mod tests {
 
     #[test]
     fn smooth_curves_prefer_interpolation() {
-        let f = Field::<f64>::from_fn(Dims::d1(20_000), |x, _, _| {
-            ((x as f64) * 0.002).sin() * 50.0
-        });
+        let f =
+            Field::<f64>::from_fn(Dims::d1(20_000), |x, _, _| ((x as f64) * 0.002).sin() * 50.0);
         let picked = select_predictor(&f, 1e-4);
         assert!(
             matches!(picked, PredictorKind::Interp | PredictorKind::InterpCubic),
@@ -163,11 +157,12 @@ mod tests {
         let recon: Field<f32> = crate::decompress(&auto_stream).unwrap();
         assert!(f.max_abs_diff(&recon) <= 1e-4);
         // The auto choice must not be (much) worse than every fixed choice.
-        let best_fixed = [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic]
-            .iter()
-            .map(|&p| crate::compress(&f, &Sz3Config { predictor: p, ..cfg }).len())
-            .min()
-            .unwrap();
+        let best_fixed =
+            [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic]
+                .iter()
+                .map(|&p| crate::compress(&f, &Sz3Config { predictor: p, ..cfg }).len())
+                .min()
+                .unwrap();
         assert!(
             auto_stream.len() <= best_fixed + best_fixed / 10,
             "auto ({picked:?}) produced {} vs best fixed {best_fixed}",

@@ -1,11 +1,24 @@
-//! Property-based verification of the SZ3 pipeline's core invariant: every
+//! Seeded random verification of the SZ3 pipeline's core invariant: every
 //! finite element of the reconstruction is within the absolute error bound,
 //! for any data, any predictor, any backend, and both element types.
+//! Ported from proptest to an in-tree fixed-seed case generator
+//! (`--features fuzz` multiplies case counts).
 
-use pedal_sz3::{
-    compress, decompress, BackendKind, Dims, Field, PredictorKind, Sz3Config,
-};
-use proptest::prelude::*;
+use pedal_dpu::Pcg32;
+use pedal_sz3::{compress, decompress, BackendKind, Dims, Field, PredictorKind, Sz3Config};
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "fuzz") {
+        base * 16
+    } else {
+        base
+    }
+}
+
+const PREDICTORS: [PredictorKind; 3] =
+    [PredictorKind::Lorenzo, PredictorKind::Interp, PredictorKind::InterpCubic];
+const BACKENDS: [BackendKind; 4] =
+    [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4];
 
 fn check_f32(data: Vec<f32>, dims: Dims, eb: f64, predictor: PredictorKind, backend: BackendKind) {
     let field = Field::new(dims, data);
@@ -24,80 +37,85 @@ fn check_f32(data: Vec<f32>, dims: Dims, eb: f64, predictor: PredictorKind, back
     }
 }
 
-fn predictor_strategy() -> impl Strategy<Value = PredictorKind> {
-    prop_oneof![
-        Just(PredictorKind::Lorenzo),
-        Just(PredictorKind::Interp),
-        Just(PredictorKind::InterpCubic),
-    ]
-}
-
-fn backend_strategy() -> impl Strategy<Value = BackendKind> {
-    prop_oneof![
-        Just(BackendKind::None),
-        Just(BackendKind::Zs),
-        Just(BackendKind::Deflate),
-        Just(BackendKind::Lz4),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bound_holds_1d_arbitrary_values(
-        data in proptest::collection::vec(-1e6f32..1e6, 1..2000),
-        eb in prop_oneof![Just(1e-4f64), Just(1e-2), Just(1.0)],
-        predictor in predictor_strategy(),
-        backend in backend_strategy(),
-    ) {
+#[test]
+fn bound_holds_1d_arbitrary_values() {
+    let mut rng = Pcg32::seed_from_u64(0x5233_0001);
+    for _ in 0..cases(24) {
+        let data: Vec<f32> =
+            (0..rng.gen_range(1usize..2000)).map(|_| rng.gen_range(-1e6f64..1e6) as f32).collect();
+        let eb = [1e-4f64, 1e-2, 1.0][rng.gen_range(0usize..3)];
+        let predictor = PREDICTORS[rng.gen_range(0usize..3)];
+        let backend = BACKENDS[rng.gen_range(0usize..4)];
         let dims = Dims::d1(data.len());
         check_f32(data, dims, eb, predictor, backend);
     }
+}
 
-    #[test]
-    fn bound_holds_2d_lorenzo(
-        nx in 1usize..40,
-        ny in 1usize..40,
-        seed in any::<u64>(),
-        eb in prop_oneof![Just(1e-3f64), Just(0.5)],
-    ) {
+#[test]
+fn bound_holds_2d_lorenzo() {
+    let mut rng = Pcg32::seed_from_u64(0x5233_0002);
+    for _ in 0..cases(24) {
+        let nx = rng.gen_range(1usize..40);
+        let ny = rng.gen_range(1usize..40);
+        let seed = rng.gen::<u64>();
+        let eb = [1e-3f64, 0.5][rng.gen_range(0usize..2)];
         let mut x = seed | 1;
         let field = Field::<f32>::from_fn(Dims::d2(nx, ny), |_, _, _| {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
             ((x >> 16) as f32 / 65536.0) * 100.0
         });
         check_f32(field.data.clone(), field.dims, eb, PredictorKind::Lorenzo, BackendKind::Zs);
     }
+}
 
-    #[test]
-    fn bound_holds_smooth_3d(
-        n in 2usize..12,
-        scale in 0.1f64..100.0,
-    ) {
+#[test]
+fn bound_holds_smooth_3d() {
+    let mut rng = Pcg32::seed_from_u64(0x5233_0003);
+    for case in 0..cases(24) {
+        let n = rng.gen_range(2usize..12);
+        let scale = rng.gen_range(0.1f64..100.0);
         let field = Field::<f64>::from_fn(Dims::d3(n, n, n), |x, y, z| {
             scale * ((x as f64 * 0.4).sin() + (y as f64 * 0.3).cos() + z as f64 * 0.05)
         });
-        let cfg = Sz3Config { error_bound: 1e-5, predictor: PredictorKind::Lorenzo, ..Default::default() };
+        let cfg = Sz3Config {
+            error_bound: 1e-5,
+            predictor: PredictorKind::Lorenzo,
+            ..Default::default()
+        };
         let sealed = compress(&field, &cfg);
         let recon: Field<f64> = decompress(&sealed).unwrap();
-        prop_assert!(field.max_abs_diff(&recon) <= 1e-5);
+        assert!(field.max_abs_diff(&recon) <= 1e-5, "case {case}");
     }
+}
 
-    #[test]
-    fn special_values_roundtrip(
-        mut data in proptest::collection::vec(-1e3f32..1e3, 16..256),
-        nan_at in proptest::collection::vec(0usize..16, 0..4),
-    ) {
-        for &i in &nan_at {
-            let idx = i % data.len();
+#[test]
+fn special_values_roundtrip() {
+    let mut rng = Pcg32::seed_from_u64(0x5233_0004);
+    for _ in 0..cases(32) {
+        let mut data: Vec<f32> =
+            (0..rng.gen_range(16usize..256)).map(|_| rng.gen_range(-1e3f64..1e3) as f32).collect();
+        for _ in 0..rng.gen_range(0usize..4) {
+            let idx = rng.gen_range(0usize..16) % data.len();
             data[idx] = f32::NAN;
         }
-        check_f32(data.clone(), Dims::d1(data.len()), 1e-4, PredictorKind::Interp, BackendKind::Deflate);
+        check_f32(
+            data.clone(),
+            Dims::d1(data.len()),
+            1e-4,
+            PredictorKind::Interp,
+            BackendKind::Deflate,
+        );
     }
+}
 
-    #[test]
-    fn decompressor_never_panics_on_garbage(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn decompressor_never_panics_on_garbage() {
+    let mut rng = Pcg32::seed_from_u64(0x5233_0005);
+    for _ in 0..cases(64) {
+        let mut junk = vec![0u8; rng.gen_range(0usize..512)];
+        rng.fill_bytes(&mut junk);
         let _ = decompress::<f32>(&junk);
         let _ = decompress::<f64>(&junk);
     }

@@ -31,15 +31,11 @@ fn rel_bound_scales_with_data_range() {
 #[test]
 fn rel_and_abs_agree_when_range_is_one() {
     // On data with range exactly 1.0 the two modes must behave identically.
-    let f = Field::<f32>::from_fn(Dims::d1(10_000), |x, _, _| {
-        0.5 + 0.5 * (x as f32 * 0.01).sin()
-    });
+    let f = Field::<f32>::from_fn(Dims::d1(10_000), |x, _, _| 0.5 + 0.5 * (x as f32 * 0.01).sin());
     let (lo, hi) = f.range();
     assert!((hi - lo - 1.0).abs() < 1e-6);
-    let abs: Field<f32> =
-        decompress(&compress(&f, &Sz3Config::with_error_bound(1e-4))).unwrap();
-    let rel: Field<f32> =
-        decompress(&compress(&f, &Sz3Config::with_relative_bound(1e-4))).unwrap();
+    let abs: Field<f32> = decompress(&compress(&f, &Sz3Config::with_error_bound(1e-4))).unwrap();
+    let rel: Field<f32> = decompress(&compress(&f, &Sz3Config::with_relative_bound(1e-4))).unwrap();
     // Not necessarily bit-identical (range is float-computed), but the same
     // bound class.
     assert!(quality(&f, &abs).max_abs_error <= 1e-4 * 1.001);

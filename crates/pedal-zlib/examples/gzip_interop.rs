@@ -23,10 +23,7 @@ fn main() {
         assert_eq!(pedal_zlib::gzip_decompress(&py).unwrap(), data);
         println!("decoded python gzip stream OK");
     }
-    std::fs::write(
-        "/tmp/ours.gz",
-        pedal_zlib::gzip_compress(&data, pedal_zlib::Level::DEFAULT),
-    )
-    .unwrap();
+    std::fs::write("/tmp/ours.gz", pedal_zlib::gzip_compress(&data, pedal_zlib::Level::DEFAULT))
+        .unwrap();
     println!("wrote /tmp/ours.gz for python to verify");
 }

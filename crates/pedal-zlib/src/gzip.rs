@@ -21,8 +21,14 @@ pub enum GzipError {
     /// Reserved FLG bits set.
     ReservedFlags(u8),
     Inflate(pedal_deflate::InflateError),
-    CrcMismatch { expected: u32, actual: u32 },
-    SizeMismatch { expected: u32, actual: u32 },
+    CrcMismatch {
+        expected: u32,
+        actual: u32,
+    },
+    SizeMismatch {
+        expected: u32,
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for GzipError {
@@ -59,8 +65,14 @@ pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
     out.push(CM_DEFLATE);
     out.push(0); // FLG: no extra/name/comment/hcrc
     out.extend_from_slice(&0u32.to_le_bytes()); // MTIME unknown
-    // XFL: 2 = max compression, 4 = fastest.
-    out.push(if level.0 >= 9 { 2 } else if level.0 <= 1 { 4 } else { 0 });
+                                                // XFL: 2 = max compression, 4 = fastest.
+    out.push(if level.0 >= 9 {
+        2
+    } else if level.0 <= 1 {
+        4
+    } else {
+        0
+    });
     out.push(OS_UNKNOWN);
     out.extend_from_slice(&body);
     out.extend_from_slice(&crc32(data).to_le_bytes());
@@ -85,7 +97,7 @@ pub fn gzip_decompress(stream: &[u8]) -> Result<Vec<u8>, GzipError> {
         return Err(GzipError::ReservedFlags(flg));
     }
     let mut i = 10usize; // fixed header
-    // FEXTRA
+                         // FEXTRA
     if flg & 0x04 != 0 {
         if i + 2 > stream.len() {
             return Err(GzipError::Truncated);
@@ -118,8 +130,7 @@ pub fn gzip_decompress(stream: &[u8]) -> Result<Vec<u8>, GzipError> {
     let body = &stream[i..stream.len() - 8];
     let expected_crc =
         u32::from_le_bytes(stream[stream.len() - 8..stream.len() - 4].try_into().unwrap());
-    let expected_size =
-        u32::from_le_bytes(stream[stream.len() - 4..].try_into().unwrap());
+    let expected_size = u32::from_le_bytes(stream[stream.len() - 4..].try_into().unwrap());
     let data = pedal_deflate::decompress(body)?;
     let actual_crc = crc32(&data);
     if actual_crc != expected_crc {
@@ -184,10 +195,7 @@ mod tests {
     #[test]
     fn garbage_and_truncation_rejected() {
         assert_eq!(gzip_decompress(&[]), Err(GzipError::Truncated));
-        assert_eq!(
-            gzip_decompress(&[0u8; 20]),
-            Err(GzipError::BadMagic([0, 0]))
-        );
+        assert_eq!(gzip_decompress(&[0u8; 20]), Err(GzipError::BadMagic([0, 0])));
         let z = gzip_compress(b"to be truncated severely", Level::DEFAULT);
         for cut in [5, 12, z.len() - 1] {
             assert!(gzip_decompress(&z[..cut]).is_err(), "cut {cut}");

@@ -1,58 +1,90 @@
-//! Property-based tests for the zlib envelope and Adler-32.
+//! Seeded random tests for the zlib envelope and Adler-32, ported from
+//! proptest to an in-tree fixed-seed case generator (`--features fuzz`
+//! multiplies case counts).
 
+use pedal_dpu::Pcg32;
 use pedal_zlib::{adler32, compress, decompress, header_bytes, split_stream, Level, ZlibError};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "fuzz") {
+        base * 16
+    } else {
+        base
+    }
+}
 
-    #[test]
-    fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+fn arbitrary_vec(rng: &mut Pcg32, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn roundtrip_arbitrary() {
+    let mut rng = Pcg32::seed_from_u64(0x2B1B_0001);
+    for case in 0..cases(32) {
+        let data = arbitrary_vec(&mut rng, 8192);
         for level in [Level(1), Level(6), Level(9)] {
             let z = compress(&data, level);
-            prop_assert_eq!(&decompress(&z).unwrap(), &data);
+            assert_eq!(decompress(&z).unwrap(), data, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn adler_incremental_split(data in proptest::collection::vec(any::<u8>(), 0..4096), cut in any::<prop::sample::Index>()) {
-        let cut = cut.index(data.len() + 1);
+#[test]
+fn adler_incremental_split() {
+    let mut rng = Pcg32::seed_from_u64(0x2B1B_0002);
+    for case in 0..cases(128) {
+        let data = arbitrary_vec(&mut rng, 4096);
+        let cut = rng.gen_range(0usize..=data.len());
         let mut s = pedal_zlib::Adler32::new();
         s.update(&data[..cut]);
         s.update(&data[cut..]);
-        prop_assert_eq!(s.finish(), adler32(&data));
+        assert_eq!(s.finish(), adler32(&data), "case {case} cut {cut}");
     }
+}
 
-    #[test]
-    fn any_single_byte_flip_detected_or_decoded_identically(
-        data in proptest::collection::vec(any::<u8>(), 1..2048),
-        flip in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
+#[test]
+fn any_single_byte_flip_detected_or_decoded_identically() {
+    let mut rng = Pcg32::seed_from_u64(0x2B1B_0003);
+    for case in 0..cases(128) {
+        let len = rng.gen_range(1usize..2048);
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
         // zlib carries a checksum: flipping any payload bit must either
         // fail decoding or fail the checksum — silent corruption of the
         // *content* is impossible.
         let z = compress(&data, Level::DEFAULT);
-        let at = flip.index(z.len());
+        let at = rng.gen_range(0..z.len());
+        let bit = rng.gen_range(0u8..8);
         let mut bad = z.clone();
         bad[at] ^= 1 << bit;
         match decompress(&bad) {
             Err(_) => {}
-            Ok(out) => prop_assert_eq!(out, data, "silent corruption"),
+            Ok(out) => assert_eq!(out, data, "silent corruption, case {case}"),
         }
     }
+}
 
-    #[test]
-    fn split_stream_structure(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn split_stream_structure() {
+    let mut rng = Pcg32::seed_from_u64(0x2B1B_0004);
+    for case in 0..cases(64) {
+        let data = arbitrary_vec(&mut rng, 2048);
         let z = compress(&data, Level::DEFAULT);
         let (body, trailer) = split_stream(&z).unwrap();
-        prop_assert_eq!(body.len(), z.len() - 6);
-        prop_assert_eq!(trailer, adler32(&data));
-        prop_assert_eq!(pedal_deflate::decompress(body).unwrap(), data);
+        assert_eq!(body.len(), z.len() - 6, "case {case}");
+        assert_eq!(trailer, adler32(&data), "case {case}");
+        assert_eq!(pedal_deflate::decompress(body).unwrap(), data, "case {case}");
     }
+}
 
-    #[test]
-    fn decoder_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn decoder_never_panics() {
+    let mut rng = Pcg32::seed_from_u64(0x2B1B_0005);
+    for _ in 0..cases(128) {
+        let junk = arbitrary_vec(&mut rng, 512);
         let _ = decompress(&junk);
     }
 }

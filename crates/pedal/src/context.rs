@@ -14,6 +14,7 @@ use crate::design::Design;
 use crate::header::{HeaderError, PedalHeader, HEADER_LEN};
 use crate::pool::PedalPool;
 use crate::timing::TimingBreakdown;
+use crate::wire;
 use pedal_doca::{CompressJob, DocaContext, JobKind};
 use pedal_dpu::{
     Algorithm, CostModel, Direction, Placement, Platform, SimClock, SimDuration, SimInstant,
@@ -174,11 +175,20 @@ pub struct DecompressOutput {
 pub enum PedalError {
     Header(HeaderError),
     /// SZ3 designs need Float32/Float64 data.
-    UnsupportedDatatype { design: Design, datatype: Datatype },
+    UnsupportedDatatype {
+        design: Design,
+        datatype: Datatype,
+    },
     /// Element count does not divide the byte length.
-    MisalignedData { bytes: usize, element: usize },
+    MisalignedData {
+        bytes: usize,
+        element: usize,
+    },
     /// Declared and actual lengths disagree.
-    LengthMismatch { expected: usize, actual: usize },
+    LengthMismatch {
+        expected: usize,
+        actual: usize,
+    },
     /// Underlying codec failure (corrupt stream).
     Codec(String),
     /// DOCA/engine failure.
@@ -294,17 +304,7 @@ impl PedalContext {
         timing.checksum += op.checksum;
 
         // Passthrough when compression does not pay for itself.
-        let passthrough = body.len() >= data.len();
-        let mut payload = Vec::with_capacity(HEADER_LEN + 10 + body.len().min(data.len()));
-        if passthrough {
-            payload.extend_from_slice(&PedalHeader::Uncompressed.to_bytes());
-            put_uvarint(&mut payload, data.len() as u64);
-            payload.extend_from_slice(data);
-        } else {
-            payload.extend_from_slice(&PedalHeader::Compressed(design).to_bytes());
-            put_uvarint(&mut payload, data.len() as u64);
-            payload.extend_from_slice(&body);
-        }
+        let (payload, passthrough) = wire::frame_compressed(design, data, body);
 
         self.clock.advance(timing.total());
         Ok(CompressOutput {
@@ -325,14 +325,13 @@ impl PedalContext {
         payload: &[u8],
         expected_len: usize,
     ) -> Result<DecompressOutput, PedalError> {
-        let header = PedalHeader::parse(payload)?;
-        let mut i = HEADER_LEN;
-        let original_len = get_uvarint(payload, &mut i)
-            .ok_or(PedalError::Codec("truncated length field".into()))? as usize;
+        let (header, original_len, body) = wire::unframe(payload)?;
         if original_len != expected_len {
-            return Err(PedalError::LengthMismatch { expected: expected_len, actual: original_len });
+            return Err(PedalError::LengthMismatch {
+                expected: expected_len,
+                actual: original_len,
+            });
         }
-        let body = &payload[i..];
 
         let mut timing = self.overhead(expected_len, Direction::Decompress);
         let now = self.clock.now() + timing.total();
@@ -381,7 +380,11 @@ impl PedalContext {
             Algorithm::Deflate => match eff {
                 Placement::Soc => {
                     let body = pedal_deflate::compress(data, pedal_deflate::Level::DEFAULT);
-                    let t = self.costs.soc_lossless(Algorithm::Deflate, Direction::Compress, data.len());
+                    let t = self.costs.soc_lossless(
+                        Algorithm::Deflate,
+                        Direction::Compress,
+                        data.len(),
+                    );
                     Ok((body, StageTiming::soc(t, fell_back)))
                 }
                 Placement::CEngine => {
@@ -395,7 +398,8 @@ impl PedalContext {
             Algorithm::Zlib => match eff {
                 Placement::Soc => {
                     let body = pedal_zlib::compress(data, pedal_zlib::Level::DEFAULT);
-                    let t = self.costs.soc_lossless(Algorithm::Zlib, Direction::Compress, data.len());
+                    let t =
+                        self.costs.soc_lossless(Algorithm::Zlib, Direction::Compress, data.len());
                     Ok((body, StageTiming::soc(t, fell_back)))
                 }
                 Placement::CEngine => {
@@ -472,13 +476,19 @@ impl PedalContext {
                 // BF3 redirect: the engine cannot compress, so the backend
                 // runs SoC DEFLATE — slower than the native Zs backend,
                 // reproducing the paper's 1.58x observation (Fig. 9).
-                let t = self.costs.soc_lossless(Algorithm::Deflate, Direction::Compress, core.len());
+                let t =
+                    self.costs.soc_lossless(Algorithm::Deflate, Direction::Compress, core.len());
                 (pedal_sz3::seal(&core, BackendKind::Deflate), t, Placement::Soc)
             }
         };
         Ok((
             sealed,
-            StageTiming { main: core_t + backend_t, checksum: SimDuration::ZERO, placement, fell_back },
+            StageTiming {
+                main: core_t + backend_t,
+                checksum: SimDuration::ZERO,
+                placement,
+                fell_back,
+            },
         ))
     }
 
@@ -497,7 +507,11 @@ impl PedalContext {
                 Placement::Soc => {
                     let data = pedal_deflate::decompress_with_limit(body, expected_len)
                         .map_err(|e| PedalError::Codec(e.to_string()))?;
-                    let t = self.costs.soc_lossless(Algorithm::Deflate, Direction::Decompress, data.len());
+                    let t = self.costs.soc_lossless(
+                        Algorithm::Deflate,
+                        Direction::Decompress,
+                        data.len(),
+                    );
                     Ok((data, StageTiming::soc(t, fell_back)))
                 }
                 Placement::CEngine => {
@@ -519,7 +533,11 @@ impl PedalContext {
                     Placement::Soc => {
                         let data = pedal_zlib::decompress_with_limit(body, expected_len)
                             .map_err(|e| PedalError::Codec(e.to_string()))?;
-                        let t = self.costs.soc_lossless(Algorithm::Zlib, Direction::Decompress, data.len());
+                        let t = self.costs.soc_lossless(
+                            Algorithm::Zlib,
+                            Direction::Decompress,
+                            data.len(),
+                        );
                         Ok((data, StageTiming::soc(t, fell_back)))
                     }
                     Placement::CEngine => {
@@ -554,7 +572,8 @@ impl PedalContext {
                 Placement::Soc => {
                     let data = pedal_lz4::decompress_block(body, Some(expected_len), expected_len)
                         .map_err(|e| PedalError::Codec(e.to_string()))?;
-                    let t = self.costs.soc_lossless(Algorithm::Lz4, Direction::Decompress, data.len());
+                    let t =
+                        self.costs.soc_lossless(Algorithm::Lz4, Direction::Decompress, data.len());
                     Ok((data, StageTiming::soc(t, fell_back)))
                 }
                 Placement::CEngine => {
@@ -585,27 +604,28 @@ impl PedalContext {
         // Undo the lossless backend — on the engine when possible.
         let mut engine_time = SimDuration::ZERO;
         let mut placement = Placement::Soc;
-        let (core, backend) = pedal_sz3::unseal_with(body, |backend, packed| match (backend, eff) {
-            (BackendKind::Deflate, Placement::CEngine) => {
-                // Core length is in the sealed header; the engine needs a
-                // sized destination. Use the generous bound of the original
-                // data size — the core is never larger than input + slack.
-                let limit = expected_len + expected_len / 2 + 4096;
-                let (r, done) = self
-                    .doca
-                    .submit(
-                        CompressJob::new(JobKind::DeflateDecompress, packed.to_vec())
-                            .with_expected_len(limit),
-                        now,
-                    )
-                    .map_err(|e| pedal_sz3::BackendError(e.to_string()))?;
-                engine_time = done.elapsed_since(now);
-                placement = Placement::CEngine;
-                Ok(r.output)
-            }
-            _ => pedal_sz3::backend_decompress(backend, packed),
-        })
-        .map_err(|e| PedalError::Codec(e.to_string()))?;
+        let (core, backend) =
+            pedal_sz3::unseal_with(body, |backend, packed| match (backend, eff) {
+                (BackendKind::Deflate, Placement::CEngine) => {
+                    // Core length is in the sealed header; the engine needs a
+                    // sized destination. Use the generous bound of the original
+                    // data size — the core is never larger than input + slack.
+                    let limit = expected_len + expected_len / 2 + 4096;
+                    let (r, done) = self
+                        .doca
+                        .submit(
+                            CompressJob::new(JobKind::DeflateDecompress, packed.to_vec())
+                                .with_expected_len(limit),
+                            now,
+                        )
+                        .map_err(|e| pedal_sz3::BackendError(e.to_string()))?;
+                    engine_time = done.elapsed_since(now);
+                    placement = Placement::CEngine;
+                    Ok(r.output)
+                }
+                _ => pedal_sz3::backend_decompress(backend, packed),
+            })
+            .map_err(|e| PedalError::Codec(e.to_string()))?;
 
         let backend_t = if placement == Placement::CEngine {
             engine_time
@@ -635,7 +655,12 @@ impl PedalContext {
         };
         Ok((
             data,
-            StageTiming { main: core_t + backend_t, checksum: SimDuration::ZERO, placement, fell_back },
+            StageTiming {
+                main: core_t + backend_t,
+                checksum: SimDuration::ZERO,
+                placement,
+                fell_back,
+            },
         ))
     }
 
@@ -665,7 +690,12 @@ impl StageTiming {
         Self { main: t, checksum: SimDuration::ZERO, placement: Placement::Soc, fell_back }
     }
     fn engine(t: SimDuration) -> Self {
-        Self { main: t, checksum: SimDuration::ZERO, placement: Placement::CEngine, fell_back: false }
+        Self {
+            main: t,
+            checksum: SimDuration::ZERO,
+            placement: Placement::CEngine,
+            fell_back: false,
+        }
     }
 }
 
@@ -674,33 +704,4 @@ fn field_from_bytes<T: pedal_sz3::Float>(data: &[u8]) -> Result<Field<T>, PedalE
         return Err(PedalError::MisalignedData { bytes: data.len(), element: T::BYTES });
     }
     Ok(Field::from_bytes(Dims::d1(data.len() / T::BYTES), data))
-}
-
-fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let b = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(b);
-            return;
-        }
-        out.push(b | 0x80);
-    }
-}
-
-fn get_uvarint(data: &[u8], i: &mut usize) -> Option<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if *i >= data.len() || shift >= 64 {
-            return None;
-        }
-        let b = data[*i];
-        *i += 1;
-        v |= ((b & 0x7F) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-    }
 }

@@ -16,16 +16,13 @@ impl Design {
         Design { algorithm: Algorithm::Deflate, placement: Placement::Soc };
     pub const CE_DEFLATE: Design =
         Design { algorithm: Algorithm::Deflate, placement: Placement::CEngine };
-    pub const SOC_ZLIB: Design =
-        Design { algorithm: Algorithm::Zlib, placement: Placement::Soc };
+    pub const SOC_ZLIB: Design = Design { algorithm: Algorithm::Zlib, placement: Placement::Soc };
     pub const CE_ZLIB: Design =
         Design { algorithm: Algorithm::Zlib, placement: Placement::CEngine };
     pub const SOC_LZ4: Design = Design { algorithm: Algorithm::Lz4, placement: Placement::Soc };
-    pub const CE_LZ4: Design =
-        Design { algorithm: Algorithm::Lz4, placement: Placement::CEngine };
+    pub const CE_LZ4: Design = Design { algorithm: Algorithm::Lz4, placement: Placement::CEngine };
     pub const SOC_SZ3: Design = Design { algorithm: Algorithm::Sz3, placement: Placement::Soc };
-    pub const CE_SZ3: Design =
-        Design { algorithm: Algorithm::Sz3, placement: Placement::CEngine };
+    pub const CE_SZ3: Design = Design { algorithm: Algorithm::Sz3, placement: Placement::CEngine };
 
     /// All eight designs in Table III order.
     pub const ALL: [Design; 8] = [

@@ -116,19 +116,13 @@ mod tests {
 
     #[test]
     fn unknown_algo_id_rejected() {
-        assert_eq!(
-            PedalHeader::parse(&[0xFF, 200, 0xFF]),
-            Err(HeaderError::UnknownAlgoId(200))
-        );
+        assert_eq!(PedalHeader::parse(&[0xFF, 200, 0xFF]), Err(HeaderError::UnknownAlgoId(200)));
     }
 
     #[test]
     fn header_survives_prefix_of_longer_message() {
         let mut msg = PedalHeader::Compressed(Design::CE_DEFLATE).to_bytes().to_vec();
         msg.extend_from_slice(&[9u8; 100]);
-        assert_eq!(
-            PedalHeader::parse(&msg).unwrap(),
-            PedalHeader::Compressed(Design::CE_DEFLATE)
-        );
+        assert_eq!(PedalHeader::parse(&msg).unwrap(), PedalHeader::Compressed(Design::CE_DEFLATE));
     }
 }

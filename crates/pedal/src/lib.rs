@@ -29,11 +29,12 @@
 //! ```
 
 pub mod context;
-pub mod parallel;
 pub mod design;
 pub mod header;
+pub mod parallel;
 pub mod pool;
 pub mod timing;
+pub mod wire;
 
 pub use context::{
     CompressOutput, Datatype, DecompressOutput, InitReport, OverheadMode, PedalConfig,
@@ -44,6 +45,7 @@ pub use header::{HeaderError, PedalHeader, ALGO_ID_RAW, HEADER_LEN, INDICATOR};
 pub use parallel::{compress_chunked, decompress_chunked, ParallelOutcome, ParallelStrategy};
 pub use pool::PedalPool;
 pub use timing::TimingBreakdown;
+pub use wire::CostProfile;
 
 // ---------------------------------------------------------------------
 // C-style API parity with the paper's Listing 1

@@ -9,7 +9,8 @@
 //!
 //! * [`ParallelStrategy::SocParallel`] — the input is split into chunks
 //!   compressed concurrently on up to `soc_cores` ARM cores (real host
-//!   threads via crossbeam; virtual time is the slowest core's track),
+//!   threads via `std::thread::scope`; virtual time is the slowest core's
+//!   track),
 //! * [`ParallelStrategy::Hybrid`] — chunks are divided between the
 //!   C-Engine (a single FIFO server) and the SoC cores, split by their
 //!   calibrated throughput ratio so both tracks finish together.
@@ -18,6 +19,7 @@
 //! peer can decompress regardless of how the chunks were produced.
 
 use crate::context::PedalError;
+use crate::wire::{get_uvarint, put_uvarint};
 use pedal_doca::{CompressJob, DocaContext, JobKind};
 use pedal_dpu::{Algorithm, CostModel, Direction, Placement, SimDuration, SimInstant};
 
@@ -75,13 +77,7 @@ pub fn compress_chunked(
         ParallelStrategy::Hybrid { soc_cores } => {
             let cores = soc_cores.max(1);
             if engine_ok {
-                let take = optimal_engine_take(
-                    n,
-                    chunk_size,
-                    cores,
-                    costs,
-                    Direction::Compress,
-                );
+                let take = optimal_engine_take(n, chunk_size, cores, costs, Direction::Compress);
                 (take, cores)
             } else {
                 (0, cores)
@@ -108,11 +104,11 @@ pub fn compress_chunked(
     if !soc_chunks.is_empty() {
         let threads = cores.min(soc_chunks.len());
         let mut results: Vec<Vec<(usize, Vec<u8>)>> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let soc_chunks = &soc_chunks;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut out = Vec::new();
                         let mut i = t;
                         while i < soc_chunks.len() {
@@ -132,8 +128,7 @@ pub fn compress_chunked(
             for h in handles {
                 results.push(h.join().expect("compression worker panicked"));
             }
-        })
-        .expect("scope");
+        });
         let mut flat: Vec<(usize, Vec<u8>)> = results.into_iter().flatten().collect();
         flat.sort_by_key(|(i, _)| *i);
         soc_packed = flat.into_iter().map(|(_, v)| v).collect();
@@ -184,8 +179,8 @@ pub fn decompress_chunked(
         return Err(PedalError::Codec("bad chunked container magic".into()));
     }
     let mut i = 4usize;
-    let n = get_uvarint(payload, &mut i)
-        .ok_or(PedalError::Codec("chunk count truncated".into()))? as usize;
+    let n = get_uvarint(payload, &mut i).ok_or(PedalError::Codec("chunk count truncated".into()))?
+        as usize;
     if n > payload.len() {
         return Err(PedalError::Codec("absurd chunk count".into()));
     }
@@ -242,19 +237,18 @@ pub fn decompress_chunked(
         engine_time = done.elapsed_since(SimInstant::EPOCH);
     }
 
-    let rest: Vec<(usize, &[u8], usize)> = (engine_take..n)
-        .map(|k| (k, blobs[k], sizes[k].0))
-        .collect();
+    let rest: Vec<(usize, &[u8], usize)> =
+        (engine_take..n).map(|k| (k, blobs[k], sizes[k].0)).collect();
     let mut failures: Vec<String> = Vec::new();
     if !rest.is_empty() {
         let threads = cores.min(rest.len());
         type ChunkResults = Vec<(usize, Result<Vec<u8>, String>)>;
         let mut results: Vec<ChunkResults> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let rest = &rest;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut out = Vec::new();
                         let mut j = t;
                         while j < rest.len() {
@@ -271,8 +265,7 @@ pub fn decompress_chunked(
             for h in handles {
                 results.push(h.join().expect("decompression worker panicked"));
             }
-        })
-        .expect("scope");
+        });
         for (k, r) in results.into_iter().flatten() {
             match r {
                 Ok(v) => parts[k] = Some(v),
@@ -286,8 +279,7 @@ pub fn decompress_chunked(
 
     let mut core_busy = vec![SimDuration::ZERO; cores];
     for (j, &(_, _, orig)) in rest.iter().enumerate() {
-        core_busy[j % cores] +=
-            costs.soc_lossless(Algorithm::Deflate, Direction::Decompress, orig);
+        core_busy[j % cores] += costs.soc_lossless(Algorithm::Deflate, Direction::Decompress, orig);
     }
     let soc_time = core_busy.into_iter().max().unwrap_or(SimDuration::ZERO);
 
@@ -363,35 +355,6 @@ pub fn sequential_time(costs: &CostModel, dir: Direction, bytes: usize) -> SimDu
     costs.soc_lossless(Algorithm::Deflate, dir, bytes)
 }
 
-fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let b = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(b);
-            return;
-        }
-        out.push(b | 0x80);
-    }
-}
-
-fn get_uvarint(data: &[u8], i: &mut usize) -> Option<u64> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        if *i >= data.len() || shift >= 64 {
-            return None;
-        }
-        let b = data[*i];
-        *i += 1;
-        v |= ((b & 0x7F) as u64) << shift;
-        if b & 0x80 == 0 {
-            return Some(v);
-        }
-        shift += 7;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,13 +376,9 @@ mod tests {
         let doca = DocaContext::open(Platform::BlueField2).unwrap();
         let data = data();
         for cores in [1usize, 2, 8] {
-            let c = compress_chunked(
-                &doca,
-                &data,
-                512 * 1024,
-                ParallelStrategy::SocParallel { cores },
-            )
-            .unwrap();
+            let c =
+                compress_chunked(&doca, &data, 512 * 1024, ParallelStrategy::SocParallel { cores })
+                    .unwrap();
             let d = decompress_chunked(
                 &doca,
                 &c.bytes,
@@ -435,12 +394,14 @@ mod tests {
     fn more_cores_shrink_the_makespan() {
         let doca = DocaContext::open(Platform::BlueField2).unwrap();
         let data = data();
-        let t1 = compress_chunked(&doca, &data, 256 * 1024, ParallelStrategy::SocParallel { cores: 1 })
-            .unwrap()
-            .makespan;
-        let t8 = compress_chunked(&doca, &data, 256 * 1024, ParallelStrategy::SocParallel { cores: 8 })
-            .unwrap()
-            .makespan;
+        let t1 =
+            compress_chunked(&doca, &data, 256 * 1024, ParallelStrategy::SocParallel { cores: 1 })
+                .unwrap()
+                .makespan;
+        let t8 =
+            compress_chunked(&doca, &data, 256 * 1024, ParallelStrategy::SocParallel { cores: 8 })
+                .unwrap()
+                .makespan;
         assert!(
             t8.as_nanos() * 4 < t1.as_nanos(),
             "8 cores should be >4x faster: {t1:?} vs {t8:?}"
@@ -507,13 +468,19 @@ mod tests {
     fn corrupt_containers_error_cleanly() {
         let doca = DocaContext::open(Platform::BlueField2).unwrap();
         let data = data();
-        let c = compress_chunked(&doca, &data, 512 * 1024, ParallelStrategy::SocParallel { cores: 2 })
-            .unwrap();
+        let c =
+            compress_chunked(&doca, &data, 512 * 1024, ParallelStrategy::SocParallel { cores: 2 })
+                .unwrap();
         // Bad magic.
         let mut bad = c.bytes.clone();
         bad[0] ^= 0xFF;
-        assert!(decompress_chunked(&doca, &bad, data.len(), ParallelStrategy::SocParallel { cores: 2 })
-            .is_err());
+        assert!(decompress_chunked(
+            &doca,
+            &bad,
+            data.len(),
+            ParallelStrategy::SocParallel { cores: 2 }
+        )
+        .is_err());
         // Wrong expected length.
         assert!(decompress_chunked(
             &doca,

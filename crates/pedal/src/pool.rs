@@ -8,39 +8,48 @@
 //! [`pedal_doca::BufInventory`]. Both charge virtual costs from the same
 //! model so the ablation harness can compare pooled vs unpooled designs.
 
-use parking_lot::Mutex;
 use pedal_dpu::{CostModel, SimDuration};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Consistent snapshot of the pool's accounting counters.
+///
+/// Hits, misses, and accumulated acquire cost are updated under one lock so
+/// a reader never observes a hit counted whose cost has not landed yet
+/// (which the previous two-atomics-plus-mutex layout allowed under
+/// concurrent acquire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Total virtual time spent acquiring buffers (hit + miss costs).
+    pub acquire_cost: SimDuration,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    free: Vec<Vec<u8>>,
+    stats: PoolStats,
+}
 
 /// A recycling pool of host byte buffers.
 #[derive(Debug)]
 pub struct PedalPool {
     costs: CostModel,
-    free: Mutex<Vec<Vec<u8>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    /// Total virtual time spent acquiring buffers (hit + miss costs).
-    acquire_cost: Mutex<SimDuration>,
+    state: Mutex<PoolState>,
 }
 
 impl PedalPool {
     pub fn new(costs: CostModel) -> Self {
-        Self {
-            costs,
-            free: Mutex::new(Vec::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            acquire_cost: Mutex::new(SimDuration::ZERO),
-        }
+        Self { costs, state: Mutex::new(PoolState::default()) }
     }
 
     /// Preallocate `count` buffers of `capacity` bytes; returns the virtual
     /// cost paid (this happens inside PEDAL_Init).
     pub fn preallocate(&self, count: usize, capacity: usize) -> SimDuration {
-        let mut free = self.free.lock();
+        let mut state = self.state.lock().unwrap();
         let mut total = SimDuration::ZERO;
         for _ in 0..count {
-            free.push(Vec::with_capacity(capacity));
+            state.free.push(Vec::with_capacity(capacity));
             total += self.costs.host_alloc(capacity, 1);
         }
         total
@@ -48,38 +57,42 @@ impl PedalPool {
 
     /// Acquire a buffer with at least `capacity`. Returns (buffer, cost).
     pub fn acquire(&self, capacity: usize) -> (Vec<u8>, SimDuration) {
-        {
-            let mut free = self.free.lock();
-            if let Some(pos) = free.iter().position(|b| b.capacity() >= capacity) {
-                let mut buf = free.swap_remove(pos);
-                buf.clear();
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                let cost = self.costs.pool_hit();
-                *self.acquire_cost.lock() += cost;
-                return (buf, cost);
-            }
+        let mut state = self.state.lock().unwrap();
+        if let Some(pos) = state.free.iter().position(|b| b.capacity() >= capacity) {
+            let mut buf = state.free.swap_remove(pos);
+            buf.clear();
+            let cost = self.costs.pool_hit();
+            state.stats.hits += 1;
+            state.stats.acquire_cost += cost;
+            return (buf, cost);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let cost = self.costs.host_alloc(capacity, 1);
-        *self.acquire_cost.lock() += cost;
+        state.stats.misses += 1;
+        state.stats.acquire_cost += cost;
+        drop(state); // allocate outside the lock
         (Vec::with_capacity(capacity), cost)
     }
 
     /// Return a buffer for reuse.
     pub fn release(&self, buf: Vec<u8>) {
-        self.free.lock().push(buf);
+        self.state.lock().unwrap().free.push(buf);
+    }
+
+    /// Atomically consistent snapshot of hits/misses/cost.
+    pub fn stats(&self) -> PoolStats {
+        self.state.lock().unwrap().stats
     }
 
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.stats().hits
     }
 
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.stats().misses
     }
 
     pub fn total_acquire_cost(&self) -> SimDuration {
-        *self.acquire_cost.lock()
+        self.stats().acquire_cost
     }
 }
 
@@ -144,5 +157,36 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(p.hits() + p.misses(), 1600);
+    }
+
+    #[test]
+    fn concurrent_stats_snapshots_stay_consistent() {
+        // Every snapshot taken while 8 threads hammer acquire/release must
+        // satisfy acquire_cost == hits * pool_hit + misses * host_alloc —
+        // the invariant the old split-lock accounting could violate.
+        let p = std::sync::Arc::new(pool());
+        p.preallocate(8, 64 * 1024);
+        let hit = p.costs.pool_hit();
+        let miss = p.costs.host_alloc(32 * 1024, 1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = &p;
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let (buf, _) = p.acquire(32 * 1024);
+                        p.release(buf);
+                    }
+                });
+            }
+            for _ in 0..2000 {
+                let snap = p.stats();
+                let expect = hit * snap.hits + miss * snap.misses;
+                assert_eq!(
+                    snap.acquire_cost, expect,
+                    "skewed snapshot: {snap:?} (hit={hit:?}, miss={miss:?})"
+                );
+            }
+        });
+        assert_eq!(p.hits() + p.misses(), 4000);
     }
 }

@@ -1,0 +1,343 @@
+//! Pure wire-format encode/decode for PEDAL messages.
+//!
+//! Everything in this module is a deterministic function of its inputs:
+//! no virtual clock, no DOCA context, no buffer pool. The synchronous
+//! [`crate::PedalContext`], the chunked-parallel path, and the
+//! `pedal-service` offload engine all produce the same bytes because the
+//! simulated C-Engine runs the exact same codecs as the SoC paths; this
+//! module is the single definition of that byte format.
+//!
+//! Callers that need virtual time charge it afterwards from the returned
+//! [`CostProfile`] byte counts — the profile records how many bytes went
+//! through each costed stage, which is all the
+//! [`pedal_dpu::CostModel`] rate laws key on.
+
+use crate::context::{Datatype, PedalError};
+use crate::design::Design;
+use crate::header::{PedalHeader, HEADER_LEN};
+use pedal_dpu::{Algorithm, Placement};
+use pedal_sz3::{BackendKind, Dims, Field, PredictorKind, Sz3Config};
+
+// ---------------------------------------------------------------------
+// Varint framing primitives (shared by context, parallel, codesign)
+// ---------------------------------------------------------------------
+
+/// Append a LEB128 unsigned varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Read a LEB128 unsigned varint at `*i`, advancing it.
+pub fn get_uvarint(data: &[u8], i: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if *i >= data.len() || shift >= 64 {
+            return None;
+        }
+        let b = data[*i];
+        *i += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Build a full PEDAL message: header, original length varint, body.
+pub fn frame(header: PedalHeader, original_len: usize, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(HEADER_LEN + 10 + body.len());
+    payload.extend_from_slice(&header.to_bytes());
+    put_uvarint(&mut payload, original_len as u64);
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Split a PEDAL message into header, declared original length, and body.
+pub fn unframe(payload: &[u8]) -> Result<(PedalHeader, usize, &[u8]), PedalError> {
+    let header = PedalHeader::parse(payload)?;
+    let mut i = HEADER_LEN;
+    let original_len = get_uvarint(payload, &mut i)
+        .ok_or(PedalError::Codec("truncated length field".into()))? as usize;
+    Ok((header, original_len, &payload[i..]))
+}
+
+/// Apply the break-even rule: frame `body` as compressed, or fall back to
+/// an uncompressed passthrough when compression did not pay for itself.
+/// Returns the payload and whether the passthrough was taken.
+pub fn frame_compressed(design: Design, data: &[u8], body: Vec<u8>) -> (Vec<u8>, bool) {
+    if body.len() >= data.len() {
+        (frame(PedalHeader::Uncompressed, data.len(), data), true)
+    } else {
+        (frame(PedalHeader::Compressed(design), data.len(), &body), false)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cost profiles
+// ---------------------------------------------------------------------
+
+/// Byte counts of the costed stages of one operation, recorded by the pure
+/// encode/decode so a caller can charge virtual time after the fact. Each
+/// field is the byte count the corresponding [`pedal_dpu::CostModel`] rate
+/// law keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostProfile {
+    /// Bytes through the main lossless stage — input bytes for compress,
+    /// output bytes for decompress. For SZ3 designs this is the *core*
+    /// stream the backend stage (the part PEDAL offloads) processes. For a
+    /// decode of an uncompressed passthrough it is the memcpy'd length.
+    pub lossless_bytes: usize,
+    /// Bytes through the SZ3 core transform (zero for lossless designs):
+    /// raw float bytes on compress, reconstructed bytes on decompress.
+    pub sz3_core_bytes: usize,
+    /// Bytes checksummed on the SoC (zlib's Adler-32).
+    pub checksum_bytes: usize,
+    /// The payload is an uncompressed passthrough.
+    pub passthrough: bool,
+}
+
+// ---------------------------------------------------------------------
+// Pure compression
+// ---------------------------------------------------------------------
+
+/// The SZ3 configuration a design implies (mirrors the context).
+pub fn sz3_config(design: Design, error_bound: f64) -> Sz3Config {
+    Sz3Config {
+        error_bound,
+        predictor: PredictorKind::Interp,
+        backend: match design.placement {
+            Placement::Soc => BackendKind::Zs,
+            Placement::CEngine => BackendKind::Deflate,
+        },
+        ..Sz3Config::default()
+    }
+}
+
+fn field_from_bytes<T: pedal_sz3::Float>(data: &[u8]) -> Result<Field<T>, PedalError> {
+    if !data.len().is_multiple_of(T::BYTES) {
+        return Err(PedalError::MisalignedData { bytes: data.len(), element: T::BYTES });
+    }
+    Ok(Field::from_bytes(Dims::d1(data.len() / T::BYTES), data))
+}
+
+/// Compress `data` into a design's *body* (the payload minus framing).
+///
+/// Byte-identical to what [`crate::PedalContext`] produces for the same
+/// design on any platform: the simulated engine and the SoC run the same
+/// codecs, so placement (and engine fallback) never changes the bytes.
+pub fn compress_body(
+    design: Design,
+    datatype: Datatype,
+    error_bound: f64,
+    data: &[u8],
+) -> Result<(Vec<u8>, CostProfile), PedalError> {
+    let mut profile = CostProfile::default();
+    let body = match design.algorithm {
+        Algorithm::Deflate => {
+            profile.lossless_bytes = data.len();
+            pedal_deflate::compress(data, pedal_deflate::Level::DEFAULT)
+        }
+        Algorithm::Zlib => {
+            profile.lossless_bytes = data.len();
+            profile.checksum_bytes = data.len();
+            pedal_zlib::compress(data, pedal_zlib::Level::DEFAULT)
+        }
+        Algorithm::Lz4 => {
+            profile.lossless_bytes = data.len();
+            pedal_lz4::compress_block(data, 1)
+        }
+        Algorithm::Sz3 => {
+            let cfg = sz3_config(design, error_bound);
+            let (core, stats) = match datatype {
+                Datatype::Float32 => pedal_sz3::encode_core(&field_from_bytes::<f32>(data)?, &cfg),
+                Datatype::Float64 => pedal_sz3::encode_core(&field_from_bytes::<f64>(data)?, &cfg),
+                Datatype::Byte => {
+                    return Err(PedalError::UnsupportedDatatype { design, datatype });
+                }
+            };
+            profile.sz3_core_bytes = stats.input_bytes;
+            profile.lossless_bytes = core.len();
+            pedal_sz3::seal(&core, cfg.backend)
+        }
+    };
+    Ok((body, profile))
+}
+
+/// Compress `data` into a complete PEDAL message (framing + break-even
+/// passthrough rule included).
+pub fn compress_payload(
+    design: Design,
+    datatype: Datatype,
+    error_bound: f64,
+    data: &[u8],
+) -> Result<(Vec<u8>, CostProfile), PedalError> {
+    let (body, mut profile) = compress_body(design, datatype, error_bound, data)?;
+    let (payload, passthrough) = frame_compressed(design, data, body);
+    profile.passthrough = passthrough;
+    Ok((payload, profile))
+}
+
+// ---------------------------------------------------------------------
+// Pure decompression
+// ---------------------------------------------------------------------
+
+/// Decode a complete PEDAL message into `expected_len` bytes.
+pub fn decompress_payload(
+    payload: &[u8],
+    expected_len: usize,
+) -> Result<(Vec<u8>, CostProfile), PedalError> {
+    let (header, original_len, body) = unframe(payload)?;
+    if original_len != expected_len {
+        return Err(PedalError::LengthMismatch { expected: expected_len, actual: original_len });
+    }
+    let mut profile = CostProfile::default();
+    let data = match header {
+        PedalHeader::Uncompressed => {
+            profile.passthrough = true;
+            profile.lossless_bytes = body.len();
+            body.to_vec()
+        }
+        PedalHeader::Compressed(design) => match design.algorithm {
+            Algorithm::Deflate => {
+                let data = pedal_deflate::decompress_with_limit(body, expected_len)
+                    .map_err(|e| PedalError::Codec(e.to_string()))?;
+                profile.lossless_bytes = data.len();
+                data
+            }
+            Algorithm::Zlib => {
+                let data = pedal_zlib::decompress_with_limit(body, expected_len)
+                    .map_err(|e| PedalError::Codec(e.to_string()))?;
+                profile.lossless_bytes = data.len();
+                profile.checksum_bytes = data.len();
+                data
+            }
+            Algorithm::Lz4 => {
+                let data = pedal_lz4::decompress_block(body, Some(expected_len), expected_len)
+                    .map_err(|e| PedalError::Codec(e.to_string()))?;
+                profile.lossless_bytes = data.len();
+                data
+            }
+            Algorithm::Sz3 => {
+                let (core, _backend) = pedal_sz3::unseal_with(body, pedal_sz3::backend_decompress)
+                    .map_err(|e| PedalError::Codec(e.to_string()))?;
+                profile.lossless_bytes = core.len();
+                profile.sz3_core_bytes = expected_len;
+                // Reconstruct the field; the stream self-describes its type.
+                match core.get(5).copied() {
+                    Some(0x32) => pedal_sz3::decode_core::<f32>(&core)
+                        .map_err(|e| PedalError::Codec(e.to_string()))?
+                        .to_bytes(),
+                    Some(0x64) => pedal_sz3::decode_core::<f64>(&core)
+                        .map_err(|e| PedalError::Codec(e.to_string()))?
+                        .to_bytes(),
+                    other => {
+                        return Err(PedalError::Codec(format!("bad sz3 type tag {other:?}")));
+                    }
+                }
+            }
+        },
+    };
+    if data.len() != expected_len {
+        return Err(PedalError::LengthMismatch { expected: expected_len, actual: data.len() });
+    }
+    Ok((data, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{PedalConfig, PedalContext};
+    use pedal_dpu::{Pcg32, Platform};
+
+    #[test]
+    fn uvarint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut i = 0;
+            assert_eq!(get_uvarint(&buf, &mut i), Some(v));
+            assert_eq!(i, buf.len());
+        }
+        let mut i = 0;
+        assert_eq!(get_uvarint(&[0x80, 0x80], &mut i), None);
+    }
+
+    #[test]
+    fn payloads_match_context_for_every_design_and_platform() {
+        let mut rng = Pcg32::seed_from_u64(0x3172_0001);
+        let mut text = vec![0u8; 20_000];
+        rng.fill_bytes(&mut text);
+        // Make it compressible so the non-passthrough branch is exercised.
+        for b in text.iter_mut().skip(1).step_by(2) {
+            *b = b'a';
+        }
+        let floats: Vec<u8> =
+            (0..4_000).flat_map(|_| (rng.gen_range(-1e4f64..1e4) as f32).to_le_bytes()).collect();
+        for platform in [Platform::BlueField2, Platform::BlueField3] {
+            for design in Design::ALL {
+                let (datatype, data) = if design.is_lossy() {
+                    (Datatype::Float32, &floats)
+                } else {
+                    (Datatype::Byte, &text)
+                };
+                let ctx = PedalContext::init(PedalConfig::new(platform, design)).unwrap();
+                let from_ctx = ctx.compress(datatype, data).unwrap();
+                let (from_wire, profile) =
+                    compress_payload(design, datatype, ctx.cfg.error_bound, data).unwrap();
+                assert_eq!(from_wire, from_ctx.payload, "{design} on {platform:?}");
+                assert_eq!(profile.passthrough, from_ctx.passthrough);
+
+                let (decoded, _) = decompress_payload(&from_wire, data.len()).unwrap();
+                if design.is_lossy() {
+                    assert_eq!(
+                        decoded,
+                        ctx.decompress(&from_ctx.payload, data.len()).unwrap().data
+                    );
+                } else {
+                    assert_eq!(&decoded, data, "{design} on {platform:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_data_takes_the_passthrough() {
+        let mut rng = Pcg32::seed_from_u64(0x3172_0002);
+        let mut noise = vec![0u8; 4096];
+        rng.fill_bytes(&mut noise);
+        let (payload, profile) =
+            compress_payload(Design::SOC_DEFLATE, Datatype::Byte, 1e-4, &noise).unwrap();
+        assert!(profile.passthrough);
+        let (decoded, dprofile) = decompress_payload(&payload, noise.len()).unwrap();
+        assert_eq!(decoded, noise);
+        assert!(dprofile.passthrough);
+        assert_eq!(dprofile.lossless_bytes, noise.len());
+    }
+
+    #[test]
+    fn profiles_record_stage_bytes() {
+        let data = b"profile stage bytes profile stage bytes".repeat(100);
+        let (_, p) = compress_payload(Design::CE_ZLIB, Datatype::Byte, 1e-4, &data).unwrap();
+        assert_eq!(p.lossless_bytes, data.len());
+        assert_eq!(p.checksum_bytes, data.len());
+        assert_eq!(p.sz3_core_bytes, 0);
+
+        let floats: Vec<u8> = (0..2_000).flat_map(|i| (i as f32 * 0.5).to_le_bytes()).collect();
+        let (payload, p) =
+            compress_payload(Design::CE_SZ3, Datatype::Float32, 1e-4, &floats).unwrap();
+        assert_eq!(p.sz3_core_bytes, floats.len());
+        assert!(p.lossless_bytes > 0, "core stream must be costed");
+        let (_, dp) = decompress_payload(&payload, floats.len()).unwrap();
+        assert_eq!(dp.sz3_core_bytes, floats.len());
+    }
+}

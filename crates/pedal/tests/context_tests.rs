@@ -48,10 +48,8 @@ fn sz3_designs_respect_error_bound() {
     let data = float_bytes(50_000);
     for platform in Platform::ALL {
         for design in [Design::SOC_SZ3, Design::CE_SZ3] {
-            let c = PedalContext::init(
-                PedalConfig::new(platform, design).with_error_bound(1e-4),
-            )
-            .unwrap();
+            let c = PedalContext::init(PedalConfig::new(platform, design).with_error_bound(1e-4))
+                .unwrap();
             let packed = c.compress(Datatype::Float32, &data).unwrap();
             let out = c.decompress(&packed.payload, data.len()).unwrap();
             assert_eq!(out.data.len(), data.len());
@@ -108,10 +106,7 @@ fn header_identifies_design_on_the_wire() {
     for design in Design::LOSSLESS {
         let c = ctx(Platform::BlueField2, design);
         let packed = c.compress(Datatype::Byte, &data).unwrap();
-        assert_eq!(
-            PedalHeader::parse(&packed.payload).unwrap(),
-            PedalHeader::Compressed(design)
-        );
+        assert_eq!(PedalHeader::parse(&packed.payload).unwrap(), PedalHeader::Compressed(design));
     }
 }
 
@@ -169,10 +164,9 @@ fn ce_zlib_stream_is_spec_conformant() {
 fn baseline_mode_charges_init_every_message() {
     let data = compressible_bytes(500_000);
     let pedal_ctx = ctx(Platform::BlueField2, Design::CE_DEFLATE);
-    let base_ctx = PedalContext::init(
-        PedalConfig::new(Platform::BlueField2, Design::CE_DEFLATE).baseline(),
-    )
-    .unwrap();
+    let base_ctx =
+        PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_DEFLATE).baseline())
+            .unwrap();
 
     // Warm the PEDAL pool (first acquisition may be a miss).
     let _ = pedal_ctx.compress(Datatype::Byte, &data).unwrap();
@@ -262,10 +256,8 @@ fn pool_reaches_steady_state() {
 fn overhead_mode_pedal_vs_baseline_for_lossy() {
     let data = float_bytes(500_000);
     let p = ctx(Platform::BlueField2, Design::SOC_SZ3);
-    let b = PedalContext::init(
-        PedalConfig::new(Platform::BlueField2, Design::SOC_SZ3).baseline(),
-    )
-    .unwrap();
+    let b = PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::SOC_SZ3).baseline())
+        .unwrap();
     let _ = p.compress(Datatype::Float32, &data).unwrap();
     let tp = p.compress(Datatype::Float32, &data).unwrap().timing;
     let tb = b.compress(Datatype::Float32, &data).unwrap().timing;
@@ -278,22 +270,10 @@ fn overhead_mode_pedal_vs_baseline_for_lossy() {
 #[test]
 fn auto_config_picks_sane_designs() {
     use pedal::PedalConfig;
-    assert_eq!(
-        PedalConfig::auto(Platform::BlueField2, Datatype::Byte).design,
-        Design::CE_DEFLATE
-    );
-    assert_eq!(
-        PedalConfig::auto(Platform::BlueField3, Datatype::Byte).design,
-        Design::SOC_LZ4
-    );
-    assert_eq!(
-        PedalConfig::auto(Platform::BlueField2, Datatype::Float32).design,
-        Design::CE_SZ3
-    );
-    assert_eq!(
-        PedalConfig::auto(Platform::BlueField3, Datatype::Float64).design,
-        Design::SOC_SZ3
-    );
+    assert_eq!(PedalConfig::auto(Platform::BlueField2, Datatype::Byte).design, Design::CE_DEFLATE);
+    assert_eq!(PedalConfig::auto(Platform::BlueField3, Datatype::Byte).design, Design::SOC_LZ4);
+    assert_eq!(PedalConfig::auto(Platform::BlueField2, Datatype::Float32).design, Design::CE_SZ3);
+    assert_eq!(PedalConfig::auto(Platform::BlueField3, Datatype::Float64).design, Design::SOC_SZ3);
     // And the auto configs actually work end to end.
     let data = compressible_bytes(400_000);
     for platform in Platform::ALL {

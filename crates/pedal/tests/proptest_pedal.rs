@@ -1,97 +1,118 @@
-//! Property-based tests of the PEDAL context: round-trip integrity over
-//! every design, header robustness, and passthrough correctness.
+//! Seeded random tests of the PEDAL context: round-trip integrity over
+//! every design, header robustness, and passthrough correctness. Ported
+//! from proptest to an in-tree fixed-seed case generator (`--features
+//! fuzz` multiplies case counts).
 
 use pedal::{Datatype, Design, PedalConfig, PedalContext, PedalHeader};
-use pedal_dpu::Platform;
-use proptest::prelude::*;
+use pedal_dpu::{Pcg32, Platform};
 
-fn design_strategy() -> impl Strategy<Value = Design> {
-    prop_oneof![
-        Just(Design::SOC_DEFLATE),
-        Just(Design::CE_DEFLATE),
-        Just(Design::SOC_ZLIB),
-        Just(Design::CE_ZLIB),
-        Just(Design::SOC_LZ4),
-        Just(Design::CE_LZ4),
-    ]
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "fuzz") {
+        base * 16
+    } else {
+        base
+    }
 }
 
-fn platform_strategy() -> impl Strategy<Value = Platform> {
-    prop_oneof![Just(Platform::BlueField2), Just(Platform::BlueField3)]
+const LOSSLESS_DESIGNS: [Design; 6] = [
+    Design::SOC_DEFLATE,
+    Design::CE_DEFLATE,
+    Design::SOC_ZLIB,
+    Design::CE_ZLIB,
+    Design::SOC_LZ4,
+    Design::CE_LZ4,
+];
+
+const PLATFORMS: [Platform; 2] = [Platform::BlueField2, Platform::BlueField3];
+
+fn arbitrary_vec(rng: &mut Pcg32, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn lossless_roundtrip_arbitrary_bytes(
-        data in proptest::collection::vec(any::<u8>(), 0..30_000),
-        design in design_strategy(),
-        platform in platform_strategy(),
-    ) {
+#[test]
+fn lossless_roundtrip_arbitrary_bytes() {
+    let mut rng = Pcg32::seed_from_u64(0x9EDA_0001);
+    for case in 0..cases(16) {
+        let data = arbitrary_vec(&mut rng, 30_000);
+        let design = LOSSLESS_DESIGNS[rng.gen_range(0usize..6)];
+        let platform = PLATFORMS[rng.gen_range(0usize..2)];
         let ctx = PedalContext::init(PedalConfig::new(platform, design)).unwrap();
         let packed = ctx.compress(Datatype::Byte, &data).unwrap();
         // Wire message never blows up beyond raw + small framing.
-        prop_assert!(packed.wire_len() <= data.len() + data.len() / 8 + 64);
+        assert!(packed.wire_len() <= data.len() + data.len() / 8 + 64, "case {case}");
         let out = ctx.decompress(&packed.payload, data.len()).unwrap();
-        prop_assert_eq!(out.data, data);
+        assert_eq!(out.data, data, "case {case} {design:?}");
     }
+}
 
-    #[test]
-    fn sz3_roundtrip_bounded(
-        vals in proptest::collection::vec(-1e5f32..1e5, 1..4_000),
-        platform in platform_strategy(),
-        ce in any::<bool>(),
-    ) {
-        let design = if ce { Design::CE_SZ3 } else { Design::SOC_SZ3 };
+#[test]
+fn sz3_roundtrip_bounded() {
+    let mut rng = Pcg32::seed_from_u64(0x9EDA_0002);
+    for case in 0..cases(16) {
+        let vals: Vec<f32> =
+            (0..rng.gen_range(1usize..4_000)).map(|_| rng.gen_range(-1e5f64..1e5) as f32).collect();
+        let platform = PLATFORMS[rng.gen_range(0usize..2)];
+        let design = if rng.gen::<bool>() { Design::CE_SZ3 } else { Design::SOC_SZ3 };
         let mut data = Vec::with_capacity(vals.len() * 4);
         for v in &vals {
             data.extend_from_slice(&v.to_le_bytes());
         }
-        let ctx = PedalContext::init(
-            PedalConfig::new(platform, design).with_error_bound(1e-2),
-        ).unwrap();
+        let ctx =
+            PedalContext::init(PedalConfig::new(platform, design).with_error_bound(1e-2)).unwrap();
         let packed = ctx.compress(Datatype::Float32, &data).unwrap();
         let out = ctx.decompress(&packed.payload, data.len()).unwrap();
         for (a, b) in vals.iter().zip(out.data.chunks_exact(4)) {
             let y = f32::from_le_bytes(b.try_into().unwrap());
-            prop_assert!(((a - y).abs() as f64) <= 1e-2 + 1e-9, "{a} vs {y}");
+            assert!(((a - y).abs() as f64) <= 1e-2 + 1e-9, "case {case}: {a} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn decompress_never_panics_on_garbage(
-        junk in proptest::collection::vec(any::<u8>(), 0..2_000),
-        claimed_len in 0usize..10_000,
-        design in design_strategy(),
-    ) {
-        let ctx =
-            PedalContext::init(PedalConfig::new(Platform::BlueField2, design)).unwrap();
+#[test]
+fn decompress_never_panics_on_garbage() {
+    let mut rng = Pcg32::seed_from_u64(0x9EDA_0003);
+    for _ in 0..cases(48) {
+        let junk = arbitrary_vec(&mut rng, 2_000);
+        let claimed_len = rng.gen_range(0usize..10_000);
+        let design = LOSSLESS_DESIGNS[rng.gen_range(0usize..6)];
+        let ctx = PedalContext::init(PedalConfig::new(Platform::BlueField2, design)).unwrap();
         let _ = ctx.decompress(&junk, claimed_len);
     }
+}
 
-    #[test]
-    fn header_parse_total_for_any_three_bytes(b0 in any::<u8>(), b1 in any::<u8>(), b2 in any::<u8>()) {
-        // Parsing is total: every 3-byte prefix either parses or errors.
-        let _ = PedalHeader::parse(&[b0, b1, b2]);
-        // And the only accepted headers are the 10 canonical ones.
-        if b0 == 0xFF && b2 == 0xFF && (b1 == 0 || Design::from_algo_id(b1).is_some()) {
-            prop_assert!(PedalHeader::parse(&[b0, b1, b2]).is_ok());
-        } else {
-            prop_assert!(PedalHeader::parse(&[b0, b1, b2]).is_err());
+#[test]
+fn header_parse_total_for_any_three_bytes() {
+    // Parsing is total: every 3-byte prefix either parses or errors, and
+    // the only accepted headers are the canonical ones. The 3-byte domain
+    // is small enough to sweep exhaustively instead of sampling.
+    for b0 in [0x00u8, 0x7F, 0xFE, 0xFF] {
+        for b1 in 0..=255u8 {
+            for b2 in [0x00u8, 0x7F, 0xFE, 0xFF] {
+                let parsed = PedalHeader::parse(&[b0, b1, b2]);
+                if b0 == 0xFF && b2 == 0xFF && (b1 == 0 || Design::from_algo_id(b1).is_some()) {
+                    assert!(parsed.is_ok(), "{b0:#x} {b1:#x} {b2:#x}");
+                } else {
+                    assert!(parsed.is_err(), "{b0:#x} {b1:#x} {b2:#x}");
+                }
+            }
         }
     }
+}
 
-    #[test]
-    fn chunked_parallel_roundtrip(
-        data in proptest::collection::vec(any::<u8>(), 0..60_000),
-        chunk in 4_096usize..20_000,
-        cores in 1usize..9,
-    ) {
+#[test]
+fn chunked_parallel_roundtrip() {
+    let mut rng = Pcg32::seed_from_u64(0x9EDA_0004);
+    for case in 0..cases(16) {
+        let data = arbitrary_vec(&mut rng, 60_000);
+        let chunk = rng.gen_range(4_096usize..20_000);
+        let cores = rng.gen_range(1usize..9);
         let doca = pedal_doca::DocaContext::open(Platform::BlueField2).unwrap();
         let strategy = pedal::ParallelStrategy::SocParallel { cores };
         let c = pedal::compress_chunked(&doca, &data, chunk, strategy).unwrap();
         let d = pedal::decompress_chunked(&doca, &c.bytes, data.len(), strategy).unwrap();
-        prop_assert_eq!(d.bytes, data);
+        assert_eq!(d.bytes, data, "case {case}");
     }
 }

@@ -43,9 +43,7 @@ fn main() {
                     pedal_deflate::compress(&data, pedal_deflate::Level::DEFAULT),
                     Some(data.len()),
                 ),
-                JobKind::Lz4Decompress => {
-                    (pedal_lz4::compress_block(&data, 1), Some(data.len()))
-                }
+                JobKind::Lz4Decompress => (pedal_lz4::compress_block(&data, 1), Some(data.len())),
             };
             let mut job = CompressJob::new(kind, input);
             if let Some(n) = expected {

@@ -48,11 +48,8 @@ fn main() {
     match args.as_slice() {
         [mode, algo, input, output] if mode == "compress" || mode == "decompress" => {
             let data = std::fs::read(input).expect("read input");
-            let out = if mode == "compress" {
-                compress(algo, &data)
-            } else {
-                decompress(algo, &data)
-            };
+            let out =
+                if mode == "compress" { compress(algo, &data) } else { decompress(algo, &data) };
             std::fs::write(output, &out).expect("write output");
             println!("{mode}ed {} -> {} bytes ({} -> {})", data.len(), out.len(), input, output);
         }

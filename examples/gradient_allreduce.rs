@@ -41,11 +41,7 @@ fn from_bytes(b: &[u8]) -> Vec<f32> {
 }
 
 /// Tree allreduce (sum) with compressed hops: reduce to rank 0, broadcast.
-fn compressed_allreduce(
-    comm: &mut PedalComm,
-    mpi: &mut RankCtx,
-    mut local: Vec<f32>,
-) -> Vec<f32> {
+fn compressed_allreduce(comm: &mut PedalComm, mpi: &mut RankCtx, mut local: Vec<f32>) -> Vec<f32> {
     let size = mpi.size;
     let bytes_len = local.len() * 4;
     // Binomial reduce.
@@ -53,8 +49,7 @@ fn compressed_allreduce(
     while k < size {
         if mpi.rank & k != 0 {
             let parent = mpi.rank & !k;
-            comm.send(mpi, parent, 10 + k as u64, Datatype::Float32, &to_bytes(&local))
-                .unwrap();
+            comm.send(mpi, parent, 10 + k as u64, Datatype::Float32, &to_bytes(&local)).unwrap();
             break;
         }
         if mpi.rank + k < size {
@@ -67,22 +62,16 @@ fn compressed_allreduce(
     }
     // Broadcast the aggregate back.
     let root_data = if mpi.rank == 0 { Some(to_bytes(&local)) } else { None };
-    let (agg, _) = comm
-        .bcast(mpi, 0, Datatype::Float32, root_data.as_deref(), bytes_len)
-        .unwrap();
+    let (agg, _) = comm.bcast(mpi, 0, Datatype::Float32, root_data.as_deref(), bytes_len).unwrap();
     from_bytes(&agg)
 }
 
 fn main() {
-    println!(
-        "gradient allreduce: 4 workers x {N_PARAMS} params, SZ3 eb={EB} per hop\n"
-    );
+    println!("gradient allreduce: 4 workers x {N_PARAMS} params, SZ3 eb={EB} per hop\n");
     let reports = run_world(WorldConfig::new(4, Platform::BlueField2), |mpi: &mut RankCtx| {
-        let (mut comm, _) = PedalComm::init(
-            mpi,
-            PedalCommConfig::new(Design::CE_SZ3).with_error_bound(EB),
-        )
-        .unwrap();
+        let (mut comm, _) =
+            PedalComm::init(mpi, PedalCommConfig::new(Design::CE_SZ3).with_error_bound(EB))
+                .unwrap();
         let local = gradient_for(mpi.rank);
         let t0 = mpi.now();
         let agg = compressed_allreduce(&mut comm, mpi, local);
@@ -101,11 +90,8 @@ fn main() {
     // and errors add through the sums.
     let hop_budget = EB * (4 + 1) as f64;
     for (rank, (agg, elapsed, ratio)) in reports.iter().enumerate() {
-        let max_err = agg
-            .iter()
-            .zip(&exact)
-            .map(|(&a, &e)| (a as f64 - e).abs())
-            .fold(0.0f64, f64::max);
+        let max_err =
+            agg.iter().zip(&exact).map(|(&a, &e)| (a as f64 - e).abs()).fold(0.0f64, f64::max);
         assert!(max_err <= hop_budget, "rank {rank}: {max_err} > budget {hop_budget}");
         println!(
             "worker {rank}: allreduce {:>8.2} ms | max |err| {:.2e} (budget {:.1e}) | wire ratio {:.2}",

@@ -63,11 +63,9 @@ fn main() {
     let n_total = RANKS * CELLS_PER_RANK;
 
     let results = run_world(WorldConfig::new(RANKS, Platform::BlueField2), |mpi: &mut RankCtx| {
-        let (mut comm, _) = PedalComm::init(
-            mpi,
-            PedalCommConfig::new(Design::CE_SZ3).with_error_bound(EB),
-        )
-        .unwrap();
+        let (mut comm, _) =
+            PedalComm::init(mpi, PedalCommConfig::new(Design::CE_SZ3).with_error_bound(EB))
+                .unwrap();
         let base = mpi.rank * CELLS_PER_RANK;
         // Local slab with one ghost cell on each side.
         let mut cur = vec![0.0f32; CELLS_PER_RANK + 2];
@@ -144,7 +142,6 @@ fn main() {
     println!(
         "solution matches sequential reference (max |err| {max_err:.2e}); \
          {} compressed checkpoints, worker wire ratio {:.2}",
-        results[0].1,
-        results[1].2
+        results[0].1, results[1].2
     );
 }

@@ -9,12 +9,7 @@ use pedal_datasets::DatasetId;
 use pedal_dpu::Platform;
 use pedal_mpi::{run_world, RankCtx, WorldConfig};
 
-fn one_way_latency_ms(
-    platform: Platform,
-    design: Design,
-    mode: OverheadMode,
-    data: &[u8],
-) -> f64 {
+fn one_way_latency_ms(platform: Platform, design: Design, mode: OverheadMode, data: &[u8]) -> f64 {
     let payload = data.to_vec();
     let results = run_world(WorldConfig::new(2, platform), move |mpi: &mut RankCtx| {
         let mut cfg = PedalCommConfig::new(design);
@@ -52,8 +47,7 @@ fn main() {
     for design in Design::LOSSLESS {
         let bf2 = one_way_latency_ms(Platform::BlueField2, design, OverheadMode::Pedal, &data);
         let bf3 = one_way_latency_ms(Platform::BlueField3, design, OverheadMode::Pedal, &data);
-        let base =
-            one_way_latency_ms(Platform::BlueField2, design, OverheadMode::Baseline, &data);
+        let base = one_way_latency_ms(Platform::BlueField2, design, OverheadMode::Baseline, &data);
         println!("{:<18} {:>14.3} {:>14.3} {:>22.3}", design.name(), bf2, bf3, base);
     }
     println!();

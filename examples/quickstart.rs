@@ -20,14 +20,10 @@ fn main() {
 
     for design in Design::ALL {
         // PEDAL_init: DOCA setup + memory pool, paid once.
-        let ctx = PedalContext::init(PedalConfig::new(Platform::BlueField2, design))
-            .expect("init");
+        let ctx = PedalContext::init(PedalConfig::new(Platform::BlueField2, design)).expect("init");
 
-        let (data, datatype) = if design.is_lossy() {
-            (&floats, Datatype::Float32)
-        } else {
-            (&text, Datatype::Byte)
-        };
+        let (data, datatype) =
+            if design.is_lossy() { (&floats, Datatype::Float32) } else { (&text, Datatype::Byte) };
 
         // Warm the pool (first message registers buffers), then measure.
         let _ = ctx.compress(datatype, data).unwrap();

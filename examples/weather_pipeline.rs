@@ -27,9 +27,8 @@ fn main() {
 
         let root_data = if mpi.rank == 0 { Some(&field[..]) } else { None };
         let t0 = mpi.now();
-        let (received, done) = comm
-            .bcast(mpi, 0, Datatype::Float32, root_data, field.len())
-            .unwrap();
+        let (received, done) =
+            comm.bcast(mpi, 0, Datatype::Float32, root_data, field.len()).unwrap();
 
         // Every analysis rank verifies the error bound locally.
         let mut max_err = 0.0f64;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full offline verification gate: everything a PR must pass before merge.
+# Runs with no network access — the workspace has no external registry
+# dependencies (see DESIGN.md §4, Dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

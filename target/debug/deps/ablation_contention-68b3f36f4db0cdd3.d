@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-68b3f36f4db0cdd3.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-68b3f36f4db0cdd3: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-8bfefebb24572971.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-8bfefebb24572971: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_host_offload-1007170d346018fa.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/debug/deps/ablation_host_offload-1007170d346018fa: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

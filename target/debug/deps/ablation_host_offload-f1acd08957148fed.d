@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_host_offload-f1acd08957148fed.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/debug/deps/ablation_host_offload-f1acd08957148fed: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

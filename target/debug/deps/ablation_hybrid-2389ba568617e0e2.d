@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hybrid-2389ba568617e0e2.d: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hybrid-2389ba568617e0e2.rmeta: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-552d9f61dd9d7b22.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-552d9f61dd9d7b22: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

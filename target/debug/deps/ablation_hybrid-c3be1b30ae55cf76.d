@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-c3be1b30ae55cf76.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-c3be1b30ae55cf76: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-0af146d36a5863f7.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-0af146d36a5863f7: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

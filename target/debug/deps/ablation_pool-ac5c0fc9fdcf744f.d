@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-ac5c0fc9fdcf744f.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-ac5c0fc9fdcf744f: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

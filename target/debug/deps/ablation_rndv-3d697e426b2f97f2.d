@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rndv-3d697e426b2f97f2.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/debug/deps/ablation_rndv-3d697e426b2f97f2: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

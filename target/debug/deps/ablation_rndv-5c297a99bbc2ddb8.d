@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rndv-5c297a99bbc2ddb8.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/debug/deps/ablation_rndv-5c297a99bbc2ddb8: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

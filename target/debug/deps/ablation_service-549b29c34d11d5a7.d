@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-549b29c34d11d5a7.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-549b29c34d11d5a7: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

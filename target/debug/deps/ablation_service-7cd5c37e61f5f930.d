@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_service-7cd5c37e61f5f930.d: crates/bench/src/bin/ablation_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_service-7cd5c37e61f5f930.rmeta: crates/bench/src/bin/ablation_service.rs Cargo.toml
+
+crates/bench/src/bin/ablation_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-0e3a0f2090f1fa64.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/debug/deps/ablation_sz3_backend-0e3a0f2090f1fa64: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-76f74843b7f0fa5b.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/debug/deps/ablation_sz3_backend-76f74843b7f0fa5b: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-1acfe43e2d002290.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-1acfe43e2d002290.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-1acfe43e2d002290.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-24941d9d9315703d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-24941d9d9315703d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-24941d9d9315703d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

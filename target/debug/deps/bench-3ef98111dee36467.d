@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-3ef98111dee36467.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-3ef98111dee36467: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

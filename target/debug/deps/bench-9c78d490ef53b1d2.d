@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-9c78d490ef53b1d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-9c78d490ef53b1d2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

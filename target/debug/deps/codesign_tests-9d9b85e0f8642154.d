@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codesign_tests-9d9b85e0f8642154.d: crates/pedal-codesign/tests/codesign_tests.rs
+
+/root/repo/target/debug/deps/codesign_tests-9d9b85e0f8642154: crates/pedal-codesign/tests/codesign_tests.rs
+
+crates/pedal-codesign/tests/codesign_tests.rs:

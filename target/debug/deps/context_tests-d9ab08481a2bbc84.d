@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/context_tests-d9ab08481a2bbc84.d: crates/pedal/tests/context_tests.rs
+
+/root/repo/target/debug/deps/context_tests-d9ab08481a2bbc84: crates/pedal/tests/context_tests.rs
+
+crates/pedal/tests/context_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpu_offload_demo-d19b8d9b14234890.d: examples/dpu_offload_demo.rs
+
+/root/repo/target/debug/deps/dpu_offload_demo-d19b8d9b14234890: examples/dpu_offload_demo.rs
+
+examples/dpu_offload_demo.rs:

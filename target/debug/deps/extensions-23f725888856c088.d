@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-23f725888856c088.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-23f725888856c088: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

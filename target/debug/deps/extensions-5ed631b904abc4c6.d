@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-5ed631b904abc4c6.d: tests/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-5ed631b904abc4c6.rmeta: tests/tests/extensions.rs Cargo.toml
+
+tests/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

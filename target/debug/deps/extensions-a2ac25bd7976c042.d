@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a2ac25bd7976c042.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a2ac25bd7976c042: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-95cac2de02d8d104.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/debug/deps/fig10_p2p_latency-95cac2de02d8d104: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-f63ab9cc9419a24c.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/debug/deps/fig10_p2p_latency-f63ab9cc9419a24c: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bcast-22a12653f24bd9ab.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/debug/deps/fig11_bcast-22a12653f24bd9ab: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bcast-685990a12a748f6f.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/debug/deps/fig11_bcast-685990a12a748f6f: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

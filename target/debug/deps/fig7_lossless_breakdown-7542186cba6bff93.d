@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_lossless_breakdown-7542186cba6bff93.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/debug/deps/fig7_lossless_breakdown-7542186cba6bff93: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_comp_decomp_time-a376d0f9c10a4232.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/debug/deps/fig8_comp_decomp_time-a376d0f9c10a4232: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

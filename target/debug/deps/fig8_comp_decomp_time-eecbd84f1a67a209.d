@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_comp_decomp_time-eecbd84f1a67a209.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/debug/deps/fig8_comp_decomp_time-eecbd84f1a67a209: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

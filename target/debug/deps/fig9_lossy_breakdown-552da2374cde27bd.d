@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_lossy_breakdown-552da2374cde27bd.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/debug/deps/fig9_lossy_breakdown-552da2374cde27bd: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

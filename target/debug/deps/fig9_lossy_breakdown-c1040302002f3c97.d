@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_lossy_breakdown-c1040302002f3c97.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/debug/deps/fig9_lossy_breakdown-c1040302002f3c97: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

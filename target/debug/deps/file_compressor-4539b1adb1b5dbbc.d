@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/file_compressor-4539b1adb1b5dbbc.d: examples/file_compressor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfile_compressor-4539b1adb1b5dbbc.rmeta: examples/file_compressor.rs Cargo.toml
+
+examples/file_compressor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_compressor-b6d7fbe0b964b9b6.d: examples/file_compressor.rs
+
+/root/repo/target/debug/deps/file_compressor-b6d7fbe0b964b9b6: examples/file_compressor.rs
+
+examples/file_compressor.rs:

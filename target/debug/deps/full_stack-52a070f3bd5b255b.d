@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-52a070f3bd5b255b.d: tests/tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-52a070f3bd5b255b: tests/tests/full_stack.rs
+
+tests/tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-76b0d842354395ee.d: tests/tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-76b0d842354395ee: tests/tests/full_stack.rs
+
+tests/tests/full_stack.rs:

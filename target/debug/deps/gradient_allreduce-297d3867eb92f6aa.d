@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradient_allreduce-297d3867eb92f6aa.d: examples/gradient_allreduce.rs
+
+/root/repo/target/debug/deps/gradient_allreduce-297d3867eb92f6aa: examples/gradient_allreduce.rs
+
+examples/gradient_allreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/halo_exchange-700f9a54b6141dfa.d: examples/halo_exchange.rs
+
+/root/repo/target/debug/deps/halo_exchange-700f9a54b6141dfa: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

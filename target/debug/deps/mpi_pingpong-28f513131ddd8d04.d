@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_pingpong-28f513131ddd8d04.d: examples/mpi_pingpong.rs
+
+/root/repo/target/debug/deps/mpi_pingpong-28f513131ddd8d04: examples/mpi_pingpong.rs
+
+examples/mpi_pingpong.rs:

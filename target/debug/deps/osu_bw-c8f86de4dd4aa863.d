@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osu_bw-c8f86de4dd4aa863.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/debug/deps/osu_bw-c8f86de4dd4aa863: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osu_bw-e5008be2b1dbd8b4.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/debug/deps/osu_bw-e5008be2b1dbd8b4: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-5395b8f19ae2a34b.d: tests/tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-5395b8f19ae2a34b: tests/tests/paper_claims.rs
+
+tests/tests/paper_claims.rs:

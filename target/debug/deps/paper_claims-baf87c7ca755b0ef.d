@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-baf87c7ca755b0ef.d: tests/tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-baf87c7ca755b0ef: tests/tests/paper_claims.rs
+
+tests/tests/paper_claims.rs:

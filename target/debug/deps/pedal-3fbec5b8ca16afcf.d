@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pedal-3fbec5b8ca16afcf.d: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+/root/repo/target/debug/deps/pedal-3fbec5b8ca16afcf: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+crates/pedal/src/lib.rs:
+crates/pedal/src/context.rs:
+crates/pedal/src/design.rs:
+crates/pedal/src/header.rs:
+crates/pedal/src/parallel.rs:
+crates/pedal/src/pool.rs:
+crates/pedal/src/timing.rs:
+crates/pedal/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pedal-65c2210db48f6137.d: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+/root/repo/target/debug/deps/libpedal-65c2210db48f6137.rlib: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+/root/repo/target/debug/deps/libpedal-65c2210db48f6137.rmeta: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+crates/pedal/src/lib.rs:
+crates/pedal/src/context.rs:
+crates/pedal/src/design.rs:
+crates/pedal/src/header.rs:
+crates/pedal/src/parallel.rs:
+crates/pedal/src/pool.rs:
+crates/pedal/src/timing.rs:
+crates/pedal/src/wire.rs:

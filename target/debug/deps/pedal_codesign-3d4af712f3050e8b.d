@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_codesign-3d4af712f3050e8b.d: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/debug/deps/pedal_codesign-3d4af712f3050e8b: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+crates/pedal-codesign/src/lib.rs:
+crates/pedal-codesign/src/comm.rs:
+crates/pedal-codesign/src/deployment.rs:

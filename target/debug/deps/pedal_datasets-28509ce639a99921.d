@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pedal_datasets-28509ce639a99921.d: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+/root/repo/target/debug/deps/pedal_datasets-28509ce639a99921: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+crates/pedal-datasets/src/lib.rs:
+crates/pedal-datasets/src/generators.rs:

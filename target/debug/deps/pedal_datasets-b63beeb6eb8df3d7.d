@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pedal_datasets-b63beeb6eb8df3d7.d: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+/root/repo/target/debug/deps/libpedal_datasets-b63beeb6eb8df3d7.rlib: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+/root/repo/target/debug/deps/libpedal_datasets-b63beeb6eb8df3d7.rmeta: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+crates/pedal-datasets/src/lib.rs:
+crates/pedal-datasets/src/generators.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pedal_datasets-f94358c55b5e878c.d: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_datasets-f94358c55b5e878c.rmeta: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs Cargo.toml
+
+crates/pedal-datasets/src/lib.rs:
+crates/pedal-datasets/src/generators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

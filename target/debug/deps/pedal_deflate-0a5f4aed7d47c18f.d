@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pedal_deflate-0a5f4aed7d47c18f.d: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+/root/repo/target/debug/deps/pedal_deflate-0a5f4aed7d47c18f: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+crates/pedal-deflate/src/lib.rs:
+crates/pedal-deflate/src/bitio.rs:
+crates/pedal-deflate/src/consts.rs:
+crates/pedal-deflate/src/encoder.rs:
+crates/pedal-deflate/src/huffman.rs:
+crates/pedal-deflate/src/inflate.rs:
+crates/pedal-deflate/src/lz77.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pedal_deflate-54b86d13493d25be.d: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+/root/repo/target/debug/deps/libpedal_deflate-54b86d13493d25be.rlib: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+/root/repo/target/debug/deps/libpedal_deflate-54b86d13493d25be.rmeta: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+crates/pedal-deflate/src/lib.rs:
+crates/pedal-deflate/src/bitio.rs:
+crates/pedal-deflate/src/consts.rs:
+crates/pedal-deflate/src/encoder.rs:
+crates/pedal-deflate/src/huffman.rs:
+crates/pedal-deflate/src/inflate.rs:
+crates/pedal-deflate/src/lz77.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pedal_deflate-dec3337398f92184.d: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_deflate-dec3337398f92184.rmeta: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs Cargo.toml
+
+crates/pedal-deflate/src/lib.rs:
+crates/pedal-deflate/src/bitio.rs:
+crates/pedal-deflate/src/consts.rs:
+crates/pedal-deflate/src/encoder.rs:
+crates/pedal-deflate/src/huffman.rs:
+crates/pedal-deflate/src/inflate.rs:
+crates/pedal-deflate/src/lz77.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

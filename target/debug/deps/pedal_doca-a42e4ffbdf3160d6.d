@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_doca-a42e4ffbdf3160d6.d: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+/root/repo/target/debug/deps/pedal_doca-a42e4ffbdf3160d6: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+crates/pedal-doca/src/lib.rs:
+crates/pedal-doca/src/device.rs:
+crates/pedal-doca/src/engine.rs:
+crates/pedal-doca/src/memmap.rs:
+crates/pedal-doca/src/workq.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pedal_doca-c9bb363ce5ab1c4d.d: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_doca-c9bb363ce5ab1c4d.rmeta: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs Cargo.toml
+
+crates/pedal-doca/src/lib.rs:
+crates/pedal-doca/src/device.rs:
+crates/pedal-doca/src/engine.rs:
+crates/pedal-doca/src/memmap.rs:
+crates/pedal-doca/src/workq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pedal_dpu-21e1a43116d4b1ab.d: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_dpu-21e1a43116d4b1ab.rmeta: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs Cargo.toml
+
+crates/pedal-dpu/src/lib.rs:
+crates/pedal-dpu/src/bytes.rs:
+crates/pedal-dpu/src/clock.rs:
+crates/pedal-dpu/src/costs.rs:
+crates/pedal-dpu/src/platform.rs:
+crates/pedal-dpu/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pedal_dpu-79d12f89c74e2415.d: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+/root/repo/target/debug/deps/pedal_dpu-79d12f89c74e2415: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+crates/pedal-dpu/src/lib.rs:
+crates/pedal-dpu/src/bytes.rs:
+crates/pedal-dpu/src/clock.rs:
+crates/pedal-dpu/src/costs.rs:
+crates/pedal-dpu/src/platform.rs:
+crates/pedal-dpu/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pedal_dpu-bbdff322f15f3cc6.d: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+/root/repo/target/debug/deps/libpedal_dpu-bbdff322f15f3cc6.rlib: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+/root/repo/target/debug/deps/libpedal_dpu-bbdff322f15f3cc6.rmeta: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+crates/pedal-dpu/src/lib.rs:
+crates/pedal-dpu/src/bytes.rs:
+crates/pedal-dpu/src/clock.rs:
+crates/pedal-dpu/src/costs.rs:
+crates/pedal-dpu/src/platform.rs:
+crates/pedal-dpu/src/rng.rs:

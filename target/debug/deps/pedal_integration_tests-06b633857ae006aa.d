@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_integration_tests-06b633857ae006aa.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-06b633857ae006aa.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-06b633857ae006aa.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

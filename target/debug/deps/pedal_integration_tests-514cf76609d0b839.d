@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_integration_tests-514cf76609d0b839.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_integration_tests-514cf76609d0b839.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pedal_integration_tests-b80737068f213284.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/pedal_integration_tests-b80737068f213284: tests/src/lib.rs
+
+tests/src/lib.rs:

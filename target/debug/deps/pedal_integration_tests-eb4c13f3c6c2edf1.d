@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pedal_integration_tests-eb4c13f3c6c2edf1.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/pedal_integration_tests-eb4c13f3c6c2edf1: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_integration_tests-f168e9ec7d3b3f2e.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-f168e9ec7d3b3f2e.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-f168e9ec7d3b3f2e.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_lz4-35a5079299cdfd98.d: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+/root/repo/target/debug/deps/pedal_lz4-35a5079299cdfd98: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+crates/pedal-lz4/src/lib.rs:
+crates/pedal-lz4/src/block.rs:
+crates/pedal-lz4/src/frame.rs:

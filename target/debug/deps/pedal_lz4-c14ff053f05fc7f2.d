@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pedal_lz4-c14ff053f05fc7f2.d: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_lz4-c14ff053f05fc7f2.rmeta: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs Cargo.toml
+
+crates/pedal-lz4/src/lib.rs:
+crates/pedal-lz4/src/block.rs:
+crates/pedal-lz4/src/frame.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

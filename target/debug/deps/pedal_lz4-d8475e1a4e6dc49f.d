@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_lz4-d8475e1a4e6dc49f.d: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+/root/repo/target/debug/deps/libpedal_lz4-d8475e1a4e6dc49f.rlib: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+/root/repo/target/debug/deps/libpedal_lz4-d8475e1a4e6dc49f.rmeta: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+crates/pedal-lz4/src/lib.rs:
+crates/pedal-lz4/src/block.rs:
+crates/pedal-lz4/src/frame.rs:

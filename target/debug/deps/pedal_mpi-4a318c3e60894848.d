@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_mpi-4a318c3e60894848.d: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+/root/repo/target/debug/deps/pedal_mpi-4a318c3e60894848: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+crates/pedal-mpi/src/lib.rs:
+crates/pedal-mpi/src/collectives.rs:
+crates/pedal-mpi/src/comm.rs:

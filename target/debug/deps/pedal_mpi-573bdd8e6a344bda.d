@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_mpi-573bdd8e6a344bda.d: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+/root/repo/target/debug/deps/libpedal_mpi-573bdd8e6a344bda.rlib: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+/root/repo/target/debug/deps/libpedal_mpi-573bdd8e6a344bda.rmeta: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+crates/pedal-mpi/src/lib.rs:
+crates/pedal-mpi/src/collectives.rs:
+crates/pedal-mpi/src/comm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pedal_mpi-cbe576144fda4218.d: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_mpi-cbe576144fda4218.rmeta: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs Cargo.toml
+
+crates/pedal-mpi/src/lib.rs:
+crates/pedal-mpi/src/collectives.rs:
+crates/pedal-mpi/src/comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

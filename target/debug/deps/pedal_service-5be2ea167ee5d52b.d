@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pedal_service-5be2ea167ee5d52b.d: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/debug/deps/libpedal_service-5be2ea167ee5d52b.rlib: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/debug/deps/libpedal_service-5be2ea167ee5d52b.rmeta: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+crates/pedal-service/src/lib.rs:
+crates/pedal-service/src/job.rs:
+crates/pedal-service/src/queue.rs:
+crates/pedal-service/src/service.rs:
+crates/pedal-service/src/stats.rs:

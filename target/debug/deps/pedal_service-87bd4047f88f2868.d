@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_service-87bd4047f88f2868.d: crates/pedal-service/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_service-87bd4047f88f2868.rlib: crates/pedal-service/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_service-87bd4047f88f2868.rmeta: crates/pedal-service/src/lib.rs
+
+crates/pedal-service/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pedal_service-f42393f7bd010218.d: crates/pedal-service/src/lib.rs
+
+/root/repo/target/debug/deps/pedal_service-f42393f7bd010218: crates/pedal-service/src/lib.rs
+
+crates/pedal-service/src/lib.rs:

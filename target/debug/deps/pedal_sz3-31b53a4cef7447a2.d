@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pedal_sz3-31b53a4cef7447a2.d: crates/pedal-sz3/src/lib.rs crates/pedal-sz3/src/backend.rs crates/pedal-sz3/src/compressor.rs crates/pedal-sz3/src/field.rs crates/pedal-sz3/src/huff.rs crates/pedal-sz3/src/interp_nd.rs crates/pedal-sz3/src/metrics.rs crates/pedal-sz3/src/predictor.rs crates/pedal-sz3/src/quantizer.rs crates/pedal-sz3/src/select.rs crates/pedal-sz3/src/varint.rs
+
+/root/repo/target/debug/deps/pedal_sz3-31b53a4cef7447a2: crates/pedal-sz3/src/lib.rs crates/pedal-sz3/src/backend.rs crates/pedal-sz3/src/compressor.rs crates/pedal-sz3/src/field.rs crates/pedal-sz3/src/huff.rs crates/pedal-sz3/src/interp_nd.rs crates/pedal-sz3/src/metrics.rs crates/pedal-sz3/src/predictor.rs crates/pedal-sz3/src/quantizer.rs crates/pedal-sz3/src/select.rs crates/pedal-sz3/src/varint.rs
+
+crates/pedal-sz3/src/lib.rs:
+crates/pedal-sz3/src/backend.rs:
+crates/pedal-sz3/src/compressor.rs:
+crates/pedal-sz3/src/field.rs:
+crates/pedal-sz3/src/huff.rs:
+crates/pedal-sz3/src/interp_nd.rs:
+crates/pedal-sz3/src/metrics.rs:
+crates/pedal-sz3/src/predictor.rs:
+crates/pedal-sz3/src/quantizer.rs:
+crates/pedal-sz3/src/select.rs:
+crates/pedal-sz3/src/varint.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pedal_sz3-6535f51edae9b29f.d: crates/pedal-sz3/src/lib.rs crates/pedal-sz3/src/backend.rs crates/pedal-sz3/src/compressor.rs crates/pedal-sz3/src/field.rs crates/pedal-sz3/src/huff.rs crates/pedal-sz3/src/interp_nd.rs crates/pedal-sz3/src/metrics.rs crates/pedal-sz3/src/predictor.rs crates/pedal-sz3/src/quantizer.rs crates/pedal-sz3/src/select.rs crates/pedal-sz3/src/varint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_sz3-6535f51edae9b29f.rmeta: crates/pedal-sz3/src/lib.rs crates/pedal-sz3/src/backend.rs crates/pedal-sz3/src/compressor.rs crates/pedal-sz3/src/field.rs crates/pedal-sz3/src/huff.rs crates/pedal-sz3/src/interp_nd.rs crates/pedal-sz3/src/metrics.rs crates/pedal-sz3/src/predictor.rs crates/pedal-sz3/src/quantizer.rs crates/pedal-sz3/src/select.rs crates/pedal-sz3/src/varint.rs Cargo.toml
+
+crates/pedal-sz3/src/lib.rs:
+crates/pedal-sz3/src/backend.rs:
+crates/pedal-sz3/src/compressor.rs:
+crates/pedal-sz3/src/field.rs:
+crates/pedal-sz3/src/huff.rs:
+crates/pedal-sz3/src/interp_nd.rs:
+crates/pedal-sz3/src/metrics.rs:
+crates/pedal-sz3/src/predictor.rs:
+crates/pedal-sz3/src/quantizer.rs:
+crates/pedal-sz3/src/select.rs:
+crates/pedal-sz3/src/varint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pedal_zlib-71136650b66f7385.d: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_zlib-71136650b66f7385.rmeta: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs Cargo.toml
+
+crates/pedal-zlib/src/lib.rs:
+crates/pedal-zlib/src/adler.rs:
+crates/pedal-zlib/src/crc32.rs:
+crates/pedal-zlib/src/gzip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

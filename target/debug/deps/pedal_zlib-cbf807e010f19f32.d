@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pedal_zlib-cbf807e010f19f32.d: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+/root/repo/target/debug/deps/libpedal_zlib-cbf807e010f19f32.rlib: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+/root/repo/target/debug/deps/libpedal_zlib-cbf807e010f19f32.rmeta: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+crates/pedal-zlib/src/lib.rs:
+crates/pedal-zlib/src/adler.rs:
+crates/pedal-zlib/src/crc32.rs:
+crates/pedal-zlib/src/gzip.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pedal_zlib-d4d7c67b2c48ccdc.d: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+/root/repo/target/debug/deps/pedal_zlib-d4d7c67b2c48ccdc: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+crates/pedal-zlib/src/lib.rs:
+crates/pedal-zlib/src/adler.rs:
+crates/pedal-zlib/src/crc32.rs:
+crates/pedal-zlib/src/gzip.rs:

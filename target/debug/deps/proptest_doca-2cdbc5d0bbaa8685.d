@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_doca-2cdbc5d0bbaa8685.d: crates/pedal-doca/tests/proptest_doca.rs
+
+/root/repo/target/debug/deps/proptest_doca-2cdbc5d0bbaa8685: crates/pedal-doca/tests/proptest_doca.rs
+
+crates/pedal-doca/tests/proptest_doca.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_error_bound-d2801548e64a7ee1.d: crates/pedal-sz3/tests/proptest_error_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_error_bound-d2801548e64a7ee1.rmeta: crates/pedal-sz3/tests/proptest_error_bound.rs Cargo.toml
+
+crates/pedal-sz3/tests/proptest_error_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

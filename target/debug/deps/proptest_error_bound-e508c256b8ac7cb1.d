@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_error_bound-e508c256b8ac7cb1.d: crates/pedal-sz3/tests/proptest_error_bound.rs
+
+/root/repo/target/debug/deps/proptest_error_bound-e508c256b8ac7cb1: crates/pedal-sz3/tests/proptest_error_bound.rs
+
+crates/pedal-sz3/tests/proptest_error_bound.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_mpi-0011ea2efd200aba.d: crates/pedal-mpi/tests/proptest_mpi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_mpi-0011ea2efd200aba.rmeta: crates/pedal-mpi/tests/proptest_mpi.rs Cargo.toml
+
+crates/pedal-mpi/tests/proptest_mpi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mpi-51ba11f6d3aa86d6.d: crates/pedal-mpi/tests/proptest_mpi.rs
+
+/root/repo/target/debug/deps/proptest_mpi-51ba11f6d3aa86d6: crates/pedal-mpi/tests/proptest_mpi.rs
+
+crates/pedal-mpi/tests/proptest_mpi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pedal-7e9f71723e49bb4f.d: crates/pedal/tests/proptest_pedal.rs
+
+/root/repo/target/debug/deps/proptest_pedal-7e9f71723e49bb4f: crates/pedal/tests/proptest_pedal.rs
+
+crates/pedal/tests/proptest_pedal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-5f7be09c0ac695a2.d: crates/pedal-lz4/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-5f7be09c0ac695a2: crates/pedal-lz4/tests/proptest_roundtrip.rs
+
+crates/pedal-lz4/tests/proptest_roundtrip.rs:

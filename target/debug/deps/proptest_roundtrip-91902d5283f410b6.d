@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-91902d5283f410b6.d: crates/pedal-deflate/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-91902d5283f410b6: crates/pedal-deflate/tests/proptest_roundtrip.rs
+
+crates/pedal-deflate/tests/proptest_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-ceb39495971b640c.d: crates/pedal-deflate/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-ceb39495971b640c.rmeta: crates/pedal-deflate/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/pedal-deflate/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

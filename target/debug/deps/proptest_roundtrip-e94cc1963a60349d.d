@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_roundtrip-e94cc1963a60349d.d: crates/pedal-lz4/tests/proptest_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_roundtrip-e94cc1963a60349d.rmeta: crates/pedal-lz4/tests/proptest_roundtrip.rs Cargo.toml
+
+crates/pedal-lz4/tests/proptest_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_zlib-103facd0ed44d5f3.d: crates/pedal-zlib/tests/proptest_zlib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_zlib-103facd0ed44d5f3.rmeta: crates/pedal-zlib/tests/proptest_zlib.rs Cargo.toml
+
+crates/pedal-zlib/tests/proptest_zlib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_zlib-55159bfb1b448367.d: crates/pedal-zlib/tests/proptest_zlib.rs
+
+/root/repo/target/debug/deps/proptest_zlib-55159bfb1b448367: crates/pedal-zlib/tests/proptest_zlib.rs
+
+crates/pedal-zlib/tests/proptest_zlib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-8586f2e33a0fe039.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-8586f2e33a0fe039: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rel_mode-30284f6b3a99ab1d.d: crates/pedal-sz3/tests/rel_mode.rs
+
+/root/repo/target/debug/deps/rel_mode-30284f6b3a99ab1d: crates/pedal-sz3/tests/rel_mode.rs
+
+crates/pedal-sz3/tests/rel_mode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rel_mode-a1b29edc5ade1f89.d: crates/pedal-sz3/tests/rel_mode.rs Cargo.toml
+
+/root/repo/target/debug/deps/librel_mode-a1b29edc5ade1f89.rmeta: crates/pedal-sz3/tests/rel_mode.rs Cargo.toml
+
+crates/pedal-sz3/tests/rel_mode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

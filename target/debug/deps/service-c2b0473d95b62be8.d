@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-c2b0473d95b62be8.d: crates/pedal-service/tests/service.rs
+
+/root/repo/target/debug/deps/service-c2b0473d95b62be8: crates/pedal-service/tests/service.rs
+
+crates/pedal-service/tests/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_ratios-b583dac863e68afb.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/debug/deps/table5_ratios-b583dac863e68afb: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weather_pipeline-a3a4cb92cfe0b7ba.d: examples/weather_pipeline.rs
+
+/root/repo/target/debug/deps/weather_pipeline-a3a4cb92cfe0b7ba: examples/weather_pipeline.rs
+
+examples/weather_pipeline.rs:

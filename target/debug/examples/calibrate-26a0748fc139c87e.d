@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-26a0748fc139c87e.d: crates/pedal-datasets/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-26a0748fc139c87e: crates/pedal-datasets/examples/calibrate.rs
+
+crates/pedal-datasets/examples/calibrate.rs:

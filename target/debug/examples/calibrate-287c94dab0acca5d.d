@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-287c94dab0acca5d.d: crates/pedal-datasets/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-287c94dab0acca5d.rmeta: crates/pedal-datasets/examples/calibrate.rs Cargo.toml
+
+crates/pedal-datasets/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

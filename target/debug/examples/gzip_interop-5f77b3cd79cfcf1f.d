@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gzip_interop-5f77b3cd79cfcf1f.d: crates/pedal-zlib/examples/gzip_interop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgzip_interop-5f77b3cd79cfcf1f.rmeta: crates/pedal-zlib/examples/gzip_interop.rs Cargo.toml
+
+crates/pedal-zlib/examples/gzip_interop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gzip_interop-89e9938ec24293dd.d: crates/pedal-zlib/examples/gzip_interop.rs
+
+/root/repo/target/debug/examples/gzip_interop-89e9938ec24293dd: crates/pedal-zlib/examples/gzip_interop.rs
+
+crates/pedal-zlib/examples/gzip_interop.rs:

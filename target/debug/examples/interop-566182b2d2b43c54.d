@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interop-566182b2d2b43c54.d: crates/pedal-zlib/examples/interop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterop-566182b2d2b43c54.rmeta: crates/pedal-zlib/examples/interop.rs Cargo.toml
+
+crates/pedal-zlib/examples/interop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interop-af038d805a686085.d: crates/pedal-zlib/examples/interop.rs
+
+/root/repo/target/debug/examples/interop-af038d805a686085: crates/pedal-zlib/examples/interop.rs
+
+crates/pedal-zlib/examples/interop.rs:

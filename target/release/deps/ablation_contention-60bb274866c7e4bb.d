@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_contention-60bb274866c7e4bb.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/release/deps/ablation_contention-60bb274866c7e4bb: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_contention-f8b8d09232d838eb.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/release/deps/ablation_contention-f8b8d09232d838eb: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

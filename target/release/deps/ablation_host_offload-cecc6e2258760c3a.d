@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_host_offload-cecc6e2258760c3a.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/release/deps/ablation_host_offload-cecc6e2258760c3a: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

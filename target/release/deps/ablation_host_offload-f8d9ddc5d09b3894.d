@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_host_offload-f8d9ddc5d09b3894.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/release/deps/ablation_host_offload-f8d9ddc5d09b3894: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hybrid-1cc2e130f79c1a0b.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/release/deps/ablation_hybrid-1cc2e130f79c1a0b: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

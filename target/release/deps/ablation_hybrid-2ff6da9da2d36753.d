@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hybrid-2ff6da9da2d36753.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/release/deps/ablation_hybrid-2ff6da9da2d36753: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pool-1dbba98f193894fc.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/release/deps/ablation_pool-1dbba98f193894fc: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

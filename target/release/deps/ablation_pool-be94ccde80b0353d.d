@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pool-be94ccde80b0353d.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/release/deps/ablation_pool-be94ccde80b0353d: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rndv-58a1f4cd2a0d7697.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/release/deps/ablation_rndv-58a1f4cd2a0d7697: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

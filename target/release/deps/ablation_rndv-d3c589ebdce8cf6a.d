@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rndv-d3c589ebdce8cf6a.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/release/deps/ablation_rndv-d3c589ebdce8cf6a: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

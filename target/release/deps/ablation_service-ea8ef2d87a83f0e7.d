@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_service-ea8ef2d87a83f0e7.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/release/deps/ablation_service-ea8ef2d87a83f0e7: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

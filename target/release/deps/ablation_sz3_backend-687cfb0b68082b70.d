@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sz3_backend-687cfb0b68082b70.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/release/deps/ablation_sz3_backend-687cfb0b68082b70: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

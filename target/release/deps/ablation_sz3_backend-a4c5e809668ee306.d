@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sz3_backend-a4c5e809668ee306.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/release/deps/ablation_sz3_backend-a4c5e809668ee306: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

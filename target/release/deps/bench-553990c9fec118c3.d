@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-553990c9fec118c3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-553990c9fec118c3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-553990c9fec118c3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

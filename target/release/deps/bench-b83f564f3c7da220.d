@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-b83f564f3c7da220.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-b83f564f3c7da220.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-b83f564f3c7da220.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpu_offload_demo-16b3dbd5ca4e94ad.d: examples/dpu_offload_demo.rs
+
+/root/repo/target/release/deps/dpu_offload_demo-16b3dbd5ca4e94ad: examples/dpu_offload_demo.rs
+
+examples/dpu_offload_demo.rs:

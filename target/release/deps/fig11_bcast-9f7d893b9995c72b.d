@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bcast-9f7d893b9995c72b.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/release/deps/fig11_bcast-9f7d893b9995c72b: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bcast-c980d3f5048092db.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/release/deps/fig11_bcast-c980d3f5048092db: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_lossless_breakdown-d912bc0d4f00b4f4.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/release/deps/fig7_lossless_breakdown-d912bc0d4f00b4f4: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_lossless_breakdown-fb2635f9e1ce0c39.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/release/deps/fig7_lossless_breakdown-fb2635f9e1ce0c39: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

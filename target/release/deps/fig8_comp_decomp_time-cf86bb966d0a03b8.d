@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_comp_decomp_time-cf86bb966d0a03b8.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/release/deps/fig8_comp_decomp_time-cf86bb966d0a03b8: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

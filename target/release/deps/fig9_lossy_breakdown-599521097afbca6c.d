@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_lossy_breakdown-599521097afbca6c.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/release/deps/fig9_lossy_breakdown-599521097afbca6c: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

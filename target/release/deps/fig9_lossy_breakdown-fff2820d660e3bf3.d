@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_lossy_breakdown-fff2820d660e3bf3.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/release/deps/fig9_lossy_breakdown-fff2820d660e3bf3: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/file_compressor-db1b0929341fa941.d: examples/file_compressor.rs
+
+/root/repo/target/release/deps/file_compressor-db1b0929341fa941: examples/file_compressor.rs
+
+examples/file_compressor.rs:

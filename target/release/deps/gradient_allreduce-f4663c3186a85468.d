@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gradient_allreduce-f4663c3186a85468.d: examples/gradient_allreduce.rs
+
+/root/repo/target/release/deps/gradient_allreduce-f4663c3186a85468: examples/gradient_allreduce.rs
+
+examples/gradient_allreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/halo_exchange-04bf43774aca1972.d: examples/halo_exchange.rs
+
+/root/repo/target/release/deps/halo_exchange-04bf43774aca1972: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpi_pingpong-5f998a78d59cdf3d.d: examples/mpi_pingpong.rs
+
+/root/repo/target/release/deps/mpi_pingpong-5f998a78d59cdf3d: examples/mpi_pingpong.rs
+
+examples/mpi_pingpong.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/osu_bw-4c70c7dba8e61f9b.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/release/deps/osu_bw-4c70c7dba8e61f9b: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

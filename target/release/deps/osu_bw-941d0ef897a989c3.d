@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/osu_bw-941d0ef897a989c3.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/release/deps/osu_bw-941d0ef897a989c3: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pedal-9a1fe03e4dbfa95a.d: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+/root/repo/target/release/deps/libpedal-9a1fe03e4dbfa95a.rlib: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+/root/repo/target/release/deps/libpedal-9a1fe03e4dbfa95a.rmeta: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+crates/pedal/src/lib.rs:
+crates/pedal/src/context.rs:
+crates/pedal/src/design.rs:
+crates/pedal/src/header.rs:
+crates/pedal/src/parallel.rs:
+crates/pedal/src/pool.rs:
+crates/pedal/src/timing.rs:
+crates/pedal/src/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pedal_codesign-c370c5fdead64afe.d: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/release/deps/libpedal_codesign-c370c5fdead64afe.rlib: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/release/deps/libpedal_codesign-c370c5fdead64afe.rmeta: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+crates/pedal-codesign/src/lib.rs:
+crates/pedal-codesign/src/comm.rs:
+crates/pedal-codesign/src/deployment.rs:

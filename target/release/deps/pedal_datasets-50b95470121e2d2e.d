@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pedal_datasets-50b95470121e2d2e.d: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+/root/repo/target/release/deps/libpedal_datasets-50b95470121e2d2e.rlib: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+/root/repo/target/release/deps/libpedal_datasets-50b95470121e2d2e.rmeta: crates/pedal-datasets/src/lib.rs crates/pedal-datasets/src/generators.rs
+
+crates/pedal-datasets/src/lib.rs:
+crates/pedal-datasets/src/generators.rs:

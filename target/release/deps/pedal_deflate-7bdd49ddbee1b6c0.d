@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pedal_deflate-7bdd49ddbee1b6c0.d: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+/root/repo/target/release/deps/libpedal_deflate-7bdd49ddbee1b6c0.rlib: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+/root/repo/target/release/deps/libpedal_deflate-7bdd49ddbee1b6c0.rmeta: crates/pedal-deflate/src/lib.rs crates/pedal-deflate/src/bitio.rs crates/pedal-deflate/src/consts.rs crates/pedal-deflate/src/encoder.rs crates/pedal-deflate/src/huffman.rs crates/pedal-deflate/src/inflate.rs crates/pedal-deflate/src/lz77.rs
+
+crates/pedal-deflate/src/lib.rs:
+crates/pedal-deflate/src/bitio.rs:
+crates/pedal-deflate/src/consts.rs:
+crates/pedal-deflate/src/encoder.rs:
+crates/pedal-deflate/src/huffman.rs:
+crates/pedal-deflate/src/inflate.rs:
+crates/pedal-deflate/src/lz77.rs:

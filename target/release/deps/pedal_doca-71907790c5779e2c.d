@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pedal_doca-71907790c5779e2c.d: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+/root/repo/target/release/deps/libpedal_doca-71907790c5779e2c.rlib: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+/root/repo/target/release/deps/libpedal_doca-71907790c5779e2c.rmeta: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+crates/pedal-doca/src/lib.rs:
+crates/pedal-doca/src/device.rs:
+crates/pedal-doca/src/engine.rs:
+crates/pedal-doca/src/memmap.rs:
+crates/pedal-doca/src/workq.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pedal_dpu-2420a3150307f59d.d: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+/root/repo/target/release/deps/libpedal_dpu-2420a3150307f59d.rlib: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+/root/repo/target/release/deps/libpedal_dpu-2420a3150307f59d.rmeta: crates/pedal-dpu/src/lib.rs crates/pedal-dpu/src/bytes.rs crates/pedal-dpu/src/clock.rs crates/pedal-dpu/src/costs.rs crates/pedal-dpu/src/platform.rs crates/pedal-dpu/src/rng.rs
+
+crates/pedal-dpu/src/lib.rs:
+crates/pedal-dpu/src/bytes.rs:
+crates/pedal-dpu/src/clock.rs:
+crates/pedal-dpu/src/costs.rs:
+crates/pedal-dpu/src/platform.rs:
+crates/pedal-dpu/src/rng.rs:

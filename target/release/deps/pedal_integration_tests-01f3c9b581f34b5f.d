@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pedal_integration_tests-01f3c9b581f34b5f.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-01f3c9b581f34b5f.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-01f3c9b581f34b5f.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

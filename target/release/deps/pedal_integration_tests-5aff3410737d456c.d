@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pedal_integration_tests-5aff3410737d456c.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-5aff3410737d456c.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-5aff3410737d456c.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

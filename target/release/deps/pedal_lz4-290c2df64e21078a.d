@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pedal_lz4-290c2df64e21078a.d: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+/root/repo/target/release/deps/libpedal_lz4-290c2df64e21078a.rlib: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+/root/repo/target/release/deps/libpedal_lz4-290c2df64e21078a.rmeta: crates/pedal-lz4/src/lib.rs crates/pedal-lz4/src/block.rs crates/pedal-lz4/src/frame.rs
+
+crates/pedal-lz4/src/lib.rs:
+crates/pedal-lz4/src/block.rs:
+crates/pedal-lz4/src/frame.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pedal_mpi-1baff650b44169a8.d: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+/root/repo/target/release/deps/libpedal_mpi-1baff650b44169a8.rlib: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+/root/repo/target/release/deps/libpedal_mpi-1baff650b44169a8.rmeta: crates/pedal-mpi/src/lib.rs crates/pedal-mpi/src/collectives.rs crates/pedal-mpi/src/comm.rs
+
+crates/pedal-mpi/src/lib.rs:
+crates/pedal-mpi/src/collectives.rs:
+crates/pedal-mpi/src/comm.rs:

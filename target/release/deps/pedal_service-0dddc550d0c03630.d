@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pedal_service-0dddc550d0c03630.d: crates/pedal-service/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_service-0dddc550d0c03630.rlib: crates/pedal-service/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_service-0dddc550d0c03630.rmeta: crates/pedal-service/src/lib.rs
+
+crates/pedal-service/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pedal_service-d9d50e35967e601b.d: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/release/deps/libpedal_service-d9d50e35967e601b.rlib: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/release/deps/libpedal_service-d9d50e35967e601b.rmeta: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+crates/pedal-service/src/lib.rs:
+crates/pedal-service/src/job.rs:
+crates/pedal-service/src/queue.rs:
+crates/pedal-service/src/service.rs:
+crates/pedal-service/src/stats.rs:

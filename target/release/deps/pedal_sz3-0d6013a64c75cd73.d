@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pedal_sz3-0d6013a64c75cd73.d: crates/pedal-sz3/src/lib.rs crates/pedal-sz3/src/backend.rs crates/pedal-sz3/src/compressor.rs crates/pedal-sz3/src/field.rs crates/pedal-sz3/src/huff.rs crates/pedal-sz3/src/interp_nd.rs crates/pedal-sz3/src/metrics.rs crates/pedal-sz3/src/predictor.rs crates/pedal-sz3/src/quantizer.rs crates/pedal-sz3/src/select.rs crates/pedal-sz3/src/varint.rs
+
+/root/repo/target/release/deps/libpedal_sz3-0d6013a64c75cd73.rlib: crates/pedal-sz3/src/lib.rs crates/pedal-sz3/src/backend.rs crates/pedal-sz3/src/compressor.rs crates/pedal-sz3/src/field.rs crates/pedal-sz3/src/huff.rs crates/pedal-sz3/src/interp_nd.rs crates/pedal-sz3/src/metrics.rs crates/pedal-sz3/src/predictor.rs crates/pedal-sz3/src/quantizer.rs crates/pedal-sz3/src/select.rs crates/pedal-sz3/src/varint.rs
+
+/root/repo/target/release/deps/libpedal_sz3-0d6013a64c75cd73.rmeta: crates/pedal-sz3/src/lib.rs crates/pedal-sz3/src/backend.rs crates/pedal-sz3/src/compressor.rs crates/pedal-sz3/src/field.rs crates/pedal-sz3/src/huff.rs crates/pedal-sz3/src/interp_nd.rs crates/pedal-sz3/src/metrics.rs crates/pedal-sz3/src/predictor.rs crates/pedal-sz3/src/quantizer.rs crates/pedal-sz3/src/select.rs crates/pedal-sz3/src/varint.rs
+
+crates/pedal-sz3/src/lib.rs:
+crates/pedal-sz3/src/backend.rs:
+crates/pedal-sz3/src/compressor.rs:
+crates/pedal-sz3/src/field.rs:
+crates/pedal-sz3/src/huff.rs:
+crates/pedal-sz3/src/interp_nd.rs:
+crates/pedal-sz3/src/metrics.rs:
+crates/pedal-sz3/src/predictor.rs:
+crates/pedal-sz3/src/quantizer.rs:
+crates/pedal-sz3/src/select.rs:
+crates/pedal-sz3/src/varint.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pedal_zlib-c385b42515716c0b.d: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+/root/repo/target/release/deps/libpedal_zlib-c385b42515716c0b.rlib: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+/root/repo/target/release/deps/libpedal_zlib-c385b42515716c0b.rmeta: crates/pedal-zlib/src/lib.rs crates/pedal-zlib/src/adler.rs crates/pedal-zlib/src/crc32.rs crates/pedal-zlib/src/gzip.rs
+
+crates/pedal-zlib/src/lib.rs:
+crates/pedal-zlib/src/adler.rs:
+crates/pedal-zlib/src/crc32.rs:
+crates/pedal-zlib/src/gzip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-2d036a55822a5129.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-2d036a55822a5129: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_ratios-9dfc220ebc9c886a.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/release/deps/table5_ratios-9dfc220ebc9c886a: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_ratios-d912ce14fe1e757e.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/release/deps/table5_ratios-d912ce14fe1e757e: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

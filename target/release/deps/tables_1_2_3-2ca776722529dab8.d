@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_1_2_3-2ca776722529dab8.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/release/deps/tables_1_2_3-2ca776722529dab8: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_1_2_3-70d0d10a293b21bb.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/release/deps/tables_1_2_3-70d0d10a293b21bb: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weather_pipeline-2855194cc6863278.d: examples/weather_pipeline.rs
+
+/root/repo/target/release/deps/weather_pipeline-2855194cc6863278: examples/weather_pipeline.rs
+
+examples/weather_pipeline.rs:

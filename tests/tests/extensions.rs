@@ -14,13 +14,9 @@ fn hybrid_compression_feeds_cross_platform_consumers() {
     let data = DatasetId::SilesiaSamba.generate_bytes(3_000_000);
     let bf2 = pedal_doca::DocaContext::open(Platform::BlueField2).unwrap();
     let bf3 = pedal_doca::DocaContext::open(Platform::BlueField3).unwrap();
-    let packed = pedal::compress_chunked(
-        &bf2,
-        &data,
-        512 * 1024,
-        ParallelStrategy::Hybrid { soc_cores: 8 },
-    )
-    .unwrap();
+    let packed =
+        pedal::compress_chunked(&bf2, &data, 512 * 1024, ParallelStrategy::Hybrid { soc_cores: 8 })
+            .unwrap();
     let out = pedal::decompress_chunked(
         &bf3,
         &packed.bytes,
@@ -82,7 +78,7 @@ fn rel_bound_travels_through_the_mpi_path() {
     let cfg = pedal_sz3::Sz3Config::with_relative_bound(1e-4);
     let packed = pedal_sz3::compress(&field, &cfg);
     let results = run_world(WorldConfig::new(2, Platform::BlueField2), move |mpi| {
-        use bytes::Bytes;
+        use pedal_mpi::Bytes;
         if mpi.rank == 0 {
             mpi.send(1, 1, Bytes::from(packed.clone())).unwrap();
             Vec::new()
@@ -126,11 +122,10 @@ fn alltoall_of_compressed_blobs() {
     // Each rank pre-compresses a distinct dataset slice, exchanges blobs
     // all-to-all, and decodes what it received.
     let results = run_world(WorldConfig::new(4, Platform::BlueField3), |mpi| {
-        use bytes::Bytes;
+        use pedal_mpi::Bytes;
         let parts: Vec<Bytes> = (0..mpi.size)
             .map(|j| {
-                let raw = DatasetId::SilesiaXml
-                    .generate_bytes(40_000 + (mpi.rank * 4 + j) * 1000);
+                let raw = DatasetId::SilesiaXml.generate_bytes(40_000 + (mpi.rank * 4 + j) * 1000);
                 Bytes::from(pedal_deflate::compress(&raw, pedal_deflate::Level::FAST))
             })
             .collect();

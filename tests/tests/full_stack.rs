@@ -14,11 +14,9 @@ fn every_dataset_roundtrips_through_every_compatible_design() {
             if design.is_lossy() != id.is_lossy_dataset() {
                 continue;
             }
-            let datatype =
-                if design.is_lossy() { Datatype::Float32 } else { Datatype::Byte };
+            let datatype = if design.is_lossy() { Datatype::Float32 } else { Datatype::Byte };
             for platform in Platform::ALL {
-                let ctx =
-                    PedalContext::init(PedalConfig::new(platform, design)).unwrap();
+                let ctx = PedalContext::init(PedalConfig::new(platform, design)).unwrap();
                 let packed = ctx.compress(datatype, &data).unwrap();
                 let out = ctx.decompress(&packed.payload, data.len()).unwrap();
                 if design.is_lossy() {
@@ -44,10 +42,10 @@ fn bf2_sender_bf3_receiver_and_back() {
     // Heterogeneous cluster: BF2 compresses on its engine; BF3 decompresses
     // on its engine. The wire format is platform-independent.
     let data = DatasetId::SilesiaXml.generate_bytes(500_000);
-    let bf2 = PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_DEFLATE))
-        .unwrap();
-    let bf3 = PedalContext::init(PedalConfig::new(Platform::BlueField3, Design::CE_DEFLATE))
-        .unwrap();
+    let bf2 =
+        PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_DEFLATE)).unwrap();
+    let bf3 =
+        PedalContext::init(PedalConfig::new(Platform::BlueField3, Design::CE_DEFLATE)).unwrap();
 
     let packed = bf2.compress(Datatype::Byte, &data).unwrap();
     assert!(!packed.fell_back, "BF2 engine compresses DEFLATE");
@@ -65,7 +63,7 @@ fn bf2_sender_bf3_receiver_and_back() {
 #[test]
 fn eight_rank_ring_with_mixed_payloads() {
     let results = run_world(WorldConfig::new(8, Platform::BlueField3), |mpi| {
-        use bytes::Bytes;
+        use pedal_mpi::Bytes;
         // Each rank passes a rank-specific payload around the ring.
         let mine: Vec<u8> = DatasetId::SilesiaSamba.generate_bytes(64 * 1024 + mpi.rank * 1000);
         let next = (mpi.rank + 1) % mpi.size;
@@ -92,9 +90,8 @@ fn engine_contention_serializes_virtual_time() {
     let (r1, t1) = ctx
         .submit(CompressJob::new(JobKind::DeflateCompress, data.clone()), SimInstant::EPOCH)
         .unwrap();
-    let (r2, t2) = ctx
-        .submit(CompressJob::new(JobKind::DeflateCompress, data), SimInstant::EPOCH)
-        .unwrap();
+    let (r2, t2) =
+        ctx.submit(CompressJob::new(JobKind::DeflateCompress, data), SimInstant::EPOCH).unwrap();
     assert_eq!(t2.0, r1.service_time.as_nanos() + r2.service_time.as_nanos());
     assert!(t2 > t1);
 }
@@ -107,8 +104,7 @@ fn sz3_streams_survive_the_wire_and_identify_themselves() {
     let sender =
         PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_SZ3)).unwrap();
     let receiver =
-        PedalContext::init(PedalConfig::new(Platform::BlueField3, Design::SOC_DEFLATE))
-            .unwrap();
+        PedalContext::init(PedalConfig::new(Platform::BlueField3, Design::SOC_DEFLATE)).unwrap();
     let packed = sender.compress(Datatype::Float32, &data).unwrap();
     let out = receiver.decompress(&packed.payload, data.len()).unwrap();
     assert_eq!(out.data.len(), data.len());
@@ -117,8 +113,7 @@ fn sz3_streams_survive_the_wire_and_identify_themselves() {
 #[test]
 fn corrupted_wire_payloads_never_panic() {
     let data = DatasetId::SilesiaXml.generate_bytes(100_000);
-    let ctx =
-        PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_ZLIB)).unwrap();
+    let ctx = PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_ZLIB)).unwrap();
     let packed = ctx.compress(Datatype::Byte, &data).unwrap().payload;
     // Flip every 97th byte, one at a time, including the header.
     for i in (0..packed.len()).step_by(97) {

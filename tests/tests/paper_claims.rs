@@ -137,10 +137,7 @@ fn fig11_bcast_ce_speedup_tens_x() {
     let pedal_t = run(OverheadMode::Pedal);
     let base_t = run(OverheadMode::Baseline);
     let speedup = base_t as f64 / pedal_t as f64;
-    assert!(
-        (25.0..=160.0).contains(&speedup),
-        "bcast speedup {speedup:.1}x (paper: up to 68x)"
-    );
+    assert!((25.0..=160.0).contains(&speedup), "bcast speedup {speedup:.1}x (paper: up to 68x)");
 }
 
 #[test]
@@ -166,11 +163,8 @@ fn zlib_and_deflate_wire_ratios_match_table_v() {
     // Table V reports identical DEFLATE and zlib ratios.
     let data = DatasetId::SilesiaMr.generate_bytes(400_000);
     let r = |design| {
-        let ctx = pedal::PedalContext::init(pedal::PedalConfig::new(
-            Platform::BlueField2,
-            design,
-        ))
-        .unwrap();
+        let ctx = pedal::PedalContext::init(pedal::PedalConfig::new(Platform::BlueField2, design))
+            .unwrap();
         ctx.compress(Datatype::Byte, &data).unwrap().wire_len()
     };
     let d = r(Design::CE_DEFLATE);
