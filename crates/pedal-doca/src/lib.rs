@@ -28,6 +28,6 @@ pub mod memmap;
 pub mod workq;
 
 pub use device::{CapabilityError, DocaContext, DocaError};
-pub use engine::{CompressJob, JobKind, JobResult};
+pub use engine::{CompressJob, EngineError, JobKind, JobResult};
 pub use memmap::{BufInventory, DocaBuf, MemMap};
 pub use workq::{BatchHandle, ChannelSet, JobHandle, QueueFull, Workq};

@@ -172,6 +172,19 @@ fn emit_len_ext(out: &mut Vec<u8>, mut rem: usize) {
     out.push(rem as u8);
 }
 
+/// Hard cap on speculative preallocation: `expected_len` may come from an
+/// untrusted header, so never reserve more than this up front — the vector
+/// grows on demand and the `limit` checks below still bound the total.
+const MAX_PREALLOC: usize = 1 << 22;
+
+/// Decompress an LZ4 block with an output-size cap and no expected length —
+/// the hostile-input entry point, mirroring `inflate_with_limit`: output
+/// beyond `limit` bytes is rejected as [`Lz4Error::OutputLimitExceeded`]
+/// instead of allocated.
+pub fn decompress_block_with_limit(src: &[u8], limit: usize) -> Result<Vec<u8>, Lz4Error> {
+    decompress_block(src, None, limit)
+}
+
 /// Decompress an LZ4 block. `expected_len`, when known, lets the caller
 /// preallocate and validates the result; pass `None` to accept any size up
 /// to `limit`.
@@ -180,7 +193,8 @@ pub fn decompress_block(
     expected_len: Option<usize>,
     limit: usize,
 ) -> Result<Vec<u8>, Lz4Error> {
-    let mut out = Vec::with_capacity(expected_len.unwrap_or(src.len() * 3).min(limit));
+    let mut out =
+        Vec::with_capacity(expected_len.unwrap_or(src.len() * 3).min(limit).min(MAX_PREALLOC));
     let mut i = 0usize;
     let n = src.len();
     loop {

@@ -24,6 +24,8 @@ pub enum FrameError {
     Block(Lz4Error),
     /// Total content length disagrees with the header.
     ContentSizeMismatch { expected: u64, actual: u64 },
+    /// Decoded output would exceed the caller's limit.
+    OutputLimitExceeded(usize),
 }
 
 impl std::fmt::Display for FrameError {
@@ -35,6 +37,7 @@ impl std::fmt::Display for FrameError {
             FrameError::ContentSizeMismatch { expected, actual } => {
                 write!(f, "content size {actual}, header says {expected}")
             }
+            FrameError::OutputLimitExceeded(n) => write!(f, "frame output exceeds {n} bytes"),
         }
     }
 }
@@ -73,15 +76,34 @@ pub fn compress_frame(src: &[u8], block_size: usize, accel: u32) -> Vec<u8> {
 }
 
 /// Decompress a framed stream produced by [`compress_frame`].
+///
+/// The declared content size is untrusted input; total output is still
+/// bounded by the LZ4 expansion of the source, but callers decoding hostile
+/// streams should prefer [`decompress_frame_with_limit`].
 pub fn decompress_frame(src: &[u8]) -> Result<Vec<u8>, FrameError> {
+    decompress_frame_with_limit(src, usize::MAX)
+}
+
+/// Hard cap on speculative preallocation from the untrusted content-size
+/// header: the output vector grows on demand past this.
+const MAX_PREALLOC: usize = 1 << 22;
+
+/// Decompress a framed stream, rejecting any stream whose output would
+/// exceed `limit` bytes — the frame-level mirror of `inflate_with_limit`.
+/// A hostile header cannot trigger a large allocation: preallocation is
+/// capped and every block is decoded against the remaining budget.
+pub fn decompress_frame_with_limit(src: &[u8], limit: usize) -> Result<Vec<u8>, FrameError> {
     let mut i = 0usize;
     let magic = read_u32(src, &mut i)?;
     if magic != FRAME_MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
     let content_len = read_u64(src, &mut i)?;
+    if content_len > limit as u64 {
+        return Err(FrameError::OutputLimitExceeded(limit));
+    }
     let _block_size = read_u32(src, &mut i)?;
-    let mut out = Vec::with_capacity(content_len as usize);
+    let mut out = Vec::with_capacity((content_len as usize).min(MAX_PREALLOC));
     loop {
         let raw_len = read_u32(src, &mut i)?;
         if raw_len == 0 {
@@ -93,10 +115,17 @@ pub fn decompress_frame(src: &[u8]) -> Result<Vec<u8>, FrameError> {
         if i + len > src.len() {
             return Err(FrameError::Truncated);
         }
+        let budget = limit - out.len();
         if is_raw {
+            if len > budget {
+                return Err(FrameError::OutputLimitExceeded(limit));
+            }
             out.extend_from_slice(&src[i..i + len]);
         } else {
-            let block = decompress_block(&src[i..i + len], Some(orig), usize::MAX)?;
+            if orig > budget {
+                return Err(FrameError::OutputLimitExceeded(limit));
+            }
+            let block = decompress_block(&src[i..i + len], Some(orig), budget)?;
             out.extend_from_slice(&block);
         }
         i += len;

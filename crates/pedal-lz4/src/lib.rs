@@ -13,8 +13,12 @@
 pub mod block;
 pub mod frame;
 
-pub use block::{compress_block, compress_bound, decompress_block, Lz4Error};
-pub use frame::{compress_frame, decompress_frame, FrameError, DEFAULT_BLOCK_SIZE};
+pub use block::{
+    compress_block, compress_bound, decompress_block, decompress_block_with_limit, Lz4Error,
+};
+pub use frame::{
+    compress_frame, decompress_frame, decompress_frame_with_limit, FrameError, DEFAULT_BLOCK_SIZE,
+};
 
 /// One-shot framed compression with default parameters.
 pub fn compress(src: &[u8]) -> Vec<u8> {
@@ -24,6 +28,12 @@ pub fn compress(src: &[u8]) -> Vec<u8> {
 /// One-shot framed decompression.
 pub fn decompress(src: &[u8]) -> Result<Vec<u8>, FrameError> {
     frame::decompress_frame(src)
+}
+
+/// One-shot framed decompression with an output-size cap, for streams from
+/// untrusted peers.
+pub fn decompress_with_limit(src: &[u8], limit: usize) -> Result<Vec<u8>, FrameError> {
+    frame::decompress_frame_with_limit(src, limit)
 }
 
 #[cfg(test)]

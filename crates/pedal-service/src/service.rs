@@ -757,6 +757,9 @@ fn exec_compress_engine(
         }
         Algorithm::Sz3 => {
             let cfg = wire::sz3_config(design, env.error_bound);
+            if let Err(e) = cfg.validate() {
+                return fail(e.to_string(), begin);
+            }
             let encoded = match desc.datatype {
                 Datatype::Float32 => {
                     field_from_bytes::<f32>(data).map(|f| pedal_sz3::encode_core(&f, &cfg))
@@ -910,24 +913,32 @@ fn exec_decompress_engine(
         Algorithm::Sz3 => {
             let mut engine_done = begin;
             let mut used_engine = false;
-            let unsealed = pedal_sz3::unseal_with(body, |backend, packed| match backend {
-                pedal_sz3::BackendKind::Deflate => {
-                    // The engine needs a sized destination; the core is
-                    // never larger than the original plus slack.
-                    let limit = expected_len + expected_len / 2 + 4096;
-                    let h = wq
-                        .submit(
-                            CompressJob::new(JobKind::DeflateDecompress, packed.to_vec())
-                                .with_expected_len(limit),
-                            begin,
-                        )
-                        .expect("serial lane cannot overfill its channel");
-                    engine_done = h.completed_at;
-                    used_engine = true;
-                    h.result.map(|r| r.output).map_err(|e| pedal_sz3::BackendError(e.to_string()))
-                }
-                other => pedal_sz3::backend_decompress(other, packed),
-            });
+            // The shared budget formula bounds the declared core length so
+            // this path rejects oversized streams at the same threshold as
+            // the SoC decode.
+            let core_budget = pedal_sz3::core_limit_for_output(expected_len);
+            let unsealed =
+                pedal_sz3::unseal_with_limit(body, core_budget, |backend, packed, limit| {
+                    match backend {
+                        pedal_sz3::BackendKind::Deflate => {
+                            // The engine needs a sized destination; the validated
+                            // budget becomes its output cap.
+                            let h = wq
+                                .submit(
+                                    CompressJob::new(JobKind::DeflateDecompress, packed.to_vec())
+                                        .with_expected_len(limit),
+                                    begin,
+                                )
+                                .expect("serial lane cannot overfill its channel");
+                            engine_done = h.completed_at;
+                            used_engine = true;
+                            h.result
+                                .map(|r| r.output)
+                                .map_err(|e| pedal_sz3::BackendError(e.to_string()))
+                        }
+                        other => pedal_sz3::backend_decompress_with_limit(other, packed, limit),
+                    }
+                });
             let (core, backend) = match unsealed {
                 Ok(t) => t,
                 Err(e) => return fail(e.to_string(), engine_done),
@@ -947,10 +958,10 @@ fn exec_decompress_engine(
             let completed =
                 engine_done + backend_t + env.costs.sz3_core(Direction::Decompress, expected_len);
             let data = match core.get(5).copied() {
-                Some(0x32) => pedal_sz3::decode_core::<f32>(&core)
+                Some(0x32) => pedal_sz3::decode_core_with_limit::<f32>(&core, expected_len / 4)
                     .map(|f| f.to_bytes())
                     .map_err(|e| e.to_string()),
-                Some(0x64) => pedal_sz3::decode_core::<f64>(&core)
+                Some(0x64) => pedal_sz3::decode_core_with_limit::<f64>(&core, expected_len / 8)
                     .map(|f| f.to_bytes())
                     .map_err(|e| e.to_string()),
                 other => Err(format!("bad sz3 type tag {other:?}")),

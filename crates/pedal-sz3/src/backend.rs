@@ -68,14 +68,28 @@ pub fn backend_compress(kind: BackendKind, data: &[u8]) -> Vec<u8> {
 
 /// Decompress `data` with the chosen backend.
 pub fn backend_decompress(kind: BackendKind, data: &[u8]) -> Result<Vec<u8>, BackendError> {
+    backend_decompress_with_limit(kind, data, usize::MAX)
+}
+
+/// Decompress `data` with the chosen backend, rejecting output beyond
+/// `limit` bytes — the bound the sealed header's declared core length
+/// imposes when the stream comes from an untrusted peer.
+pub fn backend_decompress_with_limit(
+    kind: BackendKind,
+    data: &[u8],
+    limit: usize,
+) -> Result<Vec<u8>, BackendError> {
     match kind {
-        BackendKind::None => Ok(data.to_vec()),
-        BackendKind::Zs | BackendKind::Lz4 => {
-            pedal_lz4::decompress_frame(data).map_err(|e| BackendError(e.to_string()))
+        BackendKind::None => {
+            if data.len() > limit {
+                return Err(BackendError(format!("stored core exceeds {limit} bytes")));
+            }
+            Ok(data.to_vec())
         }
-        BackendKind::Deflate => {
-            pedal_deflate::decompress(data).map_err(|e| BackendError(e.to_string()))
-        }
+        BackendKind::Zs | BackendKind::Lz4 => pedal_lz4::decompress_frame_with_limit(data, limit)
+            .map_err(|e| BackendError(e.to_string())),
+        BackendKind::Deflate => pedal_deflate::decompress_with_limit(data, limit)
+            .map_err(|e| BackendError(e.to_string())),
     }
 }
 

@@ -64,6 +64,19 @@ impl Sz3Config {
     pub fn with_relative_bound(rel: f64) -> Self {
         Self { error_bound: rel, relative: true, ..Self::default() }
     }
+
+    /// Reject configurations the pipeline cannot honour: the error bound
+    /// must be positive and finite (the quantizer asserts this) and the
+    /// radius must leave room for at least one code per side.
+    pub fn validate(&self) -> Result<(), Sz3Error> {
+        if !self.error_bound.is_finite() || self.error_bound <= 0.0 {
+            return Err(Sz3Error::BadConfig("error bound must be positive and finite"));
+        }
+        if self.radius <= 1 {
+            return Err(Sz3Error::BadConfig("radius must be greater than 1"));
+        }
+        Ok(())
+    }
 }
 
 /// Decompression failure.
@@ -79,6 +92,10 @@ pub enum Sz3Error {
     Backend(BackendError),
     /// Stream is internally inconsistent.
     Corrupt(&'static str),
+    /// Stream declares a size beyond the caller's decode budget.
+    LimitExceeded { needed: usize, limit: usize },
+    /// Configuration cannot produce a valid stream (e.g. NaN error bound).
+    BadConfig(&'static str),
 }
 
 impl std::fmt::Display for Sz3Error {
@@ -91,6 +108,10 @@ impl std::fmt::Display for Sz3Error {
             Sz3Error::Entropy(e) => write!(f, "entropy stage: {e}"),
             Sz3Error::Backend(e) => write!(f, "{e}"),
             Sz3Error::Corrupt(what) => write!(f, "corrupt sz3 stream: {what}"),
+            Sz3Error::LimitExceeded { needed, limit } => {
+                write!(f, "sz3 stream needs {needed} bytes, budget is {limit}")
+            }
+            Sz3Error::BadConfig(what) => write!(f, "bad sz3 config: {what}"),
         }
     }
 }
@@ -135,8 +156,9 @@ pub fn encode_core<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> (Vec<u8>, Cor
     let abs_eb = if cfg.relative {
         let (lo, hi) = field.range();
         let range = hi - lo;
-        if range.is_finite() && range > 0.0 {
-            cfg.error_bound * range
+        let scaled = cfg.error_bound * range;
+        if range.is_finite() && range > 0.0 && scaled.is_finite() {
+            scaled
         } else {
             cfg.error_bound
         }
@@ -247,7 +269,22 @@ fn effective_predictor(requested: PredictorKind, _dims: Dims) -> PredictorKind {
 }
 
 /// Invert [`encode_core`].
+///
+/// The element count in the header is trusted up to what the entropy
+/// stream can back; decoding input from an untrusted peer should go
+/// through [`decode_core_with_limit`] so the count is bounded *before*
+/// reconstruction buffers are allocated.
 pub fn decode_core<T: Float>(core: &[u8]) -> Result<Field<T>, Sz3Error> {
+    decode_core_with_limit(core, usize::MAX)
+}
+
+/// Like [`decode_core`] but rejects streams declaring more than
+/// `max_elements` elements, so a hostile header cannot trigger a huge
+/// allocation or overflow the dimension product.
+pub fn decode_core_with_limit<T: Float>(
+    core: &[u8],
+    max_elements: usize,
+) -> Result<Field<T>, Sz3Error> {
     if core.len() < 8 || &core[..4] != CORE_MAGIC {
         return Err(Sz3Error::BadHeader("magic"));
     }
@@ -267,6 +304,16 @@ pub fn decode_core<T: Float>(core: &[u8]) -> Result<Field<T>, Sz3Error> {
     let nx = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("nx"))? as usize;
     let ny = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("ny"))? as usize;
     let nz = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("nz"))? as usize;
+    let dims = Dims { nx, ny, nz };
+    // Untrusted dimensions: the product must neither overflow nor outrun
+    // the caller's budget — checked before any size-`n` allocation.
+    let n = dims.checked_len().ok_or(Sz3Error::Corrupt("dimension product overflows"))?;
+    if n > max_elements {
+        return Err(Sz3Error::LimitExceeded {
+            needed: n.saturating_mul(T::BYTES),
+            limit: max_elements.saturating_mul(T::BYTES),
+        });
+    }
     if i + 8 > core.len() {
         return Err(Sz3Error::BadHeader("eb"));
     }
@@ -281,19 +328,22 @@ pub fn decode_core<T: Float>(core: &[u8]) -> Result<Field<T>, Sz3Error> {
     }
     let n_outliers = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("outliers"))? as usize;
     let enc_len = get_uvarint(core, &mut i).ok_or(Sz3Error::BadHeader("enc len"))? as usize;
-    if i + enc_len > core.len() {
-        return Err(Sz3Error::BadHeader("enc bytes"));
-    }
-    let codes = huff::decode(&core[i..i + enc_len])?;
-    i += enc_len;
+    // Checked add: a near-u64::MAX declared length must not wrap the
+    // bounds comparison.
+    let enc_end = i
+        .checked_add(enc_len)
+        .filter(|&end| end <= core.len())
+        .ok_or(Sz3Error::BadHeader("enc bytes"))?;
+    let codes = huff::decode_with_limit(&core[i..enc_end], n)?;
+    i = enc_end;
 
-    let dims = Dims { nx, ny, nz };
-    let n = dims.len();
     if codes.len() != n {
         return Err(Sz3Error::Corrupt("code count != element count"));
     }
     let outlier_bytes = &core[i..];
-    if outlier_bytes.len() != n_outliers * T::BYTES {
+    let outlier_len =
+        n_outliers.checked_mul(T::BYTES).ok_or(Sz3Error::Corrupt("outlier count overflows"))?;
+    if outlier_bytes.len() != outlier_len {
         return Err(Sz3Error::Corrupt("outlier byte count"));
     }
 
@@ -390,17 +440,50 @@ pub fn unseal_with(
     sealed: &[u8],
     decompress_fn: impl FnOnce(BackendKind, &[u8]) -> Result<Vec<u8>, BackendError>,
 ) -> Result<(Vec<u8>, BackendKind), Sz3Error> {
+    unseal_with_limit(sealed, usize::MAX, |backend, packed, _limit| decompress_fn(backend, packed))
+}
+
+/// Like [`unseal_with`] but the declared core length is validated against
+/// `max_core_len` *before* the backend runs, and the delegate receives the
+/// byte budget it must enforce — a hostile header cannot make the lossless
+/// stage inflate past the caller's budget.
+pub fn unseal_with_limit(
+    sealed: &[u8],
+    max_core_len: usize,
+    decompress_fn: impl FnOnce(BackendKind, &[u8], usize) -> Result<Vec<u8>, BackendError>,
+) -> Result<(Vec<u8>, BackendKind), Sz3Error> {
     if sealed.len() < 6 || &sealed[..4] != SEALED_MAGIC {
         return Err(Sz3Error::BadHeader("sealed magic"));
     }
     let backend = BackendKind::from_tag(sealed[4]).ok_or(Sz3Error::BadHeader("backend tag"))?;
     let mut i = 5usize;
     let core_len = get_uvarint(sealed, &mut i).ok_or(Sz3Error::BadHeader("core len"))? as usize;
-    let core = decompress_fn(backend, &sealed[i..])?;
+    if core_len > max_core_len {
+        return Err(Sz3Error::LimitExceeded { needed: core_len, limit: max_core_len });
+    }
+    let core = decompress_fn(backend, &sealed[i..], core_len)?;
     if core.len() != core_len {
         return Err(Sz3Error::Corrupt("core length mismatch"));
     }
     Ok((core, backend))
+}
+
+/// Undo [`seal`] with a byte budget on the recovered core stream.
+pub fn unseal_limited(
+    sealed: &[u8],
+    max_core_len: usize,
+) -> Result<(Vec<u8>, BackendKind), Sz3Error> {
+    unseal_with_limit(sealed, max_core_len, crate::backend::backend_decompress_with_limit)
+}
+
+/// Core-stream byte budget implied by an expected decompressed size: the
+/// core carries the entropy-coded codes plus raw outliers, which for any
+/// stream [`encode_core`] can emit stays within a small multiple of the
+/// element bytes plus a fixed symbol-table allowance. Shared by every
+/// decode path (SoC and C-Engine) so both reject oversized streams at the
+/// same threshold.
+pub fn core_limit_for_output(output_bytes: usize) -> usize {
+    output_bytes.saturating_mul(4).saturating_add(1 << 20)
 }
 
 /// One-shot compression: core encode + backend seal.
@@ -409,10 +492,29 @@ pub fn compress<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> Vec<u8> {
     seal(&core, cfg.backend)
 }
 
+/// One-shot compression with configuration validation: a NaN, infinite, or
+/// non-positive error bound (or degenerate radius) is reported as
+/// [`Sz3Error::BadConfig`] instead of panicking inside the quantizer.
+pub fn compress_checked<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> Result<Vec<u8>, Sz3Error> {
+    cfg.validate()?;
+    Ok(compress(field, cfg))
+}
+
 /// One-shot decompression.
 pub fn decompress<T: Float>(sealed: &[u8]) -> Result<Field<T>, Sz3Error> {
     let (core, _) = unseal(sealed)?;
     decode_core(&core)
+}
+
+/// One-shot decompression bounded by an output budget in bytes: both the
+/// backend stage and the reconstruction are capped, so hostile streams are
+/// rejected before any out-of-budget allocation.
+pub fn decompress_with_limit<T: Float>(
+    sealed: &[u8],
+    max_output_bytes: usize,
+) -> Result<Field<T>, Sz3Error> {
+    let (core, _) = unseal_limited(sealed, core_limit_for_output(max_output_bytes))?;
+    decode_core_with_limit(&core, max_output_bytes / T::BYTES)
 }
 
 #[cfg(test)]
@@ -562,6 +664,65 @@ mod tests {
         let mut bad = sealed.clone();
         bad[4] = 0xEE; // invalid backend tag
         assert!(decompress::<f32>(&bad).is_err());
+    }
+
+    #[test]
+    fn hostile_dims_rejected_without_allocation() {
+        // Craft a core whose header declares astronomically large dims.
+        let field = wave_field_f32(16);
+        let (core, _) = encode_core(&field, &Sz3Config::default());
+        // Rebuild the header with nx = 2^62, ny = 2^3, nz = 2 (overflow).
+        let mut bad = core[..7].to_vec(); // magic, version, type, predictor
+        put_uvarint(&mut bad, 1u64 << 62);
+        put_uvarint(&mut bad, 1u64 << 3);
+        put_uvarint(&mut bad, 2);
+        bad.extend_from_slice(&1e-4f64.to_le_bytes());
+        put_uvarint(&mut bad, 32768); // radius
+        put_uvarint(&mut bad, 0); // outliers
+        put_uvarint(&mut bad, 0); // enc_len
+        assert_eq!(decode_core::<f32>(&bad), Err(Sz3Error::Corrupt("dimension product overflows")));
+        // Large but non-overflowing dims: rejected by the element budget.
+        let mut big = core[..7].to_vec();
+        put_uvarint(&mut big, 1u64 << 40);
+        put_uvarint(&mut big, 1);
+        put_uvarint(&mut big, 1);
+        big.extend_from_slice(&1e-4f64.to_le_bytes());
+        put_uvarint(&mut big, 32768);
+        put_uvarint(&mut big, 0);
+        put_uvarint(&mut big, 0);
+        assert!(matches!(
+            decode_core_with_limit::<f32>(&big, 1 << 20),
+            Err(Sz3Error::LimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn sealed_core_length_bomb_rejected() {
+        let field = wave_field_f32(64);
+        let sealed = compress(&field, &Sz3Config::default());
+        // Sealed header claiming a multi-GiB core: the budgeted unseal
+        // must refuse before running the backend.
+        let mut bomb = sealed[..5].to_vec(); // magic + backend tag
+        put_uvarint(&mut bomb, 1u64 << 38);
+        bomb.extend_from_slice(&sealed[sealed.len() - 16..]);
+        assert!(matches!(
+            unseal_limited(&bomb, core_limit_for_output(64 * 4)),
+            Err(Sz3Error::LimitExceeded { .. })
+        ));
+        // The honest stream passes the same budget.
+        let recon: Field<f32> = decompress_with_limit(&sealed, 64 * 4).unwrap();
+        check_bound(&field, &recon, 1e-4);
+    }
+
+    #[test]
+    fn bad_config_is_an_error_not_a_panic() {
+        let field = wave_field_f32(32);
+        for eb in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let cfg = Sz3Config::with_error_bound(eb);
+            assert!(matches!(compress_checked(&field, &cfg), Err(Sz3Error::BadConfig(_))));
+        }
+        let cfg = Sz3Config { radius: 1, ..Sz3Config::default() };
+        assert!(matches!(compress_checked(&field, &cfg), Err(Sz3Error::BadConfig(_))));
     }
 
     #[test]

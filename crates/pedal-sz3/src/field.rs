@@ -102,6 +102,11 @@ impl Dims {
     pub fn len(&self) -> usize {
         self.nx * self.ny * self.nz
     }
+    /// Total element count, or `None` when the product overflows `usize` —
+    /// required when the dimensions come from an untrusted stream header.
+    pub fn checked_len(&self) -> Option<usize> {
+        self.nx.checked_mul(self.ny)?.checked_mul(self.nz)
+    }
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -24,6 +24,8 @@ pub enum HuffStreamError {
     BadHeader,
     /// Bitstream ended early or contained an unassigned code.
     BadStream,
+    /// Stream declares more symbols than the caller's budget allows.
+    LimitExceeded(usize),
 }
 
 impl std::fmt::Display for HuffStreamError {
@@ -31,6 +33,9 @@ impl std::fmt::Display for HuffStreamError {
         match self {
             HuffStreamError::BadHeader => write!(f, "bad huffman header"),
             HuffStreamError::BadStream => write!(f, "bad huffman bitstream"),
+            HuffStreamError::LimitExceeded(n) => {
+                write!(f, "huffman stream exceeds {n} symbols")
+            }
         }
     }
 }
@@ -89,24 +94,46 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
 }
 
 /// Decode a blob produced by [`encode`].
+///
+/// The declared symbol count is untrusted; multi-symbol streams are
+/// allocation-bounded by the payload size, but a single-symbol stream can
+/// legitimately describe any count in O(1) bytes — callers decoding
+/// hostile input must use [`decode_with_limit`].
 pub fn decode(data: &[u8]) -> Result<Vec<u32>, HuffStreamError> {
+    decode_with_limit(data, usize::MAX)
+}
+
+/// Like [`decode`] but rejects any stream declaring more than
+/// `max_symbols` symbols *before* allocating for them, so a corrupt or
+/// hostile header cannot trigger an out-of-budget allocation.
+pub fn decode_with_limit(data: &[u8], max_symbols: usize) -> Result<Vec<u32>, HuffStreamError> {
     let mut i = 0usize;
     let n = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)? as usize;
     let k = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)? as usize;
+    if n > max_symbols {
+        return Err(HuffStreamError::LimitExceeded(max_symbols));
+    }
     if n == 0 {
         return Ok(Vec::new());
     }
     if k == 0 {
         return Err(HuffStreamError::BadHeader);
     }
+    // Every distinct symbol appears in the stream and costs at least one
+    // header byte, so both bounds cap `k` by real input bytes.
+    if k > n || k > data.len().saturating_sub(i) {
+        return Err(HuffStreamError::BadHeader);
+    }
     let mut distinct = Vec::with_capacity(k);
     let mut prev = 0u64;
     for _ in 0..k {
         let d = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)?;
-        prev += d;
-        if prev > u32::MAX as u64 {
-            return Err(HuffStreamError::BadHeader);
-        }
+        // Checked add: a near-u64::MAX delta must not wrap the running
+        // symbol value past the u32 plausibility check.
+        prev = prev
+            .checked_add(d)
+            .filter(|&p| p <= u32::MAX as u64)
+            .ok_or(HuffStreamError::BadHeader)?;
         distinct.push(prev as u32);
     }
     if i + k > data.len() {
@@ -115,13 +142,21 @@ pub fn decode(data: &[u8]) -> Result<Vec<u32>, HuffStreamError> {
     let lengths: Vec<u8> = data[i..i + k].to_vec();
     i += k;
     let payload_len = get_uvarint(data, &mut i).ok_or(HuffStreamError::BadHeader)? as usize;
-    if i + payload_len > data.len() {
-        return Err(HuffStreamError::BadHeader);
-    }
-    let payload = &data[i..i + payload_len];
+    // Checked add: a near-u64::MAX declared length must not wrap the
+    // bounds comparison.
+    let payload_end = i
+        .checked_add(payload_len)
+        .filter(|&end| end <= data.len())
+        .ok_or(HuffStreamError::BadHeader)?;
+    let payload = &data[i..payload_end];
 
     if k == 1 {
         return Ok(vec![distinct[0]; n]);
+    }
+    // With k > 1 every symbol costs at least one payload bit, so a count
+    // that outruns the payload is corrupt — reject before reserving for it.
+    if n > payload_len.saturating_mul(8) {
+        return Err(HuffStreamError::BadStream);
     }
 
     // Canonical decode tables: first_code/first_index per length, and the
@@ -300,5 +335,51 @@ mod tests {
         let syms: Vec<u32> = (0..100).map(|i| i % 9).collect();
         let blob = encode(&syms);
         assert!(decode(&blob[..blob.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn symbol_limit_enforced() {
+        let syms: Vec<u32> = (0..200).map(|i| i % 5).collect();
+        let blob = encode(&syms);
+        assert_eq!(decode_with_limit(&blob, 200).unwrap(), syms);
+        assert_eq!(decode_with_limit(&blob, 199), Err(HuffStreamError::LimitExceeded(199)));
+    }
+
+    #[test]
+    fn single_symbol_bomb_rejected_before_allocation() {
+        // A ~10-byte blob declaring 2^40 copies of one symbol: the limited
+        // decode must reject it without materializing the vector.
+        let mut blob = Vec::new();
+        crate::varint::put_uvarint(&mut blob, 1u64 << 40); // n
+        crate::varint::put_uvarint(&mut blob, 1); // k
+        crate::varint::put_uvarint(&mut blob, 7); // the symbol
+        blob.push(1); // its code length
+        crate::varint::put_uvarint(&mut blob, 0); // payload_len
+        assert_eq!(decode_with_limit(&blob, 1 << 20), Err(HuffStreamError::LimitExceeded(1 << 20)));
+    }
+
+    #[test]
+    fn absurd_alphabet_rejected_before_allocation() {
+        // k far larger than the blob itself cannot be a valid symbol table.
+        let mut blob = Vec::new();
+        crate::varint::put_uvarint(&mut blob, 100); // n
+        crate::varint::put_uvarint(&mut blob, 1u64 << 50); // k
+        assert_eq!(decode(&blob), Err(HuffStreamError::BadHeader));
+    }
+
+    #[test]
+    fn count_outrunning_payload_rejected() {
+        // Multi-symbol stream whose declared count cannot fit in the
+        // payload bits: reject before reserving the output vector.
+        let syms = vec![1u32, 2, 1, 2, 1];
+        let blob = encode(&syms);
+        let mut i = 0usize;
+        let n = crate::varint::get_uvarint(&blob, &mut i).unwrap();
+        assert_eq!(n, 5);
+        // Re-write the count as an absurd value, keeping the rest.
+        let mut bad = Vec::new();
+        crate::varint::put_uvarint(&mut bad, 1u64 << 45);
+        bad.extend_from_slice(&blob[i..]);
+        assert_eq!(decode(&bad), Err(HuffStreamError::BadStream));
     }
 }

@@ -31,10 +31,13 @@ pub mod quantizer;
 pub mod select;
 pub mod varint;
 
-pub use backend::{backend_compress, backend_decompress, BackendError, BackendKind};
+pub use backend::{
+    backend_compress, backend_decompress, backend_decompress_with_limit, BackendError, BackendKind,
+};
 pub use compressor::{
-    compress, decode_core, decompress, encode_core, seal, seal_with, unseal, unseal_with,
-    CoreStats, Sz3Config, Sz3Error,
+    compress, compress_checked, core_limit_for_output, decode_core, decode_core_with_limit,
+    decompress, decompress_with_limit, encode_core, seal, seal_with, unseal, unseal_limited,
+    unseal_with, unseal_with_limit, CoreStats, Sz3Config, Sz3Error,
 };
 pub use field::{Dims, Field, Float};
 pub use metrics::{quality, QualityReport};

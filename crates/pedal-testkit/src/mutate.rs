@@ -1,0 +1,203 @@
+//! Seeded structure-aware mutations.
+//!
+//! Each mutation is a pure function of the RNG state handed in, so a whole
+//! fuzz case replays from a single `u64` seed. The classes are chosen for
+//! the byte formats this workspace actually speaks: every PEDAL stream
+//! front-loads magic bytes, varint lengths, and fixed-width size fields,
+//! which is exactly where [`MutationClass::LengthFieldCorrupt`],
+//! [`MutationClass::HeaderSwap`], and [`MutationClass::Splice`] aim.
+
+use pedal_dpu::Pcg32;
+
+/// One family of deterministic stream corruptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationClass {
+    /// Flip 1–8 random bits.
+    BitFlip,
+    /// Overwrite 1–4 random bytes with random values.
+    ByteSet,
+    /// Cut the stream short at a random point.
+    Truncate,
+    /// Append 1–64 random trailing bytes.
+    Extend,
+    /// Overwrite an early header field with a huge length: either a
+    /// maximal LEB128 varint or an all-ones fixed-width integer. This is
+    /// the decompression-bomb probe — every declared-size field in the
+    /// wire formats lives in the first few dozen bytes.
+    LengthFieldCorrupt,
+    /// Prefix of this stream glued to the suffix of another valid stream.
+    Splice,
+    /// First bytes replaced by another valid stream's first bytes.
+    HeaderSwap,
+    /// Last bytes replaced by another valid stream's last bytes.
+    TrailerSwap,
+    /// Zero a random interior region.
+    ZeroFill,
+    /// Duplicate a random region and splice it back in.
+    DuplicateRegion,
+}
+
+impl MutationClass {
+    pub const ALL: [MutationClass; 10] = [
+        MutationClass::BitFlip,
+        MutationClass::ByteSet,
+        MutationClass::Truncate,
+        MutationClass::Extend,
+        MutationClass::LengthFieldCorrupt,
+        MutationClass::Splice,
+        MutationClass::HeaderSwap,
+        MutationClass::TrailerSwap,
+        MutationClass::ZeroFill,
+        MutationClass::DuplicateRegion,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationClass::BitFlip => "bit-flip",
+            MutationClass::ByteSet => "byte-set",
+            MutationClass::Truncate => "truncate",
+            MutationClass::Extend => "extend",
+            MutationClass::LengthFieldCorrupt => "length-field",
+            MutationClass::Splice => "splice",
+            MutationClass::HeaderSwap => "header-swap",
+            MutationClass::TrailerSwap => "trailer-swap",
+            MutationClass::ZeroFill => "zero-fill",
+            MutationClass::DuplicateRegion => "duplicate-region",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Apply `class` to `base`, drawing every choice from `rng`. `donor` is a
+/// second valid stream (possibly of a different dataset) used by the
+/// cross-stream classes.
+pub fn mutate(rng: &mut Pcg32, class: MutationClass, base: &[u8], donor: &[u8]) -> Vec<u8> {
+    let mut out = base.to_vec();
+    if out.is_empty() {
+        out.push(rng.gen::<u8>());
+    }
+    match class {
+        MutationClass::BitFlip => {
+            let flips = rng.gen_range(1usize..=8);
+            for _ in 0..flips {
+                let i = rng.gen_range(0..out.len());
+                out[i] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        MutationClass::ByteSet => {
+            let hits = rng.gen_range(1usize..=4);
+            for _ in 0..hits {
+                let i = rng.gen_range(0..out.len());
+                out[i] = rng.gen::<u8>();
+            }
+        }
+        MutationClass::Truncate => {
+            out.truncate(rng.gen_range(0..out.len()));
+        }
+        MutationClass::Extend => {
+            let extra = rng.gen_range(1usize..=64);
+            for _ in 0..extra {
+                out.push(rng.gen::<u8>());
+            }
+        }
+        MutationClass::LengthFieldCorrupt => {
+            // Aim at the header region where magic/length/count fields live.
+            let window = out.len().min(32);
+            let at = rng.gen_range(0..window);
+            if rng.gen::<bool>() {
+                // Maximal 10-byte LEB128 varint (declares ~2^63 of payload).
+                let bomb = [0xFFu8, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+                let n = bomb.len().min(out.len() - at);
+                out[at..at + n].copy_from_slice(&bomb[..n]);
+            } else {
+                // All-ones fixed-width field (u32::MAX / u64::MAX LE).
+                let width = if rng.gen::<bool>() { 4 } else { 8 };
+                let n = width.min(out.len() - at);
+                for b in &mut out[at..at + n] {
+                    *b = 0xFF;
+                }
+            }
+        }
+        MutationClass::Splice => {
+            let cut = rng.gen_range(0..=out.len());
+            let from = if donor.is_empty() { 0 } else { rng.gen_range(0..donor.len()) };
+            out.truncate(cut);
+            out.extend_from_slice(&donor[from..]);
+        }
+        MutationClass::HeaderSwap => {
+            let h = rng.gen_range(1usize..=16).min(out.len()).min(donor.len());
+            out[..h].copy_from_slice(&donor[..h]);
+        }
+        MutationClass::TrailerSwap => {
+            let t = rng.gen_range(1usize..=16).min(out.len()).min(donor.len());
+            let olen = out.len();
+            out[olen - t..].copy_from_slice(&donor[donor.len() - t..]);
+        }
+        MutationClass::ZeroFill => {
+            let start = rng.gen_range(0..out.len());
+            let len = rng.gen_range(1..=out.len() - start);
+            for b in &mut out[start..start + len] {
+                *b = 0;
+            }
+        }
+        MutationClass::DuplicateRegion => {
+            let start = rng.gen_range(0..out.len());
+            let len = rng.gen_range(1..=(out.len() - start).min(256));
+            let region = out[start..start + len].to_vec();
+            let at = rng.gen_range(0..=out.len());
+            out.splice(at..at, region);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let base: Vec<u8> = (0u8..=255).collect();
+        let donor: Vec<u8> = (0u8..=255).rev().collect();
+        for class in MutationClass::ALL {
+            let a = mutate(&mut Pcg32::seed_from_u64(99), class, &base, &donor);
+            let b = mutate(&mut Pcg32::seed_from_u64(99), class, &base, &donor);
+            assert_eq!(a, b, "{}", class.name());
+        }
+    }
+
+    #[test]
+    fn mutations_change_or_resize_the_stream() {
+        let base: Vec<u8> = (0u8..=255).collect();
+        let donor = vec![0xEEu8; 300];
+        for class in MutationClass::ALL {
+            // At least one of 8 seeds must produce an observable change.
+            let changed = (0..8).any(|s| {
+                let m = mutate(&mut Pcg32::seed_from_u64(s), class, &base, &donor);
+                m != base
+            });
+            assert!(changed, "{} never mutated", class.name());
+        }
+    }
+
+    #[test]
+    fn empty_base_never_panics() {
+        for class in MutationClass::ALL {
+            for seed in 0..16 {
+                let _ = mutate(&mut Pcg32::seed_from_u64(seed), class, &[], &[]);
+                let _ = mutate(&mut Pcg32::seed_from_u64(seed), class, &[], &[1, 2, 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for class in MutationClass::ALL {
+            assert_eq!(MutationClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(MutationClass::from_name("nope"), None);
+    }
+}

@@ -83,6 +83,12 @@ pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
 /// Decompress a gzip member, verifying CRC-32 and ISIZE. Handles the
 /// optional EXTRA/NAME/COMMENT/HCRC fields.
 pub fn gzip_decompress(stream: &[u8]) -> Result<Vec<u8>, GzipError> {
+    gzip_decompress_with_limit(stream, usize::MAX)
+}
+
+/// Like [`gzip_decompress`] but rejects members that would inflate past
+/// `limit` bytes, so a hostile stream cannot force unbounded allocation.
+pub fn gzip_decompress_with_limit(stream: &[u8], limit: usize) -> Result<Vec<u8>, GzipError> {
     if stream.len() < 18 {
         return Err(GzipError::Truncated);
     }
@@ -131,7 +137,7 @@ pub fn gzip_decompress(stream: &[u8]) -> Result<Vec<u8>, GzipError> {
     let expected_crc =
         u32::from_le_bytes(stream[stream.len() - 8..stream.len() - 4].try_into().unwrap());
     let expected_size = u32::from_le_bytes(stream[stream.len() - 4..].try_into().unwrap());
-    let data = pedal_deflate::decompress(body)?;
+    let data = pedal_deflate::decompress_with_limit(body, limit)?;
     let actual_crc = crc32(&data);
     if actual_crc != expected_crc {
         return Err(GzipError::CrcMismatch { expected: expected_crc, actual: actual_crc });
@@ -190,6 +196,17 @@ mod tests {
         z.extend_from_slice(&crc32(data).to_le_bytes());
         z.extend_from_slice(&(data.len() as u32).to_le_bytes());
         assert_eq!(gzip_decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let data = b"limit the inflation of this member ".repeat(64);
+        let z = gzip_compress(&data, Level::DEFAULT);
+        assert_eq!(gzip_decompress_with_limit(&z, data.len()).unwrap(), data);
+        assert!(matches!(
+            gzip_decompress_with_limit(&z, data.len() - 1),
+            Err(GzipError::Inflate(pedal_deflate::InflateError::OutputLimitExceeded(_)))
+        ));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod gzip;
 
 pub use adler::{adler32, Adler32};
 pub use crc32::{crc32, Crc32};
-pub use gzip::{gzip_compress, gzip_decompress, GzipError};
+pub use gzip::{gzip_compress, gzip_decompress, gzip_decompress_with_limit, GzipError};
 pub use pedal_deflate::Level;
 
 /// zlib decode errors.

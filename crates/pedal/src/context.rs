@@ -15,7 +15,7 @@ use crate::header::{HeaderError, PedalHeader, HEADER_LEN};
 use crate::pool::PedalPool;
 use crate::timing::TimingBreakdown;
 use crate::wire;
-use pedal_doca::{CompressJob, DocaContext, JobKind};
+use pedal_doca::{CompressJob, DocaContext, DocaError, EngineError, JobKind};
 use pedal_dpu::{
     Algorithm, CostModel, Direction, Placement, Platform, SimClock, SimDuration, SimInstant,
 };
@@ -442,6 +442,7 @@ impl PedalContext {
         fell_back: bool,
     ) -> Result<(Vec<u8>, StageTiming), PedalError> {
         let cfg = self.sz3_config(design);
+        cfg.validate().map_err(|e| PedalError::Codec(e.to_string()))?;
         let (core, stats) = match datatype {
             Datatype::Float32 => {
                 let field = field_from_bytes::<f32>(data)?;
@@ -522,7 +523,7 @@ impl PedalContext {
                                 .with_expected_len(expected_len),
                             now,
                         )
-                        .map_err(|e| PedalError::Doca(e.to_string()))?;
+                        .map_err(engine_decode_err)?;
                     Ok((r.output, StageTiming::engine(done.elapsed_since(now))))
                 }
             },
@@ -548,7 +549,7 @@ impl PedalContext {
                                     .with_expected_len(expected_len),
                                 now,
                             )
-                            .map_err(|e| PedalError::Doca(e.to_string()))?;
+                            .map_err(engine_decode_err)?;
                         // Adler verification stays on the SoC.
                         let actual = pedal_zlib::adler32(&r.output);
                         if actual != expected_sum {
@@ -585,7 +586,7 @@ impl PedalContext {
                                 .with_expected_len(expected_len),
                             now,
                         )
-                        .map_err(|e| PedalError::Doca(e.to_string()))?;
+                        .map_err(engine_decode_err)?;
                     Ok((r.output, StageTiming::engine(done.elapsed_since(now))))
                 }
             },
@@ -601,29 +602,33 @@ impl PedalContext {
         eff: Placement,
         fell_back: bool,
     ) -> Result<(Vec<u8>, StageTiming), PedalError> {
-        // Undo the lossless backend — on the engine when possible.
+        // Undo the lossless backend — on the engine when possible. The
+        // shared budget formula bounds the declared core length so the SoC
+        // and C-Engine paths reject oversized streams at the same threshold.
+        let core_budget = pedal_sz3::core_limit_for_output(expected_len);
         let mut engine_time = SimDuration::ZERO;
         let mut placement = Placement::Soc;
         let (core, backend) =
-            pedal_sz3::unseal_with(body, |backend, packed| match (backend, eff) {
-                (BackendKind::Deflate, Placement::CEngine) => {
-                    // Core length is in the sealed header; the engine needs a
-                    // sized destination. Use the generous bound of the original
-                    // data size — the core is never larger than input + slack.
-                    let limit = expected_len + expected_len / 2 + 4096;
-                    let (r, done) = self
-                        .doca
-                        .submit(
-                            CompressJob::new(JobKind::DeflateDecompress, packed.to_vec())
-                                .with_expected_len(limit),
-                            now,
-                        )
-                        .map_err(|e| pedal_sz3::BackendError(e.to_string()))?;
-                    engine_time = done.elapsed_since(now);
-                    placement = Placement::CEngine;
-                    Ok(r.output)
+            pedal_sz3::unseal_with_limit(body, core_budget, |backend, packed, limit| {
+                match (backend, eff) {
+                    (BackendKind::Deflate, Placement::CEngine) => {
+                        // Core length is in the sealed header; the engine
+                        // needs a sized destination, so the validated budget
+                        // becomes the engine's output cap.
+                        let (r, done) = self
+                            .doca
+                            .submit(
+                                CompressJob::new(JobKind::DeflateDecompress, packed.to_vec())
+                                    .with_expected_len(limit),
+                                now,
+                            )
+                            .map_err(|e| pedal_sz3::BackendError(e.to_string()))?;
+                        engine_time = done.elapsed_since(now);
+                        placement = Placement::CEngine;
+                        Ok(r.output)
+                    }
+                    _ => pedal_sz3::backend_decompress_with_limit(backend, packed, limit),
                 }
-                _ => pedal_sz3::backend_decompress(backend, packed),
             })
             .map_err(|e| PedalError::Codec(e.to_string()))?;
 
@@ -641,12 +646,14 @@ impl PedalContext {
         };
         let core_t = self.costs.sz3_core(Direction::Decompress, expected_len);
 
-        // Reconstruct the field; the stream self-describes its type.
+        // Reconstruct the field; the stream self-describes its type. The
+        // caller's expected length caps how many elements the core may
+        // declare, so a corrupt header cannot drive the allocation.
         let data = match core.get(5).copied() {
-            Some(0x32) => pedal_sz3::decode_core::<f32>(&core)
+            Some(0x32) => pedal_sz3::decode_core_with_limit::<f32>(&core, expected_len / 4)
                 .map_err(|e| PedalError::Codec(e.to_string()))?
                 .to_bytes(),
-            Some(0x64) => pedal_sz3::decode_core::<f64>(&core)
+            Some(0x64) => pedal_sz3::decode_core_with_limit::<f64>(&core, expected_len / 8)
                 .map_err(|e| PedalError::Codec(e.to_string()))?
                 .to_bytes(),
             other => {
@@ -696,6 +703,18 @@ impl StageTiming {
             placement: Placement::CEngine,
             fell_back: false,
         }
+    }
+}
+
+/// Map an engine-side failure during *decode* to the same error class the
+/// SoC path reports for the same stream: a corrupt input is a codec error
+/// regardless of which placement rejected it, so the two decode paths
+/// return the same [`PedalError`] variant. Transport-level failures
+/// (capabilities, queue state) stay [`PedalError::Doca`].
+fn engine_decode_err(e: DocaError) -> PedalError {
+    match e {
+        DocaError::Engine(EngineError::Decode(msg)) => PedalError::Codec(msg),
+        other => PedalError::Doca(other.to_string()),
     }
 }
 

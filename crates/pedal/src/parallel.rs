@@ -191,7 +191,10 @@ pub fn decompress_chunked(
             .ok_or(PedalError::Codec("chunk header truncated".into()))? as usize;
         let comp = get_uvarint(payload, &mut i)
             .ok_or(PedalError::Codec("chunk header truncated".into()))? as usize;
-        total_orig += orig;
+        // Checked add: declared chunk sizes are untrusted and must not
+        // wrap the running total.
+        total_orig =
+            total_orig.checked_add(orig).ok_or(PedalError::Codec("chunk sizes overflow".into()))?;
         sizes.push((orig, comp));
     }
     if total_orig != expected_len {
@@ -199,11 +202,12 @@ pub fn decompress_chunked(
     }
     let mut blobs = Vec::with_capacity(n);
     for &(_, comp) in &sizes {
-        if i + comp > payload.len() {
-            return Err(PedalError::Codec("chunk body truncated".into()));
-        }
-        blobs.push(&payload[i..i + comp]);
-        i += comp;
+        let end = i
+            .checked_add(comp)
+            .filter(|&end| end <= payload.len())
+            .ok_or(PedalError::Codec("chunk body truncated".into()))?;
+        blobs.push(&payload[i..end]);
+        i = end;
     }
 
     let engine_ok = doca.supports(JobKind::DeflateDecompress);

@@ -158,6 +158,7 @@ pub fn compress_body(
         }
         Algorithm::Sz3 => {
             let cfg = sz3_config(design, error_bound);
+            cfg.validate().map_err(|e| PedalError::Codec(e.to_string()))?;
             let (core, stats) = match datatype {
                 Datatype::Float32 => pedal_sz3::encode_core(&field_from_bytes::<f32>(data)?, &cfg),
                 Datatype::Float64 => pedal_sz3::encode_core(&field_from_bytes::<f64>(data)?, &cfg),
@@ -228,16 +229,21 @@ pub fn decompress_payload(
                 data
             }
             Algorithm::Sz3 => {
-                let (core, _backend) = pedal_sz3::unseal_with(body, pedal_sz3::backend_decompress)
+                // The caller's expected output length bounds both halves of
+                // the inverse pipeline: the unsealed core may not exceed the
+                // shared budget formula, and the core may not declare more
+                // elements than fit in `expected_len` bytes.
+                let core_budget = pedal_sz3::core_limit_for_output(expected_len);
+                let (core, _backend) = pedal_sz3::unseal_limited(body, core_budget)
                     .map_err(|e| PedalError::Codec(e.to_string()))?;
                 profile.lossless_bytes = core.len();
                 profile.sz3_core_bytes = expected_len;
                 // Reconstruct the field; the stream self-describes its type.
                 match core.get(5).copied() {
-                    Some(0x32) => pedal_sz3::decode_core::<f32>(&core)
+                    Some(0x32) => pedal_sz3::decode_core_with_limit::<f32>(&core, expected_len / 4)
                         .map_err(|e| PedalError::Codec(e.to_string()))?
                         .to_bytes(),
-                    Some(0x64) => pedal_sz3::decode_core::<f64>(&core)
+                    Some(0x64) => pedal_sz3::decode_core_with_limit::<f64>(&core, expected_len / 8)
                         .map_err(|e| PedalError::Codec(e.to_string()))?
                         .to_bytes(),
                     other => {

@@ -11,6 +11,13 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> fuzz smoke sweep (fixed seed)"
+# Structure-aware mutation sweep over every decode path: no panics,
+# bounded allocation, SoC/C-Engine differential agreement. Fixed seed,
+# ~2s budget; reuses the release build from the first stage. Failures
+# print a fuzz_sweep repro command with the exact case seed.
+cargo run --release -q -p pedal-testkit --bin fuzz_sweep -- --cases 2500
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

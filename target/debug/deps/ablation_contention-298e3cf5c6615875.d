@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-298e3cf5c6615875.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-298e3cf5c6615875: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

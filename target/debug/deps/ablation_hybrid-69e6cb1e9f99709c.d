@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-69e6cb1e9f99709c.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-69e6cb1e9f99709c: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

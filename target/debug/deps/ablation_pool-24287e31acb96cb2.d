@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-24287e31acb96cb2.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-24287e31acb96cb2: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rndv-81e4f288ceb6bedd.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/debug/deps/ablation_rndv-81e4f288ceb6bedd: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

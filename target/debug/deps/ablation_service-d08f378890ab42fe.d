@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-d08f378890ab42fe.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-d08f378890ab42fe: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-dc14ed416b263c31.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/debug/deps/ablation_sz3_backend-dc14ed416b263c31: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

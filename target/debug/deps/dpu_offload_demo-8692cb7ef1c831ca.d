@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpu_offload_demo-8692cb7ef1c831ca.d: examples/dpu_offload_demo.rs
+
+/root/repo/target/debug/deps/dpu_offload_demo-8692cb7ef1c831ca: examples/dpu_offload_demo.rs
+
+examples/dpu_offload_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-fdc11059b0ee8d98.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/debug/deps/fig10_p2p_latency-fdc11059b0ee8d98: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bcast-72e83b3c89e39aad.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/debug/deps/fig11_bcast-72e83b3c89e39aad: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_lossless_breakdown-c774d5332dae73ab.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/debug/deps/fig7_lossless_breakdown-c774d5332dae73ab: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_comp_decomp_time-3171d0b07846ba7b.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/debug/deps/fig8_comp_decomp_time-3171d0b07846ba7b: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_compressor-6a43366d72abb8b3.d: examples/file_compressor.rs
+
+/root/repo/target/debug/deps/file_compressor-6a43366d72abb8b3: examples/file_compressor.rs
+
+examples/file_compressor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_sweep-69d8701c53512966.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/debug/deps/fuzz_sweep-69d8701c53512966: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_sweep-77543d91e9af18a1.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/debug/deps/fuzz_sweep-77543d91e9af18a1: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

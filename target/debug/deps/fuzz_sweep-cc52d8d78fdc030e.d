@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_sweep-cc52d8d78fdc030e.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/debug/deps/fuzz_sweep-cc52d8d78fdc030e: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

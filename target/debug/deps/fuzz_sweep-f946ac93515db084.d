@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_sweep-f946ac93515db084.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/debug/deps/fuzz_sweep-f946ac93515db084: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

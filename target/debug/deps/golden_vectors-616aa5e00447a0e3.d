@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_vectors-616aa5e00447a0e3.d: crates/pedal-testkit/tests/golden_vectors.rs
+
+/root/repo/target/debug/deps/golden_vectors-616aa5e00447a0e3: crates/pedal-testkit/tests/golden_vectors.rs
+
+crates/pedal-testkit/tests/golden_vectors.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradient_allreduce-0fd3c4a7e0e8f672.d: examples/gradient_allreduce.rs
+
+/root/repo/target/debug/deps/gradient_allreduce-0fd3c4a7e0e8f672: examples/gradient_allreduce.rs
+
+examples/gradient_allreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/halo_exchange-b6eacb64bce01163.d: examples/halo_exchange.rs
+
+/root/repo/target/debug/deps/halo_exchange-b6eacb64bce01163: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/make_vectors-79b29612a0aeff2e.d: crates/pedal-testkit/src/bin/make_vectors.rs
+
+/root/repo/target/debug/deps/make_vectors-79b29612a0aeff2e: crates/pedal-testkit/src/bin/make_vectors.rs
+
+crates/pedal-testkit/src/bin/make_vectors.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit

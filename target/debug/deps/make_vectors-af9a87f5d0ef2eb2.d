@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/make_vectors-af9a87f5d0ef2eb2.d: crates/pedal-testkit/src/bin/make_vectors.rs
+
+/root/repo/target/debug/deps/make_vectors-af9a87f5d0ef2eb2: crates/pedal-testkit/src/bin/make_vectors.rs
+
+crates/pedal-testkit/src/bin/make_vectors.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_pingpong-37c762fdc8e5974c.d: examples/mpi_pingpong.rs
+
+/root/repo/target/debug/deps/mpi_pingpong-37c762fdc8e5974c: examples/mpi_pingpong.rs
+
+examples/mpi_pingpong.rs:

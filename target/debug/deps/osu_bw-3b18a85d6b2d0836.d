@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osu_bw-3b18a85d6b2d0836.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/debug/deps/osu_bw-3b18a85d6b2d0836: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_testkit-d6da7d863bb18c30.d: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/debug/deps/pedal_testkit-d6da7d863bb18c30: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+crates/pedal-testkit/src/lib.rs:
+crates/pedal-testkit/src/corpus.rs:
+crates/pedal-testkit/src/mutate.rs:
+crates/pedal-testkit/src/oracle.rs:
+crates/pedal-testkit/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisoned_jobs-6d538911dded76f4.d: crates/pedal-service/tests/poisoned_jobs.rs
+
+/root/repo/target/debug/deps/poisoned_jobs-6d538911dded76f4: crates/pedal-service/tests/poisoned_jobs.rs
+
+crates/pedal-service/tests/poisoned_jobs.rs:

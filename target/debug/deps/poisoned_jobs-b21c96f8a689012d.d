@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisoned_jobs-b21c96f8a689012d.d: crates/pedal-service/tests/poisoned_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisoned_jobs-b21c96f8a689012d.rmeta: crates/pedal-service/tests/poisoned_jobs.rs Cargo.toml
+
+crates/pedal-service/tests/poisoned_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_hostile-6f2408c844acbe0e.d: crates/pedal-sz3/tests/proptest_hostile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_hostile-6f2408c844acbe0e.rmeta: crates/pedal-sz3/tests/proptest_hostile.rs Cargo.toml
+
+crates/pedal-sz3/tests/proptest_hostile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_hostile-a5efcbd85c8afbc2.d: crates/pedal-sz3/tests/proptest_hostile.rs
+
+/root/repo/target/debug/deps/proptest_hostile-a5efcbd85c8afbc2: crates/pedal-sz3/tests/proptest_hostile.rs
+
+crates/pedal-sz3/tests/proptest_hostile.rs:

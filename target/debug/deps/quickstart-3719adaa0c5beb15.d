@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-3719adaa0c5beb15.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-3719adaa0c5beb15: examples/quickstart.rs
+
+examples/quickstart.rs:

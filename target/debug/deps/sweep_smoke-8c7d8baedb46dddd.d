@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_smoke-8c7d8baedb46dddd.d: crates/pedal-testkit/tests/sweep_smoke.rs
+
+/root/repo/target/debug/deps/sweep_smoke-8c7d8baedb46dddd: crates/pedal-testkit/tests/sweep_smoke.rs
+
+crates/pedal-testkit/tests/sweep_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_ratios-3c0aed464be1e3ed.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/debug/deps/table5_ratios-3c0aed464be1e3ed: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_1_2_3-af7f940c9f45edb3.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/debug/deps/tables_1_2_3-af7f940c9f45edb3: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

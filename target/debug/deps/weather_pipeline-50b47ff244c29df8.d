@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weather_pipeline-50b47ff244c29df8.d: examples/weather_pipeline.rs
+
+/root/repo/target/debug/deps/weather_pipeline-50b47ff244c29df8: examples/weather_pipeline.rs
+
+examples/weather_pipeline.rs:

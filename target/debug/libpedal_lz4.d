@@ -1,0 +1,1 @@
+/root/repo/target/debug/libpedal_lz4.rlib: /root/repo/crates/pedal-lz4/src/block.rs /root/repo/crates/pedal-lz4/src/frame.rs /root/repo/crates/pedal-lz4/src/lib.rs

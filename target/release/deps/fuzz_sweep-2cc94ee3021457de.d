@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_sweep-2cc94ee3021457de.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/release/deps/fuzz_sweep-2cc94ee3021457de: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

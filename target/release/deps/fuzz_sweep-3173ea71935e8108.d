@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_sweep-3173ea71935e8108.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/release/deps/fuzz_sweep-3173ea71935e8108: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

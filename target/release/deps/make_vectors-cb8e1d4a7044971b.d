@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/make_vectors-cb8e1d4a7044971b.d: crates/pedal-testkit/src/bin/make_vectors.rs
+
+/root/repo/target/release/deps/make_vectors-cb8e1d4a7044971b: crates/pedal-testkit/src/bin/make_vectors.rs
+
+crates/pedal-testkit/src/bin/make_vectors.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pedal_testkit-128c4a53b5b42813.d: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/release/deps/libpedal_testkit-128c4a53b5b42813.rlib: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/release/deps/libpedal_testkit-128c4a53b5b42813.rmeta: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+crates/pedal-testkit/src/lib.rs:
+crates/pedal-testkit/src/corpus.rs:
+crates/pedal-testkit/src/mutate.rs:
+crates/pedal-testkit/src/oracle.rs:
+crates/pedal-testkit/src/sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pedal_testkit-298be4926855fd5d.d: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/release/deps/libpedal_testkit-298be4926855fd5d.rlib: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/release/deps/libpedal_testkit-298be4926855fd5d.rmeta: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+crates/pedal-testkit/src/lib.rs:
+crates/pedal-testkit/src/corpus.rs:
+crates/pedal-testkit/src/mutate.rs:
+crates/pedal-testkit/src/oracle.rs:
+crates/pedal-testkit/src/sweep.rs:
