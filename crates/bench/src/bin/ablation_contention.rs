@@ -4,26 +4,40 @@
 //! how per-stream latency degrades with concurrency — relevant to the
 //! paper's suggestion that future DPUs expose more engine parallelism
 //! ("expanding compression algorithms or providing programmability").
+//!
+//! Also writes `results/BENCH_ablation_contention.json` with the same
+//! numbers in machine-readable form.
 
-use bench::{banner, dataset, fmt_ms, Table};
+use bench::{banner, dataset, fmt_ms, BenchReport, Table};
 use pedal_datasets::DatasetId;
 use pedal_doca::{CompressJob, DocaContext, JobKind};
 use pedal_dpu::{Platform, SimDuration, SimInstant};
+use pedal_obs::Json;
+
+/// Nearest-rank percentile over an ascending completion list.
+fn pct(sorted: &[SimDuration], p: f64) -> SimDuration {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
 
 fn main() {
     banner("Ablation A6", "Engine contention: concurrent streams on one DPU");
     let corpus = dataset(DatasetId::SilesiaSamba);
     let msg = &corpus[..4_000_000.min(corpus.len())];
+    let mut report = BenchReport::new("ablation_contention");
+    report.set("message_bytes", Json::u64(msg.len() as u64));
 
     let mut t = Table::new(vec![
         "Streams",
         "Mean latency(ms)",
+        "P50(ms)",
         "P99-ish (last)(ms)",
         "Engine util",
         "Slowdown",
     ]);
     let ctx = DocaContext::open(Platform::BlueField2).expect("doca");
     let mut base_mean = 0.0f64;
+    let mut rows = Vec::new();
     for streams in [1usize, 2, 4, 8, 16] {
         ctx.workq.reset();
         // All streams submit one compression at t=0 (synchronized burst,
@@ -34,7 +48,10 @@ fn main() {
             let (_, done) = ctx.submit(job, SimInstant::EPOCH).expect("submit");
             completions.push(SimDuration(done.0));
         }
+        completions.sort();
         let mean = completions.iter().map(|d| d.as_millis_f64()).sum::<f64>() / streams as f64;
+        let p50 = pct(&completions, 0.50);
+        let p99 = pct(&completions, 0.99);
         let last = completions.last().unwrap().as_millis_f64();
         let busy = ctx.workq.busy_until().0 as f64;
         let util = busy / (last * 1e6);
@@ -44,12 +61,26 @@ fn main() {
         t.row(vec![
             streams.to_string(),
             format!("{mean:.3}"),
+            fmt_ms(p50),
             fmt_ms(*completions.last().unwrap()),
             format!("{:.0}%", util * 100.0),
             format!("{:.2}x", mean / base_mean),
         ]);
+        let tput =
+            streams as f64 * msg.len() as f64 / 1e6 / completions.last().unwrap().as_secs_f64();
+        rows.push(Json::obj(vec![
+            ("streams", Json::u64(streams as u64)),
+            ("mean_latency_ns", Json::u64((mean * 1e6) as u64)),
+            ("p50_ns", Json::u64(p50.as_nanos())),
+            ("p99_ns", Json::u64(p99.as_nanos())),
+            ("makespan_ns", Json::u64(completions.last().unwrap().as_nanos())),
+            ("throughput_mbps", Json::num(tput)),
+            ("engine_utilization", Json::num(util)),
+            ("slowdown_vs_single", Json::num(mean / base_mean)),
+        ]));
     }
     t.print();
+    report.set("burst_contention", Json::Arr(rows));
     println!();
     println!(
         "FIFO service means the k-th concurrent stream waits for k-1 jobs: mean\n\
@@ -58,4 +89,5 @@ fn main() {
          see A4) would halve the slope — the programmability ask in the paper's\n\
          DPU-community notes."
     );
+    report.write();
 }

@@ -4,11 +4,17 @@
 //! and contrasts the three backpressure policies plus small-message
 //! batching. All timing is virtual (CostModel-charged), so every number
 //! here is deterministic.
+//!
+//! Besides the tables, this harness writes machine-readable results to
+//! `results/BENCH_ablation_service.json` and — from a traced profile
+//! run — `results/trace_service.json` (Chrome `chrome://tracing` /
+//! Perfetto format) plus `results/metrics_service.jsonl`.
 
-use bench::{banner, dataset, Table};
+use bench::{banner, dataset, fmt_us_opt, json_ns_opt, write_results_file, BenchReport, Table};
 use pedal::{Datatype, Design, PedalConfig, PedalContext};
 use pedal_datasets::DatasetId;
 use pedal_dpu::{Platform, SimDuration, SimInstant};
+use pedal_obs::{chrome_trace_json, validate_chrome_trace, Json, ToJson};
 use pedal_service::{BackpressurePolicy, JobDesc, PedalService, ServiceConfig, ServiceError};
 
 const MSG: usize = 64 * 1024;
@@ -20,15 +26,12 @@ fn messages(corpus: &[u8], count: usize, len: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn fmt_us(d: SimDuration) -> String {
-    format!("{:.1}", d.as_micros_f64())
-}
-
 fn main() {
     banner("Ablation A7", "Offload service: channels, offered load, backpressure");
     let corpus = dataset(DatasetId::SilesiaXml);
     let msgs = messages(&corpus, JOBS, MSG);
     let total_bytes: usize = msgs.iter().map(Vec::len).sum();
+    let mut report = BenchReport::new("ablation_service");
 
     // ------------------------------------------------------------------
     // Baseline: the synchronous context compresses the same stream one
@@ -50,6 +53,15 @@ fn main() {
         base_total.as_millis_f64(),
         base_tput
     );
+    report.set(
+        "baseline",
+        Json::obj(vec![
+            ("jobs", Json::u64(JOBS as u64)),
+            ("message_bytes", Json::u64(MSG as u64)),
+            ("total_ns", Json::u64(base_total.as_nanos())),
+            ("throughput_mbps", Json::num(base_tput)),
+        ]),
+    );
 
     // ------------------------------------------------------------------
     // Channel scaling at saturating load (all jobs arrive at t=0).
@@ -62,6 +74,7 @@ fn main() {
         "Wait p50(us)",
         "Wait p99(us)",
     ]);
+    let mut rows = Vec::new();
     for channels in [1usize, 2, 4] {
         let svc = PedalService::start(
             ServiceConfig::new(Platform::BlueField2).with_soc_workers(1).with_ce_channels(channels),
@@ -77,11 +90,17 @@ fn main() {
             format!("{:.3}", stats.makespan.as_millis_f64()),
             format!("{:.1}", stats.throughput_mbps()),
             format!("{:.2}x", stats.throughput_mbps() / base_tput),
-            fmt_us(stats.queue_wait_p50),
-            fmt_us(stats.queue_wait_p99),
+            fmt_us_opt(stats.queue_wait_p50),
+            fmt_us_opt(stats.queue_wait_p99),
         ]);
+        rows.push(Json::obj(vec![
+            ("channels", Json::u64(channels as u64)),
+            ("speedup_vs_baseline", Json::num(stats.throughput_mbps() / base_tput)),
+            ("stats", stats.to_json()),
+        ]));
     }
     t.print();
+    report.set("channel_scaling", Json::Arr(rows));
     println!(
         "\nEach channel is an independent DOCA work queue over its own engine\n\
          FIFO; at saturating load the scheduler keeps all of them busy, so\n\
@@ -102,6 +121,7 @@ fn main() {
         "Latency p99(us)",
         "Tput(MB/s)",
     ]);
+    let mut rows = Vec::new();
     for rho in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
         let gap = SimDuration((mean_service.as_nanos() as f64 / rho) as u64);
         let svc = PedalService::start(
@@ -120,15 +140,25 @@ fn main() {
         let (_, stats) = svc.shutdown();
         t.row(vec![
             format!("{rho:.1}x"),
-            fmt_us(gap),
-            fmt_us(stats.queue_wait_p50),
-            fmt_us(stats.queue_wait_p99),
-            fmt_us(stats.latency_p50),
-            fmt_us(stats.latency_p99),
+            format!("{:.1}", gap.as_micros_f64()),
+            fmt_us_opt(stats.queue_wait_p50),
+            fmt_us_opt(stats.queue_wait_p99),
+            fmt_us_opt(stats.latency_p50),
+            fmt_us_opt(stats.latency_p99),
             format!("{:.1}", stats.throughput_mbps()),
         ]);
+        rows.push(Json::obj(vec![
+            ("offered_load", Json::num(rho)),
+            ("gap_ns", Json::u64(gap.as_nanos())),
+            ("queue_wait_p50_ns", json_ns_opt(stats.queue_wait_p50)),
+            ("queue_wait_p99_ns", json_ns_opt(stats.queue_wait_p99)),
+            ("latency_p50_ns", json_ns_opt(stats.latency_p50)),
+            ("latency_p99_ns", json_ns_opt(stats.latency_p99)),
+            ("throughput_mbps", Json::num(stats.throughput_mbps())),
+        ]));
     }
     t.print();
+    report.set("offered_load", Json::Arr(rows));
     println!(
         "\nBelow 4x the offered load (4 channels), queue wait stays flat; past\n\
          it, waiting dominates latency — the classic knee the admission queue's\n\
@@ -151,6 +181,7 @@ fn main() {
         "Wait p50(us)",
         "Wait p99(us)",
     ]);
+    let mut rows = Vec::new();
     for policy in [BackpressurePolicy::Block, BackpressurePolicy::Reject, BackpressurePolicy::Shed]
     {
         let svc = PedalService::start(
@@ -182,11 +213,17 @@ fn main() {
             stats.completed.to_string(),
             stats.rejected.to_string(),
             stats.shed.to_string(),
-            fmt_us(stats.queue_wait_p50),
-            fmt_us(stats.queue_wait_p99),
+            fmt_us_opt(stats.queue_wait_p50),
+            fmt_us_opt(stats.queue_wait_p99),
         ]);
+        rows.push(Json::obj(vec![
+            ("policy", Json::str(format!("{policy:?}"))),
+            ("admitted", Json::u64(admitted)),
+            ("stats", stats.to_json()),
+        ]));
     }
     t.print();
+    report.set("backpressure", Json::Arr(rows));
     println!(
         "\nBlock never loses work but exposes the submitter to the full queue\n\
          delay; Reject caps latency by refusing excess; Shed keeps the queue\n\
@@ -200,6 +237,7 @@ fn main() {
     // ------------------------------------------------------------------
     let tiny = messages(&corpus, 64, 2 * 1024);
     let mut t = Table::new(vec!["Batching", "Batches", "Makespan(ms)", "Tput(MB/s)", "Speedup"]);
+    let mut rows = Vec::new();
     let mut base_ms = 0.0f64;
     for batching in [false, true] {
         let mut cfg = ServiceConfig::new(Platform::BlueField2).with_ce_channels(1);
@@ -224,11 +262,89 @@ fn main() {
             format!("{:.1}", stats.throughput_mbps()),
             format!("{:.2}x", base_ms / ms),
         ]);
+        rows.push(Json::obj(vec![
+            ("batching", Json::Bool(batching)),
+            ("speedup", Json::num(base_ms / ms)),
+            ("stats", stats.to_json()),
+        ]));
     }
     t.print();
+    report.set("batching", Json::Arr(rows));
     println!(
         "\nAt 2 KiB per message the 60 us per-job engine overhead dwarfs the\n\
          transfer itself; coalescing is the difference between the engine\n\
-         being overhead-bound and bandwidth-bound."
+         being overhead-bound and bandwidth-bound.\n"
     );
+
+    // ------------------------------------------------------------------
+    // Traced profile: one mixed run with the event journal on. Exports
+    // the Chrome trace + metrics JSONL and prints the per-stage
+    // breakdown the journal makes possible.
+    // ------------------------------------------------------------------
+    let floats: Vec<u8> = {
+        let n = 16 * 1024;
+        (0..n).flat_map(|i| ((i as f32 * 0.01).sin() * 500.0).to_le_bytes()).collect()
+    };
+    let svc = PedalService::start(
+        ServiceConfig::new(Platform::BlueField2)
+            .with_soc_workers(1)
+            .with_ce_channels(2)
+            .with_batching(4 * 1024, 8, SimDuration::from_millis(5))
+            .with_tracing(),
+    );
+    for m in tiny.iter().take(16) {
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone()))
+            .expect("submit");
+    }
+    for m in msgs.iter().take(8) {
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone()))
+            .expect("submit");
+    }
+    for design in [Design::SOC_SZ3, Design::CE_SZ3] {
+        svc.submit(JobDesc::compress(design, Datatype::Float32, floats.clone())).expect("submit");
+    }
+    svc.drain();
+    let metrics = svc.metrics_snapshot();
+    let (_, stats, trace) = svc.shutdown_with_trace();
+
+    let mut t = Table::new(vec!["Stage", "Spans", "Total(us)", "Share"]);
+    let breakdown = trace.stage_breakdown();
+    let wall: u64 = breakdown
+        .iter()
+        .filter(|(k, _, _)| !matches!(k, pedal_obs::SpanKind::Job | pedal_obs::SpanKind::Batch))
+        .map(|(_, _, ns)| ns)
+        .sum();
+    let mut rows = Vec::new();
+    for (kind, count, ns) in &breakdown {
+        t.row(vec![
+            kind.name().to_string(),
+            count.to_string(),
+            format!("{:.1}", *ns as f64 / 1e3),
+            format!("{:.1}%", *ns as f64 / wall.max(1) as f64 * 100.0),
+        ]);
+        rows.push(Json::obj(vec![
+            ("stage", Json::str(kind.name())),
+            ("spans", Json::u64(*count)),
+            ("total_ns", Json::u64(*ns)),
+        ]));
+    }
+    t.print();
+    report.set("traced_profile", Json::Arr(rows));
+    report.set("traced_stats", stats.to_json());
+
+    let chrome = chrome_trace_json(&trace);
+    let check = validate_chrome_trace(&chrome).expect("exported trace must validate");
+    let trace_path = write_results_file("trace_service.json", &chrome);
+    let jsonl_path = write_results_file("metrics_service.jsonl", &metrics.to_jsonl());
+    println!(
+        "\nTraced profile: {} spans across {} stage names, {} events dropped.\n\
+         Chrome trace -> {}  (load in chrome://tracing or ui.perfetto.dev)\n\
+         Metrics JSONL -> {}",
+        check.spans,
+        check.names.len(),
+        trace.dropped,
+        trace_path.display(),
+        jsonl_path.display()
+    );
+    report.write();
 }

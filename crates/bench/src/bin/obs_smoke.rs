@@ -1,0 +1,102 @@
+//! Observability smoke check for the verify gate: run a small traced
+//! workload through the service, export both trace formats into
+//! `results/`, and structurally validate the Chrome trace (balanced,
+//! name-matched B/E pairs per thread; all pipeline stages present).
+//! Exits non-zero on any violation, so `scripts/verify.sh` can gate on
+//! it.
+
+use bench::write_results_file;
+use pedal::{Datatype, Design};
+use pedal_dpu::{Pcg32, Platform, SimDuration};
+use pedal_obs::{chrome_trace_json, validate_chrome_trace, SpanKind};
+use pedal_service::{JobDesc, PedalService, ServiceConfig};
+
+fn main() {
+    let svc = PedalService::start(
+        ServiceConfig::new(Platform::BlueField2)
+            .with_soc_workers(1)
+            .with_ce_channels(2)
+            .with_batching(4 * 1024, 4, SimDuration::from_millis(2))
+            .with_tracing(),
+    );
+
+    let mut rng = Pcg32::seed_from_u64(0x0B5_0B5);
+    let mut text = vec![0u8; 16_000];
+    rng.fill_bytes(&mut text);
+    for b in text.iter_mut().skip(1).step_by(2) {
+        *b = b'x';
+    }
+    let floats: Vec<u8> =
+        (0..4_000).flat_map(|i| ((i as f32 * 0.02).cos() * 100.0).to_le_bytes()).collect();
+
+    for _ in 0..3 {
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, text[..2_000].to_vec()))
+            .expect("submit");
+    }
+    for design in [Design::CE_DEFLATE, Design::SOC_ZLIB] {
+        svc.submit(JobDesc::compress(design, Datatype::Byte, text.clone())).expect("submit");
+    }
+    for design in [Design::SOC_SZ3, Design::CE_SZ3] {
+        svc.submit(JobDesc::compress(design, Datatype::Float32, floats.clone())).expect("submit");
+    }
+    let done = svc.drain();
+    for job in &done {
+        let out = job.result.as_ref().expect("smoke job failed");
+        let expected = job.metrics.expect("metrics").bytes_in;
+        svc.submit(JobDesc::decompress(job.design, out.bytes.clone(), expected)).expect("submit");
+    }
+    svc.drain();
+
+    // Live snapshot must be readable without shutdown.
+    let snap = svc.snapshot();
+    assert!(snap.completed >= done.len() as u64, "snapshot missed completions");
+    assert!(snap.latency.p50.is_some(), "live percentiles must have samples");
+
+    let metrics = svc.metrics_snapshot();
+    let (_, stats, trace) = svc.shutdown_with_trace();
+    assert_eq!(stats.failed, 0, "smoke workload must not fail jobs");
+    assert_eq!(trace.dropped, 0, "smoke workload must fit its rings");
+
+    let chrome = chrome_trace_json(&trace);
+    let trace_path = write_results_file("trace_smoke.json", &chrome);
+    let jsonl = metrics.to_jsonl();
+    let jsonl_path = write_results_file("metrics_smoke.jsonl", &jsonl);
+
+    // Structural gate: parses, every B has a name-matched E, stages all
+    // present.
+    let check = match validate_chrome_trace(&chrome) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("obs smoke FAILED: invalid Chrome trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    for kind in [
+        SpanKind::QueueWait,
+        SpanKind::Batch,
+        SpanKind::EngineExecute,
+        SpanKind::Sz3Predict,
+        SpanKind::Sz3Quantize,
+        SpanKind::Sz3Huffman,
+        SpanKind::Sz3Backend,
+    ] {
+        if !check.names.iter().any(|n| n == kind.name()) {
+            eprintln!("obs smoke FAILED: no '{}' spans in the trace", kind.name());
+            std::process::exit(1);
+        }
+    }
+    for series in ["service.latency_ns", "service.jobs_completed", "service.bytes_out"] {
+        if !jsonl.lines().any(|l| l.contains(series)) {
+            eprintln!("obs smoke FAILED: metrics JSONL missing series '{series}'");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "obs smoke OK: {} balanced spans, {} stage names -> {} ; {} metric lines -> {}",
+        check.spans,
+        check.names.len(),
+        trace_path.display(),
+        jsonl.lines().count(),
+        jsonl_path.display()
+    );
+}

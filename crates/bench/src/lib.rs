@@ -11,6 +11,9 @@ use pedal::{Datatype, Design, OverheadMode, PedalConfig, PedalContext, TimingBre
 use pedal_datasets::DatasetId;
 use pedal_dpu::Platform;
 
+pub mod report;
+pub use report::{fmt_us_opt, json_ns_opt, results_dir, write_results_file, BenchReport};
+
 /// Dataset scale factor from the environment (default 1.0 = Table IV sizes).
 pub fn data_scale() -> f64 {
     std::env::var("PEDAL_DATA_SCALE")

@@ -149,6 +149,39 @@ impl Workq {
         Ok(BatchHandle { results, started_at, completed_at })
     }
 
+    /// [`Workq::submit`] plus journal spans: the FIFO wait inside the
+    /// work queue (`workq-queue`, submit → engine start) and the engine
+    /// pass itself (`engine-execute`, start → completion, arg = input
+    /// bytes). With a disabled recorder this is byte- and time-identical
+    /// to the untraced path.
+    pub fn submit_traced(
+        &self,
+        job: CompressJob,
+        now: SimInstant,
+        rec: &mut pedal_obs::LaneRecorder,
+    ) -> Result<JobHandle, QueueFull> {
+        let bytes = job.input.len() as u64;
+        let h = self.submit(job, now)?;
+        rec.span(pedal_obs::SpanKind::WorkqQueue, now, h.started_at, bytes);
+        rec.span(pedal_obs::SpanKind::EngineExecute, h.started_at, h.completed_at, bytes);
+        Ok(h)
+    }
+
+    /// [`Workq::submit_batch`] plus journal spans; `engine-execute`'s
+    /// arg is the total batch payload in bytes.
+    pub fn submit_batch_traced(
+        &self,
+        jobs: Vec<CompressJob>,
+        now: SimInstant,
+        rec: &mut pedal_obs::LaneRecorder,
+    ) -> Result<BatchHandle, QueueFull> {
+        let bytes: u64 = jobs.iter().map(|j| j.input.len() as u64).sum();
+        let h = self.submit_batch(jobs, now)?;
+        rec.span(pedal_obs::SpanKind::WorkqQueue, now, h.started_at, bytes);
+        rec.span(pedal_obs::SpanKind::EngineExecute, h.started_at, h.completed_at, bytes);
+        Ok(h)
+    }
+
     /// Virtual time at which the engine becomes idle.
     pub fn busy_until(&self) -> SimInstant {
         *self.busy_until.lock().unwrap()
@@ -344,6 +377,48 @@ mod tests {
         assert_eq!(a.started_at, now);
         assert_eq!(b.started_at, now);
         assert_eq!(set.least_loaded(now), set.least_loaded(now), "deterministic");
+    }
+
+    #[test]
+    fn traced_submit_matches_untraced_and_records_spans() {
+        let q = workq();
+        let mut rec = pedal_obs::LaneRecorder::new("ce-test", 64);
+        let now = SimInstant::EPOCH;
+        let h1 =
+            q.submit(CompressJob::new(JobKind::DeflateCompress, vec![3u8; 500_000]), now).unwrap();
+        q.reset();
+        let h2 = q
+            .submit_traced(
+                CompressJob::new(JobKind::DeflateCompress, vec![3u8; 500_000]),
+                now,
+                &mut rec,
+            )
+            .unwrap();
+        // Identical outputs and virtual timing.
+        assert_eq!(h1.result.unwrap().output, h2.result.unwrap().output);
+        assert_eq!(h1.completed_at, h2.completed_at);
+        let t = rec.into_track();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[0].span, pedal_obs::SpanKind::WorkqQueue);
+        assert_eq!(t.events[1].span, pedal_obs::SpanKind::EngineExecute);
+        assert_eq!(t.events[1].t1 - t.events[1].t0, h2.completed_at.0 - h2.started_at.0);
+        assert_eq!(t.events[1].arg, 500_000);
+    }
+
+    #[test]
+    fn traced_batch_records_total_payload() {
+        let q = workq();
+        let mut rec = pedal_obs::LaneRecorder::new("ce-test", 64);
+        let jobs: Vec<_> =
+            (0..3).map(|i| CompressJob::new(JobKind::DeflateCompress, vec![i; 10_000])).collect();
+        let b = q.submit_batch_traced(jobs, SimInstant::EPOCH, &mut rec).unwrap();
+        assert_eq!(b.results.len(), 3);
+        let t = rec.into_track();
+        assert_eq!(t.events[1].arg, 30_000);
+        assert_eq!(
+            t.total_ns(pedal_obs::SpanKind::EngineExecute),
+            b.completed_at.0 - b.started_at.0
+        );
     }
 
     #[test]

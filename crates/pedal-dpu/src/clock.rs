@@ -72,6 +72,33 @@ impl std::iter::Sum for SimDuration {
     }
 }
 
+/// Adaptive unit rendering shared by [`SimDuration`] and [`SimInstant`]:
+/// `742ns`, `12.50µs`, `1.24ms`, `2.50s`.
+fn fmt_ns(ns: u64, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    if ns < 1_000 {
+        write!(f, "{ns}ns")
+    } else if ns < 1_000_000 {
+        write!(f, "{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        write!(f, "{:.2}ms", ns as f64 / 1e6)
+    } else {
+        write!(f, "{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+/// Instants render as time since the simulation epoch.
+impl std::fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
 /// An absolute virtual-time instant (nanoseconds since simulation start).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct SimInstant(pub u64);
@@ -195,6 +222,16 @@ mod tests {
         let b = a + SimDuration(50);
         assert_eq!(b.elapsed_since(a), SimDuration(50));
         assert_eq!(a.elapsed_since(b), SimDuration(0)); // saturating
+    }
+
+    #[test]
+    fn display_picks_adaptive_units() {
+        assert_eq!(SimDuration(742).to_string(), "742ns");
+        assert_eq!(SimDuration(12_500).to_string(), "12.50µs");
+        assert_eq!(SimDuration(1_240_000).to_string(), "1.24ms");
+        assert_eq!(SimDuration(2_500_000_000).to_string(), "2.50s");
+        assert_eq!(SimDuration::ZERO.to_string(), "0ns");
+        assert_eq!(SimInstant(1_240_000).to_string(), "1.24ms");
     }
 
     #[test]

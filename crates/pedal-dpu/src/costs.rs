@@ -303,6 +303,25 @@ impl CostModel {
         time_for(bytes, rate * self.soc_factor)
     }
 
+    /// [`CostModel::sz3_core`] broken down per stage for profiling. The
+    /// split follows SZ3's published stage profile on Arm cores (predict
+    /// ≈ 40%, quantize ≈ 25%, Huffman ≈ 35% of core compression time;
+    /// decode inverts toward Huffman). The Huffman share is computed by
+    /// subtraction so the three stages always sum *exactly* to
+    /// [`CostModel::sz3_core`] — trace totals match the lump cost the
+    /// scheduler charged, bit for bit.
+    pub fn sz3_core_stages(&self, dir: Direction, bytes: usize) -> Sz3CoreStages {
+        let total = self.sz3_core(dir, bytes);
+        let (f_predict, f_quantize) = match dir {
+            Direction::Compress => (0.40, 0.25),
+            Direction::Decompress => (0.30, 0.20),
+        };
+        let predict = SimDuration((total.0 as f64 * f_predict) as u64);
+        let quantize = SimDuration((total.0 as f64 * f_quantize) as u64);
+        let huffman = total.saturating_sub(predict).saturating_sub(quantize);
+        Sz3CoreStages { predict, quantize, huffman }
+    }
+
     /// SZ3's native fast lossless backend on the SoC.
     pub fn sz3_zs_backend(&self, dir: Direction, bytes: usize) -> SimDuration {
         let rate = match dir {
@@ -336,6 +355,21 @@ impl CostModel {
         } else {
             Placement::Soc
         }
+    }
+}
+
+/// Per-stage breakdown of the SZ3 core lump (see
+/// [`CostModel::sz3_core_stages`]); stages sum exactly to the lump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sz3CoreStages {
+    pub predict: SimDuration,
+    pub quantize: SimDuration,
+    pub huffman: SimDuration,
+}
+
+impl Sz3CoreStages {
+    pub fn total(&self) -> SimDuration {
+        self.predict + self.quantize + self.huffman
     }
 }
 
@@ -495,6 +529,23 @@ mod tests {
     fn host_alloc_scales_with_buffer_count() {
         let m = bf2();
         assert_eq!(m.host_alloc(1_000_000, 4), m.host_alloc(1_000_000, 1) * 4);
+    }
+
+    #[test]
+    fn sz3_stage_split_sums_exactly_to_core_lump() {
+        let m = bf2();
+        for dir in [Direction::Compress, Direction::Decompress] {
+            for bytes in [1usize, 4_097, 1_000_000, MIB_48_84] {
+                let stages = m.sz3_core_stages(dir, bytes);
+                assert_eq!(stages.total(), m.sz3_core(dir, bytes), "{dir:?} {bytes}");
+                // Every stage carries real weight at non-trivial sizes.
+                if bytes >= 1_000_000 {
+                    assert!(stages.predict > SimDuration::ZERO);
+                    assert!(stages.quantize > SimDuration::ZERO);
+                    assert!(stages.huffman > SimDuration::ZERO);
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod rng;
 
 pub use bytes::Bytes;
 pub use clock::{SimClock, SimDuration, SimInstant};
-pub use costs::CostModel;
+pub use costs::{CostModel, Sz3CoreStages};
 pub use platform::{Algorithm, CEngineSpec, Direction, Placement, Platform, PlatformSpec};
 pub use rng::Pcg32;

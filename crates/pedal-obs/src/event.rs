@@ -1,0 +1,174 @@
+//! Fixed-size binary events — the nanolog-style journal entry.
+//!
+//! The hot path stores one [`Event`] (a few machine words) into a
+//! lane-owned ring buffer; no formatting, no allocation, no locks.
+//! Naming, aggregation, and export all happen at collection time.
+
+use pedal_dpu::SimInstant;
+
+/// What a journal entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A closed interval `[t0, t1]` of virtual time.
+    Span,
+    /// A monotone counter bump of `arg` at instant `t0`.
+    Counter,
+    /// A point-in-time marker at instant `t0`.
+    Instant,
+}
+
+/// The stage vocabulary shared by every instrumented crate. Codes are
+/// stable u16s so an event is a pure binary record; names are resolved
+/// only at export time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum SpanKind {
+    /// Admission + scheduling delay: job arrival to lane start.
+    QueueWait = 1,
+    /// Warm memory-pool buffer acquisition.
+    PoolAcquire = 2,
+    /// One job's end-to-end lane occupancy (start to completion).
+    Job = 3,
+    /// A coalesced C-Engine submission serving several jobs.
+    Batch = 4,
+    /// FIFO delay inside a DOCA work queue (submit to engine start).
+    WorkqQueue = 5,
+    /// The hardware C-Engine serving one submission.
+    EngineExecute = 6,
+    /// A pure-SoC codec execution.
+    SocExecute = 7,
+    /// zlib/gzip header + checksum work on the SoC.
+    Checksum = 8,
+    /// Passthrough memcpy (incompressible payloads).
+    Memcpy = 9,
+    /// SZ3 stage 1: prediction (Lorenzo / interpolation).
+    Sz3Predict = 10,
+    /// SZ3 stage 2: error-bounded linear quantization.
+    Sz3Quantize = 11,
+    /// SZ3 stage 3: canonical Huffman entropy coding.
+    Sz3Huffman = 12,
+    /// SZ3 stage 4: the lossless backend (engine or SoC).
+    Sz3Backend = 13,
+}
+
+impl SpanKind {
+    /// Every kind, for exporters that enumerate the vocabulary.
+    pub const ALL: [SpanKind; 13] = [
+        SpanKind::QueueWait,
+        SpanKind::PoolAcquire,
+        SpanKind::Job,
+        SpanKind::Batch,
+        SpanKind::WorkqQueue,
+        SpanKind::EngineExecute,
+        SpanKind::SocExecute,
+        SpanKind::Checksum,
+        SpanKind::Memcpy,
+        SpanKind::Sz3Predict,
+        SpanKind::Sz3Quantize,
+        SpanKind::Sz3Huffman,
+        SpanKind::Sz3Backend,
+    ];
+
+    /// Stable wire code.
+    pub fn code(self) -> u16 {
+        self as u16
+    }
+
+    pub fn from_code(code: u16) -> Option<SpanKind> {
+        SpanKind::ALL.iter().copied().find(|k| k.code() == code)
+    }
+
+    /// Export-time name (Chrome trace `name` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue-wait",
+            SpanKind::PoolAcquire => "pool-acquire",
+            SpanKind::Job => "job",
+            SpanKind::Batch => "batch",
+            SpanKind::WorkqQueue => "workq-queue",
+            SpanKind::EngineExecute => "engine-execute",
+            SpanKind::SocExecute => "soc-execute",
+            SpanKind::Checksum => "checksum",
+            SpanKind::Memcpy => "memcpy",
+            SpanKind::Sz3Predict => "sz3-predict",
+            SpanKind::Sz3Quantize => "sz3-quantize",
+            SpanKind::Sz3Huffman => "sz3-huffman",
+            SpanKind::Sz3Backend => "sz3-backend",
+        }
+    }
+
+    /// Chrome trace category: groups engine-side work apart from SoC
+    /// work so placement is visible per span in the timeline viewer.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait | SpanKind::PoolAcquire | SpanKind::Job | SpanKind::Batch => {
+                "service"
+            }
+            SpanKind::WorkqQueue | SpanKind::EngineExecute => "cengine",
+            SpanKind::SocExecute | SpanKind::Checksum | SpanKind::Memcpy => "soc",
+            SpanKind::Sz3Predict
+            | SpanKind::Sz3Quantize
+            | SpanKind::Sz3Huffman
+            | SpanKind::Sz3Backend => "sz3",
+        }
+    }
+}
+
+/// One journal entry. `Copy`, fixed size, no heap — recording is a
+/// couple of stores into the lane's ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub kind: EventKind,
+    pub span: SpanKind,
+    /// Span begin / counter / marker instant, in virtual nanoseconds.
+    pub t0: u64,
+    /// Span end (== `t0` for counters and markers).
+    pub t1: u64,
+    /// Free argument: byte count, job id, batch size — span-dependent.
+    pub arg: u64,
+}
+
+impl Event {
+    pub fn span(kind: SpanKind, begin: SimInstant, end: SimInstant, arg: u64) -> Self {
+        Self { kind: EventKind::Span, span: kind, t0: begin.0, t1: end.0.max(begin.0), arg }
+    }
+
+    pub fn counter(kind: SpanKind, at: SimInstant, value: u64) -> Self {
+        Self { kind: EventKind::Counter, span: kind, t0: at.0, t1: at.0, arg: value }
+    }
+
+    pub fn instant(kind: SpanKind, at: SimInstant) -> Self {
+        Self { kind: EventKind::Instant, span: kind, t0: at.0, t1: at.0, arg: 0 }
+    }
+
+    /// Span duration in nanoseconds (0 for counters/markers).
+    pub fn dur(&self) -> u64 {
+        self.t1 - self.t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in SpanKind::ALL {
+            assert!(seen.insert(k.code()), "duplicate code {}", k.code());
+            assert_eq!(SpanKind::from_code(k.code()), Some(k));
+            assert!(!k.name().is_empty());
+            assert!(!k.category().is_empty());
+        }
+        assert_eq!(SpanKind::from_code(0), None);
+        assert_eq!(SpanKind::from_code(999), None);
+    }
+
+    #[test]
+    fn span_clamps_inverted_intervals() {
+        let e = Event::span(SpanKind::Job, SimInstant(10), SimInstant(5), 0);
+        assert_eq!(e.t0, 10);
+        assert_eq!(e.t1, 10);
+        assert_eq!(e.dur(), 0);
+    }
+}

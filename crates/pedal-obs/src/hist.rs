@@ -1,0 +1,233 @@
+//! Log-bucketed (HDR-style) histograms with lock-free recording.
+//!
+//! Values are bucketed by exponent plus three mantissa bits, giving a
+//! worst-case quantile error of ~6% across the full u64 range — plenty
+//! for p50/p99 latency reporting — while `record` is a couple of atomic
+//! adds. Exact min/max are kept so degenerate distributions (one sample)
+//! report exact quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mantissa bits per octave (8 sub-buckets).
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Buckets 0..8 are exact; octaves 3..=63 contribute 8 buckets each.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+    let m = ((v >> (e - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    ((e - SUB_BITS + 1) as usize) * SUBS + m
+}
+
+/// Representative (midpoint) value of a bucket.
+fn value_of(bucket: usize) -> u64 {
+    if bucket < SUBS {
+        return bucket as u64;
+    }
+    let e = (bucket / SUBS) as u32 + SUB_BITS - 1;
+    let m = (bucket % SUBS) as u64;
+    let lo = (1u64 << e) | (m << (e - SUB_BITS));
+    let width = 1u64 << (e - SUB_BITS);
+    lo + width / 2
+}
+
+/// A concurrent log-bucketed histogram. All methods take `&self`;
+/// recording is wait-free (three `fetch_add`s and two `fetch_min/max`).
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("min", &self.min.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`), or `None` when empty.
+    /// Results are clamped into `[min, max]`, so a single-sample
+    /// histogram reports that sample exactly at every quantile.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // Nearest-rank over the bucketed distribution.
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        let mut result = value_of(BUCKETS - 1);
+        for (b, c) in self.buckets.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                result = value_of(b);
+                break;
+            }
+        }
+        let lo = self.min().unwrap_or(0);
+        let hi = self.max().unwrap_or(u64::MAX);
+        Some(result.clamp(lo, hi))
+    }
+
+    /// Reset to empty (between bench repetitions).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_continuous() {
+        let mut prev = 0;
+        for v in (0u64..4096).chain([1 << 20, 1 << 40, u64::MAX / 2, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(b >= prev || v < 4096, "bucket regressed at {v}");
+            assert!(b < BUCKETS);
+            prev = b;
+        }
+        // Exact low range.
+        for v in 0..8u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(value_of(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn representative_value_stays_within_bucket_error() {
+        for v in [9u64, 100, 1_000, 123_456, 1 << 30, (1 << 50) + 12345] {
+            let rep = value_of(bucket_of(v));
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.07, "value {v} rep {rep} err {err:.3}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        let h = LogHistogram::new();
+        h.record(123_457);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(123_457));
+        }
+        assert_eq!(h.mean(), Some(123_457.0));
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_distribution() {
+        let h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000);
+        }
+        let p50 = h.quantile(0.50).unwrap() as f64;
+        let p99 = h.quantile(0.99).unwrap() as f64;
+        assert!((p50 / 5_000_000.0 - 1.0).abs() < 0.08, "p50 {p50}");
+        assert!((p99 / 9_900_000.0 - 1.0).abs() < 0.08, "p99 {p99}");
+        assert_eq!(h.min(), Some(1_000));
+        assert_eq!(h.max(), Some(10_000_000));
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(39_999));
+    }
+
+    #[test]
+    fn reset_empties() {
+        let h = LogHistogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+}

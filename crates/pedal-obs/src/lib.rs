@@ -1,0 +1,40 @@
+//! # pedal-obs — low-overhead tracing, live metrics, per-stage profiling
+//!
+//! Observability for the offload pipeline, built on two complementary
+//! mechanisms:
+//!
+//! * **Event journal** (nanolog-style): each lane owns a bounded ring of
+//!   fixed-size binary [`Event`]s stamped with virtual [`SimInstant`]s.
+//!   Recording is an index bump and a struct store — no locks, no
+//!   allocation, no formatting. Naming and export are deferred to
+//!   collection time ([`chrome_trace_json`], [`TraceLog`]). Rings drop
+//!   *new* events when full and count the loss, so overflow degrades to
+//!   a truthful prefix, never corruption.
+//! * **Metrics registry**: always-on atomic counters and log-bucketed
+//!   (HDR-style) [`LogHistogram`]s behind named series — what makes a
+//!   live mid-run `snapshot()` of a service possible without draining.
+//!
+//! Span records are self-contained (begin *and* end in one event), so
+//! the exported Chrome `trace_event` JSON is balanced by construction;
+//! [`validate_chrome_trace`] proves it for the verify gate. The crate
+//! also hosts the workspace's offline-friendly JSON layer ([`Json`],
+//! [`ToJson`]) standing in for `serde`, which is unavailable in this
+//! no-external-deps build.
+//!
+//! [`SimInstant`]: pedal_dpu::SimInstant
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod ring;
+pub mod trace;
+
+pub use event::{Event, EventKind, SpanKind};
+pub use hist::LogHistogram;
+pub use json::{parse as parse_json, Json, JsonError, ToJson};
+pub use registry::{HistSummary, MetricsRegistry, MetricsSnapshot};
+pub use ring::{EventRing, LaneRecorder, Track, DEFAULT_RING_CAPACITY};
+pub use trace::{
+    chrome_trace_json, validate_chrome_trace, Collector, TraceCheck, TraceLog, TraceValidateError,
+};

@@ -1,0 +1,241 @@
+//! Always-on metrics: named counters and log-bucketed histograms.
+//!
+//! Unlike the event journal (opt-in, per-lane, consumed at shutdown),
+//! the registry is shared, atomic, and readable at any moment — it is
+//! what makes a live `snapshot()` of a running service possible. Series
+//! are created up front or on demand; recording against an existing
+//! series is wait-free.
+
+use crate::hist::LogHistogram;
+use crate::json::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// A named collection of counters and histograms. Cheap to share behind
+/// an `Arc`; all recording methods take `&self`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, std::sync::Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, std::sync::Arc<LogHistogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create a counter series. Hold the returned handle on hot
+    /// paths so recording never touches the name map.
+    pub fn counter(&self, name: &str) -> std::sync::Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| std::sync::Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// Get or create a histogram series (values in virtual nanoseconds
+    /// by convention, but any u64 unit works).
+    pub fn histogram(&self, name: &str) -> std::sync::Arc<LogHistogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| std::sync::Arc::new(LogHistogram::new()))
+            .clone()
+    }
+
+    /// One-shot bump without holding a handle.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// One-shot histogram record without holding a handle.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Current value of a counter (0 if the series does not exist).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.read().unwrap().get(name).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every series, for reporting/export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(k, h)| (k.clone(), HistSummary::of(h)))
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+/// A frozen summary of one histogram series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: Option<u64>,
+    pub max: Option<u64>,
+    pub mean: Option<f64>,
+    pub p50: Option<u64>,
+    pub p90: Option<u64>,
+    pub p99: Option<u64>,
+}
+
+impl HistSummary {
+    pub fn of(h: &LogHistogram) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+impl ToJson for HistSummary {
+    fn to_json(&self) -> Json {
+        fn opt(v: Option<u64>) -> Json {
+            v.map(Json::u64).unwrap_or(Json::Null)
+        }
+        Json::obj(vec![
+            ("count", Json::u64(self.count)),
+            ("sum", Json::u64(self.sum)),
+            ("min", opt(self.min)),
+            ("max", opt(self.max)),
+            ("mean", self.mean.map(Json::Num).unwrap_or(Json::Null)),
+            ("p50", opt(self.p50)),
+            ("p90", opt(self.p90)),
+            ("p99", opt(self.p99)),
+        ])
+    }
+}
+
+/// A frozen copy of all series at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Render as JSONL: one line per series, `{"series": name, ...}`.
+    /// Counters carry `value`; histograms carry the summary fields.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let line = Json::obj(vec![
+                ("series", Json::str(name.as_str())),
+                ("type", Json::str("counter")),
+                ("value", Json::u64(*value)),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            let mut fields = vec![
+                ("series".to_string(), Json::str(name.as_str())),
+                ("type".to_string(), Json::str("histogram")),
+            ];
+            if let Json::Obj(hf) = h.to_json() {
+                fields.extend(hf);
+            }
+            out.push_str(&Json::Obj(fields).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.add("jobs.completed", 3);
+        reg.add("jobs.completed", 2);
+        reg.add("jobs.rejected", 1);
+        assert_eq!(reg.counter_value("jobs.completed"), 5);
+        assert_eq!(reg.counter_value("missing"), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["jobs.completed"], 5);
+        assert_eq!(snap.counters["jobs.rejected"], 1);
+    }
+
+    #[test]
+    fn histogram_series_summarize() {
+        let reg = MetricsRegistry::new();
+        for v in [100u64, 200, 300] {
+            reg.record("latency", v);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["latency"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, Some(100));
+        assert_eq!(h.max, Some(300));
+        assert_eq!(h.mean, Some(200.0));
+        assert!(h.p50.is_some() && h.p99.is_some());
+    }
+
+    #[test]
+    fn handles_are_shared_across_lookups() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.fetch_add(7, Ordering::Relaxed);
+        assert_eq!(b.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_series_names() {
+        let reg = MetricsRegistry::new();
+        reg.add("c1", 9);
+        reg.record("h1", 42);
+        let jsonl = reg.snapshot().to_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = parse(line).expect("line parses");
+            assert!(v.get("series").is_some());
+        }
+        let h = parse(lines[1]).unwrap();
+        assert_eq!(h.get("p50").unwrap().as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_explicit_none() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("empty");
+        let snap = reg.snapshot();
+        let h = &snap.histograms["empty"];
+        assert_eq!(h.count, 0);
+        assert_eq!(h.p50, None);
+        assert_eq!(h.min, None);
+    }
+}

@@ -57,5 +57,5 @@ mod stats;
 
 pub use job::{CompletedJob, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError};
 pub use queue::BackpressurePolicy;
-pub use service::{PedalService, ServiceConfig};
-pub use stats::{LaneStats, ServiceStats};
+pub use service::{series, PedalService, ServiceConfig, TraceConfig};
+pub use stats::{LaneStats, ServiceSnapshot, ServiceStats};

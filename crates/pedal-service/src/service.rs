@@ -12,12 +12,15 @@ use pedal_doca::{ChannelSet, CompressJob, JobHandle, JobKind, Workq};
 use pedal_dpu::{
     Algorithm, CostModel, Direction, Placement, Platform, SimClock, SimDuration, SimInstant,
 };
+use pedal_obs::{
+    Collector, HistSummary, LaneRecorder, LogHistogram, MetricsRegistry, SpanKind, TraceLog,
+};
 
 use crate::job::{
     CompletedJob, Job, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError,
 };
 use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
-use crate::stats::{LaneStats, ServiceStats};
+use crate::stats::{LaneStats, ServiceSnapshot, ServiceStats};
 
 // ---------------------------------------------------------------------
 // Configuration
@@ -46,6 +49,27 @@ pub struct ServiceConfig {
     pub batch_window: SimDuration,
     /// Error bound applied to SZ3 (lossy) jobs.
     pub error_bound: f64,
+    /// Event-journal tracing (the always-on metrics registry is
+    /// independent of this and has no off switch).
+    pub trace: TraceConfig,
+}
+
+/// Controls the per-lane event journal. Tracing is pure observation:
+/// with it on or off, every output byte and every virtual timestamp is
+/// identical — the only difference is whether lanes record span events
+/// into their rings.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    pub enabled: bool,
+    /// Per-lane ring capacity in events; when a ring fills, new events
+    /// are dropped and counted ([`TraceLog::dropped`]).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { enabled: false, ring_capacity: pedal_obs::DEFAULT_RING_CAPACITY }
+    }
 }
 
 impl ServiceConfig {
@@ -61,6 +85,7 @@ impl ServiceConfig {
             batch_max_jobs: 8,
             batch_window: SimDuration::from_micros(200),
             error_bound: 1e-4,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -101,6 +126,18 @@ impl ServiceConfig {
         self
     }
 
+    /// Enable the per-lane event journal with the default ring size.
+    pub fn with_tracing(mut self) -> Self {
+        self.trace.enabled = true;
+        self
+    }
+
+    /// Enable tracing with an explicit per-lane ring capacity (events).
+    pub fn with_tracing_capacity(mut self, ring_capacity: usize) -> Self {
+        self.trace = TraceConfig { enabled: true, ring_capacity };
+        self
+    }
+
     fn normalized(mut self) -> Self {
         self.queue_capacity = self.queue_capacity.max(1);
         self.soc_workers = self.soc_workers.max(1);
@@ -125,6 +162,46 @@ struct Shared {
     shed_at_submit: AtomicU64,
     /// Lamport clock merged with every completion instant.
     clock: SimClock,
+    /// Always-on named series backing [`PedalService::snapshot`].
+    metrics: MetricsRegistry,
+}
+
+/// Pre-resolved registry handles held per lane so the hot path records
+/// without touching the registry's name map.
+#[derive(Clone)]
+struct LaneMetrics {
+    queue_wait: Arc<LogHistogram>,
+    service: Arc<LogHistogram>,
+    latency: Arc<LogHistogram>,
+    completed: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+    bytes_in: Arc<AtomicU64>,
+    bytes_out: Arc<AtomicU64>,
+}
+
+impl LaneMetrics {
+    fn resolve(reg: &MetricsRegistry) -> Self {
+        Self {
+            queue_wait: reg.histogram(series::QUEUE_WAIT),
+            service: reg.histogram(series::SERVICE),
+            latency: reg.histogram(series::LATENCY),
+            completed: reg.counter(series::COMPLETED),
+            failed: reg.counter(series::FAILED),
+            bytes_in: reg.counter(series::BYTES_IN),
+            bytes_out: reg.counter(series::BYTES_OUT),
+        }
+    }
+}
+
+/// Stable series names in the service's metrics registry.
+pub mod series {
+    pub const QUEUE_WAIT: &str = "service.queue_wait_ns";
+    pub const SERVICE: &str = "service.service_ns";
+    pub const LATENCY: &str = "service.latency_ns";
+    pub const COMPLETED: &str = "service.jobs_completed";
+    pub const FAILED: &str = "service.jobs_failed";
+    pub const BYTES_IN: &str = "service.bytes_in";
+    pub const BYTES_OUT: &str = "service.bytes_out";
 }
 
 impl Shared {
@@ -164,6 +241,9 @@ pub struct PedalService {
     next_id: AtomicU64,
     scheduler: Option<JoinHandle<()>>,
     lanes: Vec<JoinHandle<LaneStats>>,
+    /// Receives each lane's finished event track at lane exit; empty
+    /// when tracing is disabled.
+    collector: Collector,
 }
 
 impl PedalService {
@@ -179,8 +259,18 @@ impl PedalService {
             rejected: AtomicU64::new(0),
             shed_at_submit: AtomicU64::new(0),
             clock: SimClock::new(),
+            metrics: MetricsRegistry::new(),
         });
+        let lane_metrics = LaneMetrics::resolve(&shared.metrics);
         let channels = Arc::new(ChannelSet::new(costs, cfg.ce_channels, cfg.channel_depth));
+        let collector = Collector::new();
+        let recorder = |track: String| {
+            if cfg.trace.enabled {
+                (LaneRecorder::new(track, cfg.trace.ring_capacity), Some(collector.clone()))
+            } else {
+                (LaneRecorder::disabled(), None)
+            }
+        };
 
         let mut lanes = Vec::new();
         let mut soc_tx = Vec::new();
@@ -192,11 +282,13 @@ impl PedalService {
                 costs,
                 error_bound: cfg.error_bound,
                 shared: shared.clone(),
+                metrics: lane_metrics.clone(),
             };
+            let (rec, sink) = recorder(format!("soc-{w}"));
             lanes.push(
                 std::thread::Builder::new()
                     .name(format!("pedal-soc{w}"))
-                    .spawn(move || run_lane(env, LaneId::Soc(w), rx, None))
+                    .spawn(move || run_lane(env, LaneId::Soc(w), rx, None, rec, sink))
                     .expect("spawn SoC lane"),
             );
         }
@@ -209,12 +301,16 @@ impl PedalService {
                 costs,
                 error_bound: cfg.error_bound,
                 shared: shared.clone(),
+                metrics: lane_metrics.clone(),
             };
             let channels = channels.clone();
+            let (rec, sink) = recorder(format!("ce-{c}"));
             lanes.push(
                 std::thread::Builder::new()
                     .name(format!("pedal-ce{c}"))
-                    .spawn(move || run_lane(env, LaneId::Channel(c), rx, Some((channels, c))))
+                    .spawn(move || {
+                        run_lane(env, LaneId::Channel(c), rx, Some((channels, c)), rec, sink)
+                    })
                     .expect("spawn channel lane"),
             );
         }
@@ -241,7 +337,15 @@ impl PedalService {
                 .expect("spawn scheduler")
         };
 
-        Self { cfg, queue, shared, next_id: AtomicU64::new(0), scheduler: Some(scheduler), lanes }
+        Self {
+            cfg,
+            queue,
+            shared,
+            next_id: AtomicU64::new(0),
+            scheduler: Some(scheduler),
+            lanes,
+            collector,
+        }
     }
 
     pub fn config(&self) -> &ServiceConfig {
@@ -256,6 +360,34 @@ impl PedalService {
     /// Jobs currently waiting for the scheduler.
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Live view of the running service: queue depth, in-flight jobs,
+    /// and rolling latency percentiles — readable at any moment, without
+    /// draining or shutting down. Backed by the always-on atomic metrics
+    /// registry, so taking a snapshot never blocks a lane.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let reg = &self.shared.metrics;
+        let outstanding = *self.shared.outstanding.lock().unwrap();
+        let queue_depth = self.queue.len();
+        ServiceSnapshot {
+            queue_depth,
+            in_flight: outstanding,
+            completed: reg.counter_value(series::COMPLETED),
+            failed: reg.counter_value(series::FAILED),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            shed: self.shared.shed_at_submit.load(Ordering::Relaxed),
+            bytes_in: reg.counter_value(series::BYTES_IN),
+            bytes_out: reg.counter_value(series::BYTES_OUT),
+            queue_wait: HistSummary::of(&reg.histogram(series::QUEUE_WAIT)),
+            service: HistSummary::of(&reg.histogram(series::SERVICE)),
+            latency: HistSummary::of(&reg.histogram(series::LATENCY)),
+        }
+    }
+
+    /// Point-in-time copy of every metrics series (for JSONL export).
+    pub fn metrics_snapshot(&self) -> pedal_obs::MetricsSnapshot {
+        self.shared.metrics.snapshot()
     }
 
     /// Quiesce scheduling: jobs are still admitted (and the backpressure
@@ -323,7 +455,15 @@ impl PedalService {
 
     /// Stop admitting, flush pending batches, run every admitted job to
     /// completion, join all threads, and summarize.
-    pub fn shutdown(mut self) -> (Vec<CompletedJob>, ServiceStats) {
+    pub fn shutdown(self) -> (Vec<CompletedJob>, ServiceStats) {
+        let (jobs, stats, _) = self.shutdown_with_trace();
+        (jobs, stats)
+    }
+
+    /// [`PedalService::shutdown`] plus the collected event journal. The
+    /// trace is empty unless the service was started with
+    /// [`ServiceConfig::with_tracing`].
+    pub fn shutdown_with_trace(mut self) -> (Vec<CompletedJob>, ServiceStats, TraceLog) {
         self.queue.close();
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
@@ -339,7 +479,8 @@ impl PedalService {
         let mut stats =
             ServiceStats::build(&jobs, self.shared.rejected.load(Ordering::Relaxed), lane_stats);
         stats.shed += self.shared.shed_at_submit.load(Ordering::Relaxed);
-        (jobs, stats)
+        let trace = self.collector.take();
+        (jobs, stats, trace)
     }
 }
 
@@ -574,6 +715,7 @@ struct LaneEnv {
     costs: CostModel,
     error_bound: f64,
     shared: Arc<Shared>,
+    metrics: LaneMetrics,
 }
 
 struct Outcome {
@@ -594,6 +736,8 @@ fn run_lane(
     lane: LaneId,
     rx: Receiver<LaneMsg>,
     channels: Option<(Arc<ChannelSet>, usize)>,
+    mut rec: LaneRecorder,
+    sink: Option<Collector>,
 ) -> LaneStats {
     let wq: Option<&Workq> = channels.as_ref().map(|(cs, i)| cs.channel(*i));
     let mut stats = LaneStats::new(lane);
@@ -603,14 +747,21 @@ fn run_lane(
             LaneMsg::One { job, admitted_at } => {
                 let start = virt_free.max(admitted_at);
                 let begin = start + env.costs.pool_hit();
-                let outcome = exec_job(&env, wq, &job.desc, begin);
+                rec.span(SpanKind::QueueWait, job.desc.arrival, start, job.id);
+                rec.span(SpanKind::PoolAcquire, start, begin, 0);
+                let outcome = exec_job(&env, wq, &job.desc, begin, &mut rec);
                 virt_free = outcome.completed.max(begin);
+                rec.span(SpanKind::Job, start, virt_free, job.id);
                 record_one(&env, &mut stats, lane, job, start, virt_free, outcome.result, false);
             }
             LaneMsg::Batch { jobs, admitted_at } => {
                 let wq = wq.expect("batches only target C-Engine lanes");
                 let start = virt_free.max(admitted_at);
                 let begin = start + env.costs.pool_hit();
+                for j in &jobs {
+                    rec.span(SpanKind::QueueWait, j.desc.arrival, start, j.id);
+                }
+                rec.span(SpanKind::PoolAcquire, start, begin, 0);
                 let engine_jobs: Vec<CompressJob> = jobs
                     .iter()
                     .map(|j| match &j.desc.op {
@@ -621,9 +772,10 @@ fn run_lane(
                     })
                     .collect();
                 let batch = wq
-                    .submit_batch(engine_jobs, begin)
+                    .submit_batch_traced(engine_jobs, begin, &mut rec)
                     .expect("batch size is clamped to channel depth");
                 virt_free = batch.completed_at.max(begin);
+                rec.span(SpanKind::Batch, start, virt_free, jobs.len() as u64);
                 stats.batches += 1;
                 for (i, job) in jobs.into_iter().enumerate() {
                     let result = match &batch.results[i] {
@@ -639,6 +791,9 @@ fn run_lane(
                 }
             }
         }
+    }
+    if let Some(sink) = sink {
+        sink.push(rec.into_track());
     }
     stats
 }
@@ -673,6 +828,18 @@ fn record_one(
     stats.bytes_out += bytes_out as u64;
     stats.busy += metrics.service;
     stats.last_completion = stats.last_completion.max(completed);
+    // Feed the always-on registry so a live snapshot() sees this job.
+    let m = &env.metrics;
+    if result.is_ok() {
+        m.queue_wait.record(metrics.queue_wait.as_nanos());
+        m.service.record(metrics.service.as_nanos());
+        m.latency.record(completed.elapsed_since(desc.arrival).as_nanos());
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        m.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+        m.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
+    } else {
+        m.failed.fetch_add(1, Ordering::Relaxed);
+    }
     env.shared.record(CompletedJob {
         id: job.id,
         tenant: desc.tenant,
@@ -683,11 +850,17 @@ fn record_one(
     });
 }
 
-fn exec_job(env: &LaneEnv, wq: Option<&Workq>, desc: &JobDesc, begin: SimInstant) -> Outcome {
+fn exec_job(
+    env: &LaneEnv,
+    wq: Option<&Workq>,
+    desc: &JobDesc,
+    begin: SimInstant,
+    rec: &mut LaneRecorder,
+) -> Outcome {
     match &desc.op {
-        JobOp::Compress { data } => exec_compress(env, wq, desc, data, begin),
+        JobOp::Compress { data } => exec_compress(env, wq, desc, data, begin, rec),
         JobOp::Decompress { payload, expected_len } => {
-            exec_decompress(env, wq, payload, *expected_len, begin)
+            exec_decompress(env, wq, payload, *expected_len, begin, rec)
         }
     }
 }
@@ -698,15 +871,22 @@ fn exec_compress(
     desc: &JobDesc,
     data: &[u8],
     begin: SimInstant,
+    rec: &mut LaneRecorder,
 ) -> Outcome {
     let eff = desc.design.effective_placement(env.platform, Direction::Compress);
     if let (Some(wq), Placement::CEngine) = (wq, eff) {
-        return exec_compress_engine(env, wq, desc, data, begin);
+        return exec_compress_engine(env, wq, desc, data, begin, rec);
     }
     match wire::compress_payload(desc.design, desc.datatype, env.error_bound, data) {
         Ok((payload, profile)) => Outcome {
-            completed: begin
-                + soc_stage_time(&env.costs, desc.design, Direction::Compress, &profile),
+            completed: soc_stage_time(
+                &env.costs,
+                desc.design,
+                Direction::Compress,
+                &profile,
+                begin,
+                rec,
+            ),
             result: Ok(JobOutput { bytes: payload, passthrough: profile.passthrough }),
         },
         Err(e) => fail(e.to_string(), begin),
@@ -719,12 +899,17 @@ fn exec_compress_engine(
     desc: &JobDesc,
     data: &[u8],
     begin: SimInstant,
+    rec: &mut LaneRecorder,
 ) -> Outcome {
     let design = desc.design;
     match design.algorithm {
         Algorithm::Deflate => {
             let h = wq
-                .submit(CompressJob::new(JobKind::DeflateCompress, data.to_vec()), begin)
+                .submit_traced(
+                    CompressJob::new(JobKind::DeflateCompress, data.to_vec()),
+                    begin,
+                    rec,
+                )
                 .expect("serial lane cannot overfill its channel");
             match h.result {
                 Ok(r) => {
@@ -741,16 +926,19 @@ fn exec_compress_engine(
             // Split design: DEFLATE body on the engine, zlib header +
             // Adler-32 trailer on the SoC side of the lane.
             let h = wq
-                .submit(CompressJob::new(JobKind::DeflateCompress, data.to_vec()), begin)
+                .submit_traced(
+                    CompressJob::new(JobKind::DeflateCompress, data.to_vec()),
+                    begin,
+                    rec,
+                )
                 .expect("serial lane cannot overfill its channel");
             match h.result {
                 Ok(r) => {
                     let body = pedal_zlib::assemble(pedal_zlib::Level::DEFAULT, &r.output, data);
                     let (payload, passthrough) = wire::frame_compressed(design, data, body);
-                    Outcome {
-                        result: Ok(JobOutput { bytes: payload, passthrough }),
-                        completed: h.completed_at + env.costs.checksum(data.len()),
-                    }
+                    let completed = h.completed_at + env.costs.checksum(data.len());
+                    rec.span(SpanKind::Checksum, h.completed_at, completed, data.len() as u64);
+                    Outcome { result: Ok(JobOutput { bytes: payload, passthrough }), completed }
                 }
                 Err(e) => fail(e.to_string(), h.completed_at),
             }
@@ -773,10 +961,20 @@ fn exec_compress_engine(
                 Ok(t) => t,
                 Err(e) => return fail(e, begin),
             };
-            let core_t = env.costs.sz3_core(Direction::Compress, core_stats.input_bytes);
+            // Per-stage attribution of the SoC-side core work; the stage
+            // split sums exactly to the sz3_core lump, so the backend
+            // submission instant is unchanged by tracing.
+            let stages = env.costs.sz3_core_stages(Direction::Compress, core_stats.input_bytes);
+            let t1 = begin + stages.predict;
+            let t2 = t1 + stages.quantize;
+            let t3 = t2 + stages.huffman;
+            rec.span(SpanKind::Sz3Predict, begin, t1, core_stats.input_bytes as u64);
+            rec.span(SpanKind::Sz3Quantize, t1, t2, core_stats.quantized as u64);
+            rec.span(SpanKind::Sz3Huffman, t2, t3, core_stats.huffman_bytes as u64);
             let h = wq
-                .submit(CompressJob::new(JobKind::DeflateCompress, core.clone()), begin + core_t)
+                .submit_traced(CompressJob::new(JobKind::DeflateCompress, core.clone()), t3, rec)
                 .expect("serial lane cannot overfill its channel");
+            rec.span(SpanKind::Sz3Backend, h.started_at, h.completed_at, core.len() as u64);
             match h.result {
                 Ok(r) => {
                     let sealed =
@@ -800,6 +998,7 @@ fn exec_decompress(
     payload: &[u8],
     expected_len: usize,
     begin: SimInstant,
+    rec: &mut LaneRecorder,
 ) -> Outcome {
     let (header, original_len, body) = match wire::unframe(payload) {
         Ok(t) => t,
@@ -819,22 +1018,27 @@ fn exec_decompress(
                     begin,
                 );
             }
-            Outcome {
-                result: Ok(JobOutput { bytes: body.to_vec(), passthrough: true }),
-                completed: begin + env.costs.memcpy(body.len()),
-            }
+            let completed = begin + env.costs.memcpy(body.len());
+            rec.span(SpanKind::Memcpy, begin, completed, body.len() as u64);
+            Outcome { result: Ok(JobOutput { bytes: body.to_vec(), passthrough: true }), completed }
         }
         PedalHeader::Compressed(design) => {
             // Execution follows the payload's header, not the submitted
             // design — exactly like the receiver side of the context.
             let eff = design.effective_placement(env.platform, Direction::Decompress);
             if let (Some(wq), Placement::CEngine) = (wq, eff) {
-                exec_decompress_engine(env, wq, design, body, expected_len, begin)
+                exec_decompress_engine(env, wq, design, body, expected_len, begin, rec)
             } else {
                 match wire::decompress_payload(payload, expected_len) {
                     Ok((data, profile)) => Outcome {
-                        completed: begin
-                            + soc_stage_time(&env.costs, design, Direction::Decompress, &profile),
+                        completed: soc_stage_time(
+                            &env.costs,
+                            design,
+                            Direction::Decompress,
+                            &profile,
+                            begin,
+                            rec,
+                        ),
                         result: Ok(JobOutput { bytes: data, passthrough: false }),
                     },
                     Err(e) => fail(e.to_string(), begin),
@@ -851,14 +1055,16 @@ fn exec_decompress_engine(
     body: &[u8],
     expected_len: usize,
     begin: SimInstant,
+    rec: &mut LaneRecorder,
 ) -> Outcome {
     match design.algorithm {
         Algorithm::Deflate => {
             let h = wq
-                .submit(
+                .submit_traced(
                     CompressJob::new(JobKind::DeflateDecompress, body.to_vec())
                         .with_expected_len(expected_len),
                     begin,
+                    rec,
                 )
                 .expect("serial lane cannot overfill its channel");
             finish_engine_decode(h, expected_len)
@@ -869,10 +1075,11 @@ fn exec_decompress_engine(
                 Err(e) => return fail(e.to_string(), begin),
             };
             let h = wq
-                .submit(
+                .submit_traced(
                     CompressJob::new(JobKind::DeflateDecompress, deflate_body.to_vec())
                         .with_expected_len(expected_len),
                     begin,
+                    rec,
                 )
                 .expect("serial lane cannot overfill its channel");
             match h.result {
@@ -886,6 +1093,7 @@ fn exec_decompress_engine(
                         );
                     }
                     let completed = h.completed_at + env.costs.checksum(expected_len);
+                    rec.span(SpanKind::Checksum, h.completed_at, completed, expected_len as u64);
                     if r.output.len() != expected_len {
                         return fail(
                             format!("got {} bytes, expected {expected_len}", r.output.len()),
@@ -902,15 +1110,17 @@ fn exec_decompress_engine(
         }
         Algorithm::Lz4 => {
             let h = wq
-                .submit(
+                .submit_traced(
                     CompressJob::new(JobKind::Lz4Decompress, body.to_vec())
                         .with_expected_len(expected_len),
                     begin,
+                    rec,
                 )
                 .expect("serial lane cannot overfill its channel");
             finish_engine_decode(h, expected_len)
         }
         Algorithm::Sz3 => {
+            let mut engine_started = begin;
             let mut engine_done = begin;
             let mut used_engine = false;
             // The shared budget formula bounds the declared core length so
@@ -930,6 +1140,7 @@ fn exec_decompress_engine(
                                     begin,
                                 )
                                 .expect("serial lane cannot overfill its channel");
+                            engine_started = h.started_at;
                             engine_done = h.completed_at;
                             used_engine = true;
                             h.result
@@ -939,6 +1150,10 @@ fn exec_decompress_engine(
                         other => pedal_sz3::backend_decompress_with_limit(other, packed, limit),
                     }
                 });
+            if used_engine {
+                rec.span(SpanKind::WorkqQueue, begin, engine_started, body.len() as u64);
+                rec.span(SpanKind::EngineExecute, engine_started, engine_done, body.len() as u64);
+            }
             let (core, backend) = match unsealed {
                 Ok(t) => t,
                 Err(e) => return fail(e.to_string(), engine_done),
@@ -955,8 +1170,22 @@ fn exec_decompress_engine(
                     _ => env.costs.sz3_zs_backend(Direction::Decompress, core.len()),
                 }
             };
-            let completed =
-                engine_done + backend_t + env.costs.sz3_core(Direction::Decompress, expected_len);
+            let backend_done = engine_done + backend_t;
+            if used_engine {
+                rec.span(SpanKind::Sz3Backend, engine_started, engine_done, core.len() as u64);
+            } else {
+                rec.span(SpanKind::Sz3Backend, engine_done, backend_done, core.len() as u64);
+            }
+            // Decode runs the pipeline in reverse: backend → huffman →
+            // quantize → predict. The stage split sums exactly to the core
+            // lump, so `completed` is unchanged by instrumentation.
+            let stages = env.costs.sz3_core_stages(Direction::Decompress, expected_len);
+            let s1 = backend_done + stages.huffman;
+            let s2 = s1 + stages.quantize;
+            let completed = s2 + stages.predict;
+            rec.span(SpanKind::Sz3Huffman, backend_done, s1, core.len() as u64);
+            rec.span(SpanKind::Sz3Quantize, s1, s2, expected_len as u64);
+            rec.span(SpanKind::Sz3Predict, s2, completed, expected_len as u64);
             let data = match core.get(5).copied() {
                 Some(0x32) => pedal_sz3::decode_core_with_limit::<f32>(&core, expected_len / 4)
                     .map(|f| f.to_bytes())
@@ -992,16 +1221,23 @@ fn finish_engine_decode(h: JobHandle, expected_len: usize) -> Outcome {
     }
 }
 
-/// Virtual time of one pure-SoC operation, charged from the byte counts
-/// the pure codec recorded — mirrors [`pedal::PedalContext`]'s charging.
+/// Completion instant of one pure-SoC operation, charged from the byte
+/// counts the pure codec recorded — mirrors [`pedal::PedalContext`]'s
+/// charging — while recording per-stage spans on `rec`. The recorded
+/// stages always sum exactly to the un-instrumented total, so tracing
+/// never shifts virtual time.
 fn soc_stage_time(
     costs: &CostModel,
     design: Design,
     dir: Direction,
     profile: &wire::CostProfile,
-) -> SimDuration {
+    begin: SimInstant,
+    rec: &mut LaneRecorder,
+) -> SimInstant {
     if profile.passthrough && matches!(dir, Direction::Decompress) {
-        return costs.memcpy(profile.lossless_bytes);
+        let end = begin + costs.memcpy(profile.lossless_bytes);
+        rec.span(SpanKind::Memcpy, begin, end, profile.lossless_bytes as u64);
+        return end;
     }
     match design.algorithm {
         Algorithm::Sz3 => {
@@ -1014,9 +1250,47 @@ fn soc_stage_time(
                     costs.soc_lossless(Algorithm::Deflate, dir, profile.lossless_bytes)
                 }
             };
-            costs.sz3_core(dir, profile.sz3_core_bytes) + backend
+            let stages = costs.sz3_core_stages(dir, profile.sz3_core_bytes);
+            match dir {
+                Direction::Compress => {
+                    // predict → quantize → huffman → backend
+                    let t1 = begin + stages.predict;
+                    let t2 = t1 + stages.quantize;
+                    let t3 = t2 + stages.huffman;
+                    let end = t3 + backend;
+                    rec.span(SpanKind::Sz3Predict, begin, t1, profile.sz3_core_bytes as u64);
+                    rec.span(SpanKind::Sz3Quantize, t1, t2, profile.sz3_core_bytes as u64);
+                    rec.span(SpanKind::Sz3Huffman, t2, t3, profile.lossless_bytes as u64);
+                    rec.span(SpanKind::Sz3Backend, t3, end, profile.lossless_bytes as u64);
+                    end
+                }
+                Direction::Decompress => {
+                    // backend → huffman → quantize → predict
+                    let t1 = begin + backend;
+                    let t2 = t1 + stages.huffman;
+                    let t3 = t2 + stages.quantize;
+                    let end = t3 + stages.predict;
+                    rec.span(SpanKind::Sz3Backend, begin, t1, profile.lossless_bytes as u64);
+                    rec.span(SpanKind::Sz3Huffman, t1, t2, profile.lossless_bytes as u64);
+                    rec.span(SpanKind::Sz3Quantize, t2, t3, profile.sz3_core_bytes as u64);
+                    rec.span(SpanKind::Sz3Predict, t3, end, profile.sz3_core_bytes as u64);
+                    end
+                }
+            }
         }
-        algo => costs.soc_lossless(algo, dir, profile.lossless_bytes),
+        algo => {
+            let total = costs.soc_lossless(algo, dir, profile.lossless_bytes);
+            let end = begin + total;
+            rec.span(SpanKind::SocExecute, begin, end, profile.lossless_bytes as u64);
+            if algo == Algorithm::Zlib {
+                // soc_lossless already includes the adler32 pass; surface
+                // it as a nested tail span inside the SoC-execute span.
+                let ck = costs.checksum(profile.lossless_bytes);
+                let ck_start = begin + total.saturating_sub(ck);
+                rec.span(SpanKind::Checksum, ck_start, end, profile.lossless_bytes as u64);
+            }
+            end
+        }
     }
 }
 

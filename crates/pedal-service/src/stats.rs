@@ -1,6 +1,7 @@
 //! Aggregate service telemetry in virtual time.
 
 use pedal_dpu::{SimDuration, SimInstant};
+use pedal_obs::{HistSummary, Json, ToJson};
 
 use crate::job::{CompletedJob, LaneId};
 
@@ -31,9 +32,46 @@ impl LaneStats {
             last_completion: SimInstant::EPOCH,
         }
     }
+
+    /// Fraction of the lane's active window spent serving jobs.
+    pub fn utilization(&self) -> f64 {
+        let window = self.last_completion.elapsed_since(SimInstant::EPOCH);
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy.as_nanos() as f64 / window.as_nanos() as f64
+    }
+}
+
+impl std::fmt::Display for LaneStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} jobs, {} batches, {} in / {} out bytes, busy {}",
+            self.lane, self.jobs, self.batches, self.bytes_in, self.bytes_out, self.busy
+        )
+    }
+}
+
+impl ToJson for LaneStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lane", Json::str(self.lane.to_string())),
+            ("jobs", Json::u64(self.jobs)),
+            ("batches", Json::u64(self.batches)),
+            ("bytes_in", Json::u64(self.bytes_in)),
+            ("bytes_out", Json::u64(self.bytes_out)),
+            ("busy_ns", Json::u64(self.busy.as_nanos())),
+            ("last_completion_ns", Json::u64(self.last_completion.0)),
+        ])
+    }
 }
 
 /// Whole-service summary produced by [`crate::PedalService::shutdown`].
+///
+/// Percentile fields are `None` when no job completed successfully —
+/// a run with zero samples has no p50, and reporting a fake zero would
+/// silently skew comparisons.
 #[derive(Debug, Clone)]
 pub struct ServiceStats {
     pub completed: u64,
@@ -44,13 +82,13 @@ pub struct ServiceStats {
     pub bytes_out: u64,
     /// Jobs served through a coalesced C-Engine submission.
     pub batched_jobs: u64,
-    pub queue_wait_p50: SimDuration,
-    pub queue_wait_p99: SimDuration,
-    pub service_p50: SimDuration,
-    pub service_p99: SimDuration,
+    pub queue_wait_p50: Option<SimDuration>,
+    pub queue_wait_p99: Option<SimDuration>,
+    pub service_p50: Option<SimDuration>,
+    pub service_p99: Option<SimDuration>,
     /// End-to-end (arrival to completion) latency percentiles.
-    pub latency_p50: SimDuration,
-    pub latency_p99: SimDuration,
+    pub latency_p50: Option<SimDuration>,
+    pub latency_p99: Option<SimDuration>,
     /// Last virtual completion instant, as elapsed time since the epoch.
     pub makespan: SimDuration,
     pub soc_lanes: Vec<LaneStats>,
@@ -70,12 +108,12 @@ impl ServiceStats {
             bytes_in: 0,
             bytes_out: 0,
             batched_jobs: 0,
-            queue_wait_p50: SimDuration::ZERO,
-            queue_wait_p99: SimDuration::ZERO,
-            service_p50: SimDuration::ZERO,
-            service_p99: SimDuration::ZERO,
-            latency_p50: SimDuration::ZERO,
-            latency_p99: SimDuration::ZERO,
+            queue_wait_p50: None,
+            queue_wait_p99: None,
+            service_p50: None,
+            service_p99: None,
+            latency_p50: None,
+            latency_p99: None,
             makespan: SimDuration::ZERO,
             soc_lanes: Vec::new(),
             channel_lanes: Vec::new(),
@@ -143,11 +181,223 @@ impl ServiceStats {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted slice.
-pub(crate) fn percentile(sorted: &[SimDuration], p: f64) -> SimDuration {
-    if sorted.is_empty() {
-        return SimDuration::ZERO;
+/// Render `Some(1240000ns)` as "1.24ms" and `None` as "-".
+fn fmt_opt(d: Option<SimDuration>) -> String {
+    d.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn json_opt(d: Option<SimDuration>) -> Json {
+    d.map(|d| Json::u64(d.as_nanos())).unwrap_or(Json::Null)
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} completed ({} batched), {} failed, {} rejected, {} shed",
+            self.completed, self.batched_jobs, self.failed, self.rejected, self.shed
+        )?;
+        writeln!(
+            f,
+            "  throughput {:.1} MB/s, ratio {:.2}, makespan {}",
+            self.throughput_mbps(),
+            self.ratio(),
+            self.makespan
+        )?;
+        writeln!(
+            f,
+            "  queue wait p50/p99 {} / {}",
+            fmt_opt(self.queue_wait_p50),
+            fmt_opt(self.queue_wait_p99)
+        )?;
+        writeln!(
+            f,
+            "  service    p50/p99 {} / {}",
+            fmt_opt(self.service_p50),
+            fmt_opt(self.service_p99)
+        )?;
+        write!(
+            f,
+            "  latency    p50/p99 {} / {}",
+            fmt_opt(self.latency_p50),
+            fmt_opt(self.latency_p99)
+        )
     }
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+}
+
+impl ToJson for ServiceStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("completed", Json::u64(self.completed)),
+            ("rejected", Json::u64(self.rejected)),
+            ("shed", Json::u64(self.shed)),
+            ("failed", Json::u64(self.failed)),
+            ("bytes_in", Json::u64(self.bytes_in)),
+            ("bytes_out", Json::u64(self.bytes_out)),
+            ("batched_jobs", Json::u64(self.batched_jobs)),
+            ("throughput_mbps", Json::Num(self.throughput_mbps())),
+            ("ratio", Json::Num(self.ratio())),
+            ("queue_wait_p50_ns", json_opt(self.queue_wait_p50)),
+            ("queue_wait_p99_ns", json_opt(self.queue_wait_p99)),
+            ("service_p50_ns", json_opt(self.service_p50)),
+            ("service_p99_ns", json_opt(self.service_p99)),
+            ("latency_p50_ns", json_opt(self.latency_p50)),
+            ("latency_p99_ns", json_opt(self.latency_p99)),
+            ("makespan_ns", Json::u64(self.makespan.as_nanos())),
+            ("soc_lanes", Json::Arr(self.soc_lanes.iter().map(ToJson::to_json).collect())),
+            ("channel_lanes", Json::Arr(self.channel_lanes.iter().map(ToJson::to_json).collect())),
+        ])
+    }
+}
+
+/// A live, non-draining view of a running service, produced by
+/// [`crate::PedalService::snapshot`]. Percentiles come from the
+/// always-on log-bucketed histograms (≈6% bucket error), so reading
+/// them never touches the completion records or pauses a lane.
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Jobs admitted but not yet completed (queued + executing).
+    pub in_flight: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Rolling queue-wait distribution (virtual ns).
+    pub queue_wait: HistSummary,
+    /// Rolling service-time distribution (virtual ns).
+    pub service: HistSummary,
+    /// Rolling end-to-end latency distribution (virtual ns).
+    pub latency: HistSummary,
+}
+
+fn fmt_hist_ns(h: &HistSummary) -> String {
+    match (h.p50, h.p99) {
+        (Some(p50), Some(p99)) => {
+            format!("p50 {} / p99 {}", SimDuration(p50), SimDuration(p99))
+        }
+        _ => "no samples".into(),
+    }
+}
+
+impl std::fmt::Display for ServiceSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queue {} deep, {} in flight, {} done, {} failed, {} rejected, {} shed",
+            self.queue_depth, self.in_flight, self.completed, self.failed, self.rejected, self.shed
+        )?;
+        writeln!(f, "  queue wait {}", fmt_hist_ns(&self.queue_wait))?;
+        writeln!(f, "  service    {}", fmt_hist_ns(&self.service))?;
+        write!(f, "  latency    {}", fmt_hist_ns(&self.latency))
+    }
+}
+
+impl ToJson for ServiceSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queue_depth", Json::u64(self.queue_depth as u64)),
+            ("in_flight", Json::u64(self.in_flight)),
+            ("completed", Json::u64(self.completed)),
+            ("failed", Json::u64(self.failed)),
+            ("rejected", Json::u64(self.rejected)),
+            ("shed", Json::u64(self.shed)),
+            ("bytes_in", Json::u64(self.bytes_in)),
+            ("bytes_out", Json::u64(self.bytes_out)),
+            ("queue_wait", self.queue_wait.to_json()),
+            ("service", self.service.to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; `None` when
+/// the sample set is empty (a zero would be indistinguishable from a
+/// genuine zero-duration measurement).
+pub(crate) fn percentile(sorted: &[SimDuration], p: f64) -> Option<SimDuration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none_not_zero() {
+        assert_eq!(percentile(&[], 0.50), None);
+        assert_eq!(percentile(&[], 0.99), None);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_exact_everywhere() {
+        let one = [d(123_456)];
+        for p in [0.0, 0.01, 0.50, 0.99, 1.0] {
+            assert_eq!(percentile(&one, p), Some(d(123_456)), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank_matches_by_hand() {
+        let v: Vec<SimDuration> = (1..=100).map(d).collect();
+        assert_eq!(percentile(&v, 0.50), Some(d(50)));
+        assert_eq!(percentile(&v, 0.99), Some(d(99)));
+        assert_eq!(percentile(&v, 1.0), Some(d(100)));
+        assert_eq!(percentile(&v, 0.0), Some(d(1)));
+        // Two samples: p50 is the first, p99 the second.
+        let two = [d(10), d(20)];
+        assert_eq!(percentile(&two, 0.50), Some(d(10)));
+        assert_eq!(percentile(&two, 0.99), Some(d(20)));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let v = [d(5), d(6)];
+        assert_eq!(percentile(&v, -1.0), Some(d(5)));
+        assert_eq!(percentile(&v, 2.0), Some(d(6)));
+    }
+
+    #[test]
+    fn empty_stats_report_none_percentiles() {
+        let stats = ServiceStats::build(&[], 0, Vec::new());
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.queue_wait_p50, None);
+        assert_eq!(stats.latency_p99, None);
+        assert_eq!(stats.makespan, SimDuration::ZERO);
+        // Display must render the absence, not panic or print zeros.
+        let text = stats.to_string();
+        assert!(text.contains("- / -"), "{text}");
+    }
+
+    #[test]
+    fn stats_json_roundtrips_through_parser() {
+        let stats = ServiceStats::build(&[], 3, Vec::new());
+        let text = stats.to_json().to_string();
+        let v = pedal_obs::parse_json(&text).unwrap();
+        assert_eq!(v.get("rejected").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("queue_wait_p50_ns"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn lane_stats_display_and_json() {
+        let mut lane = LaneStats::new(LaneId::Soc(1));
+        lane.jobs = 4;
+        lane.busy = SimDuration::from_millis(2);
+        lane.last_completion = SimInstant(4_000_000);
+        assert!(lane.to_string().contains("4 jobs"));
+        assert!(lane.to_string().contains("2.00ms"));
+        assert!((lane.utilization() - 0.5).abs() < 1e-9);
+        let v = pedal_obs::parse_json(&lane.to_json().to_string()).unwrap();
+        assert_eq!(v.get("busy_ns").unwrap().as_f64(), Some(2_000_000.0));
+    }
 }

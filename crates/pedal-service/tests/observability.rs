@@ -1,0 +1,207 @@
+//! Observability guarantees: tracing is pure observation (byte- and
+//! timing-identical on/off), rings drop-and-count instead of corrupting,
+//! live snapshots work mid-run, and one traced run yields a valid Chrome
+//! trace covering every pipeline stage the paper's breakdown needs.
+
+use pedal::{Datatype, Design};
+use pedal_dpu::{Pcg32, Platform, SimDuration};
+use pedal_obs::{chrome_trace_json, validate_chrome_trace, SpanKind, ToJson};
+use pedal_service::{CompletedJob, JobDesc, PedalService, ServiceConfig};
+
+fn text_payload(rng: &mut Pcg32, len: usize) -> Vec<u8> {
+    let mut data = vec![0u8; len];
+    rng.fill_bytes(&mut data);
+    for b in data.iter_mut().skip(1).step_by(2) {
+        *b = b'x';
+    }
+    data
+}
+
+fn f32_payload(rng: &mut Pcg32, elements: usize) -> Vec<u8> {
+    (0..elements).flat_map(|_| (rng.gen_range(-1e3f64..1e3) as f32).to_le_bytes()).collect()
+}
+
+/// A mixed workload exercising every traced path: batched engine
+/// compress, full-size engine compress, SoC lossless, SoC and engine
+/// SZ3, zlib checksums, and decompression.
+fn submit_mixed_load(svc: &PedalService, rng: &mut Pcg32) -> usize {
+    let text = text_payload(rng, 24_000);
+    let small = text_payload(rng, 900);
+    let floats = f32_payload(rng, 4_000);
+    let mut n = 0;
+    for _ in 0..3 {
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, small.clone())).unwrap();
+        n += 1;
+    }
+    for design in [Design::CE_DEFLATE, Design::SOC_DEFLATE, Design::SOC_ZLIB, Design::CE_ZLIB] {
+        svc.submit(JobDesc::compress(design, Datatype::Byte, text.clone())).unwrap();
+        n += 1;
+    }
+    for design in [Design::SOC_SZ3, Design::CE_SZ3] {
+        svc.submit(JobDesc::compress(design, Datatype::Float32, floats.clone())).unwrap();
+        n += 1;
+    }
+    n
+}
+
+fn run(
+    cfg: ServiceConfig,
+) -> (Vec<CompletedJob>, pedal_service::ServiceStats, pedal_obs::TraceLog) {
+    let svc = PedalService::start(cfg);
+    let mut rng = Pcg32::seed_from_u64(0x0B5E_0001);
+    let n = submit_mixed_load(&svc, &mut rng);
+    let compressed = svc.drain();
+    assert_eq!(compressed.len(), n);
+    // Round-trip every successful payload through decompression too.
+    for job in &compressed {
+        if let Ok(out) = &job.result {
+            let expected = job.metrics.map(|m| m.bytes_in).unwrap();
+            svc.submit(JobDesc::decompress(job.design, out.bytes.clone(), expected)).unwrap();
+        }
+    }
+    svc.drain();
+    svc.shutdown_with_trace()
+}
+
+fn base_config() -> ServiceConfig {
+    ServiceConfig::new(Platform::BlueField2).with_soc_workers(1).with_ce_channels(1).with_batching(
+        1024,
+        4,
+        SimDuration::from_micros(500),
+    )
+}
+
+/// Tracing on vs off: every output byte, every virtual timestamp, and
+/// every aggregate statistic must be identical. The traced run differs
+/// only in that it also produced a journal.
+#[test]
+fn tracing_is_byte_and_timing_identical() {
+    let (jobs_off, stats_off, trace_off) = run(base_config());
+    let (jobs_on, stats_on, trace_on) = run(base_config().with_tracing());
+    assert!(trace_off.is_empty(), "untraced run must not journal events");
+    assert!(!trace_on.is_empty(), "traced run must journal events");
+    assert_eq!(jobs_off.len(), jobs_on.len());
+    for (a, b) in jobs_off.iter().zip(jobs_on.iter()) {
+        assert_eq!(a.id, b.id);
+        match (&a.result, &b.result) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.bytes, y.bytes, "job {} bytes differ with tracing on", a.id);
+                assert_eq!(x.passthrough, y.passthrough);
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            _ => panic!("job {} outcome differs with tracing on", a.id),
+        }
+        let (ma, mb) = (a.metrics.unwrap(), b.metrics.unwrap());
+        assert_eq!(ma.arrival, mb.arrival, "job {} arrival shifted", a.id);
+        assert_eq!(ma.started, mb.started, "job {} start shifted", a.id);
+        assert_eq!(ma.completed, mb.completed, "job {} completion shifted", a.id);
+        assert_eq!(ma.bytes_out, mb.bytes_out);
+        assert_eq!(ma.batched, mb.batched);
+    }
+    // Deep equality of the whole stats tree via its JSON form.
+    assert_eq!(
+        stats_off.to_json().to_string(),
+        stats_on.to_json().to_string(),
+        "aggregate stats differ with tracing on"
+    );
+}
+
+/// A tiny ring must drop newest events and count them — never corrupt
+/// the journal or unbalance the exported trace.
+#[test]
+fn full_ring_drops_and_counts_never_corrupts() {
+    let (_, _, trace) = run(base_config().with_tracing_capacity(16));
+    assert!(trace.dropped > 0, "a 16-event ring must overflow under this load");
+    for track in &trace.tracks {
+        assert!(
+            track.events.len() <= 16,
+            "track {} holds {} events, over its ring capacity",
+            track.name,
+            track.events.len()
+        );
+    }
+    // The surviving prefix still exports to a structurally valid trace,
+    // and the drop count is declared in the export.
+    let json = chrome_trace_json(&trace);
+    let check = validate_chrome_trace(&json).expect("overflowed trace must stay well-formed");
+    assert!(check.spans > 0);
+    assert!(json.contains("\"droppedEvents\""));
+}
+
+/// snapshot() reads live state mid-run without draining: a paused
+/// backlog is visible, and after completion the rolling percentiles
+/// cover every job.
+#[test]
+fn snapshot_reports_live_state_mid_run() {
+    let svc = PedalService::start(base_config().with_queue_capacity(32));
+    let mut rng = Pcg32::seed_from_u64(0x0B5E_0002);
+    let data = text_payload(&mut rng, 8_000);
+    svc.pause();
+    for _ in 0..6 {
+        svc.submit(JobDesc::compress(Design::SOC_DEFLATE, Datatype::Byte, data.clone())).unwrap();
+    }
+    let mid = svc.snapshot();
+    assert_eq!(mid.queue_depth, 6, "paused backlog must be visible live");
+    assert_eq!(mid.in_flight, 6);
+    assert_eq!(mid.completed, 0);
+    assert_eq!(mid.latency.count, 0);
+    assert_eq!(mid.latency.p50, None, "no samples yet must read as None, not zero");
+    svc.resume();
+    svc.drain();
+    let end = svc.snapshot();
+    assert_eq!(end.queue_depth, 0);
+    assert_eq!(end.in_flight, 0);
+    assert_eq!(end.completed, 6);
+    assert!(end.bytes_in >= 6 * data.len() as u64);
+    assert_eq!(end.latency.count, 6);
+    assert!(end.latency.p50.is_some() && end.latency.p99.is_some());
+    assert!(end.latency.p50 <= end.latency.p99);
+    // The JSONL export carries the same series.
+    let jsonl = svc.metrics_snapshot().to_jsonl();
+    assert!(jsonl.lines().any(|l| l.contains("service.latency_ns")));
+    assert!(jsonl.lines().any(|l| l.contains("service.jobs_completed")));
+    let (_, stats) = svc.shutdown();
+    assert_eq!(stats.completed, 6);
+}
+
+/// One traced run must surface every stage the paper's per-stage
+/// breakdown needs: queue wait, batching, C-Engine execution, and all
+/// four SZ3 stages — and export them as a valid Chrome trace.
+#[test]
+fn trace_covers_queue_batch_engine_and_all_sz3_stages() {
+    let (_, _, trace) = run(base_config().with_tracing());
+    for kind in [
+        SpanKind::QueueWait,
+        SpanKind::Batch,
+        SpanKind::WorkqQueue,
+        SpanKind::EngineExecute,
+        SpanKind::SocExecute,
+        SpanKind::Checksum,
+        SpanKind::Sz3Predict,
+        SpanKind::Sz3Quantize,
+        SpanKind::Sz3Huffman,
+        SpanKind::Sz3Backend,
+    ] {
+        assert!(
+            !trace.spans(kind).is_empty(),
+            "expected at least one {} span in the mixed-load trace",
+            kind.name()
+        );
+    }
+    // Stage durations are non-zero and the breakdown sees them.
+    let breakdown = trace.stage_breakdown();
+    for kind in [SpanKind::Sz3Predict, SpanKind::Sz3Quantize, SpanKind::Sz3Huffman] {
+        let (_, count, total) = *breakdown
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .unwrap_or_else(|| panic!("{} missing from breakdown", kind.name()));
+        assert!(count > 0 && total > 0, "{} must accumulate time", kind.name());
+    }
+    let json = chrome_trace_json(&trace);
+    let check = validate_chrome_trace(&json).expect("exported trace must validate");
+    for name in
+        ["queue-wait", "batch", "engine-execute", "sz3-predict", "sz3-quantize", "sz3-huffman"]
+    {
+        assert!(check.names.iter().any(|n| n == name), "chrome trace missing '{name}' spans");
+    }
+}

@@ -142,6 +142,11 @@ pub struct CoreStats {
     pub outliers: usize,
     /// Bytes of the core stream (input to the lossless backend).
     pub core_bytes: usize,
+    /// Bytes produced by the Huffman stage alone (excluding header and
+    /// raw outliers) — the per-stage profiler's `sz3-huffman` span arg.
+    pub huffman_bytes: usize,
+    /// Raw outlier payload bytes appended after the entropy stream.
+    pub outlier_bytes: usize,
 }
 
 /// Run predict+quantize+entropy-encode. Returns the core byte stream and
@@ -258,6 +263,8 @@ pub fn encode_core<T: Float>(field: &Field<T>, cfg: &Sz3Config) -> (Vec<u8>, Cor
         quantized: n - n_outliers,
         outliers: n_outliers,
         core_bytes: out.len(),
+        huffman_bytes: encoded.len(),
+        outlier_bytes: outliers.len(),
     };
     (out, stats)
 }
@@ -595,6 +602,11 @@ mod tests {
         assert_eq!(stats.input_bytes, 3_000 * 4);
         assert_eq!(stats.quantized + stats.outliers, 3_000);
         assert_eq!(stats.core_bytes, core.len());
+        // Stage accounting: header + entropy stream + raw outliers make
+        // up the whole core, and the entropy stage produced real bytes.
+        assert!(stats.huffman_bytes > 0);
+        assert!(stats.huffman_bytes + stats.outlier_bytes < stats.core_bytes);
+        assert_eq!(stats.outlier_bytes, stats.outliers * 4);
         let sealed = seal(&core, cfg.backend);
         assert_eq!(sealed, compress(&field, &cfg));
         let (core2, backend) = unseal(&sealed).unwrap();

@@ -18,6 +18,14 @@ echo "==> fuzz smoke sweep (fixed seed)"
 # print a fuzz_sweep repro command with the exact case seed.
 cargo run --release -q -p pedal-testkit --bin fuzz_sweep -- --cases 2500
 
+echo "==> observability smoke (traced run + export validation)"
+# Runs a small traced workload through pedal-service, writes
+# results/trace_smoke.json + results/metrics_smoke.jsonl, and
+# structurally validates the Chrome trace (balanced name-matched B/E
+# pairs per lane, every pipeline stage present). Exits non-zero on any
+# violation.
+cargo run --release -q -p bench --bin obs_smoke
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-1ba3f0c95a801b18.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-1ba3f0c95a801b18: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

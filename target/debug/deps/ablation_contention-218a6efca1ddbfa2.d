@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-218a6efca1ddbfa2.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-218a6efca1ddbfa2: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

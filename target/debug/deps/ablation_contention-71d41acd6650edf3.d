@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-71d41acd6650edf3.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-71d41acd6650edf3: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

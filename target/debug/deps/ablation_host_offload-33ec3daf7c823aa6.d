@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_host_offload-33ec3daf7c823aa6.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/debug/deps/ablation_host_offload-33ec3daf7c823aa6: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_host_offload-4f583a0161806798.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/debug/deps/ablation_host_offload-4f583a0161806798: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_host_offload-ab909f386ecfb117.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/debug/deps/ablation_host_offload-ab909f386ecfb117: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

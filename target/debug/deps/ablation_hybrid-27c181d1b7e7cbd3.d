@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-27c181d1b7e7cbd3.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-27c181d1b7e7cbd3: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

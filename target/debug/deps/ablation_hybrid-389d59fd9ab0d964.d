@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-389d59fd9ab0d964.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-389d59fd9ab0d964: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

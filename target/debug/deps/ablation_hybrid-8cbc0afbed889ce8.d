@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hybrid-8cbc0afbed889ce8.d: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hybrid-8cbc0afbed889ce8.rmeta: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

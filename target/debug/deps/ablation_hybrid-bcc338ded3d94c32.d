@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-bcc338ded3d94c32.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-bcc338ded3d94c32: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

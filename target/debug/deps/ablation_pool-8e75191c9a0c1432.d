@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pool-8e75191c9a0c1432.d: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pool-8e75191c9a0c1432.rmeta: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-9ad755ec99b9abc1.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-9ad755ec99b9abc1: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

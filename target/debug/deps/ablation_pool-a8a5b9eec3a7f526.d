@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-a8a5b9eec3a7f526.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-a8a5b9eec3a7f526: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

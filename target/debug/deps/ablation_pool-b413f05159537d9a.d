@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-b413f05159537d9a.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-b413f05159537d9a: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rndv-040067b88335ce09.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/debug/deps/ablation_rndv-040067b88335ce09: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

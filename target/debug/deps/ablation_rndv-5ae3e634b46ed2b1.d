@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rndv-5ae3e634b46ed2b1.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/debug/deps/ablation_rndv-5ae3e634b46ed2b1: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rndv-98664eaf6fbb8144.d: crates/bench/src/bin/ablation_rndv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rndv-98664eaf6fbb8144.rmeta: crates/bench/src/bin/ablation_rndv.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rndv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rndv-dcf222ce9c56ff0c.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/debug/deps/ablation_rndv-dcf222ce9c56ff0c: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

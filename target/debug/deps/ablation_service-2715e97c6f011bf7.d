@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-2715e97c6f011bf7.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-2715e97c6f011bf7: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

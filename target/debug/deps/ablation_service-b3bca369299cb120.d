@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-b3bca369299cb120.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-b3bca369299cb120: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

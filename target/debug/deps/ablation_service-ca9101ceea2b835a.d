@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-ca9101ceea2b835a.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-ca9101ceea2b835a: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_service-e4d6b999b6a88b0d.d: crates/bench/src/bin/ablation_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_service-e4d6b999b6a88b0d.rmeta: crates/bench/src/bin/ablation_service.rs Cargo.toml
+
+crates/bench/src/bin/ablation_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-a876b7db0e735c73.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/debug/deps/ablation_sz3_backend-a876b7db0e735c73: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-b54797ef24405a14.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/debug/deps/ablation_sz3_backend-b54797ef24405a14: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-f1195d6cdd54ec6d.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/debug/deps/ablation_sz3_backend-f1195d6cdd54ec6d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-0873e0b6f405339c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-0873e0b6f405339c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-0873e0b6f405339c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codesign_tests-02141701748d4dc8.d: crates/pedal-codesign/tests/codesign_tests.rs
+
+/root/repo/target/debug/deps/codesign_tests-02141701748d4dc8: crates/pedal-codesign/tests/codesign_tests.rs
+
+crates/pedal-codesign/tests/codesign_tests.rs:

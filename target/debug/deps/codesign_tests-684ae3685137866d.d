@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codesign_tests-684ae3685137866d.d: crates/pedal-codesign/tests/codesign_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodesign_tests-684ae3685137866d.rmeta: crates/pedal-codesign/tests/codesign_tests.rs Cargo.toml
+
+crates/pedal-codesign/tests/codesign_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

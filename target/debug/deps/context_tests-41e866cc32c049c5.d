@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/context_tests-41e866cc32c049c5.d: crates/pedal/tests/context_tests.rs
+
+/root/repo/target/debug/deps/context_tests-41e866cc32c049c5: crates/pedal/tests/context_tests.rs
+
+crates/pedal/tests/context_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/context_tests-c5a21768b36f224f.d: crates/pedal/tests/context_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontext_tests-c5a21768b36f224f.rmeta: crates/pedal/tests/context_tests.rs Cargo.toml
+
+crates/pedal/tests/context_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpu_offload_demo-410eff8188dae59f.d: examples/dpu_offload_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpu_offload_demo-410eff8188dae59f.rmeta: examples/dpu_offload_demo.rs Cargo.toml
+
+examples/dpu_offload_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

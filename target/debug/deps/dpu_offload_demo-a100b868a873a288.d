@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpu_offload_demo-a100b868a873a288.d: examples/dpu_offload_demo.rs
+
+/root/repo/target/debug/deps/dpu_offload_demo-a100b868a873a288: examples/dpu_offload_demo.rs
+
+examples/dpu_offload_demo.rs:

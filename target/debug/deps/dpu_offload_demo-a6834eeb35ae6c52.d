@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dpu_offload_demo-a6834eeb35ae6c52.d: examples/dpu_offload_demo.rs
+
+/root/repo/target/debug/deps/dpu_offload_demo-a6834eeb35ae6c52: examples/dpu_offload_demo.rs
+
+examples/dpu_offload_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-4f0b08cfc4da2fa0.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-4f0b08cfc4da2fa0: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

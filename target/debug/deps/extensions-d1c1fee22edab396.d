@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-d1c1fee22edab396.d: tests/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-d1c1fee22edab396.rmeta: tests/tests/extensions.rs Cargo.toml
+
+tests/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-24fd046d8c07da31.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/debug/deps/fig10_p2p_latency-24fd046d8c07da31: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-771da25b7352571f.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/debug/deps/fig10_p2p_latency-771da25b7352571f: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-eb874379129264ab.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/debug/deps/fig10_p2p_latency-eb874379129264ab: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

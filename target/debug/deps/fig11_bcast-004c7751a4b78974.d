@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bcast-004c7751a4b78974.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/debug/deps/fig11_bcast-004c7751a4b78974: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

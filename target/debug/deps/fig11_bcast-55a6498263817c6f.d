@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bcast-55a6498263817c6f.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/debug/deps/fig11_bcast-55a6498263817c6f: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bcast-5d54506ec07b32d5.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/debug/deps/fig11_bcast-5d54506ec07b32d5: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_lossless_breakdown-17a2dfcb232170e2.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/debug/deps/fig7_lossless_breakdown-17a2dfcb232170e2: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_lossless_breakdown-4fedafb7dee7329c.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/debug/deps/fig7_lossless_breakdown-4fedafb7dee7329c: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_lossless_breakdown-ad57075bd27eab6d.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/debug/deps/fig7_lossless_breakdown-ad57075bd27eab6d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

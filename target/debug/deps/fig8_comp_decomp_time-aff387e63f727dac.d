@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_comp_decomp_time-aff387e63f727dac.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/debug/deps/fig8_comp_decomp_time-aff387e63f727dac: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

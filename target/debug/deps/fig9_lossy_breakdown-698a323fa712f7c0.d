@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_lossy_breakdown-698a323fa712f7c0.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/debug/deps/fig9_lossy_breakdown-698a323fa712f7c0: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_lossy_breakdown-cee3f6651cd593c0.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/debug/deps/fig9_lossy_breakdown-cee3f6651cd593c0: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

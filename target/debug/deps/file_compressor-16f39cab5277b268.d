@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/file_compressor-16f39cab5277b268.d: examples/file_compressor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfile_compressor-16f39cab5277b268.rmeta: examples/file_compressor.rs Cargo.toml
+
+examples/file_compressor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

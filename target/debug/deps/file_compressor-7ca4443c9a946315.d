@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_compressor-7ca4443c9a946315.d: examples/file_compressor.rs
+
+/root/repo/target/debug/deps/file_compressor-7ca4443c9a946315: examples/file_compressor.rs
+
+examples/file_compressor.rs:

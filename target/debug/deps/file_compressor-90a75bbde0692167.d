@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/file_compressor-90a75bbde0692167.d: examples/file_compressor.rs
+
+/root/repo/target/debug/deps/file_compressor-90a75bbde0692167: examples/file_compressor.rs
+
+examples/file_compressor.rs:

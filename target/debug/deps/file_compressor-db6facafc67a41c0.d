@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/file_compressor-db6facafc67a41c0.d: examples/file_compressor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfile_compressor-db6facafc67a41c0.rmeta: examples/file_compressor.rs Cargo.toml
+
+examples/file_compressor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

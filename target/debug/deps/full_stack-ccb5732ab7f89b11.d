@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-ccb5732ab7f89b11.d: tests/tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-ccb5732ab7f89b11: tests/tests/full_stack.rs
+
+tests/tests/full_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_sweep-2c47d52628a86cca.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/debug/deps/fuzz_sweep-2c47d52628a86cca: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

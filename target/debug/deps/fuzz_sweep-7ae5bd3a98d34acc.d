@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_sweep-7ae5bd3a98d34acc.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_sweep-7ae5bd3a98d34acc.rmeta: crates/pedal-testkit/src/bin/fuzz_sweep.rs Cargo.toml
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

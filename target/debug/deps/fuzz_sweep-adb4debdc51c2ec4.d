@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_sweep-adb4debdc51c2ec4.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/debug/deps/fuzz_sweep-adb4debdc51c2ec4: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_sweep-bbf23da562bc90c0.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_sweep-bbf23da562bc90c0.rmeta: crates/pedal-testkit/src/bin/fuzz_sweep.rs Cargo.toml
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_vectors-2c18d49ce08f2757.d: crates/pedal-testkit/tests/golden_vectors.rs
+
+/root/repo/target/debug/deps/golden_vectors-2c18d49ce08f2757: crates/pedal-testkit/tests/golden_vectors.rs
+
+crates/pedal-testkit/tests/golden_vectors.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_vectors-d4a5253c2d3b7c99.d: crates/pedal-testkit/tests/golden_vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_vectors-d4a5253c2d3b7c99.rmeta: crates/pedal-testkit/tests/golden_vectors.rs Cargo.toml
+
+crates/pedal-testkit/tests/golden_vectors.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

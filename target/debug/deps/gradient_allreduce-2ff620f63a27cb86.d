@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradient_allreduce-2ff620f63a27cb86.d: examples/gradient_allreduce.rs
+
+/root/repo/target/debug/deps/gradient_allreduce-2ff620f63a27cb86: examples/gradient_allreduce.rs
+
+examples/gradient_allreduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradient_allreduce-8a811dc3c01b8bd6.d: examples/gradient_allreduce.rs
+
+/root/repo/target/debug/deps/gradient_allreduce-8a811dc3c01b8bd6: examples/gradient_allreduce.rs
+
+examples/gradient_allreduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradient_allreduce-ee63bd28b735d0b1.d: examples/gradient_allreduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradient_allreduce-ee63bd28b735d0b1.rmeta: examples/gradient_allreduce.rs Cargo.toml
+
+examples/gradient_allreduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/halo_exchange-9b27fd9da7a601c3.d: examples/halo_exchange.rs
+
+/root/repo/target/debug/deps/halo_exchange-9b27fd9da7a601c3: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

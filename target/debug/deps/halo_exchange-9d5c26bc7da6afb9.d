@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/halo_exchange-9d5c26bc7da6afb9.d: examples/halo_exchange.rs
+
+/root/repo/target/debug/deps/halo_exchange-9d5c26bc7da6afb9: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

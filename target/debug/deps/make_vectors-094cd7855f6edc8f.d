@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/make_vectors-094cd7855f6edc8f.d: crates/pedal-testkit/src/bin/make_vectors.rs
+
+/root/repo/target/debug/deps/make_vectors-094cd7855f6edc8f: crates/pedal-testkit/src/bin/make_vectors.rs
+
+crates/pedal-testkit/src/bin/make_vectors.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/make_vectors-d1cc27301f0963dd.d: crates/pedal-testkit/src/bin/make_vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmake_vectors-d1cc27301f0963dd.rmeta: crates/pedal-testkit/src/bin/make_vectors.rs Cargo.toml
+
+crates/pedal-testkit/src/bin/make_vectors.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

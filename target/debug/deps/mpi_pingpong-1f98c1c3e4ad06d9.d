@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_pingpong-1f98c1c3e4ad06d9.d: examples/mpi_pingpong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_pingpong-1f98c1c3e4ad06d9.rmeta: examples/mpi_pingpong.rs Cargo.toml
+
+examples/mpi_pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_pingpong-47ec7b56268109f5.d: examples/mpi_pingpong.rs
+
+/root/repo/target/debug/deps/mpi_pingpong-47ec7b56268109f5: examples/mpi_pingpong.rs
+
+examples/mpi_pingpong.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpi_pingpong-db0fc2cf4a208158.d: examples/mpi_pingpong.rs
+
+/root/repo/target/debug/deps/mpi_pingpong-db0fc2cf4a208158: examples/mpi_pingpong.rs
+
+examples/mpi_pingpong.rs:

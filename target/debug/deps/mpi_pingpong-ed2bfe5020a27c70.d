@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpi_pingpong-ed2bfe5020a27c70.d: examples/mpi_pingpong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpi_pingpong-ed2bfe5020a27c70.rmeta: examples/mpi_pingpong.rs Cargo.toml
+
+examples/mpi_pingpong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

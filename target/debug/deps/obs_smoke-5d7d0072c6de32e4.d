@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_smoke-5d7d0072c6de32e4.d: crates/bench/src/bin/obs_smoke.rs
+
+/root/repo/target/debug/deps/obs_smoke-5d7d0072c6de32e4: crates/bench/src/bin/obs_smoke.rs
+
+crates/bench/src/bin/obs_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_smoke-81f01c8f475c4db2.d: crates/bench/src/bin/obs_smoke.rs
+
+/root/repo/target/debug/deps/obs_smoke-81f01c8f475c4db2: crates/bench/src/bin/obs_smoke.rs
+
+crates/bench/src/bin/obs_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_smoke-f1769fc095d4982f.d: crates/bench/src/bin/obs_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_smoke-f1769fc095d4982f.rmeta: crates/bench/src/bin/obs_smoke.rs Cargo.toml
+
+crates/bench/src/bin/obs_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

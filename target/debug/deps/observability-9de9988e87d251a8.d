@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-9de9988e87d251a8.d: crates/pedal-service/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-9de9988e87d251a8: crates/pedal-service/tests/observability.rs
+
+crates/pedal-service/tests/observability.rs:

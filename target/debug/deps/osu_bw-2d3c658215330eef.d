@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osu_bw-2d3c658215330eef.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/debug/deps/osu_bw-2d3c658215330eef: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

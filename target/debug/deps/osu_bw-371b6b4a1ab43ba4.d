@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osu_bw-371b6b4a1ab43ba4.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/debug/deps/osu_bw-371b6b4a1ab43ba4: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osu_bw-a5a8f5ffc3499354.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/debug/deps/osu_bw-a5a8f5ffc3499354: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

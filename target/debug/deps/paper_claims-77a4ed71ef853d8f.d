@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-77a4ed71ef853d8f.d: tests/tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-77a4ed71ef853d8f: tests/tests/paper_claims.rs
+
+tests/tests/paper_claims.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pedal-68ad3f182e4fe79c.d: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+/root/repo/target/debug/deps/libpedal-68ad3f182e4fe79c.rlib: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+/root/repo/target/debug/deps/libpedal-68ad3f182e4fe79c.rmeta: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs
+
+crates/pedal/src/lib.rs:
+crates/pedal/src/context.rs:
+crates/pedal/src/design.rs:
+crates/pedal/src/header.rs:
+crates/pedal/src/parallel.rs:
+crates/pedal/src/pool.rs:
+crates/pedal/src/timing.rs:
+crates/pedal/src/wire.rs:

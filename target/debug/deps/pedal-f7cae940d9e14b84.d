@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pedal-f7cae940d9e14b84.d: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal-f7cae940d9e14b84.rmeta: crates/pedal/src/lib.rs crates/pedal/src/context.rs crates/pedal/src/design.rs crates/pedal/src/header.rs crates/pedal/src/parallel.rs crates/pedal/src/pool.rs crates/pedal/src/timing.rs crates/pedal/src/wire.rs Cargo.toml
+
+crates/pedal/src/lib.rs:
+crates/pedal/src/context.rs:
+crates/pedal/src/design.rs:
+crates/pedal/src/header.rs:
+crates/pedal/src/parallel.rs:
+crates/pedal/src/pool.rs:
+crates/pedal/src/timing.rs:
+crates/pedal/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_codesign-acd8d70ee8922035.d: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/debug/deps/pedal_codesign-acd8d70ee8922035: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+crates/pedal-codesign/src/lib.rs:
+crates/pedal-codesign/src/comm.rs:
+crates/pedal-codesign/src/deployment.rs:

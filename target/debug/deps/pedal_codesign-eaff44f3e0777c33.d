@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_codesign-eaff44f3e0777c33.d: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/debug/deps/libpedal_codesign-eaff44f3e0777c33.rlib: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/debug/deps/libpedal_codesign-eaff44f3e0777c33.rmeta: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+crates/pedal-codesign/src/lib.rs:
+crates/pedal-codesign/src/comm.rs:
+crates/pedal-codesign/src/deployment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_doca-ad6a6d4feb1786b6.d: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+/root/repo/target/debug/deps/pedal_doca-ad6a6d4feb1786b6: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+crates/pedal-doca/src/lib.rs:
+crates/pedal-doca/src/device.rs:
+crates/pedal-doca/src/engine.rs:
+crates/pedal-doca/src/memmap.rs:
+crates/pedal-doca/src/workq.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pedal_doca-da813058eadfd8c9.d: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+/root/repo/target/debug/deps/libpedal_doca-da813058eadfd8c9.rlib: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+/root/repo/target/debug/deps/libpedal_doca-da813058eadfd8c9.rmeta: crates/pedal-doca/src/lib.rs crates/pedal-doca/src/device.rs crates/pedal-doca/src/engine.rs crates/pedal-doca/src/memmap.rs crates/pedal-doca/src/workq.rs
+
+crates/pedal-doca/src/lib.rs:
+crates/pedal-doca/src/device.rs:
+crates/pedal-doca/src/engine.rs:
+crates/pedal-doca/src/memmap.rs:
+crates/pedal-doca/src/workq.rs:

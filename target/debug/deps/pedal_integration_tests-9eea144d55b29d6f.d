@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pedal_integration_tests-9eea144d55b29d6f.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/pedal_integration_tests-9eea144d55b29d6f: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_integration_tests-b10831de5ed8a95b.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_integration_tests-b10831de5ed8a95b.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_integration_tests-dd6dec74a9fe1e9f.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-dd6dec74a9fe1e9f.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-dd6dec74a9fe1e9f.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

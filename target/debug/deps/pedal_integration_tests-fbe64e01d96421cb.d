@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_integration_tests-fbe64e01d96421cb.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-fbe64e01d96421cb.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-fbe64e01d96421cb.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pedal_obs-676c98184d41681b.d: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_obs-676c98184d41681b.rmeta: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs Cargo.toml
+
+crates/pedal-obs/src/lib.rs:
+crates/pedal-obs/src/event.rs:
+crates/pedal-obs/src/hist.rs:
+crates/pedal-obs/src/json.rs:
+crates/pedal-obs/src/registry.rs:
+crates/pedal-obs/src/ring.rs:
+crates/pedal-obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

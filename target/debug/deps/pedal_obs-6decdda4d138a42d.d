@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pedal_obs-6decdda4d138a42d.d: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+/root/repo/target/debug/deps/pedal_obs-6decdda4d138a42d: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+crates/pedal-obs/src/lib.rs:
+crates/pedal-obs/src/event.rs:
+crates/pedal-obs/src/hist.rs:
+crates/pedal-obs/src/json.rs:
+crates/pedal-obs/src/registry.rs:
+crates/pedal-obs/src/ring.rs:
+crates/pedal-obs/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pedal_obs-acb7ac49b3a9edaa.d: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+/root/repo/target/debug/deps/libpedal_obs-acb7ac49b3a9edaa.rlib: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+/root/repo/target/debug/deps/libpedal_obs-acb7ac49b3a9edaa.rmeta: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+crates/pedal-obs/src/lib.rs:
+crates/pedal-obs/src/event.rs:
+crates/pedal-obs/src/hist.rs:
+crates/pedal-obs/src/json.rs:
+crates/pedal-obs/src/registry.rs:
+crates/pedal-obs/src/ring.rs:
+crates/pedal-obs/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pedal_service-91f89bfd67bfadb5.d: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/debug/deps/libpedal_service-91f89bfd67bfadb5.rlib: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/debug/deps/libpedal_service-91f89bfd67bfadb5.rmeta: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+crates/pedal-service/src/lib.rs:
+crates/pedal-service/src/job.rs:
+crates/pedal-service/src/queue.rs:
+crates/pedal-service/src/service.rs:
+crates/pedal-service/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_testkit-cafa4494776849f1.d: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/debug/deps/pedal_testkit-cafa4494776849f1: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+crates/pedal-testkit/src/lib.rs:
+crates/pedal-testkit/src/corpus.rs:
+crates/pedal-testkit/src/mutate.rs:
+crates/pedal-testkit/src/oracle.rs:
+crates/pedal-testkit/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisoned_jobs-1b0aa9c67ae87bcb.d: crates/pedal-service/tests/poisoned_jobs.rs
+
+/root/repo/target/debug/deps/poisoned_jobs-1b0aa9c67ae87bcb: crates/pedal-service/tests/poisoned_jobs.rs
+
+crates/pedal-service/tests/poisoned_jobs.rs:

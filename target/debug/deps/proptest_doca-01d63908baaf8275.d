@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_doca-01d63908baaf8275.d: crates/pedal-doca/tests/proptest_doca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_doca-01d63908baaf8275.rmeta: crates/pedal-doca/tests/proptest_doca.rs Cargo.toml
+
+crates/pedal-doca/tests/proptest_doca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

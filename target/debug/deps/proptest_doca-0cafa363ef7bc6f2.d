@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_doca-0cafa363ef7bc6f2.d: crates/pedal-doca/tests/proptest_doca.rs
+
+/root/repo/target/debug/deps/proptest_doca-0cafa363ef7bc6f2: crates/pedal-doca/tests/proptest_doca.rs
+
+crates/pedal-doca/tests/proptest_doca.rs:

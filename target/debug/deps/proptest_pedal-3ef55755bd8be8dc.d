@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_pedal-3ef55755bd8be8dc.d: crates/pedal/tests/proptest_pedal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_pedal-3ef55755bd8be8dc.rmeta: crates/pedal/tests/proptest_pedal.rs Cargo.toml
+
+crates/pedal/tests/proptest_pedal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pedal-59e349124448a4c4.d: crates/pedal/tests/proptest_pedal.rs
+
+/root/repo/target/debug/deps/proptest_pedal-59e349124448a4c4: crates/pedal/tests/proptest_pedal.rs
+
+crates/pedal/tests/proptest_pedal.rs:

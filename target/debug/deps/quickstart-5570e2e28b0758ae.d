@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-5570e2e28b0758ae.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-5570e2e28b0758ae.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-7d515d3242cd8ba1.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-7d515d3242cd8ba1: examples/quickstart.rs
+
+examples/quickstart.rs:

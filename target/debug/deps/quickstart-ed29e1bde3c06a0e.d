@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-ed29e1bde3c06a0e.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-ed29e1bde3c06a0e: examples/quickstart.rs
+
+examples/quickstart.rs:

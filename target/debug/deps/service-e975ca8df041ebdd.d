@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-e975ca8df041ebdd.d: crates/pedal-service/tests/service.rs
+
+/root/repo/target/debug/deps/service-e975ca8df041ebdd: crates/pedal-service/tests/service.rs
+
+crates/pedal-service/tests/service.rs:

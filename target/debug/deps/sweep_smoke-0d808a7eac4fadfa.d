@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_smoke-0d808a7eac4fadfa.d: crates/pedal-testkit/tests/sweep_smoke.rs
+
+/root/repo/target/debug/deps/sweep_smoke-0d808a7eac4fadfa: crates/pedal-testkit/tests/sweep_smoke.rs
+
+crates/pedal-testkit/tests/sweep_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_smoke-8b51d289148ffec3.d: crates/pedal-testkit/tests/sweep_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_smoke-8b51d289148ffec3.rmeta: crates/pedal-testkit/tests/sweep_smoke.rs Cargo.toml
+
+crates/pedal-testkit/tests/sweep_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

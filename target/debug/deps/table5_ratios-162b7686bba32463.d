@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_ratios-162b7686bba32463.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/debug/deps/table5_ratios-162b7686bba32463: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

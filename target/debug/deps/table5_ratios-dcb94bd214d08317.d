@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_ratios-dcb94bd214d08317.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/debug/deps/table5_ratios-dcb94bd214d08317: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

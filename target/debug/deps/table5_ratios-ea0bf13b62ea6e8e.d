@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_ratios-ea0bf13b62ea6e8e.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/debug/deps/table5_ratios-ea0bf13b62ea6e8e: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

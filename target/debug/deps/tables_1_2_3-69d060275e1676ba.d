@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_1_2_3-69d060275e1676ba.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/debug/deps/tables_1_2_3-69d060275e1676ba: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

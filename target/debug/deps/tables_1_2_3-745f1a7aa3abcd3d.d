@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_1_2_3-745f1a7aa3abcd3d.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/debug/deps/tables_1_2_3-745f1a7aa3abcd3d: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_1_2_3-b431fcb981fb9e7c.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/debug/deps/tables_1_2_3-b431fcb981fb9e7c: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

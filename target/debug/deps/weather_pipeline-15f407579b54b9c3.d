@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weather_pipeline-15f407579b54b9c3.d: examples/weather_pipeline.rs
+
+/root/repo/target/debug/deps/weather_pipeline-15f407579b54b9c3: examples/weather_pipeline.rs
+
+examples/weather_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weather_pipeline-474293719829b2ac.d: examples/weather_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweather_pipeline-474293719829b2ac.rmeta: examples/weather_pipeline.rs Cargo.toml
+
+examples/weather_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weather_pipeline-514a43b143c1fe46.d: examples/weather_pipeline.rs
+
+/root/repo/target/debug/deps/weather_pipeline-514a43b143c1fe46: examples/weather_pipeline.rs
+
+examples/weather_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weather_pipeline-a478e9b6505b13d5.d: examples/weather_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweather_pipeline-a478e9b6505b13d5.rmeta: examples/weather_pipeline.rs Cargo.toml
+
+examples/weather_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_contention-cfdb5e533c99417b.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/release/deps/ablation_contention-cfdb5e533c99417b: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_host_offload-d8cd854141d66f0b.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/release/deps/ablation_host_offload-d8cd854141d66f0b: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

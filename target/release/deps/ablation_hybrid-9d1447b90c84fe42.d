@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hybrid-9d1447b90c84fe42.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/release/deps/ablation_hybrid-9d1447b90c84fe42: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

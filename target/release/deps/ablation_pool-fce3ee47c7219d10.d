@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pool-fce3ee47c7219d10.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/release/deps/ablation_pool-fce3ee47c7219d10: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rndv-92d1b983cf67524c.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/release/deps/ablation_rndv-92d1b983cf67524c: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

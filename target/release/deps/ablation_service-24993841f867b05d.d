@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_service-24993841f867b05d.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/release/deps/ablation_service-24993841f867b05d: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sz3_backend-218a2d06eac1033d.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/release/deps/ablation_sz3_backend-218a2d06eac1033d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

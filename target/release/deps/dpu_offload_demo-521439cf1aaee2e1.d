@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dpu_offload_demo-521439cf1aaee2e1.d: examples/dpu_offload_demo.rs
+
+/root/repo/target/release/deps/dpu_offload_demo-521439cf1aaee2e1: examples/dpu_offload_demo.rs
+
+examples/dpu_offload_demo.rs:

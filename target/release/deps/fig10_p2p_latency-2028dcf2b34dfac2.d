@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_p2p_latency-2028dcf2b34dfac2.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/release/deps/fig10_p2p_latency-2028dcf2b34dfac2: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

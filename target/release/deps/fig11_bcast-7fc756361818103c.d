@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bcast-7fc756361818103c.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/release/deps/fig11_bcast-7fc756361818103c: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

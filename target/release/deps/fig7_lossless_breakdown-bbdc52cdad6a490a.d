@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_lossless_breakdown-bbdc52cdad6a490a.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/release/deps/fig7_lossless_breakdown-bbdc52cdad6a490a: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_comp_decomp_time-0be3734e29fe8e7d.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/release/deps/fig8_comp_decomp_time-0be3734e29fe8e7d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

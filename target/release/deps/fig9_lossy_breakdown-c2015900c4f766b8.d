@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_lossy_breakdown-c2015900c4f766b8.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/release/deps/fig9_lossy_breakdown-c2015900c4f766b8: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/file_compressor-2daca6aeb88b75d5.d: examples/file_compressor.rs
+
+/root/repo/target/release/deps/file_compressor-2daca6aeb88b75d5: examples/file_compressor.rs
+
+examples/file_compressor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_sweep-c238cdf8a0e2ca0c.d: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+/root/repo/target/release/deps/fuzz_sweep-c238cdf8a0e2ca0c: crates/pedal-testkit/src/bin/fuzz_sweep.rs
+
+crates/pedal-testkit/src/bin/fuzz_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gradient_allreduce-991654ed8dd2e6f1.d: examples/gradient_allreduce.rs
+
+/root/repo/target/release/deps/gradient_allreduce-991654ed8dd2e6f1: examples/gradient_allreduce.rs
+
+examples/gradient_allreduce.rs:

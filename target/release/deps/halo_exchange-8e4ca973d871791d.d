@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/halo_exchange-8e4ca973d871791d.d: examples/halo_exchange.rs
+
+/root/repo/target/release/deps/halo_exchange-8e4ca973d871791d: examples/halo_exchange.rs
+
+examples/halo_exchange.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/make_vectors-3d89b28b27c37995.d: crates/pedal-testkit/src/bin/make_vectors.rs
+
+/root/repo/target/release/deps/make_vectors-3d89b28b27c37995: crates/pedal-testkit/src/bin/make_vectors.rs
+
+crates/pedal-testkit/src/bin/make_vectors.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/pedal-testkit

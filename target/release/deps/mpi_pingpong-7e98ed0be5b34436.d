@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mpi_pingpong-7e98ed0be5b34436.d: examples/mpi_pingpong.rs
+
+/root/repo/target/release/deps/mpi_pingpong-7e98ed0be5b34436: examples/mpi_pingpong.rs
+
+examples/mpi_pingpong.rs:

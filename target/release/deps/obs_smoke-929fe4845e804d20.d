@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_smoke-929fe4845e804d20.d: crates/bench/src/bin/obs_smoke.rs
+
+/root/repo/target/release/deps/obs_smoke-929fe4845e804d20: crates/bench/src/bin/obs_smoke.rs
+
+crates/bench/src/bin/obs_smoke.rs:

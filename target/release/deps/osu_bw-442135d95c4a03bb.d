@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/osu_bw-442135d95c4a03bb.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/release/deps/osu_bw-442135d95c4a03bb: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

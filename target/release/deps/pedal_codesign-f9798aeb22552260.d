@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pedal_codesign-f9798aeb22552260.d: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/release/deps/libpedal_codesign-f9798aeb22552260.rlib: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+/root/repo/target/release/deps/libpedal_codesign-f9798aeb22552260.rmeta: crates/pedal-codesign/src/lib.rs crates/pedal-codesign/src/comm.rs crates/pedal-codesign/src/deployment.rs
+
+crates/pedal-codesign/src/lib.rs:
+crates/pedal-codesign/src/comm.rs:
+crates/pedal-codesign/src/deployment.rs:

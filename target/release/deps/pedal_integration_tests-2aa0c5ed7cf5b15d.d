@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pedal_integration_tests-2aa0c5ed7cf5b15d.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-2aa0c5ed7cf5b15d.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-2aa0c5ed7cf5b15d.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

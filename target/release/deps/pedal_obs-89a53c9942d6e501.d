@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pedal_obs-89a53c9942d6e501.d: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+/root/repo/target/release/deps/libpedal_obs-89a53c9942d6e501.rlib: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+/root/repo/target/release/deps/libpedal_obs-89a53c9942d6e501.rmeta: crates/pedal-obs/src/lib.rs crates/pedal-obs/src/event.rs crates/pedal-obs/src/hist.rs crates/pedal-obs/src/json.rs crates/pedal-obs/src/registry.rs crates/pedal-obs/src/ring.rs crates/pedal-obs/src/trace.rs
+
+crates/pedal-obs/src/lib.rs:
+crates/pedal-obs/src/event.rs:
+crates/pedal-obs/src/hist.rs:
+crates/pedal-obs/src/json.rs:
+crates/pedal-obs/src/registry.rs:
+crates/pedal-obs/src/ring.rs:
+crates/pedal-obs/src/trace.rs:

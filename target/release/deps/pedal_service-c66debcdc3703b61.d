@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pedal_service-c66debcdc3703b61.d: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/release/deps/libpedal_service-c66debcdc3703b61.rlib: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+/root/repo/target/release/deps/libpedal_service-c66debcdc3703b61.rmeta: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs
+
+crates/pedal-service/src/lib.rs:
+crates/pedal-service/src/job.rs:
+crates/pedal-service/src/queue.rs:
+crates/pedal-service/src/service.rs:
+crates/pedal-service/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pedal_testkit-4d02dde9deb96cc6.d: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/release/deps/libpedal_testkit-4d02dde9deb96cc6.rlib: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+/root/repo/target/release/deps/libpedal_testkit-4d02dde9deb96cc6.rmeta: crates/pedal-testkit/src/lib.rs crates/pedal-testkit/src/corpus.rs crates/pedal-testkit/src/mutate.rs crates/pedal-testkit/src/oracle.rs crates/pedal-testkit/src/sweep.rs
+
+crates/pedal-testkit/src/lib.rs:
+crates/pedal-testkit/src/corpus.rs:
+crates/pedal-testkit/src/mutate.rs:
+crates/pedal-testkit/src/oracle.rs:
+crates/pedal-testkit/src/sweep.rs:

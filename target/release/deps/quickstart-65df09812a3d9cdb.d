@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-65df09812a3d9cdb.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-65df09812a3d9cdb: examples/quickstart.rs
+
+examples/quickstart.rs:

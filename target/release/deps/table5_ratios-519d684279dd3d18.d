@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_ratios-519d684279dd3d18.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/release/deps/table5_ratios-519d684279dd3d18: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

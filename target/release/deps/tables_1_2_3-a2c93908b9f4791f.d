@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_1_2_3-a2c93908b9f4791f.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/release/deps/tables_1_2_3-a2c93908b9f4791f: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

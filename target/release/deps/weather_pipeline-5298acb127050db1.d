@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/weather_pipeline-5298acb127050db1.d: examples/weather_pipeline.rs
+
+/root/repo/target/release/deps/weather_pipeline-5298acb127050db1: examples/weather_pipeline.rs
+
+examples/weather_pipeline.rs:
