@@ -1,0 +1,102 @@
+//! Verify-gate harness: the chunk-parallel path must be deterministic in
+//! the worker count. Runs every chunked codec (DEFLATE, zlib, LZ4 frame,
+//! SZ3 with each lossless backend) at 1, 2, and 8 workers over the
+//! fixed-seed dataset corpus, plus the service fan-out at 1, 2, and 8
+//! C-Engine channels, and asserts byte-identical outputs everywhere.
+//! Each output also round-trips through our own decoder. Any mismatch
+//! panics, exiting non-zero for `scripts/verify.sh`.
+
+use bench::banner;
+use pedal::{Datatype, Design};
+use pedal_datasets::DatasetId;
+use pedal_dpu::Platform;
+use pedal_par::{par_deflate, par_lz4_frame, par_sz3_compress, par_zlib, Level, ParConfig};
+use pedal_service::{JobDesc, PedalService, ServiceConfig};
+use pedal_sz3::{BackendKind, Dims, Field, Sz3Config};
+
+const WORKERS: [usize; 3] = [1, 2, 8];
+const CHUNK: usize = 128 * 1024;
+const BYTES: usize = 1024 * 1024;
+
+fn cfg(workers: usize) -> ParConfig {
+    ParConfig::new(workers).with_chunk_size(CHUNK)
+}
+
+fn main() {
+    banner("par-determinism", "Chunked outputs at 1/2/8 workers must be byte-identical");
+    let mut checks = 0usize;
+
+    for id in DatasetId::ALL {
+        let data = id.generate_bytes(BYTES);
+
+        let deflate = par_deflate(&data, Level::DEFAULT, &cfg(WORKERS[0]));
+        assert_eq!(pedal_deflate::decompress(&deflate).expect("inflate"), data, "{}", id.name());
+        let zlib = par_zlib(&data, Level::DEFAULT, &cfg(WORKERS[0]));
+        assert_eq!(pedal_zlib::decompress(&zlib).expect("zlib"), data, "{}", id.name());
+        let lz4 = par_lz4_frame(&data, CHUNK, 1, WORKERS[0]);
+        assert_eq!(pedal_lz4::decompress_frame(&lz4).expect("lz4"), data, "{}", id.name());
+
+        for w in &WORKERS[1..] {
+            assert_eq!(
+                par_deflate(&data, Level::DEFAULT, &cfg(*w)),
+                deflate,
+                "deflate {} at {w} workers",
+                id.name()
+            );
+            assert_eq!(
+                par_zlib(&data, Level::DEFAULT, &cfg(*w)),
+                zlib,
+                "zlib {} at {w} workers",
+                id.name()
+            );
+            assert_eq!(par_lz4_frame(&data, CHUNK, 1, *w), lz4, "lz4 {} at {w} workers", id.name());
+            checks += 3;
+        }
+        println!("  {:<16} deflate/zlib/lz4 identical at {WORKERS:?} workers", id.name());
+    }
+
+    // SZ3: sequential core, chunk-parallel backend seal.
+    let vals: Vec<f32> = (0..200_000).map(|i| (i as f32 * 0.003).sin() * 75.0).collect();
+    let field = Field::new(Dims::d1(vals.len()), vals);
+    for backend in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+        let sz3 = Sz3Config { backend, ..Sz3Config::default() };
+        let sealed = par_sz3_compress(&field, &sz3, &cfg(WORKERS[0]));
+        let decoded = pedal_sz3::decompress::<f32>(&sealed).expect("sz3 decode");
+        assert_eq!(decoded.dims, field.dims, "{backend:?}");
+        for w in &WORKERS[1..] {
+            assert_eq!(
+                par_sz3_compress(&field, &sz3, &cfg(*w)),
+                sealed,
+                "sz3 {backend:?} at {w} workers"
+            );
+            checks += 1;
+        }
+        println!("  sz3 {backend:?} backend identical at {WORKERS:?} workers");
+    }
+
+    // Service fan-out: the same job at 1, 2, and 8 channels.
+    let data = DatasetId::SilesiaSamba.generate_bytes(2 * BYTES);
+    let mut outs = Vec::new();
+    for channels in WORKERS {
+        let svc = PedalService::start(
+            ServiceConfig::new(Platform::BlueField2)
+                .with_ce_channels(channels)
+                .with_parallel(BYTES / 2, CHUNK),
+        );
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone()))
+            .expect("submit");
+        let done = svc.drain();
+        outs.push(done[0].result.as_ref().expect("compress").bytes.clone());
+    }
+    assert!(outs.windows(2).all(|w| w[0] == w[1]), "service fan-out differs across channel counts");
+    checks += WORKERS.len() - 1;
+    // And the service payload decodes back to the input.
+    let svc = PedalService::start(ServiceConfig::new(Platform::BlueField2));
+    svc.submit(JobDesc::decompress(Design::CE_DEFLATE, outs[0].clone(), data.len()))
+        .expect("submit");
+    let done = svc.drain();
+    assert_eq!(done[0].result.as_ref().expect("decode").bytes, data);
+    println!("  service fan-out identical at {WORKERS:?} channels and round-trips");
+
+    println!("\npar-determinism: OK ({checks} cross-worker identities verified)");
+}

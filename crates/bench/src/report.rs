@@ -3,8 +3,10 @@
 //! Every harness prints its human-facing tables to stdout as before, and
 //! additionally writes a `results/BENCH_<name>.json` document so scripts
 //! (and the verify gate) can consume the same numbers without scraping
-//! table text. Traced runs drop their Chrome trace / metrics JSONL next
-//! to it. All serialization goes through `pedal_obs::Json` — the repo
+//! table text. Each `BENCH_<name>.json` is also mirrored at the
+//! repository root, where the verify gate asserts its presence. Traced
+//! runs drop their Chrome trace / metrics JSONL next to the `results/`
+//! copy. All serialization goes through `pedal_obs::Json` — the repo
 //! carries no external serde dependency.
 
 use std::path::PathBuf;
@@ -54,13 +56,27 @@ impl BenchReport {
         self
     }
 
-    /// Write `results/BENCH_<name>.json` and report where it went.
+    /// Write `results/BENCH_<name>.json`, mirror it at the repository
+    /// root, and report where the primary copy went.
     pub fn write(&self) -> PathBuf {
-        let doc = Json::Obj(self.fields.clone());
-        let path = write_results_file(&format!("BENCH_{}.json", self.name), &doc.to_string());
-        println!("\n[report] {}", path.display());
+        let doc = Json::Obj(self.fields.clone()).to_string();
+        let filename = format!("BENCH_{}.json", self.name);
+        let path = write_results_file(&filename, &doc);
+        let mirror = repo_root().join(&filename);
+        std::fs::write(&mirror, &doc)
+            .unwrap_or_else(|e| panic!("mirror {}: {e}", mirror.display()));
+        println!("\n[report] {} (mirrored at {})", path.display(), mirror.display());
         path
     }
+}
+
+/// The repository root (two levels above the bench crate).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("bench crate lives two levels under the repo root")
+        .to_path_buf()
 }
 
 /// `Option<SimDuration>` as microseconds for table cells: `-` when the
@@ -91,6 +107,19 @@ mod tests {
         let doc = Json::Obj(r.fields.clone()).to_string();
         let parsed = pedal_obs::parse_json(&doc).expect("valid json");
         assert_eq!(parsed.get("artifact").and_then(Json::as_str), Some("unit_test"));
+    }
+
+    #[test]
+    fn write_mirrors_report_at_repo_root() {
+        let mut r = BenchReport::new("report_mirror_unit_test");
+        r.set("ok", Json::u64(1));
+        let primary = r.write();
+        let mirror = repo_root().join("BENCH_report_mirror_unit_test.json");
+        let a = std::fs::read_to_string(&primary).expect("primary written");
+        let b = std::fs::read_to_string(&mirror).expect("mirror written");
+        assert_eq!(a, b, "root mirror must be byte-identical");
+        let _ = std::fs::remove_file(primary);
+        let _ = std::fs::remove_file(mirror);
     }
 
     #[test]

@@ -30,9 +30,26 @@ const STORED_MAX: usize = 65_535;
 
 /// Compress `data` into a raw DEFLATE stream.
 pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
+    deflate_fragment(data, level, true)
+}
+
+/// Compress `data` into a DEFLATE *fragment* suitable for chunk-parallel
+/// stitching (pigz-style).
+///
+/// With `last == true` this is byte-identical to [`deflate`]: the stream
+/// ends in a block with BFINAL set. With `last == false` every block is
+/// emitted non-final and the fragment is terminated with a sync flush —
+/// an empty non-final stored block — so it ends on a byte boundary.
+/// Concatenating any number of non-final fragments followed by one final
+/// fragment yields a single valid DEFLATE stream that [`crate::inflate`]
+/// (or any RFC 1951 decoder) decodes to the concatenated inputs, because
+/// the decoder simply keeps reading blocks until BFINAL.
+pub fn deflate_fragment(data: &[u8], level: Level, last: bool) -> Vec<u8> {
     let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
     if level.0 == 0 || data.is_empty() {
-        write_stored(&mut w, data, true);
+        // Stored blocks always end byte-aligned, so no sync flush is
+        // needed for a non-final stored fragment.
+        write_stored(&mut w, data, last);
         return w.finish();
     }
 
@@ -46,7 +63,7 @@ pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
     while i < tokens.len() || (tokens.is_empty() && i == 0) {
         let end = (i + BLOCK_TOKENS).min(tokens.len());
         let block = &tokens[i..end];
-        let is_final = end == tokens.len();
+        let is_final = last && end == tokens.len();
         let block_bytes: usize = block
             .iter()
             .map(|t| match t {
@@ -65,6 +82,12 @@ pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
         if tokens.is_empty() {
             break;
         }
+    }
+    if !last {
+        // Sync flush: the empty non-final stored block realigns the
+        // fragment to a byte boundary so the next fragment can be
+        // concatenated bytewise.
+        write_stored(&mut w, &[], false);
     }
     w.finish()
 }
@@ -364,6 +387,61 @@ mod tests {
         // Expect symbol 18 runs covering the 255 zero gap.
         assert!(stream.iter().any(|&(s, _)| s == 18));
         assert!(clc_lens[18] > 0);
+    }
+
+    #[test]
+    fn level0_emits_only_stored_blocks() {
+        // True zlib level-0 semantics: no matching, stored blocks only.
+        // Every block header must be BTYPE=00, so the stream is 5 bytes of
+        // framing per 65535-byte chunk plus the raw bytes.
+        let data = b"abcabcabcabc".repeat(10_000); // highly compressible
+        let enc = deflate(&data, Level(0));
+        let chunks = data.len().div_ceil(STORED_MAX);
+        assert_eq!(enc.len(), data.len() + chunks * 5);
+        assert_eq!(inflate(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn fragment_last_matches_deflate() {
+        let data = b"fragment parity fragment parity".repeat(300);
+        for level in [Level(0), Level(1), Level::DEFAULT, Level::BEST] {
+            assert_eq!(deflate_fragment(&data, level, true), deflate(&data, level));
+        }
+    }
+
+    #[test]
+    fn fragments_stitch_into_one_valid_stream() {
+        let mut data = Vec::new();
+        for i in 0..200_000u32 {
+            data.push((i % 7) as u8 * 31);
+            if i % 11 == 0 {
+                data.extend_from_slice(b"stitchable content");
+            }
+        }
+        for level in [Level(0), Level(1), Level::DEFAULT, Level::BEST] {
+            for chunk in [1_000usize, 65_536, 100_000] {
+                let pieces: Vec<&[u8]> = data.chunks(chunk).collect();
+                let mut stream = Vec::new();
+                for (i, p) in pieces.iter().enumerate() {
+                    stream.extend_from_slice(&deflate_fragment(p, level, i == pieces.len() - 1));
+                }
+                assert_eq!(inflate(&stream).unwrap(), data, "level {level:?} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_final_fragment_is_byte_aligned_and_resumable() {
+        // An empty fragment in the middle of a stitched stream is legal.
+        let a = deflate_fragment(b"first piece first piece", Level::DEFAULT, false);
+        let b = deflate_fragment(b"", Level::DEFAULT, false);
+        let c = deflate_fragment(b"last piece", Level::DEFAULT, true);
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        stream.extend_from_slice(&c);
+        assert_eq!(inflate(&stream).unwrap(), b"first piece first piecelast piece");
+        // A lone non-final fragment must NOT decode as a complete stream.
+        assert!(inflate(&a).is_err(), "missing BFINAL must be detected");
     }
 
     #[test]

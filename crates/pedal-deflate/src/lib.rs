@@ -26,7 +26,7 @@ pub mod huffman;
 pub mod inflate;
 pub mod lz77;
 
-pub use encoder::{deflate as compress, Level};
+pub use encoder::{deflate as compress, deflate_fragment as compress_fragment, Level};
 pub use inflate::{
     inflate as decompress, inflate_with_limit as decompress_with_limit, InflateError,
 };

@@ -28,9 +28,14 @@ pub struct MatcherParams {
 }
 
 impl MatcherParams {
-    /// Parameters for a compression level 1..=9 (zlib-like ladder).
+    /// Parameters for a compression level 0..=9 (zlib-like ladder).
+    ///
+    /// Level 0 means *no matching at all* (zlib's stored semantics): the
+    /// tokenizer emits every byte as a literal, and the block encoder is
+    /// expected to fall back to stored blocks. Levels above 9 clamp to 9.
     pub fn for_level(level: u8) -> Self {
-        match level.clamp(1, 9) {
+        match level.min(9) {
+            0 => Self { max_chain: 0, good_len: 0, lazy: false, lazy_skip_len: 0 },
             1 => Self { max_chain: 4, good_len: 8, lazy: false, lazy_skip_len: 0 },
             2 => Self { max_chain: 8, good_len: 16, lazy: false, lazy_skip_len: 0 },
             3 => Self { max_chain: 32, good_len: 32, lazy: false, lazy_skip_len: 0 },
@@ -120,13 +125,24 @@ impl Matcher {
     }
 }
 
+/// Read 8 bytes at `pos` as a little-endian word via a fixed-size copy.
+/// Callers guarantee `pos + 8 <= data.len()`; the bounds check lives in
+/// the slice indexing, with no fallible slice-to-array conversion.
+#[inline]
+fn read_u64_le(data: &[u8], pos: usize) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&data[pos..pos + 8]);
+    u64::from_le_bytes(word)
+}
+
 #[inline]
 fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
-    // Compare 8 bytes at a time.
+    // Compare 8 bytes at a time. `b + max <= data.len()` (and `a < b`), so
+    // the word reads below never run past the input.
     let mut i = 0usize;
     while i + 8 <= max {
-        let x = u64::from_le_bytes(data[a + i..a + i + 8].try_into().unwrap());
-        let y = u64::from_le_bytes(data[b + i..b + i + 8].try_into().unwrap());
+        let x = read_u64_le(data, a + i);
+        let y = read_u64_le(data, b + i);
         let diff = x ^ y;
         if diff != 0 {
             return i + (diff.trailing_zeros() / 8) as usize;
@@ -154,9 +170,13 @@ pub fn tokenize(data: &[u8], params: MatcherParams, mut emit: impl FnMut(Token))
         let cur = m.find_match(data, pos, MIN_MATCH - 1);
         if params.lazy {
             match (pending.take(), cur) {
-                (Some((plen, _pdist)), Some((clen, _))) if clen > plen => {
-                    // Current match is better: previous byte becomes literal,
-                    // re-pend the current match.
+                (Some((plen, _pdist)), Some((clen, _))) if clen > plen + 1 => {
+                    // Current match is better by at least two bytes:
+                    // previous byte becomes a literal, re-pend the current
+                    // match. A +1 gain is never worth deferring — the
+                    // literal costs 8-9 fixed-Huffman bits while one extra
+                    // match byte usually stays in the same length-code
+                    // bucket and saves none.
                     emit(Token::Literal(data[pos - 1]));
                     pending = Some(cur.unwrap());
                     m.insert(data, pos);
@@ -335,5 +355,44 @@ mod tests {
         let data = b"abcdefghabcdefgX";
         assert_eq!(match_len(data, 0, 8, 8), 7);
         assert_eq!(match_len(data, 0, 0, 16), 16);
+    }
+
+    #[test]
+    fn match_len_into_short_tail() {
+        // The match extends to the very last byte of the input, with the
+        // comparison crossing from the 8-byte word loop into a tail shorter
+        // than 8 bytes (13 = one word + 5 tail bytes). `max` equals the
+        // remaining input so every read must stay in bounds.
+        let pattern = b"0123456789abc"; // 13 bytes
+        let mut data = Vec::new();
+        data.extend_from_slice(pattern);
+        data.extend_from_slice(pattern);
+        assert_eq!(data.len(), 26);
+        assert_eq!(match_len(&data, 0, 13, 13), 13);
+        // Same, but the tail differs at the final byte.
+        data[25] = b'X';
+        assert_eq!(match_len(&data, 0, 13, 13), 12);
+        // Tail shorter than a word from the start (no word-loop iteration).
+        assert_eq!(match_len(&data, 0, 13, 5), 5);
+    }
+
+    #[test]
+    fn level0_params_disable_matching() {
+        let p = MatcherParams::for_level(0);
+        assert_eq!(p.max_chain, 0);
+        assert!(!p.lazy);
+        // Highly repetitive data still tokenizes to pure literals.
+        let data = b"abcabcabcabcabcabcabcabc".repeat(8);
+        let mut tokens = Vec::new();
+        tokenize(&data, p, |t| tokens.push(t));
+        assert_eq!(tokens.len(), data.len());
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))));
+        assert_eq!(detokenize(&tokens), data);
+    }
+
+    #[test]
+    fn levels_above_nine_clamp_to_nine() {
+        assert_eq!(MatcherParams::for_level(10), MatcherParams::for_level(9));
+        assert_eq!(MatcherParams::for_level(255), MatcherParams::for_level(9));
     }
 }

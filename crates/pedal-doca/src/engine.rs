@@ -41,11 +41,16 @@ pub struct CompressJob {
     pub expected_output_len: Option<usize>,
     /// Opaque user tag returned with the completion.
     pub user_tag: u64,
+    /// For DEFLATE compression: emit a terminated stream (`true`, the
+    /// default) or a non-final *fragment* ending in a sync flush, for
+    /// chunk-parallel stitching across channels (`false`). Mirrors the
+    /// hardware engine's final-block control bit.
+    pub final_block: bool,
 }
 
 impl CompressJob {
     pub fn new(kind: JobKind, input: Vec<u8>) -> Self {
-        Self { kind, input, expected_output_len: None, user_tag: 0 }
+        Self { kind, input, expected_output_len: None, user_tag: 0, final_block: true }
     }
 
     pub fn with_expected_len(mut self, len: usize) -> Self {
@@ -55,6 +60,12 @@ impl CompressJob {
 
     pub fn with_tag(mut self, tag: u64) -> Self {
         self.user_tag = tag;
+        self
+    }
+
+    /// Mark a DEFLATE compression as a non-final stream fragment.
+    pub fn with_final_block(mut self, final_block: bool) -> Self {
+        self.final_block = final_block;
         self
     }
 }
@@ -97,7 +108,11 @@ impl std::error::Error for EngineError {}
 pub fn execute(job: &CompressJob, costs: &CostModel) -> Result<JobResult, EngineError> {
     let (output, costed_bytes) = match job.kind {
         JobKind::DeflateCompress => {
-            let out = pedal_deflate::compress(&job.input, pedal_deflate::Level::DEFAULT);
+            let out = pedal_deflate::compress_fragment(
+                &job.input,
+                pedal_deflate::Level::DEFAULT,
+                job.final_block,
+            );
             (out, job.input.len())
         }
         JobKind::DeflateDecompress => {
@@ -179,6 +194,36 @@ mod tests {
             execute(&CompressJob::new(JobKind::DeflateCompress, vec![7u8; 10_000_000]), &costs)
                 .unwrap();
         assert!(large.service_time > small.service_time);
+    }
+
+    #[test]
+    fn fragment_jobs_stitch_across_submissions() {
+        // Two non-final fragments plus a final one concatenate into a
+        // single DEFLATE stream — the chunk-parallel engine contract.
+        let costs = bf2_costs();
+        let parts: [&[u8]; 3] = [b"alpha alpha alpha ", b"beta beta beta ", b"gamma gamma gamma"];
+        let mut stream = Vec::new();
+        let mut total = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            let job = CompressJob::new(JobKind::DeflateCompress, part.to_vec())
+                .with_final_block(i == parts.len() - 1);
+            stream.extend_from_slice(&execute(&job, &costs).unwrap().output);
+            total.extend_from_slice(part);
+        }
+        let d = execute(
+            &CompressJob::new(JobKind::DeflateDecompress, stream).with_expected_len(total.len()),
+            &costs,
+        )
+        .unwrap();
+        assert_eq!(d.output, total);
+    }
+
+    #[test]
+    fn final_block_default_is_unchanged_output() {
+        let costs = bf2_costs();
+        let data = b"default must stay terminated".repeat(40);
+        let r = execute(&CompressJob::new(JobKind::DeflateCompress, data.clone()), &costs).unwrap();
+        assert_eq!(r.output, pedal_deflate::compress(&data, pedal_deflate::Level::DEFAULT));
     }
 
     #[test]

@@ -49,11 +49,14 @@ pub enum SpanKind {
     Sz3Huffman = 12,
     /// SZ3 stage 4: the lossless backend (engine or SoC).
     Sz3Backend = 13,
+    /// One shard of a chunk-parallel fan-out: fragment compression of a
+    /// single chunk on one C-Engine channel (arg = chunk index).
+    Chunk = 14,
 }
 
 impl SpanKind {
     /// Every kind, for exporters that enumerate the vocabulary.
-    pub const ALL: [SpanKind; 13] = [
+    pub const ALL: [SpanKind; 14] = [
         SpanKind::QueueWait,
         SpanKind::PoolAcquire,
         SpanKind::Job,
@@ -67,6 +70,7 @@ impl SpanKind {
         SpanKind::Sz3Quantize,
         SpanKind::Sz3Huffman,
         SpanKind::Sz3Backend,
+        SpanKind::Chunk,
     ];
 
     /// Stable wire code.
@@ -94,6 +98,7 @@ impl SpanKind {
             SpanKind::Sz3Quantize => "sz3-quantize",
             SpanKind::Sz3Huffman => "sz3-huffman",
             SpanKind::Sz3Backend => "sz3-backend",
+            SpanKind::Chunk => "chunk",
         }
     }
 
@@ -101,9 +106,11 @@ impl SpanKind {
     /// work so placement is visible per span in the timeline viewer.
     pub fn category(self) -> &'static str {
         match self {
-            SpanKind::QueueWait | SpanKind::PoolAcquire | SpanKind::Job | SpanKind::Batch => {
-                "service"
-            }
+            SpanKind::QueueWait
+            | SpanKind::PoolAcquire
+            | SpanKind::Job
+            | SpanKind::Batch
+            | SpanKind::Chunk => "service",
             SpanKind::WorkqQueue | SpanKind::EngineExecute => "cengine",
             SpanKind::SocExecute | SpanKind::Checksum | SpanKind::Memcpy => "soc",
             SpanKind::Sz3Predict

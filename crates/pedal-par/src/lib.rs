@@ -1,0 +1,335 @@
+//! # pedal-par
+//!
+//! Chunk-parallel compression for the PEDAL stack. Large inputs are
+//! sharded into independent fixed-size chunks, compressed concurrently on
+//! host worker threads, and reassembled in chunk order:
+//!
+//! * **DEFLATE** — each chunk becomes a stream *fragment*
+//!   ([`pedal_deflate::compress_fragment`]): every non-final fragment ends
+//!   in a sync flush (empty non-final stored block) so fragments are
+//!   byte-aligned and concatenate into one valid RFC 1951 stream that any
+//!   DEFLATE decoder inflates in a single pass — the pigz approach.
+//! * **LZ4** — the PLZ4 frame already consists of independently-decodable
+//!   blocks, so per-block parallelism is *byte-identical* to the
+//!   sequential [`pedal_lz4::compress_frame`].
+//! * **SZ3** — the prediction/quantization/Huffman core stays sequential
+//!   (it carries the error-bound state) and the lossless backend stage is
+//!   block-decomposed through the two paths above.
+//!
+//! Two invariants hold everywhere:
+//!
+//! 1. **Single-chunk parity** — an input that fits one chunk produces
+//!    output byte-identical to the sequential path.
+//! 2. **Worker-count determinism** — output bytes depend only on the
+//!    input and the chunk size, never on how many workers ran or how the
+//!    OS scheduled them: chunk `i`'s bytes are a pure function of chunk
+//!    `i`'s data, and reassembly is ordered by chunk index.
+
+pub use pedal_deflate::Level;
+use pedal_sz3::{BackendKind, Float, Sz3Config};
+
+/// Default shard size: 1 MiB balances fan-out (a 16 MiB payload fills 16
+/// channels) against per-chunk ratio loss (matches cannot cross chunk
+/// boundaries, and each non-final DEFLATE fragment pays a 5-byte sync
+/// flush — about 0.2% ratio overhead at this size on the paper corpora).
+pub const DEFAULT_CHUNK: usize = 1 << 20;
+
+/// Floor on the chunk size: below this the per-fragment framing and the
+/// lost cross-chunk matches swamp any parallel win.
+pub const MIN_CHUNK: usize = 64 * 1024;
+
+/// Sharding configuration for the chunk-parallel paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Bytes per shard. Clamped to at least [`MIN_CHUNK`].
+    pub chunk_size: usize,
+    /// Concurrent worker threads. Only affects wall-clock speed — output
+    /// bytes are identical for any worker count, including 1.
+    pub workers: usize,
+}
+
+impl ParConfig {
+    pub fn new(workers: usize) -> Self {
+        Self { chunk_size: DEFAULT_CHUNK, workers }
+    }
+
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    fn chunk(&self) -> usize {
+        self.chunk_size.max(MIN_CHUNK)
+    }
+
+    fn threads(&self, jobs: usize) -> usize {
+        self.workers.max(1).min(jobs.max(1))
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// Run `make(i)` for every `i in 0..jobs` across `threads` workers
+/// (strided assignment, same idiom as `pedal::parallel`) and return the
+/// outputs in index order. Deterministic by construction: each output
+/// depends only on its index, and placement is by index.
+fn fan_out<T, F>(jobs: usize, threads: usize, make: F) -> Vec<T>
+where
+    T: Send + Default,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<T> = (0..jobs).map(|_| T::default()).collect();
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = make(i);
+        }
+        return slots;
+    }
+    let make = &make;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    let mut i = t;
+                    while i < jobs {
+                        done.push((i, make(i)));
+                        i += threads;
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("chunk worker panicked") {
+                slots[i] = out;
+            }
+        }
+    });
+    slots
+}
+
+// ---------------------------------------------------------------------
+// DEFLATE
+// ---------------------------------------------------------------------
+
+/// Chunk-parallel raw DEFLATE. The result is one valid RFC 1951 stream
+/// decodable by [`pedal_deflate::decompress`] (or any conformant
+/// inflater); inputs of at most one chunk return bytes identical to
+/// [`pedal_deflate::compress`].
+pub fn par_deflate(data: &[u8], level: Level, cfg: &ParConfig) -> Vec<u8> {
+    let chunk = cfg.chunk();
+    if data.len() <= chunk {
+        return pedal_deflate::compress(data, level);
+    }
+    let jobs = data.len().div_ceil(chunk);
+    let frags = fan_out(jobs, cfg.threads(jobs), |i| {
+        let start = i * chunk;
+        let end = (start + chunk).min(data.len());
+        pedal_deflate::compress_fragment(&data[start..end], level, i == jobs - 1)
+    });
+    let total = frags.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for f in &frags {
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+/// Chunk-parallel zlib (RFC 1950): parallel DEFLATE body, header and
+/// Adler-32 trailer assembled on the submitting thread — the same split
+/// the PEDAL C-Engine design uses.
+pub fn par_zlib(data: &[u8], level: Level, cfg: &ParConfig) -> Vec<u8> {
+    let body = par_deflate(data, level, cfg);
+    pedal_zlib::assemble(level, &body, data)
+}
+
+// ---------------------------------------------------------------------
+// LZ4
+// ---------------------------------------------------------------------
+
+/// Chunk-parallel PLZ4 frame, byte-identical to
+/// [`pedal_lz4::compress_frame`] for every input: frame blocks are
+/// already independent, so parallelism changes nothing but wall-clock.
+pub fn par_lz4_frame(src: &[u8], block_size: usize, accel: u32, workers: usize) -> Vec<u8> {
+    let block_size = block_size.max(1);
+    let jobs = src.len().div_ceil(block_size);
+    let threads = workers.max(1).min(jobs.max(1));
+    let blocks = fan_out(jobs, threads, |i| {
+        let start = i * block_size;
+        let end = (start + block_size).min(src.len());
+        let chunk = &src[start..end];
+        let packed = pedal_lz4::compress_block(chunk, accel);
+        let mut out = Vec::with_capacity(packed.len().min(chunk.len()) + 8);
+        if packed.len() >= chunk.len() {
+            // Store uncompressed: high bit of the length marks a raw block.
+            out.extend_from_slice(&((chunk.len() as u32) | 0x8000_0000).to_le_bytes());
+            out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            out.extend_from_slice(chunk);
+        } else {
+            out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+            out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            out.extend_from_slice(&packed);
+        }
+        out
+    });
+    let mut out = Vec::with_capacity(src.len() / 2 + 32);
+    out.extend_from_slice(&pedal_lz4::frame::FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(src.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(block_size as u32).to_le_bytes());
+    for b in &blocks {
+        out.extend_from_slice(b);
+    }
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------
+// SZ3
+// ---------------------------------------------------------------------
+
+/// Seal an SZ3 core stream with a chunk-parallel lossless backend. The
+/// sealed format is unchanged — [`pedal_sz3::unseal`] and every existing
+/// decode path read the result — because the DEFLATE backend's stitched
+/// fragments form one valid stream and the LZ4 backends are byte-identical
+/// to their sequential counterparts.
+pub fn par_seal(core: &[u8], backend: BackendKind, cfg: &ParConfig) -> Vec<u8> {
+    match backend {
+        BackendKind::Deflate => {
+            pedal_sz3::seal_with(core, backend, |c| par_deflate(c, Level::DEFAULT, cfg))
+        }
+        // Same block size / acceleration as `backend_compress`, so the
+        // bytes match the sequential seal exactly.
+        BackendKind::Zs => {
+            pedal_sz3::seal_with(core, backend, |c| par_lz4_frame(c, 256 * 1024, 1, cfg.workers))
+        }
+        BackendKind::Lz4 => pedal_sz3::seal_with(core, backend, |c| {
+            par_lz4_frame(c, pedal_lz4::DEFAULT_BLOCK_SIZE, 1, cfg.workers)
+        }),
+        BackendKind::None => pedal_sz3::seal(core, backend),
+    }
+}
+
+/// One-shot chunk-parallel SZ3 compression: sequential core encode (the
+/// predictor carries reconstruction state across elements), parallel
+/// lossless backend. Decodable by [`pedal_sz3::decompress`].
+pub fn par_sz3_compress<T: Float>(
+    field: &pedal_sz3::Field<T>,
+    cfg: &Sz3Config,
+    par: &ParConfig,
+) -> Vec<u8> {
+    let (core, _) = pedal_sz3::encode_core(field, cfg);
+    par_seal(&core, cfg.backend, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_datasets::DatasetId;
+    use pedal_sz3::{Dims, Field};
+
+    fn corpus(n: usize) -> Vec<(String, Vec<u8>)> {
+        DatasetId::ALL.into_iter().map(|id| (id.name().to_string(), id.generate_bytes(n))).collect()
+    }
+
+    #[test]
+    fn single_chunk_is_byte_identical_to_sequential() {
+        let cfg = ParConfig::new(8);
+        for (name, data) in corpus(200_000) {
+            assert_eq!(
+                par_deflate(&data, Level::DEFAULT, &cfg),
+                pedal_deflate::compress(&data, Level::DEFAULT),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_deflate_roundtrips_through_own_inflate() {
+        let cfg = ParConfig::new(4).with_chunk_size(MIN_CHUNK);
+        for (name, data) in corpus(400_000) {
+            for level in [Level(0), Level(1), Level::DEFAULT] {
+                let enc = par_deflate(&data, level, &cfg);
+                assert_eq!(pedal_deflate::decompress(&enc).unwrap(), data, "{name} {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_output() {
+        let data = DatasetId::ALL[0].generate_bytes(700_000);
+        let base =
+            par_deflate(&data, Level::DEFAULT, &ParConfig::new(1).with_chunk_size(MIN_CHUNK));
+        for workers in [2, 3, 8] {
+            let cfg = ParConfig::new(workers).with_chunk_size(MIN_CHUNK);
+            assert_eq!(par_deflate(&data, Level::DEFAULT, &cfg), base, "{workers} workers");
+            assert_eq!(
+                par_lz4_frame(&data, 64 * 1024, 1, workers),
+                par_lz4_frame(&data, 64 * 1024, 1, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn par_lz4_frame_is_byte_identical_to_sequential() {
+        for (name, data) in corpus(300_000) {
+            for block in [1, 4096, 64 * 1024, 1 << 20] {
+                assert_eq!(
+                    par_lz4_frame(&data, block, 1, 8),
+                    pedal_lz4::compress_frame(&data, block, 1),
+                    "{name} block {block}"
+                );
+            }
+        }
+        assert_eq!(par_lz4_frame(b"", 4096, 1, 8), pedal_lz4::compress_frame(b"", 4096, 1));
+    }
+
+    #[test]
+    fn par_zlib_matches_pedal_zlib_envelope_and_roundtrips() {
+        let cfg = ParConfig::new(4).with_chunk_size(MIN_CHUNK);
+        let data = DatasetId::ALL[1].generate_bytes(150_000);
+        // Single chunk: whole stream identical to pedal-zlib.
+        let small = DatasetId::ALL[1].generate_bytes(10_000);
+        assert_eq!(
+            par_zlib(&small, Level::DEFAULT, &cfg),
+            pedal_zlib::compress(&small, pedal_zlib::Level::DEFAULT)
+        );
+        // Multi chunk: still a valid zlib stream for our decoder.
+        let z = par_zlib(&data, Level::DEFAULT, &cfg);
+        assert_eq!(pedal_zlib::decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn par_sz3_seals_decode_with_existing_unseal() {
+        let vals: Vec<f32> = (0..60_000).map(|i| (i as f32 * 0.01).sin() * 40.0).collect();
+        let field = Field::new(Dims::d1(vals.len()), vals);
+        for backend in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4]
+        {
+            let cfg = Sz3Config { backend, ..Sz3Config::default() };
+            let par = ParConfig::new(4).with_chunk_size(MIN_CHUNK);
+            let sealed = par_sz3_compress(&field, &cfg, &par);
+            let decoded = pedal_sz3::decompress::<f32>(&sealed).expect("unseal");
+            assert_eq!(decoded.dims, field.dims, "{backend:?}");
+            for (a, b) in decoded.data.iter().zip(&field.data) {
+                assert!((a - b).abs() <= cfg.error_bound as f32 * 1.0001, "{backend:?}");
+            }
+            // Deterministic across worker counts.
+            let one = par_sz3_compress(&field, &cfg, &ParConfig::new(1).with_chunk_size(MIN_CHUNK));
+            assert_eq!(sealed, one, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let cfg = ParConfig::new(8);
+        for data in [&b""[..], b"x", b"tiny tiny tiny"] {
+            let enc = par_deflate(data, Level::DEFAULT, &cfg);
+            assert_eq!(enc, pedal_deflate::compress(data, Level::DEFAULT));
+            assert_eq!(pedal_deflate::decompress(&enc).unwrap(), data);
+        }
+    }
+}

@@ -21,6 +21,12 @@
 //! - **Small-message batching** — sub-threshold C-Engine compress jobs
 //!   coalesce into one engine submission, paying the fixed per-job
 //!   engine overhead (60 µs on BF2, Table III) once.
+//! - **Chunk-parallel fan-out** — with
+//!   [`ServiceConfig::with_parallel`], large C-Engine DEFLATE compress
+//!   jobs shard into fixed-size stream fragments spread across every
+//!   channel; the fragments stitch back (sync-flush framing) into one
+//!   valid DEFLATE stream whose bytes depend only on the data and the
+//!   chunk size — never on the channel count.
 //! - **Virtual-time telemetry** — queue wait, service time, and byte
 //!   counts per job ([`JobMetrics`]), aggregated into [`ServiceStats`]
 //!   with p50/p99 latency percentiles. All timing is charged from the
@@ -57,5 +63,7 @@ mod stats;
 
 pub use job::{CompletedJob, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError};
 pub use queue::BackpressurePolicy;
-pub use service::{series, PedalService, ServiceConfig, TraceConfig};
+pub use service::{
+    series, PedalService, ServiceConfig, TraceConfig, DEFAULT_PAR_CHUNK, MIN_PAR_CHUNK,
+};
 pub use stats::{LaneStats, ServiceSnapshot, ServiceStats};

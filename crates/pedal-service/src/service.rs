@@ -49,6 +49,12 @@ pub struct ServiceConfig {
     pub batch_window: SimDuration,
     /// Error bound applied to SZ3 (lossy) jobs.
     pub error_bound: f64,
+    /// CE-placed DEFLATE compress jobs at least this many bytes fan out
+    /// across channels as independent stream fragments; 0 disables
+    /// chunk-parallel dispatch.
+    pub par_threshold: usize,
+    /// Fragment size for fanned-out jobs (bytes).
+    pub par_chunk: usize,
     /// Event-journal tracing (the always-on metrics registry is
     /// independent of this and has no off switch).
     pub trace: TraceConfig,
@@ -85,6 +91,8 @@ impl ServiceConfig {
             batch_max_jobs: 8,
             batch_window: SimDuration::from_micros(200),
             error_bound: 1e-4,
+            par_threshold: 0,
+            par_chunk: DEFAULT_PAR_CHUNK,
             trace: TraceConfig::default(),
         }
     }
@@ -126,6 +134,16 @@ impl ServiceConfig {
         self
     }
 
+    /// Fan CE-placed DEFLATE compress jobs of at least `threshold` bytes
+    /// out across channels in `chunk`-byte stream fragments. The
+    /// stitched output is a pure function of the data and the chunk
+    /// size, so it is byte-identical at every channel count.
+    pub fn with_parallel(mut self, threshold: usize, chunk: usize) -> Self {
+        self.par_threshold = threshold;
+        self.par_chunk = chunk;
+        self
+    }
+
     /// Enable the per-lane event journal with the default ring size.
     pub fn with_tracing(mut self) -> Self {
         self.trace.enabled = true;
@@ -145,9 +163,19 @@ impl ServiceConfig {
         self.channel_depth = self.channel_depth.max(1);
         // A batch must fit a channel's descriptor ring.
         self.batch_max_jobs = self.batch_max_jobs.clamp(1, self.channel_depth);
+        if self.par_threshold > 0 {
+            // Tiny fragments hurt ratio (history resets per chunk) and
+            // flood descriptors; floor matches pedal-par's MIN_CHUNK.
+            self.par_chunk = self.par_chunk.max(MIN_PAR_CHUNK);
+        }
         self
     }
 }
+
+/// Default fragment size for fanned-out jobs (matches pedal-par).
+pub const DEFAULT_PAR_CHUNK: usize = 1 << 20;
+/// Smallest accepted fragment size.
+pub const MIN_PAR_CHUNK: usize = 64 * 1024;
 
 // ---------------------------------------------------------------------
 // Shared completion state
@@ -329,6 +357,8 @@ impl PedalService {
                 batch_threshold: cfg.batch_threshold,
                 batch_max_jobs: cfg.batch_max_jobs,
                 batch_window: cfg.batch_window,
+                par_threshold: cfg.par_threshold,
+                par_chunk: cfg.par_chunk,
                 pending: None,
             };
             std::thread::Builder::new()
@@ -511,6 +541,48 @@ enum LaneMsg {
         jobs: Vec<Job>,
         admitted_at: SimInstant,
     },
+    /// One fragment of a fanned-out compress job (C-Engine lanes only).
+    /// The lane compresses `parent.ranges[index]` as a non-final DEFLATE
+    /// fragment (final for the last index); the `finisher` chunk waits
+    /// for every sibling, stitches the fragments in index order, and
+    /// records the parent job.
+    Chunk {
+        parent: Arc<ChunkParent>,
+        index: usize,
+        admitted_at: SimInstant,
+        finisher: bool,
+    },
+}
+
+/// Shared state of one fanned-out job. The job (and hence its input
+/// data) is immutable and read concurrently by every chunk lane; only
+/// the fragment slots are mutated.
+struct ChunkParent {
+    job: Job,
+    ranges: Vec<std::ops::Range<usize>>,
+    state: Mutex<ChunkState>,
+    done: Condvar,
+}
+
+struct ChunkState {
+    frags: Vec<Option<ChunkFrag>>,
+    filled: usize,
+    failed: Option<String>,
+}
+
+struct ChunkFrag {
+    bytes: Vec<u8>,
+    started: SimInstant,
+    completed: SimInstant,
+}
+
+impl ChunkParent {
+    fn data(&self) -> &[u8] {
+        match &self.job.desc.op {
+            JobOp::Compress { data } => data,
+            JobOp::Decompress { .. } => unreachable!("only compress jobs fan out"),
+        }
+    }
 }
 
 struct PendingBatch {
@@ -534,6 +606,8 @@ struct Scheduler {
     batch_threshold: usize,
     batch_max_jobs: usize,
     batch_window: SimDuration,
+    par_threshold: usize,
+    par_chunk: usize,
     pending: Option<PendingBatch>,
 }
 
@@ -563,12 +637,22 @@ impl Scheduler {
         match job.desc.design.effective_placement(self.platform, dir) {
             Placement::Soc => self.dispatch_soc(job),
             Placement::CEngine => {
+                // Fan-out needs at least two fragments to pay for the
+                // stitch; at or below one chunk the job takes the normal
+                // path and its output stays byte-identical to today's.
+                let fan_out = self.par_threshold > 0
+                    && matches!(dir, Direction::Compress)
+                    && matches!(job.desc.design.algorithm, Algorithm::Deflate)
+                    && job.desc.op.input_len() >= self.par_threshold
+                    && job.desc.op.input_len() > self.par_chunk;
                 let batchable = self.batch_threshold > 0
                     && self.batch_max_jobs > 1
                     && matches!(dir, Direction::Compress)
                     && matches!(job.desc.design.algorithm, Algorithm::Deflate)
                     && job.desc.op.input_len() < self.batch_threshold;
-                if batchable {
+                if fan_out {
+                    self.dispatch_chunks(job);
+                } else if batchable {
                     self.enqueue_batch(job);
                 } else {
                     self.dispatch_ce(vec![job]);
@@ -616,7 +700,36 @@ impl Scheduler {
     /// descriptor depth in virtual time.
     fn dispatch_ce(&mut self, mut jobs: Vec<Job>) {
         let k = jobs.len();
-        let mut at = jobs.iter().map(|j| j.desc.arrival).max().expect("non-empty dispatch");
+        let at = jobs.iter().map(|j| j.desc.arrival).max().expect("non-empty dispatch");
+        let service = {
+            let per_job: SimDuration = jobs
+                .iter()
+                .map(|j| predict_service(&self.costs, &j.desc, Placement::CEngine))
+                .sum();
+            let saved = self.costs.cengine_job_overhead(Direction::Compress) * (k as u64 - 1);
+            per_job.saturating_sub(saved)
+        };
+        let (at, best, _done) = self.place_ce(at, service, k);
+        let msg = if k == 1 {
+            LaneMsg::One { job: jobs.pop().unwrap(), admitted_at: at }
+        } else {
+            LaneMsg::Batch { jobs, admitted_at: at }
+        };
+        let _ = self.ce_tx[best].send(msg);
+    }
+
+    /// Reserve `k` descriptors on the channel predicted to finish a
+    /// `service`-long submission first, honouring per-channel descriptor
+    /// depth in virtual time. Returns the (possibly depth-delayed)
+    /// dispatch instant, the chosen channel, and its predicted
+    /// completion.
+    fn place_ce(
+        &mut self,
+        arrival: SimInstant,
+        service: SimDuration,
+        k: usize,
+    ) -> (SimInstant, usize, SimInstant) {
+        let mut at = arrival;
         // Wait (virtually) until some channel has k free descriptors.
         loop {
             for q in &mut self.ce_busy {
@@ -632,14 +745,6 @@ impl Scheduler {
                 None => break,
             }
         }
-        let service = {
-            let per_job: SimDuration = jobs
-                .iter()
-                .map(|j| predict_service(&self.costs, &j.desc, Placement::CEngine))
-                .sum();
-            let saved = self.costs.cengine_job_overhead(Direction::Compress) * (k as u64 - 1);
-            per_job.saturating_sub(saved)
-        };
         let mut best = usize::MAX;
         for c in 0..self.ce_free.len() {
             if self.ce_busy[c].len() + k > self.channel_depth {
@@ -655,12 +760,60 @@ impl Scheduler {
         for _ in 0..k {
             self.ce_busy[best].push_back(done);
         }
-        let msg = if k == 1 {
-            LaneMsg::One { job: jobs.pop().unwrap(), admitted_at: at }
-        } else {
-            LaneMsg::Batch { jobs, admitted_at: at }
-        };
-        let _ = self.ce_tx[best].send(msg);
+        (at, best, done)
+    }
+
+    /// Split a large compress job into fixed-size fragments and spread
+    /// them over the channels predicted least loaded. The chunk with the
+    /// latest predicted completion is the *finisher*: it stitches the
+    /// fragments and records the parent. Predicted per-chunk service is
+    /// strictly positive (pool hit + engine time), so any later chunk
+    /// placed on the finisher's channel would predict strictly later —
+    /// hence the finisher is always the last of this job's chunks on its
+    /// own lane and never waits on work queued behind itself.
+    fn dispatch_chunks(&mut self, job: Job) {
+        let len = job.desc.op.input_len();
+        let n = len.div_ceil(self.par_chunk);
+        let ranges: Vec<_> =
+            (0..n).map(|i| i * self.par_chunk..((i + 1) * self.par_chunk).min(len)).collect();
+        let arrival = job.desc.arrival;
+        let mut placements = Vec::with_capacity(n);
+        for r in &ranges {
+            let bytes = r.len();
+            let engine = self
+                .costs
+                .cengine_lossless(Algorithm::Deflate, Direction::Compress, bytes)
+                .unwrap_or_else(|| {
+                    self.costs.soc_lossless(Algorithm::Deflate, Direction::Compress, bytes)
+                });
+            placements.push(self.place_ce(arrival, self.costs.pool_hit() + engine, 1));
+        }
+        // Latest predicted completion wins; ties go to the later index so
+        // the finisher is the last-placed chunk among the maxima.
+        let mut fin = 0;
+        for (i, p) in placements.iter().enumerate() {
+            if p.2 >= placements[fin].2 {
+                fin = i;
+            }
+        }
+        let parent = Arc::new(ChunkParent {
+            job,
+            ranges,
+            state: Mutex::new(ChunkState {
+                frags: (0..n).map(|_| None).collect(),
+                filled: 0,
+                failed: None,
+            }),
+            done: Condvar::new(),
+        });
+        for (i, (at, lane, _)) in placements.into_iter().enumerate() {
+            let _ = self.ce_tx[lane].send(LaneMsg::Chunk {
+                parent: parent.clone(),
+                index: i,
+                admitted_at: at,
+                finisher: i == fin,
+            });
+        }
     }
 }
 
@@ -790,12 +943,138 @@ fn run_lane(
                     record_one(&env, &mut stats, lane, job, start, virt_free, result, true);
                 }
             }
+            LaneMsg::Chunk { parent, index, admitted_at, finisher } => {
+                let wq = wq.expect("chunks only target C-Engine lanes");
+                let start = virt_free.max(admitted_at);
+                let begin = start + env.costs.pool_hit();
+                rec.span(SpanKind::QueueWait, parent.job.desc.arrival, start, parent.job.id);
+                rec.span(SpanKind::PoolAcquire, start, begin, 0);
+                let range = parent.ranges[index].clone();
+                let last = index == parent.ranges.len() - 1;
+                let cj = CompressJob::new(
+                    JobKind::DeflateCompress,
+                    parent.data()[range.clone()].to_vec(),
+                )
+                .with_final_block(last);
+                let h = wq
+                    .submit_traced(cj, begin, &mut rec)
+                    .expect("serial lane cannot overfill its channel");
+                virt_free = h.completed_at.max(begin);
+                rec.span(SpanKind::Chunk, start, virt_free, index as u64);
+                // Fragment work lands on the serving lane's utilization;
+                // the finisher adds only the parent's job count, so lane
+                // byte totals stay additive across the fan-out.
+                stats.bytes_in += range.len() as u64;
+                stats.busy += virt_free.elapsed_since(start);
+                stats.last_completion = stats.last_completion.max(virt_free);
+                let mut st = parent.state.lock().unwrap();
+                match h.result {
+                    Ok(r) => {
+                        stats.bytes_out += r.output.len() as u64;
+                        st.frags[index] = Some(ChunkFrag {
+                            bytes: r.output,
+                            started: start,
+                            completed: virt_free,
+                        });
+                    }
+                    Err(e) => {
+                        let _ = st.failed.get_or_insert(e.to_string());
+                    }
+                }
+                st.filled += 1;
+                if st.filled == parent.ranges.len() {
+                    parent.done.notify_all();
+                }
+                if finisher {
+                    // Safe to block: every sibling chunk runs on another
+                    // lane or was queued ahead of this one (see
+                    // `dispatch_chunks`), so nothing this wait depends on
+                    // sits behind it in this lane's queue.
+                    while st.filled < parent.ranges.len() {
+                        st = parent.done.wait(st).unwrap();
+                    }
+                    let completed =
+                        finish_parent(&env, &mut stats, lane, &parent, &mut st, &mut rec);
+                    virt_free = virt_free.max(completed);
+                }
+            }
         }
     }
     if let Some(sink) = sink {
         sink.push(rec.into_track());
     }
     stats
+}
+
+/// Stitch a fanned-out job's fragments (in index order), frame the
+/// result, and record the parent job's completion on the finisher lane.
+/// Called with every fragment slot filled. Returns the parent's virtual
+/// completion instant: the latest fragment completion plus one memcpy of
+/// the stitched body.
+fn finish_parent(
+    env: &LaneEnv,
+    stats: &mut LaneStats,
+    lane: LaneId,
+    parent: &ChunkParent,
+    st: &mut ChunkState,
+    rec: &mut LaneRecorder,
+) -> SimInstant {
+    let desc = &parent.job.desc;
+    let started = st.frags.iter().flatten().map(|f| f.started).min().unwrap_or(desc.arrival);
+    let frag_done = st.frags.iter().flatten().map(|f| f.completed).max().unwrap_or(desc.arrival);
+    let (result, completed) = match st.failed.take() {
+        Some(e) => (Err(ServiceError::Pedal(e)), frag_done),
+        None => {
+            let total: usize = st.frags.iter().flatten().map(|f| f.bytes.len()).sum();
+            let mut stitched = Vec::with_capacity(total);
+            for f in st.frags.iter().flatten() {
+                stitched.extend_from_slice(&f.bytes);
+            }
+            let completed = frag_done + env.costs.memcpy(stitched.len());
+            rec.span(SpanKind::Memcpy, frag_done, completed, stitched.len() as u64);
+            let (payload, passthrough) =
+                wire::frame_compressed(desc.design, parent.data(), stitched);
+            (Ok(JobOutput { bytes: payload, passthrough }), completed)
+        }
+    };
+    rec.span(SpanKind::Job, started, completed, parent.job.id);
+    let bytes_in = desc.op.input_len();
+    let bytes_out = result.as_ref().map(|o| o.bytes.len()).unwrap_or(0);
+    let metrics = JobMetrics {
+        arrival: desc.arrival,
+        started,
+        completed,
+        queue_wait: started.elapsed_since(desc.arrival),
+        service: completed.elapsed_since(started),
+        bytes_in,
+        bytes_out,
+        lane,
+        batched: false,
+    };
+    // Byte and busy totals were charged per fragment on their serving
+    // lanes; the parent contributes only its job count here.
+    stats.jobs += 1;
+    stats.last_completion = stats.last_completion.max(completed);
+    let m = &env.metrics;
+    if result.is_ok() {
+        m.queue_wait.record(metrics.queue_wait.as_nanos());
+        m.service.record(metrics.service.as_nanos());
+        m.latency.record(completed.elapsed_since(desc.arrival).as_nanos());
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        m.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+        m.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
+    } else {
+        m.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    env.shared.record(CompletedJob {
+        id: parent.job.id,
+        tenant: desc.tenant,
+        design: desc.design,
+        direction: Direction::Compress,
+        result,
+        metrics: Some(metrics),
+    });
+    completed
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -205,3 +205,31 @@ fn trace_covers_queue_batch_engine_and_all_sz3_stages() {
         assert!(check.names.iter().any(|n| n == name), "chrome trace missing '{name}' spans");
     }
 }
+
+/// A traced fanned-out job surfaces one `chunk` span per fragment, each
+/// wrapping its own engine submission, and the trace stays valid.
+#[test]
+fn fan_out_emits_one_chunk_span_per_fragment() {
+    let mut rng = Pcg32::seed_from_u64(0xB0B0_0001);
+    let data = text_payload(&mut rng, 512 * 1024);
+    let svc = PedalService::start(
+        ServiceConfig::new(Platform::BlueField2)
+            .with_ce_channels(4)
+            .with_parallel(256 * 1024, 64 * 1024)
+            .with_tracing(),
+    );
+    svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone())).unwrap();
+    svc.drain();
+    let (jobs, _, trace) = svc.shutdown_with_trace();
+    assert!(jobs[0].result.is_ok());
+    let chunks = trace.spans(SpanKind::Chunk);
+    assert_eq!(chunks.len(), data.len().div_ceil(64 * 1024), "one chunk span per fragment");
+    // Chunk indices 0..n appear exactly once across all lanes.
+    let mut indices: Vec<u64> = chunks.iter().map(|e| e.arg).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..chunks.len() as u64).collect::<Vec<_>>());
+    assert_eq!(trace.spans(SpanKind::EngineExecute).len(), chunks.len());
+    let json = chrome_trace_json(&trace);
+    let check = validate_chrome_trace(&json).expect("fan-out trace must validate");
+    assert!(check.names.iter().any(|n| n == "chunk"));
+}

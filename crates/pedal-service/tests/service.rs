@@ -338,3 +338,139 @@ fn failed_decodes_are_reported_not_lost() {
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.completed, 0);
 }
+
+// ---------------------------------------------------------------------
+// Chunk-parallel fan-out
+// ---------------------------------------------------------------------
+
+/// The fanned-out payload must be one valid stream whose bytes depend
+/// only on the data and the chunk size — byte-identical at every channel
+/// count, and equal to the library-level `pedal_par` stitching.
+#[test]
+fn fan_out_output_is_deterministic_across_channel_counts() {
+    let mut rng = Pcg32::seed_from_u64(0x5E1C_0010);
+    let data = text_payload(&mut rng, 2 * 1024 * 1024);
+    let chunk = 256 * 1024;
+    let run = |channels: usize| {
+        let svc = PedalService::start(
+            ServiceConfig::new(Platform::BlueField2)
+                .with_ce_channels(channels)
+                .with_parallel(1024 * 1024, chunk),
+        );
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone())).unwrap();
+        let done = svc.drain();
+        done[0].result.as_ref().unwrap().bytes.clone()
+    };
+    let one = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(one, two, "1 vs 2 channels must produce identical bytes");
+    assert_eq!(one, eight, "1 vs 8 channels must produce identical bytes");
+
+    // The stitched body is exactly what pedal-par produces for the same
+    // chunk size (worker count is irrelevant by construction).
+    let (header, original_len, body) = pedal::wire::unframe(&one).unwrap();
+    assert!(matches!(header, pedal::PedalHeader::Compressed(_)));
+    assert_eq!(original_len, data.len());
+    let cfg = pedal_par::ParConfig::new(3).with_chunk_size(chunk);
+    assert_eq!(body, pedal_par::par_deflate(&data, pedal_par::Level::DEFAULT, &cfg));
+
+    // And it decodes back through the service.
+    let svc = PedalService::start(ServiceConfig::new(Platform::BlueField2));
+    svc.submit(JobDesc::decompress(Design::CE_DEFLATE, one, data.len())).unwrap();
+    let done = svc.drain();
+    assert_eq!(done[0].result.as_ref().unwrap().bytes, data);
+}
+
+/// Spreading one large job's fragments across four channels must finish
+/// well before serializing the same fragments on one channel.
+#[test]
+fn fan_out_beats_single_channel_in_virtual_time() {
+    let mut rng = Pcg32::seed_from_u64(0x5E1C_0011);
+    let data = text_payload(&mut rng, 1024 * 1024);
+    let run = |channels: usize| {
+        let svc = PedalService::start(
+            ServiceConfig::new(Platform::BlueField2)
+                .with_ce_channels(channels)
+                .with_parallel(512 * 1024, 128 * 1024),
+        );
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone())).unwrap();
+        let done = svc.drain();
+        let m = done[0].metrics.unwrap();
+        let (_, stats) = svc.shutdown();
+        assert_eq!(stats.completed, 1);
+        (m, stats)
+    };
+    let (serial, _) = run(1);
+    let (fanned, stats4) = run(4);
+    assert_eq!(serial.bytes_out, fanned.bytes_out, "bytes must not depend on channels");
+    let speedup = serial.service.as_secs_f64() / fanned.service.as_secs_f64();
+    assert!(speedup >= 2.0, "4-channel fan-out should give >= 2x, got {speedup:.2}x");
+    // Every channel must actually have carried fragments.
+    assert!(stats4.channel_lanes.iter().all(|l| l.bytes_in > 0));
+    // Fragment bytes are charged where they ran: lane input bytes sum to
+    // the whole payload exactly once.
+    let lane_bytes: u64 = stats4.channel_lanes.iter().map(|l| l.bytes_in).sum();
+    assert_eq!(lane_bytes, data.len() as u64);
+}
+
+/// Below the fan-out threshold (or within one chunk) the service output
+/// must stay byte-identical to the synchronous context.
+#[test]
+fn sub_threshold_jobs_keep_byte_identity_with_context() {
+    let mut rng = Pcg32::seed_from_u64(0x5E1C_0012);
+    let small = text_payload(&mut rng, 100 * 1024);
+    let ctx =
+        PedalContext::init(PedalConfig::new(Platform::BlueField2, Design::CE_DEFLATE)).unwrap();
+    let reference = ctx.compress(Datatype::Byte, &small).unwrap();
+    let svc = PedalService::start(
+        ServiceConfig::new(Platform::BlueField2)
+            .with_ce_channels(4)
+            .with_parallel(512 * 1024, 128 * 1024),
+    );
+    svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, small.clone())).unwrap();
+    let done = svc.drain();
+    assert_eq!(done[0].result.as_ref().unwrap().bytes, reference.payload);
+}
+
+/// The same fanned-out load twice: identical completions, metrics, and
+/// per-lane stats — real threads, virtual determinism.
+#[test]
+fn fan_out_load_is_reproducible_run_to_run() {
+    let run = || {
+        let mut rng = Pcg32::seed_from_u64(0x5E1C_0013);
+        let svc = PedalService::start(
+            ServiceConfig::new(Platform::BlueField3)
+                .with_ce_channels(3)
+                .with_soc_workers(2)
+                .with_parallel(256 * 1024, 64 * 1024),
+        );
+        let mut arrival = SimInstant::EPOCH;
+        for i in 0..10 {
+            let len = if i % 3 == 0 { 512 * 1024 } else { 8 * 1024 };
+            let data = text_payload(&mut rng, len);
+            arrival = arrival + SimDuration::from_micros(50);
+            svc.submit(
+                JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data).with_arrival(arrival),
+            )
+            .unwrap();
+        }
+        svc.drain();
+        let (jobs, stats) = svc.shutdown();
+        let metrics: Vec<JobMetrics> = jobs.iter().map(|j| j.metrics.unwrap()).collect();
+        let outputs: Vec<Vec<u8>> =
+            jobs.iter().map(|j| j.result.as_ref().unwrap().bytes.clone()).collect();
+        (metrics, outputs, stats)
+    };
+    let (m1, o1, s1) = run();
+    let (m2, o2, s2) = run();
+    assert_eq!(o1, o2);
+    for (a, b) in m1.iter().zip(m2.iter()) {
+        assert_eq!(a.started, b.started);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.lane, b.lane);
+        assert_eq!(a.bytes_out, b.bytes_out);
+    }
+    assert_eq!(s1.makespan, s2.makespan);
+    assert_eq!(s1.completed, s2.completed);
+}

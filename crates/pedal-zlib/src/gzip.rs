@@ -170,6 +170,20 @@ mod tests {
     }
 
     #[test]
+    fn level0_roundtrips_as_stored() {
+        // zlib level-0 semantics through the gzip wrapper: the body must be
+        // stored blocks (header + raw bytes, no compression), XFL marks
+        // fastest, and the member round-trips.
+        let data = b"stored stored stored stored ".repeat(200);
+        let z = gzip_compress(&data, Level(0));
+        assert_eq!(z[8], 4, "XFL must flag fastest for level 0");
+        let chunks = data.len().div_ceil(65_535);
+        // 10-byte header + 8-byte trailer + 5 bytes of stored framing per chunk.
+        assert_eq!(z.len(), 18 + data.len() + chunks * 5);
+        assert_eq!(gzip_decompress(&z).unwrap(), data);
+    }
+
+    #[test]
     fn crc_corruption_detected() {
         let mut z = gzip_compress(b"crc protected", Level::DEFAULT);
         let n = z.len();

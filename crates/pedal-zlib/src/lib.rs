@@ -165,6 +165,18 @@ mod tests {
     }
 
     #[test]
+    fn level0_roundtrips_as_stored() {
+        // True level-0 semantics end-to-end: the DEFLATE body inside the
+        // zlib envelope is stored blocks — no matching, no Huffman — so the
+        // stream is exactly header + trailer + per-chunk stored framing.
+        let data = b"abcabcabc level zero ".repeat(5000);
+        let z = compress(&data, Level(0));
+        let chunks = data.len().div_ceil(65_535);
+        assert_eq!(z.len(), 6 + data.len() + chunks * 5);
+        assert_eq!(decompress(&z).unwrap(), data);
+    }
+
+    #[test]
     fn header_check_divisible_by_31() {
         for level in 0..=9 {
             let [cmf, flg] = header_bytes(Level(level));

@@ -26,6 +26,26 @@ echo "==> observability smoke (traced run + export validation)"
 # violation.
 cargo run --release -q -p bench --bin obs_smoke
 
+echo "==> chunk-parallel determinism (1/2/8 workers, fixed-seed corpus)"
+# Every chunked codec (DEFLATE/zlib/LZ4/SZ3 backends) and the service
+# fan-out must produce byte-identical output at 1, 2, and 8 workers /
+# channels, and round-trip through our own decoders.
+cargo run --release -q -p bench --bin par_determinism
+
+echo "==> chunk-parallel speedup gate (16 MiB, 4 channels >= 2x)"
+# Writes results/BENCH_ablation_par.json (mirrored at the repo root) and
+# exits non-zero unless the 4-channel fan-out reaches 2x single-channel
+# virtual throughput.
+cargo run --release -q -p bench --bin ablation_par
+
+echo "==> bench reports mirrored at repo root"
+# Every bench bin mirrors its BENCH_<name>.json at the repository root;
+# at least one must exist after the bench stage.
+ls BENCH_*.json >/dev/null 2>&1 || {
+    echo "verify: FAIL — no BENCH_*.json at the repository root" >&2
+    exit 1
+}
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

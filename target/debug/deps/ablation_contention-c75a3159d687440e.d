@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_contention-c75a3159d687440e.d: crates/bench/src/bin/ablation_contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_contention-c75a3159d687440e.rmeta: crates/bench/src/bin/ablation_contention.rs Cargo.toml
+
+crates/bench/src/bin/ablation_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_contention-ced49586f84ba59b.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/debug/deps/ablation_contention-ced49586f84ba59b: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_host_offload-8490fd65405014e3.d: crates/bench/src/bin/ablation_host_offload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_host_offload-8490fd65405014e3.rmeta: crates/bench/src/bin/ablation_host_offload.rs Cargo.toml
+
+crates/bench/src/bin/ablation_host_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

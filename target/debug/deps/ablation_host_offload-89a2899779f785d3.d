@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_host_offload-89a2899779f785d3.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/debug/deps/ablation_host_offload-89a2899779f785d3: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hybrid-5890d85e8bf1fa51.d: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hybrid-5890d85e8bf1fa51.rmeta: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-6a1a9dd47c4290ef.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-6a1a9dd47c4290ef: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

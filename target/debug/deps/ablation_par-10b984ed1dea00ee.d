@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_par-10b984ed1dea00ee.d: crates/bench/src/bin/ablation_par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_par-10b984ed1dea00ee.rmeta: crates/bench/src/bin/ablation_par.rs Cargo.toml
+
+crates/bench/src/bin/ablation_par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

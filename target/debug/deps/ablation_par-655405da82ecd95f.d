@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_par-655405da82ecd95f.d: crates/bench/src/bin/ablation_par.rs
+
+/root/repo/target/debug/deps/ablation_par-655405da82ecd95f: crates/bench/src/bin/ablation_par.rs
+
+crates/bench/src/bin/ablation_par.rs:

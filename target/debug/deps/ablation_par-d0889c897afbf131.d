@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_par-d0889c897afbf131.d: crates/bench/src/bin/ablation_par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_par-d0889c897afbf131.rmeta: crates/bench/src/bin/ablation_par.rs Cargo.toml
+
+crates/bench/src/bin/ablation_par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

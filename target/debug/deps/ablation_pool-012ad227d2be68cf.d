@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pool-012ad227d2be68cf.d: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pool-012ad227d2be68cf.rmeta: crates/bench/src/bin/ablation_pool.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool-1831cead1913bc3b.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/debug/deps/ablation_pool-1831cead1913bc3b: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rndv-4a86376e96ca9ff3.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/debug/deps/ablation_rndv-4a86376e96ca9ff3: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

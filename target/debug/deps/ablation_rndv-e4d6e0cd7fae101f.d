@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rndv-e4d6e0cd7fae101f.d: crates/bench/src/bin/ablation_rndv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rndv-e4d6e0cd7fae101f.rmeta: crates/bench/src/bin/ablation_rndv.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rndv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_service-20bf7eab2ca0d17a.d: crates/bench/src/bin/ablation_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_service-20bf7eab2ca0d17a.rmeta: crates/bench/src/bin/ablation_service.rs Cargo.toml
+
+crates/bench/src/bin/ablation_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-c0bd855f93ff2305.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-c0bd855f93ff2305: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

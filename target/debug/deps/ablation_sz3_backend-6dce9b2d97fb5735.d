@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-6dce9b2d97fb5735.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/debug/deps/ablation_sz3_backend-6dce9b2d97fb5735: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

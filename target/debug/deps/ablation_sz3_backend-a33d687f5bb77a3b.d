@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sz3_backend-a33d687f5bb77a3b.d: crates/bench/src/bin/ablation_sz3_backend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sz3_backend-a33d687f5bb77a3b.rmeta: crates/bench/src/bin/ablation_sz3_backend.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sz3_backend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-871b46a6cc22b9e0.d: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-871b46a6cc22b9e0.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

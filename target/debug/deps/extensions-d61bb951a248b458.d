@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-d61bb951a248b458.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-d61bb951a248b458: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-934736941d12c43c.d: crates/bench/src/bin/fig10_p2p_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_p2p_latency-934736941d12c43c.rmeta: crates/bench/src/bin/fig10_p2p_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig10_p2p_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-9bdcb9a028bec493.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/debug/deps/fig10_p2p_latency-9bdcb9a028bec493: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

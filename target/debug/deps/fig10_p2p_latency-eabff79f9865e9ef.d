@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_p2p_latency-eabff79f9865e9ef.d: crates/bench/src/bin/fig10_p2p_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_p2p_latency-eabff79f9865e9ef.rmeta: crates/bench/src/bin/fig10_p2p_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig10_p2p_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

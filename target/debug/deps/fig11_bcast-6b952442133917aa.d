@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_bcast-6b952442133917aa.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/debug/deps/fig11_bcast-6b952442133917aa: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

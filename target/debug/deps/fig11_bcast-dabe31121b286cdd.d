@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_bcast-dabe31121b286cdd.d: crates/bench/src/bin/fig11_bcast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_bcast-dabe31121b286cdd.rmeta: crates/bench/src/bin/fig11_bcast.rs Cargo.toml
+
+crates/bench/src/bin/fig11_bcast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

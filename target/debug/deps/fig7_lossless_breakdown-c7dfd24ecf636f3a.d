@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_lossless_breakdown-c7dfd24ecf636f3a.d: crates/bench/src/bin/fig7_lossless_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_lossless_breakdown-c7dfd24ecf636f3a.rmeta: crates/bench/src/bin/fig7_lossless_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_comp_decomp_time-2b53e5509dac21f1.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/debug/deps/fig8_comp_decomp_time-2b53e5509dac21f1: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

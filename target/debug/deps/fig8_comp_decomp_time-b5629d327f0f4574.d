@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_comp_decomp_time-b5629d327f0f4574.d: crates/bench/src/bin/fig8_comp_decomp_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_comp_decomp_time-b5629d327f0f4574.rmeta: crates/bench/src/bin/fig8_comp_decomp_time.rs Cargo.toml
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_lossy_breakdown-aaf076a4e9797bcc.d: crates/bench/src/bin/fig9_lossy_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_lossy_breakdown-aaf076a4e9797bcc.rmeta: crates/bench/src/bin/fig9_lossy_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

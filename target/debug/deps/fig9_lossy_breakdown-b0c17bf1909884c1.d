@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_lossy_breakdown-b0c17bf1909884c1.d: crates/bench/src/bin/fig9_lossy_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_lossy_breakdown-b0c17bf1909884c1.rmeta: crates/bench/src/bin/fig9_lossy_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

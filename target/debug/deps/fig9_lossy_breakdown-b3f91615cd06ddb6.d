@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_lossy_breakdown-b3f91615cd06ddb6.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/debug/deps/fig9_lossy_breakdown-b3f91615cd06ddb6: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

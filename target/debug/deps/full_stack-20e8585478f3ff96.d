@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-20e8585478f3ff96.d: tests/tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-20e8585478f3ff96: tests/tests/full_stack.rs
+
+tests/tests/full_stack.rs:

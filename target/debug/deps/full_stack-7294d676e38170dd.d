@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_stack-7294d676e38170dd.d: tests/tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-7294d676e38170dd.rmeta: tests/tests/full_stack.rs Cargo.toml
+
+tests/tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lz77_differential-38d321a5db050a52.d: tests/tests/lz77_differential.rs
+
+/root/repo/target/debug/deps/lz77_differential-38d321a5db050a52: tests/tests/lz77_differential.rs
+
+tests/tests/lz77_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lz77_differential-aabf1cfe0739cf1d.d: tests/tests/lz77_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblz77_differential-aabf1cfe0739cf1d.rmeta: tests/tests/lz77_differential.rs Cargo.toml
+
+tests/tests/lz77_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_smoke-28db8d20cef4d8d1.d: crates/bench/src/bin/obs_smoke.rs
+
+/root/repo/target/debug/deps/obs_smoke-28db8d20cef4d8d1: crates/bench/src/bin/obs_smoke.rs
+
+crates/bench/src/bin/obs_smoke.rs:

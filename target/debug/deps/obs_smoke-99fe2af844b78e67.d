@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_smoke-99fe2af844b78e67.d: crates/bench/src/bin/obs_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_smoke-99fe2af844b78e67.rmeta: crates/bench/src/bin/obs_smoke.rs Cargo.toml
+
+crates/bench/src/bin/obs_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_smoke-cf6595a811e53adb.d: crates/bench/src/bin/obs_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_smoke-cf6595a811e53adb.rmeta: crates/bench/src/bin/obs_smoke.rs Cargo.toml
+
+crates/bench/src/bin/obs_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

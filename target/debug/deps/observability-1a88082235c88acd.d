@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/observability-1a88082235c88acd.d: crates/pedal-service/tests/observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-1a88082235c88acd.rmeta: crates/pedal-service/tests/observability.rs Cargo.toml
+
+crates/pedal-service/tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-fcc8ee3861d26f92.d: crates/pedal-service/tests/observability.rs
+
+/root/repo/target/debug/deps/observability-fcc8ee3861d26f92: crates/pedal-service/tests/observability.rs
+
+crates/pedal-service/tests/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/osu_bw-1f302e2c7092cc73.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/debug/deps/osu_bw-1f302e2c7092cc73: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/osu_bw-39d813aa0a26e8ae.d: crates/bench/src/bin/osu_bw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libosu_bw-39d813aa0a26e8ae.rmeta: crates/bench/src/bin/osu_bw.rs Cargo.toml
+
+crates/bench/src/bin/osu_bw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

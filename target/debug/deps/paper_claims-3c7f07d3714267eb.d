@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-3c7f07d3714267eb.d: tests/tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-3c7f07d3714267eb: tests/tests/paper_claims.rs
+
+tests/tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-c901f775406b6327.d: tests/tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-c901f775406b6327.rmeta: tests/tests/paper_claims.rs Cargo.toml
+
+tests/tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_determinism-395f9ccc9dfd6c0e.d: crates/bench/src/bin/par_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_determinism-395f9ccc9dfd6c0e.rmeta: crates/bench/src/bin/par_determinism.rs Cargo.toml
+
+crates/bench/src/bin/par_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_determinism-5d5d727fe7eba569.d: crates/bench/src/bin/par_determinism.rs
+
+/root/repo/target/debug/deps/par_determinism-5d5d727fe7eba569: crates/bench/src/bin/par_determinism.rs
+
+crates/bench/src/bin/par_determinism.rs:

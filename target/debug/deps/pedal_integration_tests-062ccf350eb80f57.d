@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pedal_integration_tests-062ccf350eb80f57.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/pedal_integration_tests-062ccf350eb80f57: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_integration_tests-5be6b65b9d10871d.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-5be6b65b9d10871d.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_integration_tests-5be6b65b9d10871d.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pedal_par-12f3c4a439884977.d: crates/pedal-par/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_par-12f3c4a439884977.rlib: crates/pedal-par/src/lib.rs
+
+/root/repo/target/debug/deps/libpedal_par-12f3c4a439884977.rmeta: crates/pedal-par/src/lib.rs
+
+crates/pedal-par/src/lib.rs:

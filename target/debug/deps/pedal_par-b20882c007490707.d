@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pedal_par-b20882c007490707.d: crates/pedal-par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_par-b20882c007490707.rmeta: crates/pedal-par/src/lib.rs Cargo.toml
+
+crates/pedal-par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pedal_par-e6c4d88ee1c3af77.d: crates/pedal-par/src/lib.rs
+
+/root/repo/target/debug/deps/pedal_par-e6c4d88ee1c3af77: crates/pedal-par/src/lib.rs
+
+crates/pedal-par/src/lib.rs:

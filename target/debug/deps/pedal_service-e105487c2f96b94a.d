@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pedal_service-e105487c2f96b94a.d: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpedal_service-e105487c2f96b94a.rmeta: crates/pedal-service/src/lib.rs crates/pedal-service/src/job.rs crates/pedal-service/src/queue.rs crates/pedal-service/src/service.rs crates/pedal-service/src/stats.rs Cargo.toml
+
+crates/pedal-service/src/lib.rs:
+crates/pedal-service/src/job.rs:
+crates/pedal-service/src/queue.rs:
+crates/pedal-service/src/service.rs:
+crates/pedal-service/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

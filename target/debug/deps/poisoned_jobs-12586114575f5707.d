@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisoned_jobs-12586114575f5707.d: crates/pedal-service/tests/poisoned_jobs.rs
+
+/root/repo/target/debug/deps/poisoned_jobs-12586114575f5707: crates/pedal-service/tests/poisoned_jobs.rs
+
+crates/pedal-service/tests/poisoned_jobs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisoned_jobs-4059ec50285e43fe.d: crates/pedal-service/tests/poisoned_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisoned_jobs-4059ec50285e43fe.rmeta: crates/pedal-service/tests/poisoned_jobs.rs Cargo.toml
+
+crates/pedal-service/tests/poisoned_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service-86c3b1a61b1479e3.d: crates/pedal-service/tests/service.rs
+
+/root/repo/target/debug/deps/service-86c3b1a61b1479e3: crates/pedal-service/tests/service.rs
+
+crates/pedal-service/tests/service.rs:

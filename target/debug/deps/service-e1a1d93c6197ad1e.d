@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service-e1a1d93c6197ad1e.d: crates/pedal-service/tests/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-e1a1d93c6197ad1e.rmeta: crates/pedal-service/tests/service.rs Cargo.toml
+
+crates/pedal-service/tests/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

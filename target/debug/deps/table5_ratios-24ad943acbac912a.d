@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_ratios-24ad943acbac912a.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/debug/deps/table5_ratios-24ad943acbac912a: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_ratios-6a9cdb761809bf7a.d: crates/bench/src/bin/table5_ratios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_ratios-6a9cdb761809bf7a.rmeta: crates/bench/src/bin/table5_ratios.rs Cargo.toml
+
+crates/bench/src/bin/table5_ratios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

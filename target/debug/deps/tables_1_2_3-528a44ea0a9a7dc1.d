@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables_1_2_3-528a44ea0a9a7dc1.d: crates/bench/src/bin/tables_1_2_3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables_1_2_3-528a44ea0a9a7dc1.rmeta: crates/bench/src/bin/tables_1_2_3.rs Cargo.toml
+
+crates/bench/src/bin/tables_1_2_3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables_1_2_3-d5e3ca77030bb434.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/debug/deps/tables_1_2_3-d5e3ca77030bb434: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

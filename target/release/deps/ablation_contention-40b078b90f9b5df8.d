@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_contention-40b078b90f9b5df8.d: crates/bench/src/bin/ablation_contention.rs
+
+/root/repo/target/release/deps/ablation_contention-40b078b90f9b5df8: crates/bench/src/bin/ablation_contention.rs
+
+crates/bench/src/bin/ablation_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_host_offload-d137c043c766fcdc.d: crates/bench/src/bin/ablation_host_offload.rs
+
+/root/repo/target/release/deps/ablation_host_offload-d137c043c766fcdc: crates/bench/src/bin/ablation_host_offload.rs
+
+crates/bench/src/bin/ablation_host_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hybrid-2c52f56b97f17eb0.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/release/deps/ablation_hybrid-2c52f56b97f17eb0: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

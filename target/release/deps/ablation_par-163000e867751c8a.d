@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_par-163000e867751c8a.d: crates/bench/src/bin/ablation_par.rs
+
+/root/repo/target/release/deps/ablation_par-163000e867751c8a: crates/bench/src/bin/ablation_par.rs
+
+crates/bench/src/bin/ablation_par.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pool-d6d075721c80f11a.d: crates/bench/src/bin/ablation_pool.rs
+
+/root/repo/target/release/deps/ablation_pool-d6d075721c80f11a: crates/bench/src/bin/ablation_pool.rs
+
+crates/bench/src/bin/ablation_pool.rs:

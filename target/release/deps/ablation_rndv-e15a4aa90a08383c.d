@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rndv-e15a4aa90a08383c.d: crates/bench/src/bin/ablation_rndv.rs
+
+/root/repo/target/release/deps/ablation_rndv-e15a4aa90a08383c: crates/bench/src/bin/ablation_rndv.rs
+
+crates/bench/src/bin/ablation_rndv.rs:

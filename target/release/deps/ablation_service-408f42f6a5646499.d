@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_service-408f42f6a5646499.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/release/deps/ablation_service-408f42f6a5646499: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

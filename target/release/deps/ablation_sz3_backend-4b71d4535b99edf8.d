@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sz3_backend-4b71d4535b99edf8.d: crates/bench/src/bin/ablation_sz3_backend.rs
+
+/root/repo/target/release/deps/ablation_sz3_backend-4b71d4535b99edf8: crates/bench/src/bin/ablation_sz3_backend.rs
+
+crates/bench/src/bin/ablation_sz3_backend.rs:

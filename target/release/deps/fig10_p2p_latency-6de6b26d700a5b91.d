@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_p2p_latency-6de6b26d700a5b91.d: crates/bench/src/bin/fig10_p2p_latency.rs
+
+/root/repo/target/release/deps/fig10_p2p_latency-6de6b26d700a5b91: crates/bench/src/bin/fig10_p2p_latency.rs
+
+crates/bench/src/bin/fig10_p2p_latency.rs:

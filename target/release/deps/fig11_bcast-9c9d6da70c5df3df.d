@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_bcast-9c9d6da70c5df3df.d: crates/bench/src/bin/fig11_bcast.rs
+
+/root/repo/target/release/deps/fig11_bcast-9c9d6da70c5df3df: crates/bench/src/bin/fig11_bcast.rs
+
+crates/bench/src/bin/fig11_bcast.rs:

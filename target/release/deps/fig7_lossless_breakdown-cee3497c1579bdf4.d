@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_lossless_breakdown-cee3497c1579bdf4.d: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+/root/repo/target/release/deps/fig7_lossless_breakdown-cee3497c1579bdf4: crates/bench/src/bin/fig7_lossless_breakdown.rs
+
+crates/bench/src/bin/fig7_lossless_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_comp_decomp_time-836731e979bb9552.d: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+/root/repo/target/release/deps/fig8_comp_decomp_time-836731e979bb9552: crates/bench/src/bin/fig8_comp_decomp_time.rs
+
+crates/bench/src/bin/fig8_comp_decomp_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_lossy_breakdown-683a26c8ffe079c7.d: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+/root/repo/target/release/deps/fig9_lossy_breakdown-683a26c8ffe079c7: crates/bench/src/bin/fig9_lossy_breakdown.rs
+
+crates/bench/src/bin/fig9_lossy_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_smoke-0b3ce542ade39c18.d: crates/bench/src/bin/obs_smoke.rs
+
+/root/repo/target/release/deps/obs_smoke-0b3ce542ade39c18: crates/bench/src/bin/obs_smoke.rs
+
+crates/bench/src/bin/obs_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/osu_bw-d5f931373b06a3a3.d: crates/bench/src/bin/osu_bw.rs
+
+/root/repo/target/release/deps/osu_bw-d5f931373b06a3a3: crates/bench/src/bin/osu_bw.rs
+
+crates/bench/src/bin/osu_bw.rs:

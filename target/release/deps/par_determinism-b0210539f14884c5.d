@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/par_determinism-b0210539f14884c5.d: crates/bench/src/bin/par_determinism.rs
+
+/root/repo/target/release/deps/par_determinism-b0210539f14884c5: crates/bench/src/bin/par_determinism.rs
+
+crates/bench/src/bin/par_determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pedal_integration_tests-aa3c7ded00c55371.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-aa3c7ded00c55371.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_integration_tests-aa3c7ded00c55371.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

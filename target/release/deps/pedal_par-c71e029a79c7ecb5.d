@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pedal_par-c71e029a79c7ecb5.d: crates/pedal-par/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_par-c71e029a79c7ecb5.rlib: crates/pedal-par/src/lib.rs
+
+/root/repo/target/release/deps/libpedal_par-c71e029a79c7ecb5.rmeta: crates/pedal-par/src/lib.rs
+
+crates/pedal-par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_ratios-24ba0d1ac1d8db5f.d: crates/bench/src/bin/table5_ratios.rs
+
+/root/repo/target/release/deps/table5_ratios-24ba0d1ac1d8db5f: crates/bench/src/bin/table5_ratios.rs
+
+crates/bench/src/bin/table5_ratios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables_1_2_3-0320f4e3692d2546.d: crates/bench/src/bin/tables_1_2_3.rs
+
+/root/repo/target/release/deps/tables_1_2_3-0320f4e3692d2546: crates/bench/src/bin/tables_1_2_3.rs
+
+crates/bench/src/bin/tables_1_2_3.rs:

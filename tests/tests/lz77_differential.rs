@@ -1,0 +1,92 @@
+//! Differential tests for the LZ77 tokenizer: lazy and greedy matching
+//! are different *speed/ratio* trade-offs, never different *data*. Over
+//! the pedal-testkit corpora both must detokenize byte-identically, and
+//! lazy evaluation at a level's chain budget must never produce a more
+//! expensive token stream than greedy at the same `max_chain` — costed
+//! exactly, in RFC 1951 fixed-Huffman bits.
+
+use pedal_deflate::consts::{dist_code, length_code, DIST_EXTRA, LENGTH_EXTRA};
+use pedal_deflate::lz77::{detokenize, tokenize, MatcherParams, Token};
+use pedal_testkit::{build_corpus, CodecId};
+
+/// Exact encoded size of a token stream under the fixed Huffman tables
+/// (RFC 1951 §3.2.6): literals 0..=143 cost 8 bits, 144..=255 cost 9;
+/// length symbols 257..=279 cost 7, 280..=287 cost 8, plus length extra
+/// bits; every distance code costs 5 bits plus distance extra bits.
+fn fixed_huffman_bits(tokens: &[Token]) -> u64 {
+    let mut bits = 0u64;
+    for t in tokens {
+        bits += match *t {
+            Token::Literal(b) => {
+                if b < 144 {
+                    8
+                } else {
+                    9
+                }
+            }
+            Token::Match { len, dist } => {
+                let lc = length_code(len as usize);
+                let lsym = 257 + lc;
+                let lbits: u64 = if lsym <= 279 { 7 } else { 8 };
+                lbits + LENGTH_EXTRA[lc] as u64 + 5 + DIST_EXTRA[dist_code(dist as usize)] as u64
+            }
+        };
+    }
+    bits
+}
+
+fn collect(data: &[u8], params: MatcherParams) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    tokenize(data, params, |t| tokens.push(t));
+    tokens
+}
+
+/// Corpus inputs: the original bytes behind every deflate fuzz base.
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    build_corpus(CodecId::Deflate, 24 * 1024).into_iter().map(|c| (c.dataset, c.original)).collect()
+}
+
+#[test]
+fn lazy_and_greedy_detokenize_identically() {
+    for (name, data) in corpus() {
+        for level in 1..=9u8 {
+            let lazy = MatcherParams { lazy: true, ..MatcherParams::for_level(level) };
+            let greedy = MatcherParams { lazy: false, ..lazy };
+            let lt = collect(&data, lazy);
+            let gt = collect(&data, greedy);
+            assert_eq!(detokenize(&lt), data, "{name} level {level}: lazy corrupts data");
+            assert_eq!(detokenize(&gt), data, "{name} level {level}: greedy corrupts data");
+        }
+    }
+}
+
+#[test]
+fn lazy_never_costs_more_than_greedy_at_same_chain() {
+    for (name, data) in corpus() {
+        // Levels 4..=9 are the lazy half of the ladder; compare each
+        // against greedy matching with the identical chain budget.
+        for level in 4..=9u8 {
+            let lazy = MatcherParams::for_level(level);
+            assert!(lazy.lazy, "levels 4..=9 are lazy");
+            let greedy = MatcherParams { lazy: false, ..lazy };
+            let lazy_bits = fixed_huffman_bits(&collect(&data, lazy));
+            let greedy_bits = fixed_huffman_bits(&collect(&data, greedy));
+            assert!(
+                lazy_bits <= greedy_bits,
+                "{name} level {level}: lazy {lazy_bits} bits > greedy {greedy_bits} bits"
+            );
+        }
+    }
+}
+
+/// Level 0 sits outside the ladder: no matching at all, so its token
+/// stream is pure literals regardless of content.
+#[test]
+fn level_zero_emits_literals_only_everywhere() {
+    for (name, data) in corpus() {
+        let tokens = collect(&data, MatcherParams::for_level(0));
+        assert_eq!(tokens.len(), data.len(), "{name}: level 0 must not match");
+        assert!(tokens.iter().all(|t| matches!(t, Token::Literal(_))), "{name}");
+        assert_eq!(detokenize(&tokens), data, "{name}");
+    }
+}
