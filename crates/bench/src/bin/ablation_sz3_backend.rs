@@ -25,8 +25,13 @@ fn main() {
         let bytes = dataset(id);
         let n = bytes.len() / 4;
         let field = Field::<f32>::from_bytes(Dims::d1(n), &bytes[..n * 4]);
-        for backend in [BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4, BackendKind::None]
-        {
+        for backend in [
+            BackendKind::Zs,
+            BackendKind::Deflate,
+            BackendKind::Lz4,
+            BackendKind::Pco,
+            BackendKind::None,
+        ] {
             let cfg = Sz3Config { backend, ..Sz3Config::with_error_bound(1e-4) };
             let (core, stats) = pedal_sz3::encode_core(&field, &cfg);
             let sealed = pedal_sz3::seal(&core, backend);
@@ -37,6 +42,9 @@ fn main() {
                 }
                 BackendKind::Deflate => {
                     costs.soc_lossless(Algorithm::Deflate, Direction::Compress, core.len())
+                }
+                BackendKind::Pco => {
+                    costs.soc_lossless(Algorithm::Pco, Direction::Compress, core.len())
                 }
             };
             t.row(vec![

@@ -11,6 +11,8 @@ fn main() {
     for algo in Algorithm::ALL {
         let purpose = if algo.is_lossy() {
             "Scientific Data Compression"
+        } else if algo == Algorithm::Pco {
+            "Numeric/Columnar Data Compression"
         } else {
             "General Data Compression"
         };
@@ -38,6 +40,9 @@ fn main() {
                 Algorithm::Deflate => (caps.deflate_compress, caps.deflate_decompress),
                 Algorithm::Lz4 => (caps.lz4_compress, caps.lz4_decompress),
                 Algorithm::Zlib | Algorithm::Sz3 => (false, false),
+                // pco is a post-paper software codec: no engine, either
+                // generation, implements the transform.
+                Algorithm::Pco => (false, false),
             };
             if native.0 {
                 comp.push(p.short_name());
@@ -81,9 +86,9 @@ fn main() {
     t3.print();
 
     println!();
-    println!("The eight PEDAL compression designs (AlgoID on the wire):");
+    println!("The eight PEDAL compression designs plus the pco extension (AlgoID on the wire):");
     let mut t4 = Table::new(vec!["AlgoID", "Design", "Algorithm", "Placement"]);
-    for d in Design::ALL {
+    for d in Design::EXTENDED {
         t4.row(vec![
             d.algo_id().to_string(),
             d.name().to_string(),

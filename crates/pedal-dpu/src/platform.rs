@@ -99,18 +99,22 @@ pub static BF3_SPEC: PlatformSpec = PlatformSpec {
     },
 };
 
-/// Compression algorithms the stack knows about (paper Table I).
+/// Compression algorithms the stack knows about (paper Table I, plus
+/// the pco numeric/columnar codec added on top of the paper's four).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     Deflate,
     Zlib,
     Lz4,
     Sz3,
+    /// Numeric columnar codec (delta + binning + rANS), lossless and
+    /// bit-exact. Pure SoC software: no BlueField engine accelerates it.
+    Pco,
 }
 
 impl Algorithm {
-    pub const ALL: [Algorithm; 4] =
-        [Algorithm::Deflate, Algorithm::Zlib, Algorithm::Lz4, Algorithm::Sz3];
+    pub const ALL: [Algorithm; 5] =
+        [Algorithm::Deflate, Algorithm::Zlib, Algorithm::Lz4, Algorithm::Sz3, Algorithm::Pco];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -118,6 +122,7 @@ impl Algorithm {
             Algorithm::Zlib => "zlib",
             Algorithm::Lz4 => "LZ4",
             Algorithm::Sz3 => "SZ3",
+            Algorithm::Pco => "pco",
         }
     }
 
@@ -164,6 +169,10 @@ impl CEngineSpec {
             }
             (Algorithm::Lz4, Direction::Compress) => self.lz4_compress,
             (Algorithm::Lz4, Direction::Decompress) => self.lz4_decompress,
+            // No BlueField generation implements the pco transform in
+            // hardware: the capability fallback must always land it on
+            // the SoC, in both directions.
+            (Algorithm::Pco, _) => false,
         }
     }
 }
@@ -199,6 +208,15 @@ mod tests {
         assert!(!bf3.supports(Algorithm::Zlib, Direction::Compress));
         assert!(bf3.supports(Algorithm::Zlib, Direction::Decompress));
         assert!(bf3.supports(Algorithm::Sz3, Direction::Decompress));
+    }
+
+    #[test]
+    fn no_engine_accelerates_pco() {
+        for p in Platform::ALL {
+            for dir in [Direction::Compress, Direction::Decompress] {
+                assert!(!p.spec().cengine.supports(Algorithm::Pco, dir), "{p:?} {dir:?}");
+            }
+        }
     }
 
     #[test]

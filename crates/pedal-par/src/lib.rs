@@ -189,6 +189,29 @@ pub fn par_lz4_frame(src: &[u8], block_size: usize, accel: u32, workers: usize) 
 }
 
 // ---------------------------------------------------------------------
+// pco
+// ---------------------------------------------------------------------
+
+/// Chunk-parallel pco bytes-mode container. Each chunk's blob is a pure
+/// function of that chunk's bytes, and the container records blobs in
+/// chunk order, so the output is byte-identical to
+/// [`pedal_pco::compress_bytes_chunked`] at the same chunk size for any
+/// worker count; single-chunk inputs match [`pedal_pco::compress_bytes`].
+pub fn par_pco_bytes(data: &[u8], pco: &pedal_pco::PcoConfig, cfg: &ParConfig) -> Vec<u8> {
+    let chunk = cfg.chunk();
+    if data.len() <= chunk {
+        return pedal_pco::compress_bytes(data, pco);
+    }
+    let jobs = data.len().div_ceil(chunk);
+    let blobs = fan_out(jobs, cfg.threads(jobs), |i| {
+        let start = i * chunk;
+        let end = (start + chunk).min(data.len());
+        pedal_pco::encode_bytes_chunk(&data[start..end], pco)
+    });
+    pedal_pco::assemble_bytes_container(data.len(), &blobs)
+}
+
+// ---------------------------------------------------------------------
 // SZ3
 // ---------------------------------------------------------------------
 
@@ -209,6 +232,11 @@ pub fn par_seal(core: &[u8], backend: BackendKind, cfg: &ParConfig) -> Vec<u8> {
         }
         BackendKind::Lz4 => pedal_sz3::seal_with(core, backend, |c| {
             par_lz4_frame(c, pedal_lz4::DEFAULT_BLOCK_SIZE, 1, cfg.workers)
+        }),
+        // pco's container is chunked by construction: blobs are
+        // independent, so sharding only adds container entries.
+        BackendKind::Pco => pedal_sz3::seal_with(core, backend, |c| {
+            par_pco_bytes(c, &pedal_pco::PcoConfig::default(), cfg)
         }),
         BackendKind::None => pedal_sz3::seal(core, backend),
     }
@@ -307,8 +335,13 @@ mod tests {
     fn par_sz3_seals_decode_with_existing_unseal() {
         let vals: Vec<f32> = (0..60_000).map(|i| (i as f32 * 0.01).sin() * 40.0).collect();
         let field = Field::new(Dims::d1(vals.len()), vals);
-        for backend in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4]
-        {
+        for backend in [
+            BackendKind::None,
+            BackendKind::Zs,
+            BackendKind::Deflate,
+            BackendKind::Lz4,
+            BackendKind::Pco,
+        ] {
             let cfg = Sz3Config { backend, ..Sz3Config::default() };
             let par = ParConfig::new(4).with_chunk_size(MIN_CHUNK);
             let sealed = par_sz3_compress(&field, &cfg, &par);
@@ -321,6 +354,33 @@ mod tests {
             let one = par_sz3_compress(&field, &cfg, &ParConfig::new(1).with_chunk_size(MIN_CHUNK));
             assert_eq!(sealed, one, "{backend:?}");
         }
+    }
+
+    #[test]
+    fn par_pco_matches_sequential_chunked_for_any_worker_count() {
+        let pco = pedal_pco::PcoConfig::default();
+        for (name, data) in corpus(400_000) {
+            let cfg1 = ParConfig::new(1).with_chunk_size(MIN_CHUNK);
+            let base = par_pco_bytes(&data, &pco, &cfg1);
+            assert_eq!(
+                base,
+                pedal_pco::compress_bytes_chunked(&data, cfg1.chunk(), &pco),
+                "{name}: parallel container must equal the sequential chunked one"
+            );
+            for workers in [2, 5, 8] {
+                let cfg = ParConfig::new(workers).with_chunk_size(MIN_CHUNK);
+                assert_eq!(par_pco_bytes(&data, &pco, &cfg), base, "{name} {workers} workers");
+            }
+            let decoded =
+                pedal_pco::decompress_bytes_with_limit(&base, data.len()).expect("roundtrip");
+            assert_eq!(decoded, data, "{name}");
+        }
+        // Single chunk: identical to the one-shot sequential encoder.
+        let small = DatasetId::ALL[0].generate_bytes(10_000);
+        assert_eq!(
+            par_pco_bytes(&small, &pco, &ParConfig::new(8)),
+            pedal_pco::compress_bytes(&small, &pco)
+        );
     }
 
     #[test]

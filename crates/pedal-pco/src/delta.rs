@@ -1,0 +1,105 @@
+//! Wrapping delta transform (orders 0..=2).
+//!
+//! Order 1 is plain consecutive differencing; order 2 differences the
+//! differences (the 1-D slice of a Lorenzo predictor). Both operate in
+//! the wrapping integer domain, so the transform is a bijection on any
+//! input — reconstruction is exact regardless of distribution. The
+//! `order` values removed from the front are stored verbatim as heads;
+//! the remaining body is zigzag-folded so near-zero deltas of either
+//! sign become small unsigned codes for the binner.
+
+use crate::latent::Latent;
+
+pub const MAX_ORDER: usize = 2;
+
+/// Apply `order` rounds of wrapping differencing. Returns the stored
+/// heads (one per round, in application order) and the zigzagged body.
+/// `order` must satisfy `order <= MAX_ORDER` and `order < vals.len()`
+/// unless `vals` is empty (then only order 0 is meaningful).
+pub fn apply<L: Latent>(vals: &[L], order: usize) -> (Vec<L>, Vec<L>) {
+    debug_assert!(order <= MAX_ORDER);
+    debug_assert!(vals.is_empty() || order < vals.len());
+    if order == 0 {
+        return (Vec::new(), vals.to_vec());
+    }
+    let mut heads = Vec::with_capacity(order);
+    let mut cur = vals.to_vec();
+    for _ in 0..order {
+        heads.push(cur[0]);
+        for i in 0..cur.len() - 1 {
+            cur[i] = cur[i + 1].wrapping_sub(cur[i]);
+        }
+        cur.pop();
+    }
+    for v in &mut cur {
+        *v = v.zigzag();
+    }
+    (heads, cur)
+}
+
+/// Exact inverse of [`apply`].
+pub fn undo<L: Latent>(heads: &[L], body: &[L], order: usize) -> Vec<L> {
+    debug_assert_eq!(heads.len(), order);
+    if order == 0 {
+        return body.to_vec();
+    }
+    let mut cur: Vec<L> = body.iter().map(|v| v.unzigzag()).collect();
+    for &head in heads.iter().rev() {
+        let mut acc = head;
+        let mut out = Vec::with_capacity(cur.len() + 1);
+        out.push(acc);
+        for d in &cur {
+            acc = acc.wrapping_add(*d);
+            out.push(acc);
+        }
+        cur = out;
+    }
+    cur
+}
+
+/// Largest order usable for a column of `n` values.
+pub fn max_order_for(n: usize) -> usize {
+    MAX_ORDER.min(n.saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_orders_roundtrip_u32() {
+        let vals: Vec<u32> = vec![5, 9, 14, 2, u32::MAX, 0, 7, 7, 7, 1_000_000];
+        for order in 0..=MAX_ORDER {
+            let (heads, body) = apply(&vals, order);
+            assert_eq!(heads.len(), order);
+            assert_eq!(body.len(), vals.len() - order);
+            assert_eq!(undo(&heads, &body, order), vals, "order {order}");
+        }
+    }
+
+    #[test]
+    fn all_orders_roundtrip_u64_extremes() {
+        let vals: Vec<u64> = vec![u64::MAX, 0, 1, u64::MAX - 1, 1 << 63, 42];
+        for order in 0..=MAX_ORDER {
+            let (heads, body) = apply(&vals, order);
+            assert_eq!(undo(&heads, &body, order), vals, "order {order}");
+        }
+    }
+
+    #[test]
+    fn linear_ramp_collapses_under_order_two() {
+        let vals: Vec<u32> = (0..1000).map(|i| 3 + 7 * i).collect();
+        let (_, body) = apply(&vals, 2);
+        assert!(body.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn tiny_columns() {
+        let one = [9u32];
+        let (h, b) = apply(&one, 0);
+        assert_eq!(undo(&h, &b, 0), one);
+        let two = [9u32, 4];
+        let (h, b) = apply(&two, 1);
+        assert_eq!(undo(&h, &b, 1), two);
+    }
+}

@@ -1,0 +1,221 @@
+//! Latent integer representation of column values.
+//!
+//! Every supported element type maps bijectively onto an unsigned
+//! integer ("latent") whose natural ordering matches the source type's
+//! numeric ordering. Integers map to themselves; floats go through the
+//! classic sign-magnitude twist: flipping all bits of negative values
+//! and setting the sign bit of non-negative ones yields an unsigned
+//! order isomorphic to the IEEE-754 total order. The twist is a pure
+//! bit permutation, so NaN payloads, infinities and -0.0 all survive a
+//! round trip exactly.
+
+/// Unsigned integer domain the pipeline operates in.
+pub trait Latent: Copy + Ord + Eq + std::fmt::Debug {
+    const BITS: u32;
+    const BYTES: usize;
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+    fn wrapping_sub(self, rhs: Self) -> Self;
+    fn wrapping_add(self, rhs: Self) -> Self;
+    fn checked_add(self, rhs: Self) -> Option<Self>;
+    /// Bits needed to represent `self` (0 for 0).
+    fn bits_needed(self) -> u32;
+    /// Signed zigzag fold: small magnitudes (of either sign, in the
+    /// wrapping sense) map to small unsigned codes.
+    fn zigzag(self) -> Self;
+    fn unzigzag(self) -> Self;
+    fn write_le(self, out: &mut Vec<u8>);
+    fn read_le(bytes: &[u8]) -> Option<(Self, &[u8])>;
+}
+
+impl Latent for u32 {
+    const BITS: u32 = 32;
+    const BYTES: usize = 4;
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    fn from_u64(v: u64) -> Self {
+        v as u32
+    }
+    fn wrapping_sub(self, rhs: Self) -> Self {
+        u32::wrapping_sub(self, rhs)
+    }
+    fn wrapping_add(self, rhs: Self) -> Self {
+        u32::wrapping_add(self, rhs)
+    }
+    fn checked_add(self, rhs: Self) -> Option<Self> {
+        u32::checked_add(self, rhs)
+    }
+    fn bits_needed(self) -> u32 {
+        Self::BITS - self.leading_zeros()
+    }
+    fn zigzag(self) -> Self {
+        let s = self as i32;
+        ((s << 1) ^ (s >> 31)) as u32
+    }
+    fn unzigzag(self) -> Self {
+        (self >> 1) ^ (self & 1).wrapping_neg()
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> Option<(Self, &[u8])> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let (head, rest) = bytes.split_at(4);
+        Some((u32::from_le_bytes(head.try_into().ok()?), rest))
+    }
+}
+
+impl Latent for u64 {
+    const BITS: u32 = 64;
+    const BYTES: usize = 8;
+    fn to_u64(self) -> u64 {
+        self
+    }
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+    fn wrapping_sub(self, rhs: Self) -> Self {
+        u64::wrapping_sub(self, rhs)
+    }
+    fn wrapping_add(self, rhs: Self) -> Self {
+        u64::wrapping_add(self, rhs)
+    }
+    fn checked_add(self, rhs: Self) -> Option<Self> {
+        u64::checked_add(self, rhs)
+    }
+    fn bits_needed(self) -> u32 {
+        Self::BITS - self.leading_zeros()
+    }
+    fn zigzag(self) -> Self {
+        let s = self as i64;
+        ((s << 1) ^ (s >> 63)) as u64
+    }
+    fn unzigzag(self) -> Self {
+        (self >> 1) ^ (self & 1).wrapping_neg()
+    }
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_le(bytes: &[u8]) -> Option<(Self, &[u8])> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let (head, rest) = bytes.split_at(8);
+        Some((u64::from_le_bytes(head.try_into().ok()?), rest))
+    }
+}
+
+/// Order-preserving bijection f32 -> u32.
+#[inline]
+pub fn f32_to_latent(x: f32) -> u32 {
+    let b = x.to_bits();
+    if b >> 31 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000
+    }
+}
+
+/// Exact inverse of [`f32_to_latent`].
+#[inline]
+pub fn latent_to_f32(l: u32) -> f32 {
+    let b = if l >> 31 == 1 { l ^ 0x8000_0000 } else { !l };
+    f32::from_bits(b)
+}
+
+/// Order-preserving bijection f64 -> u64.
+#[inline]
+pub fn f64_to_latent(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | 0x8000_0000_0000_0000
+    }
+}
+
+/// Exact inverse of [`f64_to_latent`].
+#[inline]
+pub fn latent_to_f64(l: u64) -> f64 {
+    let b = if l >> 63 == 1 { l ^ 0x8000_0000_0000_0000 } else { !l };
+    f64::from_bits(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_bijection_is_exact_and_ordered() {
+        let specials = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            -f32::NAN,
+            f32::from_bits(0x7FC0_1234), // NaN with payload
+            f32::from_bits(0xFFC0_5678), // negative NaN with payload
+            f32::EPSILON,
+        ];
+        for &x in &specials {
+            let back = latent_to_f32(f32_to_latent(x));
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:?}");
+        }
+        // Ordering preserved on finite comparable values.
+        let mut vals = [-3.5f32, -0.0, 0.0, 1e-20, 2.0, 1e20];
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in vals.windows(2) {
+            assert!(f32_to_latent(w[0]) <= f32_to_latent(w[1]));
+        }
+    }
+
+    #[test]
+    fn f64_bijection_is_exact_and_ordered() {
+        let specials = [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF8_0000_0000_BEEF),
+            f64::from_bits(0xFFF8_0000_0000_CAFE),
+        ];
+        for &x in &specials {
+            let back = latent_to_f64(f64_to_latent(x));
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:?}");
+        }
+        let mut vals = [-1e300f64, -1.0, -1e-300, 0.0, 1e-300, 1.0, 1e300];
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in vals.windows(2) {
+            assert!(f64_to_latent(w[0]) <= f64_to_latent(w[1]));
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0u32, 1, 2, u32::MAX, u32::MAX - 1, 1 << 31, (1 << 31) - 1] {
+            assert_eq!(v.zigzag().unzigzag(), v);
+        }
+        for v in [0u64, 1, u64::MAX, 1 << 63, (1 << 63) - 1] {
+            assert_eq!(v.zigzag().unzigzag(), v);
+        }
+        // Small wrapping deltas of either sign get small codes.
+        assert_eq!(1u32.zigzag(), 2);
+        assert_eq!(1u32.wrapping_neg().zigzag(), 1);
+    }
+}

@@ -1268,6 +1268,7 @@ fn exec_compress_engine(
             }
         }
         Algorithm::Lz4 => unreachable!("no BlueField generation compresses LZ4 on the engine"),
+        Algorithm::Pco => unreachable!("no BlueField engine implements the pco transform"),
     }
 }
 
@@ -1484,6 +1485,9 @@ fn exec_decompress_engine(
                 Err(e) => fail(e, completed),
             }
         }
+        // `effective_placement` never lands pco on an engine lane: the
+        // capability matrix reports no support in either direction.
+        Algorithm::Pco => unreachable!("no BlueField engine decodes pco streams"),
     }
 }
 

@@ -20,6 +20,10 @@ pub enum BackendKind {
     Deflate,
     /// LZ4 block/frame compression.
     Lz4,
+    /// pco numeric/columnar codec (bytes mode): the quantized SZ3 core
+    /// is mostly small integer codes, which the u32-word view's delta +
+    /// binning + rANS pipeline handles well.
+    Pco,
 }
 
 impl BackendKind {
@@ -29,6 +33,7 @@ impl BackendKind {
             BackendKind::Zs => 1,
             BackendKind::Deflate => 2,
             BackendKind::Lz4 => 3,
+            BackendKind::Pco => 4,
         }
     }
 
@@ -38,6 +43,7 @@ impl BackendKind {
             1 => Some(BackendKind::Zs),
             2 => Some(BackendKind::Deflate),
             3 => Some(BackendKind::Lz4),
+            4 => Some(BackendKind::Pco),
             _ => None,
         }
     }
@@ -63,6 +69,7 @@ pub fn backend_compress(kind: BackendKind, data: &[u8]) -> Vec<u8> {
         BackendKind::Zs => pedal_lz4::compress_frame(data, 256 * 1024, 1),
         BackendKind::Deflate => pedal_deflate::compress(data, pedal_deflate::Level::DEFAULT),
         BackendKind::Lz4 => pedal_lz4::compress_frame(data, pedal_lz4::DEFAULT_BLOCK_SIZE, 1),
+        BackendKind::Pco => pedal_pco::compress_bytes(data, &pedal_pco::PcoConfig::default()),
     }
 }
 
@@ -90,6 +97,8 @@ pub fn backend_decompress_with_limit(
             .map_err(|e| BackendError(e.to_string())),
         BackendKind::Deflate => pedal_deflate::decompress_with_limit(data, limit)
             .map_err(|e| BackendError(e.to_string())),
+        BackendKind::Pco => pedal_pco::decompress_bytes_with_limit(data, limit)
+            .map_err(|e| BackendError(e.to_string())),
     }
 }
 
@@ -100,7 +109,13 @@ mod tests {
     #[test]
     fn all_backends_roundtrip() {
         let data = b"sz3 core bytes: quant codes + outliers + header".repeat(100);
-        for kind in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+        for kind in [
+            BackendKind::None,
+            BackendKind::Zs,
+            BackendKind::Deflate,
+            BackendKind::Lz4,
+            BackendKind::Pco,
+        ] {
             let packed = backend_compress(kind, &data);
             assert_eq!(backend_decompress(kind, &packed).unwrap(), data, "{kind:?}");
         }
@@ -109,7 +124,7 @@ mod tests {
     #[test]
     fn compressing_backends_shrink_redundant_data() {
         let data = vec![0xABu8; 100_000];
-        for kind in [BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+        for kind in [BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4, BackendKind::Pco] {
             let packed = backend_compress(kind, &data);
             assert!(packed.len() * 10 < data.len(), "{kind:?}: {} bytes", packed.len());
         }
@@ -117,7 +132,13 @@ mod tests {
 
     #[test]
     fn tags_roundtrip() {
-        for kind in [BackendKind::None, BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+        for kind in [
+            BackendKind::None,
+            BackendKind::Zs,
+            BackendKind::Deflate,
+            BackendKind::Lz4,
+            BackendKind::Pco,
+        ] {
             assert_eq!(BackendKind::from_tag(kind.tag()), Some(kind));
         }
         assert_eq!(BackendKind::from_tag(200), None);
@@ -125,7 +146,7 @@ mod tests {
 
     #[test]
     fn corrupt_stream_is_an_error_not_a_panic() {
-        for kind in [BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4] {
+        for kind in [BackendKind::Zs, BackendKind::Deflate, BackendKind::Lz4, BackendKind::Pco] {
             let junk = vec![0x5Au8; 64];
             assert!(backend_decompress(kind, &junk).is_err(), "{kind:?}");
         }

@@ -150,8 +150,9 @@ fn main() {
     let d = pedal_deflate::compress(&xml, pedal_deflate::Level::DEFAULT);
     write("bad_deflate_trunc.bin", &d[..d.len() / 2]);
 
-    // PEDAL message with an unknown AlgoID.
-    let mut p = Vec::from([0xFFu8, 9, 0xFF]);
+    // PEDAL message with an unknown AlgoID (11: one past the extended
+    // design matrix, whose pco entries claimed 9 and 10).
+    let mut p = Vec::from([0xFFu8, 11, 0xFF]);
     put_uvarint(&mut p, 4);
     p.extend_from_slice(&[1, 2, 3, 4]);
     write("bad_pedal_algo.bin", &p);

@@ -27,12 +27,15 @@ pub enum CodecId {
     Huff,
     /// Sealed SZ3 streams across all four lossless backends (`pedal-sz3`).
     Sz3,
+    /// pco numeric/columnar streams across every column type plus bytes
+    /// mode (`pedal-pco`).
+    Pco,
     /// Full PEDAL messages: header + varint + body, all eight designs.
     PedalPayload,
 }
 
 impl CodecId {
-    pub const ALL: [CodecId; 8] = [
+    pub const ALL: [CodecId; 9] = [
         CodecId::Deflate,
         CodecId::Zlib,
         CodecId::Gzip,
@@ -40,6 +43,7 @@ impl CodecId {
         CodecId::Lz4Frame,
         CodecId::Huff,
         CodecId::Sz3,
+        CodecId::Pco,
         CodecId::PedalPayload,
     ];
 
@@ -52,6 +56,7 @@ impl CodecId {
             CodecId::Lz4Frame => "lz4-frame",
             CodecId::Huff => "huff",
             CodecId::Sz3 => "sz3",
+            CodecId::Pco => "pco",
             CodecId::PedalPayload => "pedal-payload",
         }
     }
@@ -176,6 +181,32 @@ pub fn build_corpus(codec: CodecId, target: usize) -> Vec<CaseBase> {
                 bases.push(CaseBase {
                     dataset: id.name(),
                     original: field.to_bytes(),
+                    encoded: enc,
+                    design: None,
+                });
+            }
+            CodecId::Pco => {
+                // Cycle the column type across the datasets so every
+                // typed path (and the misaligned bytes fallback) has a
+                // base. The original is always the raw generator bytes —
+                // pco is lossless and the oracle demands bit-exactness.
+                use pedal_pco::ColumnType;
+                let cfg = pedal_pco::PcoConfig::default();
+                let types = [
+                    Some(ColumnType::U32),
+                    Some(ColumnType::U64),
+                    Some(ColumnType::F32),
+                    Some(ColumnType::F64),
+                    None,
+                ];
+                let data = id.generate_bytes(target);
+                let enc = match types[di % types.len()] {
+                    Some(ty) => pedal_pco::compress_typed_bytes(&data, ty, &cfg),
+                    None => pedal_pco::compress_bytes(&data, &cfg),
+                };
+                bases.push(CaseBase {
+                    dataset: id.name(),
+                    original: data,
                     encoded: enc,
                     design: None,
                 });

@@ -35,10 +35,16 @@ pub enum MutationClass {
     ZeroFill,
     /// Duplicate a random region and splice it back in.
     DuplicateRegion,
+    /// Corrupt the entropy-coder model region just past the fixed header:
+    /// pco's rANS frequency table (and huff's code-length table) live in
+    /// bytes ~6..96, where a changed uvarint silently reshapes every
+    /// decode table entry after it. Writes either random bytes or a
+    /// continuation-heavy varint so multi-byte frequencies get stressed.
+    FreqTableCorrupt,
 }
 
 impl MutationClass {
-    pub const ALL: [MutationClass; 10] = [
+    pub const ALL: [MutationClass; 11] = [
         MutationClass::BitFlip,
         MutationClass::ByteSet,
         MutationClass::Truncate,
@@ -49,6 +55,7 @@ impl MutationClass {
         MutationClass::TrailerSwap,
         MutationClass::ZeroFill,
         MutationClass::DuplicateRegion,
+        MutationClass::FreqTableCorrupt,
     ];
 
     pub fn name(self) -> &'static str {
@@ -63,6 +70,7 @@ impl MutationClass {
             MutationClass::TrailerSwap => "trailer-swap",
             MutationClass::ZeroFill => "zero-fill",
             MutationClass::DuplicateRegion => "duplicate-region",
+            MutationClass::FreqTableCorrupt => "freq-table",
         }
     }
 
@@ -149,6 +157,26 @@ pub fn mutate(rng: &mut Pcg32, class: MutationClass, base: &[u8], donor: &[u8]) 
             let region = out[start..start + len].to_vec();
             let at = rng.gen_range(0..=out.len());
             out.splice(at..at, region);
+        }
+        MutationClass::FreqTableCorrupt => {
+            // Skip the 6-byte magic/version/tag prefix when the stream is
+            // long enough; otherwise hit whatever bytes exist.
+            let lo = if out.len() > 6 { 6 } else { 0 };
+            let hi = out.len().min(96);
+            let at = rng.gen_range(lo..hi.max(lo + 1)).min(out.len() - 1);
+            if rng.gen::<bool>() {
+                let hits = rng.gen_range(1usize..=8).min(out.len() - at);
+                for b in &mut out[at..at + hits] {
+                    *b = rng.gen::<u8>();
+                }
+            } else {
+                // A varint with its continuation bit forced high stretches
+                // one frequency entry across its neighbours.
+                let hits = rng.gen_range(2usize..=6).min(out.len() - at);
+                for b in &mut out[at..at + hits] {
+                    *b = 0x80 | rng.gen::<u8>();
+                }
+            }
         }
     }
     out

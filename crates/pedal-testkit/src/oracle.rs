@@ -121,7 +121,7 @@ mod tests {
         let data = b"the eight designs must agree on this ".repeat(64);
         let floats: Vec<u8> =
             (0..1024).flat_map(|i| ((i as f32) * 0.25).sin().to_le_bytes()).collect();
-        for design in Design::ALL {
+        for design in Design::EXTENDED {
             let (datatype, input) = if design.is_lossy() {
                 (Datatype::Float32, &floats)
             } else {
@@ -133,6 +133,28 @@ mod tests {
                 panic!("{design}: {e}");
             });
             assert_eq!(verdict, ErrorClass::Ok, "{design}");
+        }
+    }
+
+    #[test]
+    fn pco_float_payloads_agree_and_roundtrip_bit_exactly() {
+        let oracle = DiffOracle::new();
+        // Salt in non-finite values: pco is lossless on the raw bits, so
+        // NaN payloads and signed zeros must survive the wire untouched.
+        let mut vals: Vec<f32> = (0..2048).map(|i| ((i as f32) * 0.03).cos() * 17.0).collect();
+        vals[5] = f32::NAN;
+        vals[77] = f32::NEG_INFINITY;
+        vals[500] = -0.0;
+        let input: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        for design in [Design::SOC_PCO, Design::CE_PCO] {
+            let (payload, _) =
+                pedal::wire::compress_payload(design, Datatype::Float32, 1e-4, &input).unwrap();
+            let verdict = oracle.check(&payload, input.len()).unwrap_or_else(|e| {
+                panic!("{design}: {e}");
+            });
+            assert_eq!(verdict, ErrorClass::Ok, "{design}");
+            let (decoded, _) = pedal::wire::decompress_payload(&payload, input.len()).unwrap();
+            assert_eq!(decoded, input, "{design}: pco floats must be bit-exact");
         }
     }
 

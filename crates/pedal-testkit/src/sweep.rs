@@ -164,6 +164,13 @@ fn decode_one(
             }
             Ok(())
         }
+        CodecId::Pco => {
+            // pco is lossless and bit-exact: a valid stream must decode
+            // to precisely the original bytes, a mutated one must either
+            // error cleanly or stay within the declared-length budget.
+            let r = pedal_pco::decompress_bytes_with_limit(stream, orig_len);
+            check_lossless(r.map_err(|e| e.to_string()), base, mutated)
+        }
         CodecId::PedalPayload => {
             // Differential: wire vs BF2 vs BF3 must agree on bytes or
             // error class; on valid input they must all succeed.

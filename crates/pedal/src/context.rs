@@ -429,6 +429,24 @@ impl PedalContext {
                 Ok((body, StageTiming::soc(t, fell_back)))
             }
             Algorithm::Sz3 => self.run_sz3_compress(design, datatype, data, now, eff, fell_back),
+            Algorithm::Pco => {
+                // No BlueField engine implements the numeric transform
+                // (Table II discipline): always SoC work, so the CE_PCO
+                // design is a permanent capability fallback.
+                debug_assert_eq!(eff, Placement::Soc);
+                let cfg = pedal_pco::PcoConfig::default();
+                let body = match datatype {
+                    Datatype::Float32 => {
+                        pedal_pco::compress_typed_bytes(data, pedal_pco::ColumnType::F32, &cfg)
+                    }
+                    Datatype::Float64 => {
+                        pedal_pco::compress_typed_bytes(data, pedal_pco::ColumnType::F64, &cfg)
+                    }
+                    Datatype::Byte => pedal_pco::compress_bytes(data, &cfg),
+                };
+                let t = self.costs.soc_lossless(Algorithm::Pco, Direction::Compress, data.len());
+                Ok((body, StageTiming::soc(t, fell_back)))
+            }
         }
     }
 
@@ -591,6 +609,13 @@ impl PedalContext {
                 }
             },
             Algorithm::Sz3 => self.run_sz3_decompress(body, expected_len, now, eff, fell_back),
+            Algorithm::Pco => {
+                debug_assert_eq!(eff, Placement::Soc);
+                let data = pedal_pco::decompress_bytes_with_limit(body, expected_len)
+                    .map_err(|e| PedalError::Codec(e.to_string()))?;
+                let t = self.costs.soc_lossless(Algorithm::Pco, Direction::Decompress, data.len());
+                Ok((data, StageTiming::soc(t, fell_back)))
+            }
         }
     }
 
@@ -641,6 +666,9 @@ impl PedalContext {
                 }
                 BackendKind::Deflate => {
                     self.costs.soc_lossless(Algorithm::Deflate, Direction::Decompress, core.len())
+                }
+                BackendKind::Pco => {
+                    self.costs.soc_lossless(Algorithm::Pco, Direction::Decompress, core.len())
                 }
             }
         };

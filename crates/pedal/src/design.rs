@@ -1,6 +1,7 @@
 //! The eight PEDAL compression designs (paper Table III): each of the four
 //! algorithms placed on either the SoC or the C-Engine, with automatic
-//! per-generation capability fallback.
+//! per-generation capability fallback. [`Design::EXTENDED`] adds the two
+//! placements of the post-paper pco numeric codec under the same rules.
 
 use pedal_dpu::{Algorithm, Direction, Placement, Platform};
 
@@ -23,6 +24,8 @@ impl Design {
     pub const CE_LZ4: Design = Design { algorithm: Algorithm::Lz4, placement: Placement::CEngine };
     pub const SOC_SZ3: Design = Design { algorithm: Algorithm::Sz3, placement: Placement::Soc };
     pub const CE_SZ3: Design = Design { algorithm: Algorithm::Sz3, placement: Placement::CEngine };
+    pub const SOC_PCO: Design = Design { algorithm: Algorithm::Pco, placement: Placement::Soc };
+    pub const CE_PCO: Design = Design { algorithm: Algorithm::Pco, placement: Placement::CEngine };
 
     /// All eight designs in Table III order.
     pub const ALL: [Design; 8] = [
@@ -34,6 +37,23 @@ impl Design {
         Design::CE_LZ4,
         Design::SOC_SZ3,
         Design::CE_SZ3,
+    ];
+
+    /// The paper's eight designs plus the two pco placements added on
+    /// top. `CE_PCO` exists so the capability fallback is exercised: no
+    /// BlueField engine implements the transform, so it always lands on
+    /// the SoC (Table II discipline applied to a post-paper codec).
+    pub const EXTENDED: [Design; 10] = [
+        Design::SOC_DEFLATE,
+        Design::CE_DEFLATE,
+        Design::SOC_ZLIB,
+        Design::CE_ZLIB,
+        Design::SOC_LZ4,
+        Design::CE_LZ4,
+        Design::SOC_SZ3,
+        Design::CE_SZ3,
+        Design::SOC_PCO,
+        Design::CE_PCO,
     ];
 
     /// The six lossless designs (Fig. 10 labels A–F).
@@ -57,6 +77,8 @@ impl Design {
             (Algorithm::Lz4, Placement::CEngine) => "C-Engine_LZ4",
             (Algorithm::Sz3, Placement::Soc) => "SoC_SZ3",
             (Algorithm::Sz3, Placement::CEngine) => "C-Engine_SZ3",
+            (Algorithm::Pco, Placement::Soc) => "SoC_pco",
+            (Algorithm::Pco, Placement::CEngine) => "C-Engine_pco",
         }
     }
 
@@ -76,11 +98,13 @@ impl Design {
             (Algorithm::Lz4, Placement::CEngine) => 6,
             (Algorithm::Sz3, Placement::Soc) => 7,
             (Algorithm::Sz3, Placement::CEngine) => 8,
+            (Algorithm::Pco, Placement::Soc) => 9,
+            (Algorithm::Pco, Placement::CEngine) => 10,
         }
     }
 
     pub fn from_algo_id(id: u8) -> Option<Design> {
-        Design::ALL.iter().copied().find(|d| d.algo_id() == id)
+        Design::EXTENDED.iter().copied().find(|d| d.algo_id() == id)
     }
 
     /// Where this design's work in `dir` actually lands on `platform`.
@@ -131,6 +155,31 @@ mod tests {
         }
         assert_eq!(Design::from_algo_id(0), None);
         assert_eq!(Design::from_algo_id(42), None);
+    }
+
+    #[test]
+    fn extended_designs_add_pco_with_unique_ids() {
+        let mut ids: Vec<u8> = Design::EXTENDED.iter().map(|d| d.algo_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        assert_eq!(&Design::EXTENDED[..8], &Design::ALL[..], "paper designs come first");
+        for d in Design::EXTENDED {
+            assert_eq!(Design::from_algo_id(d.algo_id()), Some(d));
+        }
+        assert_eq!(Design::SOC_PCO.name(), "SoC_pco");
+        assert!(!Design::SOC_PCO.is_lossy(), "pco is lossless");
+    }
+
+    #[test]
+    fn ce_pco_always_falls_back_to_the_soc() {
+        for p in Platform::ALL {
+            for dir in [Direction::Compress, Direction::Decompress] {
+                assert!(Design::CE_PCO.falls_back(p, dir), "{p:?} {dir:?}");
+                assert_eq!(Design::CE_PCO.effective_placement(p, dir), Placement::Soc);
+                assert!(!Design::SOC_PCO.falls_back(p, dir));
+            }
+        }
     }
 
     #[test]

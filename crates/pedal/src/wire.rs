@@ -170,6 +170,19 @@ pub fn compress_body(
             profile.lossless_bytes = core.len();
             pedal_sz3::seal(&core, cfg.backend)
         }
+        Algorithm::Pco => {
+            profile.lossless_bytes = data.len();
+            let cfg = pedal_pco::PcoConfig::default();
+            let ty = match datatype {
+                Datatype::Float32 => Some(pedal_pco::ColumnType::F32),
+                Datatype::Float64 => Some(pedal_pco::ColumnType::F64),
+                Datatype::Byte => None,
+            };
+            match ty {
+                Some(ty) => pedal_pco::compress_typed_bytes(data, ty, &cfg),
+                None => pedal_pco::compress_bytes(data, &cfg),
+            }
+        }
     };
     Ok((body, profile))
 }
@@ -250,6 +263,15 @@ pub fn decompress_payload(
                         return Err(PedalError::Codec(format!("bad sz3 type tag {other:?}")));
                     }
                 }
+            }
+            Algorithm::Pco => {
+                // The pco container self-describes its column type; the
+                // byte-level decode path reproduces the original bytes
+                // for every tag and bounds allocation by `expected_len`.
+                let data = pedal_pco::decompress_bytes_with_limit(body, expected_len)
+                    .map_err(|e| PedalError::Codec(e.to_string()))?;
+                profile.lossless_bytes = data.len();
+                data
             }
         },
     };

@@ -38,6 +38,15 @@ echo "==> chunk-parallel speedup gate (16 MiB, 4 channels >= 2x)"
 # virtual throughput.
 cargo run --release -q -p bench --bin ablation_par
 
+echo "==> pco numeric codec gate (determinism + ratio vs DEFLATE)"
+# Fixed-seed determinism sweep (all four column widths plus bytes mode,
+# non-finite floats included) and the ratio acceptance: pco must beat
+# the DEFLATE-backend ratio on every float dataset (exaalt + obs_error)
+# at <= 2x the SoC virtual-time cost. Writes
+# results/BENCH_ablation_pco.json (mirrored at the repo root) and exits
+# non-zero if any gate fails.
+cargo run --release -q -p bench --bin ablation_pco
+
 echo "==> bench reports mirrored at repo root"
 # Every bench bin mirrors its BENCH_<name>.json at the repository root;
 # at least one must exist after the bench stage.
