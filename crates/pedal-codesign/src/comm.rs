@@ -63,6 +63,10 @@ pub struct CommStats {
     pub decompress_time: SimDuration,
     /// Messages that skipped compression (Eager class).
     pub eager_passthroughs: u64,
+    /// Messages sent through the streamed (compress-while-sending) path.
+    pub streamed_messages: u64,
+    /// PSF1 frames shipped by streamed sends.
+    pub streamed_frames: u64,
 }
 
 impl CommStats {

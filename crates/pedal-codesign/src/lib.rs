@@ -18,6 +18,8 @@
 
 pub mod comm;
 pub mod deployment;
+pub mod stream;
 
 pub use comm::{CommStats, PedalComm, PedalCommConfig};
 pub use deployment::Deployment;
+pub use stream::{StreamSendConfig, DEFAULT_STREAM_CHUNK};

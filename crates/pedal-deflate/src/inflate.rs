@@ -68,9 +68,35 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, InflateError> {
 
 /// Decompress with an output size cap (guards against decompression bombs).
 pub fn inflate_with_limit(data: &[u8], limit: usize) -> Result<Vec<u8>, InflateError> {
+    inflate_core(data, limit, false).map(|(out, _)| out)
+}
+
+/// Decompress a sync-flush DEFLATE fragment, as produced by
+/// `compress_fragment`: a run of blocks that either ends with a BFINAL
+/// block (the stream's last fragment) or stops cleanly at a byte-aligned
+/// block boundary with fewer than 3 bits of padding left. Returns the
+/// decoded bytes and whether a BFINAL block was seen, so a streaming
+/// caller can distinguish "fragment done" from "stream done".
+pub fn inflate_fragment_with_limit(
+    data: &[u8],
+    limit: usize,
+) -> Result<(Vec<u8>, bool), InflateError> {
+    inflate_core(data, limit, true)
+}
+
+fn inflate_core(
+    data: &[u8],
+    limit: usize,
+    fragment: bool,
+) -> Result<(Vec<u8>, bool), InflateError> {
     let mut r = BitReader::new(data);
     let mut out: Vec<u8> = Vec::with_capacity((data.len() * 3).min(1 << 20));
     loop {
+        if fragment && r.bits_remaining() < 3 {
+            // A non-final fragment ends after its sync-flush stored block;
+            // anything shorter than a block header is alignment padding.
+            return Ok((out, false));
+        }
         let bfinal = r.read_bits(1)?;
         let btype = r.read_bits(2)?;
         match btype {
@@ -86,7 +112,7 @@ pub fn inflate_with_limit(data: &[u8], limit: usize) -> Result<Vec<u8>, InflateE
             _ => return Err(InflateError::InvalidBlockType),
         }
         if bfinal == 1 {
-            return Ok(out);
+            return Ok((out, true));
         }
     }
 }

@@ -28,7 +28,8 @@ pub mod lz77;
 
 pub use encoder::{deflate as compress, deflate_fragment as compress_fragment, Level};
 pub use inflate::{
-    inflate as decompress, inflate_with_limit as decompress_with_limit, InflateError,
+    inflate as decompress, inflate_fragment_with_limit as decompress_fragment_with_limit,
+    inflate_with_limit as decompress_with_limit, InflateError,
 };
 
 /// Upper bound on the compressed size of `n` input bytes (stored-block

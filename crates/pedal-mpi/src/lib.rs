@@ -16,7 +16,11 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod stream;
 
 pub use collectives::{allreduce, alltoall, barrier, bcast, gather, reduce, scatter};
 pub use comm::{run_world, MpiError, RankCtx, SendHandle, WorldConfig, DEFAULT_EAGER_THRESHOLD};
 pub use pedal_dpu::Bytes;
+pub use stream::{
+    StreamReceiver, StreamSender, DEFAULT_WINDOW, STREAM_TAG_BASE, STREAM_TAG_STRIDE,
+};

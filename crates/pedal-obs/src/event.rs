@@ -52,11 +52,18 @@ pub enum SpanKind {
     /// One shard of a chunk-parallel fan-out: fragment compression of a
     /// single chunk on one C-Engine channel (arg = chunk index).
     Chunk = 14,
+    /// Streaming encode of one chunk into a PSF1 frame (arg = frame
+    /// index).
+    StreamEncode = 15,
+    /// One PSF1 frame in flight on the wire (arg = frame bytes).
+    StreamFrame = 16,
+    /// Streaming decode of one received frame (arg = frame index).
+    StreamDecode = 17,
 }
 
 impl SpanKind {
     /// Every kind, for exporters that enumerate the vocabulary.
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 17] = [
         SpanKind::QueueWait,
         SpanKind::PoolAcquire,
         SpanKind::Job,
@@ -71,6 +78,9 @@ impl SpanKind {
         SpanKind::Sz3Huffman,
         SpanKind::Sz3Backend,
         SpanKind::Chunk,
+        SpanKind::StreamEncode,
+        SpanKind::StreamFrame,
+        SpanKind::StreamDecode,
     ];
 
     /// Stable wire code.
@@ -99,6 +109,9 @@ impl SpanKind {
             SpanKind::Sz3Huffman => "sz3-huffman",
             SpanKind::Sz3Backend => "sz3-backend",
             SpanKind::Chunk => "chunk",
+            SpanKind::StreamEncode => "stream-encode",
+            SpanKind::StreamFrame => "stream-frame",
+            SpanKind::StreamDecode => "stream-decode",
         }
     }
 
@@ -117,6 +130,7 @@ impl SpanKind {
             | SpanKind::Sz3Quantize
             | SpanKind::Sz3Huffman
             | SpanKind::Sz3Backend => "sz3",
+            SpanKind::StreamEncode | SpanKind::StreamFrame | SpanKind::StreamDecode => "stream",
         }
     }
 }

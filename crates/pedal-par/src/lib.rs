@@ -117,6 +117,63 @@ where
 // DEFLATE
 // ---------------------------------------------------------------------
 
+/// An empty non-final stored block: the 5-byte sync-flush marker every
+/// non-final fragment ends with.
+const EMPTY_SYNC: [u8; 5] = [0x00, 0x00, 0x00, 0xFF, 0xFF];
+/// An empty final stored block: what `compress_fragment(&[], _, true)`
+/// emits for zero input bytes.
+const EMPTY_FINAL: [u8; 5] = [0x01, 0x00, 0x00, 0xFF, 0xFF];
+
+/// A fragment list the stitcher refuses to assemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchError {
+    /// A fragment carried no bytes at all — the chunker produced an
+    /// empty range.
+    EmptyFragment(usize),
+    /// A multi-fragment list contained a fragment encoding zero
+    /// plaintext (a bare sync-flush or empty final block). The previous
+    /// fragment already ended in a sync flush, so keeping it would emit
+    /// the empty stored block twice — the double-flush a zero-length
+    /// trailing chunk produces on exact chunk-multiple inputs.
+    DoubleFlush(usize),
+}
+
+impl std::fmt::Display for StitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StitchError::EmptyFragment(i) => write!(f, "fragment {i} is empty"),
+            StitchError::DoubleFlush(i) => {
+                write!(f, "fragment {i} encodes zero bytes (double sync flush)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// Concatenate sync-flush DEFLATE fragments into one valid RFC 1951
+/// stream, in index order. Rejects malformed fragment lists instead of
+/// emitting a corrupt-adjacent stream: every fragment must carry bytes,
+/// and in a multi-fragment list none may encode zero plaintext — a bare
+/// sync-flush or empty-final marker means some chunker emitted a
+/// zero-length chunk, and stitching it would double the empty stored
+/// block its predecessor already wrote. (A single empty-final fragment
+/// stays valid: that is exactly `compress(b"")`.)
+pub fn stitch_fragments(frags: &[Vec<u8>]) -> Result<Vec<u8>, StitchError> {
+    let total = frags.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for (i, f) in frags.iter().enumerate() {
+        if f.is_empty() {
+            return Err(StitchError::EmptyFragment(i));
+        }
+        if frags.len() > 1 && (f[..] == EMPTY_SYNC || f[..] == EMPTY_FINAL) {
+            return Err(StitchError::DoubleFlush(i));
+        }
+        out.extend_from_slice(f);
+    }
+    Ok(out)
+}
+
 /// Chunk-parallel raw DEFLATE. The result is one valid RFC 1951 stream
 /// decodable by [`pedal_deflate::decompress`] (or any conformant
 /// inflater); inputs of at most one chunk return bytes identical to
@@ -132,12 +189,7 @@ pub fn par_deflate(data: &[u8], level: Level, cfg: &ParConfig) -> Vec<u8> {
         let end = (start + chunk).min(data.len());
         pedal_deflate::compress_fragment(&data[start..end], level, i == jobs - 1)
     });
-    let total = frags.iter().map(Vec::len).sum();
-    let mut out = Vec::with_capacity(total);
-    for f in &frags {
-        out.extend_from_slice(f);
-    }
-    out
+    stitch_fragments(&frags).expect("chunk ranges are never empty")
 }
 
 /// Chunk-parallel zlib (RFC 1950): parallel DEFLATE body, header and
@@ -381,6 +433,42 @@ mod tests {
             par_pco_bytes(&small, &pco, &ParConfig::new(8)),
             pedal_pco::compress_bytes(&small, &pco)
         );
+    }
+
+    #[test]
+    fn stitcher_rejects_zero_length_trailing_fragment() {
+        let level = Level::DEFAULT;
+        // A buggy chunker splitting an exact chunk-multiple input into
+        // jobs+1 ranges hands the stitcher a zero-length trailing chunk:
+        // its fragment is a bare empty-final block right after a
+        // fragment that already ended in a sync flush.
+        let data = DatasetId::ALL[2].generate_bytes(2 * MIN_CHUNK);
+        let good = vec![
+            pedal_deflate::compress_fragment(&data[..MIN_CHUNK], level, false),
+            pedal_deflate::compress_fragment(&data[MIN_CHUNK..], level, true),
+        ];
+        let stitched = stitch_fragments(&good).unwrap();
+        assert_eq!(pedal_deflate::decompress(&stitched).unwrap(), data);
+
+        let double_flush = vec![
+            pedal_deflate::compress_fragment(&data[..MIN_CHUNK], level, false),
+            pedal_deflate::compress_fragment(&data[MIN_CHUNK..], level, false),
+            pedal_deflate::compress_fragment(&[], level, true),
+        ];
+        assert_eq!(stitch_fragments(&double_flush), Err(StitchError::DoubleFlush(2)));
+        // A bare sync flush mid-stream is the same defect.
+        let mid_sync = vec![
+            pedal_deflate::compress_fragment(&data[..MIN_CHUNK], level, false),
+            pedal_deflate::compress_fragment(&[], level, false),
+            pedal_deflate::compress_fragment(&data[MIN_CHUNK..], level, true),
+        ];
+        assert_eq!(stitch_fragments(&mid_sync), Err(StitchError::DoubleFlush(1)));
+        // And a fragment with no bytes at all is rejected outright.
+        assert_eq!(stitch_fragments(&[Vec::new()]), Err(StitchError::EmptyFragment(0)));
+        // But the lone empty-final fragment IS the empty stream.
+        let empty = vec![pedal_deflate::compress_fragment(&[], level, true)];
+        let stitched = stitch_fragments(&empty).unwrap();
+        assert_eq!(pedal_deflate::decompress(&stitched).unwrap(), b"");
     }
 
     #[test]

@@ -546,7 +546,11 @@ pub fn compress_bytes_chunked(data: &[u8], chunk_bytes: usize, cfg: &PcoConfig) 
     assemble_bytes_container(data.len(), &blobs)
 }
 
-fn decode_bytes_chunk(blob: &[u8], max_bytes: usize) -> Result<Vec<u8>, PcoError> {
+/// Decode one bytes-mode chunk blob back to its raw bytes, rejecting
+/// chunks that declare more than `max_bytes` of output. Inverse of
+/// [`encode_bytes_chunk`]; public so streaming decoders can consume
+/// chunks one frame at a time without the container wrapper.
+pub fn decode_bytes_chunk(blob: &[u8], max_bytes: usize) -> Result<Vec<u8>, PcoError> {
     let mut r = ByteReader::new(blob);
     let chunk_len = r.usize_bounded(max_bytes, "chunk length")?;
     let n_words = chunk_len / 4;

@@ -60,6 +60,7 @@ mod job;
 mod queue;
 mod service;
 mod stats;
+mod streaming;
 
 pub use job::{CompletedJob, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError};
 pub use queue::BackpressurePolicy;
@@ -67,3 +68,6 @@ pub use service::{
     series, PedalService, ServiceConfig, TraceConfig, DEFAULT_PAR_CHUNK, MIN_PAR_CHUNK,
 };
 pub use stats::{LaneStats, ServiceSnapshot, ServiceStats};
+pub use streaming::{
+    run_streaming_job, StreamingConfig, StreamingReport, DEFAULT_CHUNKS_IN_FLIGHT,
+};

@@ -1025,16 +1025,20 @@ fn finish_parent(
     let (result, completed) = match st.failed.take() {
         Some(e) => (Err(ServiceError::Pedal(e)), frag_done),
         None => {
-            let total: usize = st.frags.iter().flatten().map(|f| f.bytes.len()).sum();
-            let mut stitched = Vec::with_capacity(total);
-            for f in st.frags.iter().flatten() {
-                stitched.extend_from_slice(&f.bytes);
+            // The shared stitcher validates fragment shape (no empty or
+            // marker-only fragments slip through) before concatenating.
+            let frag_bytes: Vec<Vec<u8>> =
+                st.frags.iter_mut().flatten().map(|f| std::mem::take(&mut f.bytes)).collect();
+            match pedal_par::stitch_fragments(&frag_bytes) {
+                Ok(stitched) => {
+                    let completed = frag_done + env.costs.memcpy(stitched.len());
+                    rec.span(SpanKind::Memcpy, frag_done, completed, stitched.len() as u64);
+                    let (payload, passthrough) =
+                        wire::frame_compressed(desc.design, parent.data(), stitched);
+                    (Ok(JobOutput { bytes: payload, passthrough }), completed)
+                }
+                Err(e) => (Err(ServiceError::Pedal(e.to_string())), frag_done),
             }
-            let completed = frag_done + env.costs.memcpy(stitched.len());
-            rec.span(SpanKind::Memcpy, frag_done, completed, stitched.len() as u64);
-            let (payload, passthrough) =
-                wire::frame_compressed(desc.design, parent.data(), stitched);
-            (Ok(JobOutput { bytes: payload, passthrough }), completed)
         }
     };
     rec.span(SpanKind::Job, started, completed, parent.job.id);

@@ -1,0 +1,309 @@
+//! Streaming job mode: compress-while-sending with bounded per-job
+//! in-flight memory.
+//!
+//! The batch path ([`crate::PedalService`]) holds a job's whole input
+//! and whole output in memory at once. For very large payloads the
+//! streaming mode instead walks the input through a
+//! [`pedal_stream::StreamEncoder`] one chunk at a time and hands each
+//! PSF1 frame group to a caller-supplied sink as soon as it is sealed,
+//! with a bounded window of frames in flight on the (virtual) wire.
+//! Peak per-job memory is therefore `chunks_in_flight * chunk_size`
+//! plus two chunks of encoder scratch (the deferred pending chunk and
+//! the sealed frame in hand-off) — never the whole compressed message.
+//!
+//! Virtual time follows the same cost model as the batch lanes: each
+//! chunk pays its SoC compress time, each frame pays its network
+//! transfer serially on the wire, and a full window blocks the encoder
+//! until the oldest frame drains (backpressure). Encode and transfer
+//! overlap: while frame `i` is on the wire the encoder is already
+//! compressing chunk `i + 1`.
+
+use pedal_dpu::{Algorithm, CostModel, Direction, SimInstant};
+use pedal_obs::{LaneRecorder, SpanKind, Track};
+use pedal_stream::{StreamCodec, StreamConfig, StreamEncoder};
+use std::collections::VecDeque;
+
+/// Default frame window for streamed jobs.
+pub const DEFAULT_CHUNKS_IN_FLIGHT: usize = 4;
+
+/// Configuration of one streamed compression job.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// Streaming codec filling PSF1 payloads.
+    pub codec: StreamCodec,
+    /// Plaintext bytes per chunk (and per emitted frame).
+    pub chunk_size: usize,
+    /// Maximum frame groups buffered between encoder and wire. The
+    /// encoder stalls when the window is full, bounding in-flight
+    /// memory.
+    pub chunks_in_flight: usize,
+}
+
+impl StreamingConfig {
+    pub fn new(codec: StreamCodec) -> Self {
+        Self {
+            codec,
+            chunk_size: pedal_stream::DEFAULT_CHUNK,
+            chunks_in_flight: DEFAULT_CHUNKS_IN_FLIGHT,
+        }
+    }
+
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    pub fn with_chunks_in_flight(mut self, n: usize) -> Self {
+        self.chunks_in_flight = n.max(1);
+        self
+    }
+
+    fn algorithm(&self) -> Algorithm {
+        match self.codec {
+            StreamCodec::Deflate(_) => Algorithm::Deflate,
+            StreamCodec::Lz4 { .. } => Algorithm::Lz4,
+            StreamCodec::Pco(_) => Algorithm::Pco,
+        }
+    }
+}
+
+/// Outcome of a streamed job.
+#[derive(Debug)]
+pub struct StreamingReport {
+    /// Plaintext bytes consumed.
+    pub raw_bytes: usize,
+    /// PSF1 stream bytes handed to the sink (header + frames + trailer).
+    pub wire_bytes: usize,
+    /// PSF1 frames sealed by the encoder.
+    pub frames: u64,
+    /// Peak bytes simultaneously held by this job: sealed frames still
+    /// in the wire window plus the encoder's internal buffers.
+    pub peak_in_flight: usize,
+    /// Virtual instant the last frame finished its network transfer.
+    pub completed: SimInstant,
+    /// Span telemetry: one `StreamEncode` span per chunk, one
+    /// `StreamFrame` span per wire transfer.
+    pub track: Track,
+}
+
+/// Wire side of a streamed job: a serial link plus a bounded window of
+/// frame groups whose transfers have been issued but not yet waited on.
+struct Wire<'a, F> {
+    rec: LaneRecorder,
+    window: VecDeque<(usize, SimInstant)>,
+    window_bytes: usize,
+    wire_free: SimInstant,
+    wire_bytes: usize,
+    peak: usize,
+    cap: usize,
+    costs: &'a CostModel,
+    sink: F,
+}
+
+impl<F: FnMut(&[u8], SimInstant)> Wire<'_, F> {
+    /// Issue one frame group. If the window is full, the encoder clock
+    /// (`now`) first waits for the oldest outstanding transfer —
+    /// that stall is exactly the backpressure bounding memory.
+    fn ship(&mut self, blob: &[u8], now: &mut SimInstant) {
+        if blob.is_empty() {
+            return;
+        }
+        if self.window.len() >= self.cap {
+            let (len, done) = self.window.pop_front().expect("window non-empty");
+            self.window_bytes -= len;
+            *now = (*now).max(done);
+        }
+        let start = self.wire_free.max(*now);
+        let done = start + self.costs.network_transfer(blob.len());
+        self.rec.span(SpanKind::StreamFrame, start, done, blob.len() as u64);
+        self.wire_free = done;
+        self.window.push_back((blob.len(), done));
+        self.window_bytes += blob.len();
+        self.wire_bytes += blob.len();
+        self.peak = self.peak.max(self.window_bytes);
+        (self.sink)(blob, done);
+    }
+}
+
+/// Run one streamed compress job: encode `data` chunk by chunk, handing
+/// each sealed frame group to `sink` together with the virtual instant
+/// its network transfer completes. Frame groups reach the sink in
+/// stream order; concatenating every sink blob yields exactly
+/// [`pedal_stream::encode_all`] of the same data and config — the wire
+/// bytes never depend on the window size.
+pub fn run_streaming_job<F>(
+    data: &[u8],
+    cfg: &StreamingConfig,
+    costs: &CostModel,
+    sink: F,
+) -> StreamingReport
+where
+    F: FnMut(&[u8], SimInstant),
+{
+    let scfg = StreamConfig::new(cfg.codec.clone()).with_chunk_size(cfg.chunk_size);
+    let algo = cfg.algorithm();
+    let mut enc = StreamEncoder::new(&scfg);
+    let mut now = SimInstant::EPOCH;
+    let mut wire = Wire {
+        rec: LaneRecorder::new("stream-job", 4096),
+        window: VecDeque::new(),
+        window_bytes: 0,
+        wire_free: SimInstant::EPOCH,
+        wire_bytes: 0,
+        peak: 0,
+        cap: cfg.chunks_in_flight.max(1),
+        costs,
+        sink,
+    };
+
+    for piece in data.chunks(cfg.chunk_size.max(1)) {
+        let enc_done = now + costs.soc_lossless(algo, Direction::Compress, piece.len());
+        wire.rec.span(SpanKind::StreamEncode, now, enc_done, piece.len() as u64);
+        now = enc_done;
+        enc.push(piece);
+        wire.peak = wire.peak.max(wire.window_bytes + enc.pending_len() + enc.ready_len());
+        let blob = enc.take();
+        wire.ship(&blob, &mut now);
+    }
+    // finish() always seals exactly one more frame (the LAST one, empty
+    // for empty input) plus the trailer.
+    let frames = enc.frames_emitted() + 1;
+    let tail = enc.finish();
+    wire.peak = wire.peak.max(wire.window_bytes + tail.len());
+    wire.ship(&tail, &mut now);
+
+    let completed = now.max(wire.wire_free);
+    StreamingReport {
+        raw_bytes: data.len(),
+        wire_bytes: wire.wire_bytes,
+        frames,
+        peak_in_flight: wire.peak,
+        completed,
+        track: wire.rec.into_track(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_dpu::Platform;
+    use pedal_stream::{encode_all, Level, StreamDecoder};
+
+    fn costs() -> CostModel {
+        CostModel::for_platform(Platform::BlueField2)
+    }
+
+    fn sample(n: usize) -> Vec<u8> {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 4 == 0 {
+                    (x & 0x1F) as u8
+                } else {
+                    (i / 64) as u8
+                }
+            })
+            .collect()
+    }
+
+    /// Satellite property: a streamed 64 MiB job never holds more than
+    /// `chunks_in_flight * chunk_size` in sealed frames plus one chunk
+    /// of encoder scratch and O(1) framing slop — and the sink still
+    /// sees a byte-perfect PSF1 stream.
+    #[test]
+    fn streamed_64mib_job_memory_is_bounded() {
+        let chunk = 1 << 20;
+        let window = 4;
+        let data = sample(64 << 20);
+        let cfg = StreamingConfig::new(StreamCodec::Deflate(Level::STORED))
+            .with_chunk_size(chunk)
+            .with_chunks_in_flight(window);
+        let mut dec = StreamDecoder::new(data.len());
+        let mut pos = 0usize;
+        let report = run_streaming_job(&data, &cfg, &costs(), |blob, _| {
+            dec.feed(blob).expect("streamed frames decode");
+            let out = dec.take();
+            assert_eq!(out, data[pos..pos + out.len()], "decoded bytes diverge at {pos}");
+            pos += out.len();
+        });
+        assert!(dec.is_finished());
+        assert_eq!(pos, data.len());
+        assert_eq!(report.raw_bytes, data.len());
+        assert_eq!(report.frames, 64);
+        // Window of sealed frames + two chunks of encoder scratch (one
+        // pending chunk, one sealed frame in hand-off) + framing slop.
+        let bound = window * chunk + 2 * chunk + (64 << 10);
+        assert!(
+            report.peak_in_flight <= bound,
+            "peak {} exceeds bound {bound}",
+            report.peak_in_flight
+        );
+        // Sanity: the bound is tight-ish — a whole-message buffer would
+        // be an order of magnitude larger.
+        assert!(report.peak_in_flight * 8 < data.len());
+    }
+
+    #[test]
+    fn wire_bytes_independent_of_window_and_deterministic() {
+        let data = sample(4 << 20);
+        let costs = costs();
+        let one_shot = encode_all(
+            &data,
+            &StreamConfig::new(StreamCodec::Lz4 { accel: 1 }).with_chunk_size(256 << 10),
+        );
+        let mut completions = Vec::new();
+        for window in [1usize, 6] {
+            let cfg = StreamingConfig::new(StreamCodec::Lz4 { accel: 1 })
+                .with_chunk_size(256 << 10)
+                .with_chunks_in_flight(window);
+            let mut wire = Vec::new();
+            let report = run_streaming_job(&data, &cfg, &costs, |blob, _| {
+                wire.extend_from_slice(blob);
+            });
+            assert_eq!(wire, one_shot, "window={window} changed the wire bytes");
+            assert_eq!(report.wire_bytes, one_shot.len());
+            completions.push(report.completed);
+        }
+        // Re-running the wider window reproduces its completion exactly.
+        let cfg = StreamingConfig::new(StreamCodec::Lz4 { accel: 1 })
+            .with_chunk_size(256 << 10)
+            .with_chunks_in_flight(6);
+        let report = run_streaming_job(&data, &cfg, &costs, |_, _| {});
+        assert_eq!(report.completed, completions[1]);
+    }
+
+    #[test]
+    fn encode_overlaps_wire_and_records_spans() {
+        let data = sample(8 << 20);
+        let cfg = StreamingConfig::new(StreamCodec::Deflate(Level::FAST))
+            .with_chunk_size(1 << 20)
+            .with_chunks_in_flight(DEFAULT_CHUNKS_IN_FLIGHT);
+        let report = run_streaming_job(&data, &cfg, &costs(), |_, _| {});
+        let encode_ns = report.track.total_ns(SpanKind::StreamEncode);
+        let frame_ns = report.track.total_ns(SpanKind::StreamFrame);
+        assert!(encode_ns > 0 && frame_ns > 0);
+        assert_eq!(report.track.dropped, 0);
+        let completed_ns = report.completed.elapsed_since(SimInstant::EPOCH).as_nanos();
+        // Overlap: the pipeline finishes sooner than encode + transfer
+        // run back to back.
+        assert!(
+            completed_ns < encode_ns + frame_ns,
+            "no overlap: completed {completed_ns} vs serial {}",
+            encode_ns + frame_ns
+        );
+    }
+
+    #[test]
+    fn empty_job_still_frames_and_terminates() {
+        let cfg = StreamingConfig::new(StreamCodec::Pco(pedal_stream::PcoConfig::default()));
+        let mut wire = Vec::new();
+        let report = run_streaming_job(&[], &cfg, &costs(), |blob, _| {
+            wire.extend_from_slice(blob);
+        });
+        assert_eq!(report.frames, 1);
+        assert_eq!(pedal_stream::decode_all(&wire, 0).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,261 @@
+//! Resumable PSF1 decoder: feed wire bytes at any granularity, drain
+//! plaintext as frames complete.
+
+use crate::frame::{
+    max_payload_len, Cursor, StreamError, CODEC_DEFLATE, CODEC_LZ4, CODEC_PCO, FRAME_LAST,
+    FRAME_RAW, MAGIC, MAX_CHUNK_SIZE, VERSION,
+};
+use pedal_zlib::{adler32, Adler32};
+
+/// Decoder-side codec selector, recovered from the stream header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CodecKind {
+    Deflate,
+    Lz4,
+    Pco,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Header,
+    Frame,
+    Trailer,
+    Done,
+}
+
+/// Incremental decoder. [`feed`](Self::feed) accepts wire bytes one at a
+/// time or a megabyte at a time — all validation happens at frame
+/// granularity, and every structural defect is a clean [`StreamError`].
+///
+/// Buffering is bounded: at most one in-flight frame (header + payload,
+/// itself bounded by the stream's declared chunk size) plus whatever
+/// decoded plaintext the caller has not yet [`take`](Self::take)n.
+pub struct StreamDecoder {
+    limit: usize,
+    buf: Vec<u8>,
+    pos: usize,
+    state: State,
+    codec: CodecKind,
+    chunk_size: usize,
+    payload_bound: usize,
+    next_index: u64,
+    emitted: usize,
+    adler: Adler32,
+    ready: Vec<u8>,
+}
+
+impl StreamDecoder {
+    /// `limit` caps total decoded plaintext — the decompression-bomb
+    /// guard, enforced per frame before any payload is decoded.
+    pub fn new(limit: usize) -> Self {
+        Self {
+            limit,
+            buf: Vec::new(),
+            pos: 0,
+            state: State::Header,
+            codec: CodecKind::Deflate,
+            chunk_size: 0,
+            payload_bound: 0,
+            next_index: 0,
+            emitted: 0,
+            adler: Adler32::new(),
+            ready: Vec::new(),
+        }
+    }
+
+    /// Append wire bytes and decode as many complete frames as they
+    /// finish. Errors are sticky only in the sense that the stream is
+    /// corrupt — callers should stop feeding after an `Err`.
+    pub fn feed(&mut self, data: &[u8]) -> Result<(), StreamError> {
+        if self.state == State::Done {
+            if data.is_empty() {
+                return Ok(());
+            }
+            return Err(StreamError::TrailingBytes(data.len()));
+        }
+        self.buf.extend_from_slice(data);
+        while self.step()? {}
+        self.compact();
+        if self.state == State::Done && self.pos < self.buf.len() {
+            return Err(StreamError::TrailingBytes(self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+
+    /// Drain the plaintext decoded so far.
+    pub fn take(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// True once the trailer has been verified.
+    pub fn is_finished(&self) -> bool {
+        self.state == State::Done
+    }
+
+    /// Total plaintext bytes decoded so far (including already-taken).
+    pub fn decoded_len(&self) -> usize {
+        self.emitted
+    }
+
+    /// Bytes currently buffered waiting for a frame to complete.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Frames fully decoded so far.
+    pub fn frames_decoded(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Close the stream: errors with [`StreamError::Truncated`] unless
+    /// the trailer was seen, otherwise returns the not-yet-taken
+    /// plaintext.
+    pub fn finish(self) -> Result<Vec<u8>, StreamError> {
+        if self.state != State::Done {
+            return Err(StreamError::Truncated);
+        }
+        Ok(self.ready)
+    }
+
+    /// One parsing step. `Ok(true)` means progress was made; `Ok(false)`
+    /// means more input is needed.
+    fn step(&mut self) -> Result<bool, StreamError> {
+        match self.state {
+            State::Header => self.step_header(),
+            State::Frame => self.step_frame(),
+            State::Trailer => self.step_trailer(),
+            State::Done => Ok(false),
+        }
+    }
+
+    fn step_header(&mut self) -> Result<bool, StreamError> {
+        let mut c = Cursor::new(&self.buf[self.pos..]);
+        let Some(magic) = c.bytes(4) else { return Ok(false) };
+        if magic != MAGIC {
+            return Err(StreamError::BadMagic);
+        }
+        let Some(version) = c.u8() else { return Ok(false) };
+        if version != VERSION {
+            return Err(StreamError::BadVersion(version));
+        }
+        let Some(codec_id) = c.u8() else { return Ok(false) };
+        let codec = match codec_id {
+            CODEC_DEFLATE => CodecKind::Deflate,
+            CODEC_LZ4 => CodecKind::Lz4,
+            CODEC_PCO => CodecKind::Pco,
+            other => return Err(StreamError::UnknownCodec(other)),
+        };
+        let Some(hflags) = c.u8() else { return Ok(false) };
+        if hflags != 0 {
+            return Err(StreamError::ReservedFlags(hflags));
+        }
+        let Some(chunk_size) = c.uvarint()? else { return Ok(false) };
+        if chunk_size == 0 || chunk_size > MAX_CHUNK_SIZE {
+            return Err(StreamError::BadChunkSize(chunk_size));
+        }
+        self.codec = codec;
+        self.chunk_size = chunk_size as usize;
+        self.payload_bound = max_payload_len(self.chunk_size);
+        self.pos += c.at;
+        self.state = State::Frame;
+        Ok(true)
+    }
+
+    fn step_frame(&mut self) -> Result<bool, StreamError> {
+        let mut c = Cursor::new(&self.buf[self.pos..]);
+        let Some(flags) = c.u8() else { return Ok(false) };
+        if flags & !(FRAME_LAST | FRAME_RAW) != 0 {
+            return Err(StreamError::ReservedFlags(flags));
+        }
+        let last = flags & FRAME_LAST != 0;
+        let raw = flags & FRAME_RAW != 0;
+        let Some(index) = c.uvarint()? else { return Ok(false) };
+        if index != self.next_index {
+            return Err(StreamError::FrameOutOfOrder { expected: self.next_index, got: index });
+        }
+        let Some(raw_len) = c.uvarint()? else { return Ok(false) };
+        if raw_len > self.chunk_size as u64 {
+            return Err(StreamError::RawLenTooLarge { raw_len, chunk_size: self.chunk_size });
+        }
+        let raw_len = raw_len as usize;
+        if self.emitted.checked_add(raw_len).is_none_or(|t| t > self.limit) {
+            return Err(StreamError::OutputLimitExceeded(self.limit));
+        }
+        let Some(payload_len) = c.uvarint()? else { return Ok(false) };
+        if payload_len > self.payload_bound as u64 {
+            return Err(StreamError::PayloadTooLarge { payload_len, bound: self.payload_bound });
+        }
+        let Some(sum) = c.u32le() else { return Ok(false) };
+        let Some(payload) = c.bytes(payload_len as usize) else { return Ok(false) };
+        if adler32(payload) != sum {
+            return Err(StreamError::PayloadChecksum);
+        }
+        let decoded: Vec<u8> = if raw {
+            if payload.len() != raw_len {
+                return Err(StreamError::LengthMismatch { declared: raw_len, got: payload.len() });
+            }
+            payload.to_vec()
+        } else {
+            match self.codec {
+                CodecKind::Deflate => {
+                    let (bytes, saw_final) =
+                        pedal_deflate::decompress_fragment_with_limit(payload, raw_len)?;
+                    if saw_final != last {
+                        return Err(StreamError::FinalFlagMismatch);
+                    }
+                    bytes
+                }
+                CodecKind::Lz4 => pedal_lz4::decompress_block(payload, Some(raw_len), raw_len)?,
+                CodecKind::Pco => pedal_pco::decode_bytes_chunk(payload, raw_len)?,
+            }
+        };
+        if decoded.len() != raw_len {
+            return Err(StreamError::LengthMismatch { declared: raw_len, got: decoded.len() });
+        }
+        self.adler.update(&decoded);
+        self.ready.extend_from_slice(&decoded);
+        self.emitted += raw_len;
+        self.next_index += 1;
+        self.pos += c.at;
+        self.state = if last { State::Trailer } else { State::Frame };
+        Ok(true)
+    }
+
+    fn step_trailer(&mut self) -> Result<bool, StreamError> {
+        let mut c = Cursor::new(&self.buf[self.pos..]);
+        let Some(total) = c.uvarint()? else { return Ok(false) };
+        if total != self.emitted as u64 {
+            return Err(StreamError::TotalMismatch {
+                declared: total,
+                decoded: self.emitted as u64,
+            });
+        }
+        let Some(sum) = c.u32le() else { return Ok(false) };
+        if sum != self.adler.finish() {
+            return Err(StreamError::StreamChecksum);
+        }
+        self.pos += c.at;
+        self.state = State::Done;
+        Ok(true)
+    }
+
+    /// Drop consumed bytes once they dominate the buffer, keeping
+    /// in-flight buffering proportional to one frame.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// One-shot convenience: decode a complete PSF1 stream with an output
+/// budget.
+pub fn decode_all(stream: &[u8], limit: usize) -> Result<Vec<u8>, StreamError> {
+    let mut dec = StreamDecoder::new(limit);
+    dec.feed(stream)?;
+    dec.finish()
+}

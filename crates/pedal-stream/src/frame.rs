@@ -1,0 +1,293 @@
+//! The PSF1 wire format: stream header, frame headers, trailer.
+//!
+//! Layout (all multi-byte integers little-endian, varints LEB128):
+//!
+//! ```text
+//! stream  := header frame* trailer
+//! header  := "PSF1" version:u8 codec:u8 flags:u8 chunk_size:uvarint
+//! frame   := flags:u8 index:uvarint raw_len:uvarint payload_len:uvarint
+//!            payload_adler:u32le payload
+//! trailer := total_raw:uvarint stream_adler:u32le
+//! ```
+//!
+//! Frame `flags` bit 0 marks the stream's final frame, bit 1 marks a raw
+//! (stored) payload; all other bits are reserved and must be zero. Frame
+//! indices are strictly sequential from zero so a reordered or replayed
+//! frame is detected before its payload is decoded. `payload_adler`
+//! covers the compressed payload (cheap per-frame integrity);
+//! `stream_adler` covers the whole plaintext.
+
+/// Stream magic: "PSF1" (Pedal Streaming Frames, version family 1).
+pub const MAGIC: [u8; 4] = *b"PSF1";
+/// Format version carried in the header.
+pub const VERSION: u8 = 1;
+
+/// Codec id: sync-flush DEFLATE fragments (`pedal-deflate`).
+pub const CODEC_DEFLATE: u8 = 1;
+/// Codec id: independent LZ4 blocks (`pedal-lz4`).
+pub const CODEC_LZ4: u8 = 2;
+/// Codec id: pco bytes-mode chunks (`pedal-pco`).
+pub const CODEC_PCO: u8 = 3;
+
+/// Frame flag: this is the stream's final frame; the trailer follows.
+pub const FRAME_LAST: u8 = 0b0000_0001;
+/// Frame flag: the payload is the chunk's raw bytes (codec bypassed
+/// because compression would have expanded the chunk).
+pub const FRAME_RAW: u8 = 0b0000_0010;
+
+/// Largest chunk size a decoder will accept from a stream header. Caps
+/// per-frame buffering on hostile input; far above any sane chunking.
+pub const MAX_CHUNK_SIZE: u64 = 1 << 30;
+
+/// Everything that can go wrong while decoding a PSF1 stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The stream does not start with "PSF1".
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown codec id in the stream header.
+    UnknownCodec(u8),
+    /// Reserved header or frame flag bits were set.
+    ReservedFlags(u8),
+    /// Declared chunk size is zero or exceeds [`MAX_CHUNK_SIZE`].
+    BadChunkSize(u64),
+    /// A varint ran past 10 bytes without terminating.
+    VarintOverflow,
+    /// Frame index does not match the expected sequence position.
+    FrameOutOfOrder { expected: u64, got: u64 },
+    /// A frame declared more plaintext than the stream's chunk size.
+    RawLenTooLarge { raw_len: u64, chunk_size: usize },
+    /// A frame declared a payload larger than the compressed-size bound
+    /// for the stream's chunk size.
+    PayloadTooLarge { payload_len: u64, bound: usize },
+    /// Per-frame payload checksum mismatch.
+    PayloadChecksum,
+    /// A DEFLATE payload's final-block marker disagreed with the frame's
+    /// last-frame flag.
+    FinalFlagMismatch,
+    /// Decoded frame length differs from the declared `raw_len`.
+    LengthMismatch { declared: usize, got: usize },
+    /// Trailer's total plaintext length disagrees with what was decoded.
+    TotalMismatch { declared: u64, decoded: u64 },
+    /// Whole-plaintext Adler-32 in the trailer does not match.
+    StreamChecksum,
+    /// Decoding would exceed the caller's output budget.
+    OutputLimitExceeded(usize),
+    /// Bytes arrived after the trailer completed the stream.
+    TrailingBytes(usize),
+    /// The stream ended before the trailer (decoder still mid-stream).
+    Truncated,
+    /// The inner codec rejected a frame payload.
+    Codec(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BadMagic => write!(f, "bad PSF1 magic"),
+            StreamError::BadVersion(v) => write!(f, "unsupported PSF1 version {v}"),
+            StreamError::UnknownCodec(c) => write!(f, "unknown stream codec id {c}"),
+            StreamError::ReservedFlags(b) => write!(f, "reserved flag bits set: {b:#04x}"),
+            StreamError::BadChunkSize(n) => write!(f, "invalid chunk size {n}"),
+            StreamError::VarintOverflow => write!(f, "varint exceeds 10 bytes"),
+            StreamError::FrameOutOfOrder { expected, got } => {
+                write!(f, "frame index {got} out of order (expected {expected})")
+            }
+            StreamError::RawLenTooLarge { raw_len, chunk_size } => {
+                write!(f, "frame raw length {raw_len} exceeds chunk size {chunk_size}")
+            }
+            StreamError::PayloadTooLarge { payload_len, bound } => {
+                write!(f, "frame payload {payload_len} exceeds bound {bound}")
+            }
+            StreamError::PayloadChecksum => write!(f, "frame payload checksum mismatch"),
+            StreamError::FinalFlagMismatch => {
+                write!(f, "deflate final-block marker disagrees with frame flags")
+            }
+            StreamError::LengthMismatch { declared, got } => {
+                write!(f, "frame decoded to {got} bytes, declared {declared}")
+            }
+            StreamError::TotalMismatch { declared, decoded } => {
+                write!(f, "trailer declares {declared} bytes, decoded {decoded}")
+            }
+            StreamError::StreamChecksum => write!(f, "stream checksum mismatch"),
+            StreamError::OutputLimitExceeded(n) => {
+                write!(f, "output exceeds limit of {n} bytes")
+            }
+            StreamError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the stream trailer")
+            }
+            StreamError::Truncated => write!(f, "stream truncated before trailer"),
+            StreamError::Codec(e) => write!(f, "frame payload rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<pedal_deflate::InflateError> for StreamError {
+    fn from(e: pedal_deflate::InflateError) -> Self {
+        StreamError::Codec(e.to_string())
+    }
+}
+
+impl From<pedal_lz4::Lz4Error> for StreamError {
+    fn from(e: pedal_lz4::Lz4Error) -> Self {
+        StreamError::Codec(e.to_string())
+    }
+}
+
+impl From<pedal_pco::PcoError> for StreamError {
+    fn from(e: pedal_pco::PcoError) -> Self {
+        StreamError::Codec(e.to_string())
+    }
+}
+
+/// Upper bound on a frame payload for a given chunk size: the DEFLATE
+/// stored-block worst case dominates (LZ4 and pco frames fall back to
+/// [`FRAME_RAW`], capping them at the chunk size itself).
+pub fn max_payload_len(chunk_size: usize) -> usize {
+    pedal_deflate::max_compressed_len(chunk_size)
+}
+
+/// Append `v` as a LEB128 varint.
+pub(crate) fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Incremental reader over a byte slice. Every accessor returns
+/// `Ok(None)` when the slice is too short — the signal that a streaming
+/// decoder must wait for more input — and only errors on structurally
+/// invalid bytes.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pub at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    pub fn u32le(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let b = self.buf.get(self.at..self.at.checked_add(n)?)?;
+        self.at += n;
+        Some(b)
+    }
+
+    pub fn uvarint(&mut self) -> Result<Option<u64>, StreamError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        for i in 0.. {
+            let Some(&b) = self.buf.get(self.at + i) else {
+                return Ok(None);
+            };
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(StreamError::VarintOverflow);
+            }
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                self.at += i + 1;
+                return Ok(Some(v));
+            }
+            shift += 7;
+        }
+        unreachable!("loop returns")
+    }
+}
+
+/// Byte range of one frame in an encoded stream, for structure-aware
+/// mutation (`pedal-testkit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpan {
+    /// Offset of the frame's flags byte.
+    pub start: usize,
+    /// One past the last payload byte.
+    pub end: usize,
+    /// Whether the frame carries [`FRAME_LAST`].
+    pub last: bool,
+}
+
+/// Best-effort structural scan of a PSF1 stream: the header length and
+/// the spans of every complete frame. Stops at the first malformed or
+/// truncated frame (returning what was parsed so far) and returns `None`
+/// when the header itself is absent or invalid. Never decodes payloads,
+/// never verifies checksums — this exists so mutators can cut on frame
+/// boundaries, not to validate streams.
+pub fn frame_spans(stream: &[u8]) -> Option<(usize, Vec<FrameSpan>)> {
+    let mut c = Cursor::new(stream);
+    if c.bytes(4)? != MAGIC || c.u8()? != VERSION {
+        return None;
+    }
+    let codec = c.u8()?;
+    if !(CODEC_DEFLATE..=CODEC_PCO).contains(&codec) {
+        return None;
+    }
+    c.u8()?; // header flags
+    c.uvarint().ok().flatten()?;
+    let header_len = c.at;
+    let mut spans = Vec::new();
+    loop {
+        let start = c.at;
+        let Some(flags) = c.u8() else { break };
+        let (Ok(Some(_index)), Ok(Some(_raw_len)), Ok(Some(payload_len))) =
+            (c.uvarint(), c.uvarint(), c.uvarint())
+        else {
+            break;
+        };
+        if c.u32le().is_none() || c.bytes(payload_len.min(usize::MAX as u64) as usize).is_none() {
+            break;
+        }
+        let last = flags & FRAME_LAST != 0;
+        spans.push(FrameSpan { start, end: c.at, last });
+        if last {
+            break;
+        }
+    }
+    Some((header_len, spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_and_bounds() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.uvarint().unwrap(), Some(v));
+            assert_eq!(c.at, buf.len());
+        }
+        // Truncated varint: need more, not an error.
+        let mut c = Cursor::new(&[0x80, 0x80]);
+        assert_eq!(c.uvarint().unwrap(), None);
+        // Non-terminating varint: overflow.
+        let mut c = Cursor::new(&[0xFF; 11]);
+        assert!(matches!(c.uvarint(), Err(StreamError::VarintOverflow)));
+    }
+
+    #[test]
+    fn frame_spans_rejects_non_psf1() {
+        assert!(frame_spans(b"").is_none());
+        assert!(frame_spans(b"PSF2aaaaaaaa").is_none());
+        assert!(frame_spans(&[0u8; 64]).is_none());
+    }
+}

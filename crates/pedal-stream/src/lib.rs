@@ -1,0 +1,191 @@
+//! # pedal-stream
+//!
+//! Incremental streaming codec tier: a `Write`-style encoder and a
+//! resumable decoder over the self-describing **PSF1** frame protocol,
+//! generalizing `pedal-par`'s sync-flush DEFLATE fragments so the wire
+//! never waits on the codec.
+//!
+//! A PSF1 stream is a header, a run of self-describing frames (flags +
+//! sequential index + lengths + payload checksum + payload), and a
+//! trailer carrying the plaintext length and whole-stream Adler-32.
+//! Three codecs fill the payloads:
+//!
+//! * **DEFLATE** — sync-flush fragments; concatenating the payloads
+//!   yields one valid RFC 1951 stream, byte-identical to
+//!   `pedal_par::par_deflate` at the same chunk size,
+//! * **LZ4** — independent blocks with a raw-stored fallback,
+//! * **pco** — bytes-mode chunks with the same fallback.
+//!
+//! The contract that makes streaming safe to deploy anywhere in the
+//! pipeline: encoder output is a pure function of `(data, codec,
+//! chunk_size)` — independent of write granularity — and the decoder
+//! accepts any feed granularity down to one byte, with bounded
+//! buffering and every failure a clean [`StreamError`].
+//!
+//! ```
+//! use pedal_stream::{decode_all, StreamCodec, StreamConfig, StreamDecoder, StreamEncoder};
+//!
+//! let data = b"overlap the wire with the codec ".repeat(1000);
+//! let cfg = StreamConfig::new(StreamCodec::Deflate(pedal_deflate::Level::DEFAULT))
+//!     .with_chunk_size(4096);
+//!
+//! // Incremental encode, drained mid-stream like a sender would.
+//! let mut enc = StreamEncoder::new(&cfg);
+//! let mut wire = Vec::new();
+//! for piece in data.chunks(1000) {
+//!     enc.push(piece);
+//!     wire.extend_from_slice(&enc.take());
+//! }
+//! wire.extend_from_slice(&enc.finish());
+//!
+//! // Incremental decode, fed as the frames "arrive".
+//! let mut dec = StreamDecoder::new(data.len());
+//! for piece in wire.chunks(512) {
+//!     dec.feed(piece).unwrap();
+//! }
+//! assert_eq!(dec.finish().unwrap(), data);
+//! assert_eq!(decode_all(&wire, data.len()).unwrap(), data);
+//! ```
+
+mod decoder;
+mod encoder;
+mod frame;
+
+pub use pedal_deflate::Level;
+pub use pedal_pco::PcoConfig;
+
+pub use decoder::{decode_all, StreamDecoder};
+pub use encoder::{encode_all, StreamCodec, StreamConfig, StreamEncoder, DEFAULT_CHUNK};
+pub use frame::{
+    frame_spans, max_payload_len, FrameSpan, StreamError, CODEC_DEFLATE, CODEC_LZ4, CODEC_PCO,
+    FRAME_LAST, FRAME_RAW, MAGIC, MAX_CHUNK_SIZE, VERSION,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_deflate::Level;
+
+    fn configs(chunk: usize) -> Vec<StreamConfig> {
+        vec![
+            StreamConfig::new(StreamCodec::Deflate(Level::DEFAULT)).with_chunk_size(chunk),
+            StreamConfig::new(StreamCodec::Lz4 { accel: 1 }).with_chunk_size(chunk),
+            StreamConfig::new(StreamCodec::Pco(pedal_pco::PcoConfig::default()))
+                .with_chunk_size(chunk),
+        ]
+    }
+
+    fn sample(n: usize) -> Vec<u8> {
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        (0..n)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 3 == 0 {
+                    (x & 0x0F) as u8
+                } else {
+                    (i / 7) as u8
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_all_codecs_and_edges() {
+        for cfg in configs(256) {
+            for n in [0usize, 1, 255, 256, 257, 512, 4096, 5000] {
+                let data = sample(n);
+                let wire = encode_all(&data, &cfg);
+                let back = decode_all(&wire, n).expect("valid stream decodes");
+                assert_eq!(back, data, "{} n={n}", cfg.codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_chunk_multiple_has_no_empty_final_frame() {
+        for cfg in configs(256) {
+            let data = sample(1024); // exactly 4 chunks
+            let wire = encode_all(&data, &cfg);
+            let (_, spans) = frame_spans(&wire).expect("scannable");
+            assert_eq!(spans.len(), 4, "{}", cfg.codec.name());
+            assert!(spans[3].last);
+        }
+    }
+
+    #[test]
+    fn decoder_detects_reordered_frames() {
+        let cfg = &configs(128)[0];
+        let data = sample(1000);
+        let wire = encode_all(&data, cfg);
+        let (header_len, spans) = frame_spans(&wire).unwrap();
+        assert!(spans.len() >= 3);
+        let mut swapped = wire[..header_len].to_vec();
+        swapped.extend_from_slice(&wire[spans[1].start..spans[1].end]);
+        swapped.extend_from_slice(&wire[spans[0].start..spans[0].end]);
+        swapped.extend_from_slice(&wire[spans[1].end..]);
+        let err = decode_all(&swapped, data.len()).unwrap_err();
+        assert!(matches!(err, StreamError::FrameOutOfOrder { expected: 0, got: 1 }), "{err}");
+    }
+
+    #[test]
+    fn decoder_detects_truncation_and_corruption() {
+        for cfg in configs(200) {
+            let data = sample(900);
+            let wire = encode_all(&data, &cfg);
+            // Truncation at every prefix either stays pending or errors;
+            // finish() on a pending decoder is Truncated.
+            for cut in [0, 1, 7, wire.len() / 2, wire.len() - 1] {
+                let mut dec = StreamDecoder::new(data.len());
+                // A feed error is fine too: corrupt-by-truncation is clean.
+                if dec.feed(&wire[..cut]).is_ok() {
+                    assert!(!dec.is_finished());
+                    assert_eq!(dec.finish().unwrap_err(), StreamError::Truncated);
+                }
+            }
+            // Flipping a payload byte must trip the frame checksum.
+            let (header_len, spans) = frame_spans(&wire).unwrap();
+            let mid = spans[0].end - 1;
+            assert!(mid > header_len);
+            let mut bad = wire.clone();
+            bad[mid] ^= 0x40;
+            assert!(decode_all(&bad, data.len()).is_err(), "{}", cfg.codec.name());
+        }
+    }
+
+    #[test]
+    fn output_limit_enforced_before_decode() {
+        let cfg = &configs(256)[1];
+        let data = sample(2000);
+        let wire = encode_all(&data, cfg);
+        let err = decode_all(&wire, 100).unwrap_err();
+        assert_eq!(err, StreamError::OutputLimitExceeded(100));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let cfg = &configs(256)[0];
+        let wire = encode_all(&sample(100), cfg);
+        let mut extra = wire.clone();
+        extra.push(0);
+        assert!(matches!(decode_all(&extra, 100).unwrap_err(), StreamError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn decoder_buffering_stays_bounded() {
+        let cfg = StreamConfig::new(StreamCodec::Lz4 { accel: 1 }).with_chunk_size(1024);
+        let data = sample(64 * 1024);
+        let wire = encode_all(&data, &cfg);
+        let mut dec = StreamDecoder::new(data.len());
+        let mut peak = 0usize;
+        for piece in wire.chunks(97) {
+            dec.feed(piece).unwrap();
+            dec.take();
+            peak = peak.max(dec.buffered_len());
+        }
+        assert!(dec.is_finished());
+        // One frame of a 1 KiB chunk plus header slop, never the stream.
+        assert!(peak < 2 * 1024 + 256, "peak buffered {peak}");
+    }
+}

@@ -32,10 +32,13 @@ pub enum CodecId {
     Pco,
     /// Full PEDAL messages: header + varint + body, all eight designs.
     PedalPayload,
+    /// PSF1 streaming frames over DEFLATE/LZ4/pco payloads
+    /// (`pedal-stream`), decoded both one-shot and byte-at-a-time.
+    Stream,
 }
 
 impl CodecId {
-    pub const ALL: [CodecId; 9] = [
+    pub const ALL: [CodecId; 10] = [
         CodecId::Deflate,
         CodecId::Zlib,
         CodecId::Gzip,
@@ -45,6 +48,7 @@ impl CodecId {
         CodecId::Sz3,
         CodecId::Pco,
         CodecId::PedalPayload,
+        CodecId::Stream,
     ];
 
     pub fn name(self) -> &'static str {
@@ -58,6 +62,7 @@ impl CodecId {
             CodecId::Sz3 => "sz3",
             CodecId::Pco => "pco",
             CodecId::PedalPayload => "pedal-payload",
+            CodecId::Stream => "stream",
         }
     }
 
@@ -226,6 +231,28 @@ pub fn build_corpus(codec: CodecId, target: usize) -> Vec<CaseBase> {
                     original: data,
                     encoded: payload,
                     design: Some(design),
+                });
+            }
+            CodecId::Stream => {
+                // Cycle the payload codec and the chunk size across the
+                // datasets so multi-frame streams of every codec appear,
+                // including chunks small enough to force many frames.
+                use pedal_stream::{encode_all, StreamCodec, StreamConfig};
+                let codecs = [
+                    StreamCodec::Deflate(pedal_deflate::Level::DEFAULT),
+                    StreamCodec::Lz4 { accel: 1 },
+                    StreamCodec::Pco(pedal_pco::PcoConfig::default()),
+                ];
+                let chunks = [173usize, 256, 512];
+                let cfg = StreamConfig::new(codecs[di % codecs.len()].clone())
+                    .with_chunk_size(chunks[(di / codecs.len()) % chunks.len()]);
+                let data = id.generate_bytes(target);
+                let enc = encode_all(&data, &cfg);
+                bases.push(CaseBase {
+                    dataset: id.name(),
+                    original: data,
+                    encoded: enc,
+                    design: None,
                 });
             }
         }

@@ -41,10 +41,18 @@ pub enum MutationClass {
     /// decode table entry after it. Writes either random bytes or a
     /// continuation-heavy varint so multi-byte frequencies get stressed.
     FreqTableCorrupt,
+    /// Cut a PSF1 stream mid-frame, leaving a partial frame on the wire
+    /// (the shape a receiver sees when a sender dies mid-send). Falls
+    /// back to a plain truncation when the stream has no frame table.
+    FrameTruncate,
+    /// Swap two adjacent PSF1 frames, breaking the strictly-sequential
+    /// index contract. Falls back to swapping two disjoint equal-length
+    /// regions when the stream has no frame table.
+    FrameReorder,
 }
 
 impl MutationClass {
-    pub const ALL: [MutationClass; 11] = [
+    pub const ALL: [MutationClass; 13] = [
         MutationClass::BitFlip,
         MutationClass::ByteSet,
         MutationClass::Truncate,
@@ -56,6 +64,8 @@ impl MutationClass {
         MutationClass::ZeroFill,
         MutationClass::DuplicateRegion,
         MutationClass::FreqTableCorrupt,
+        MutationClass::FrameTruncate,
+        MutationClass::FrameReorder,
     ];
 
     pub fn name(self) -> &'static str {
@@ -71,6 +81,8 @@ impl MutationClass {
             MutationClass::ZeroFill => "zero-fill",
             MutationClass::DuplicateRegion => "duplicate-region",
             MutationClass::FreqTableCorrupt => "freq-table",
+            MutationClass::FrameTruncate => "frame-truncate",
+            MutationClass::FrameReorder => "frame-reorder",
         }
     }
 
@@ -178,6 +190,41 @@ pub fn mutate(rng: &mut Pcg32, class: MutationClass, base: &[u8], donor: &[u8]) 
                 }
             }
         }
+        MutationClass::FrameTruncate => {
+            match pedal_stream::frame_spans(&out) {
+                Some((header_len, spans)) if !spans.is_empty() => {
+                    // Cut inside a frame so the decoder is left holding a
+                    // partial frame (header intact, body incomplete).
+                    let s = spans[rng.gen_range(0..spans.len())];
+                    let cut = rng.gen_range(s.start..s.end).max(header_len);
+                    out.truncate(cut);
+                }
+                _ => out.truncate(rng.gen_range(0..out.len())),
+            }
+        }
+        MutationClass::FrameReorder => {
+            match pedal_stream::frame_spans(&out) {
+                Some((_, spans)) if spans.len() >= 2 => {
+                    let i = rng.gen_range(0..spans.len() - 1);
+                    let (a, b) = (spans[i], spans[i + 1]);
+                    let mut swapped = out[..a.start].to_vec();
+                    swapped.extend_from_slice(&out[b.start..b.end]);
+                    swapped.extend_from_slice(&out[a.start..a.end]);
+                    swapped.extend_from_slice(&out[b.end..]);
+                    out = swapped;
+                }
+                _ if out.len() >= 2 => {
+                    // Generic fallback: swap two disjoint regions.
+                    let len = rng.gen_range(1..=out.len() / 2);
+                    let a = rng.gen_range(0..=out.len() - 2 * len);
+                    let b = rng.gen_range(a + len..=out.len() - len);
+                    for k in 0..len {
+                        out.swap(a + k, b + k);
+                    }
+                }
+                _ => {}
+            }
+        }
     }
     out
 }
@@ -217,6 +264,27 @@ mod tests {
             for seed in 0..16 {
                 let _ = mutate(&mut Pcg32::seed_from_u64(seed), class, &[], &[]);
                 let _ = mutate(&mut Pcg32::seed_from_u64(seed), class, &[], &[1, 2, 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_mutations_break_psf1_streams_cleanly() {
+        use pedal_stream::{encode_all, StreamCodec, StreamConfig};
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let cfg = StreamConfig::new(StreamCodec::Lz4 { accel: 1 }).with_chunk_size(128);
+        let wire = encode_all(&data, &cfg);
+        for class in [MutationClass::FrameTruncate, MutationClass::FrameReorder] {
+            for seed in 0..8 {
+                let m = mutate(&mut Pcg32::seed_from_u64(seed), class, &wire, &wire);
+                assert_ne!(m, wire, "{} seed {seed} left the stream intact", class.name());
+                // A frame-structure break must never decode to the
+                // original; it either errors or never finishes.
+                assert!(
+                    pedal_stream::decode_all(&m, data.len()).is_err(),
+                    "{} seed {seed} still decoded",
+                    class.name()
+                );
             }
         }
     }

@@ -180,7 +180,41 @@ fn decode_one(
             }
             Ok(())
         }
+        CodecId::Stream => {
+            // Streaming oracle: the one-shot decode and a decoder fed one
+            // byte at a time must agree — same bytes out, or both reject.
+            // Partial-frame hostile inputs (FrameTruncate/FrameReorder)
+            // land here with the rest of the mutation classes.
+            let one_shot = pedal_stream::decode_all(stream, orig_len);
+            let incremental = decode_stream_bytewise(stream, orig_len);
+            match (&one_shot, &incremental) {
+                (Ok(a), Ok(b)) if a != b => {
+                    return Err("one-shot and byte-fed stream decodes disagree".into());
+                }
+                (Ok(_), Err(e)) => {
+                    return Err(format!("byte-fed decoder rejected a one-shot-valid stream: {e}"));
+                }
+                (Err(e), Ok(_)) => {
+                    return Err(format!("one-shot rejected a byte-fed-valid stream: {e}"));
+                }
+                _ => {}
+            }
+            check_lossless(one_shot.map_err(|e| e.to_string()), base, mutated)
+        }
     }
+}
+
+/// Feed a PSF1 stream to the resumable decoder one byte at a time — the
+/// most hostile arrival granularity a receiver can see.
+fn decode_stream_bytewise(
+    stream: &[u8],
+    limit: usize,
+) -> Result<Vec<u8>, pedal_stream::StreamError> {
+    let mut dec = pedal_stream::StreamDecoder::new(limit);
+    for b in stream {
+        dec.feed(std::slice::from_ref(b))?;
+    }
+    dec.finish()
 }
 
 fn check_lossless(

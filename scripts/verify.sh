@@ -47,11 +47,24 @@ echo "==> pco numeric codec gate (determinism + ratio vs DEFLATE)"
 # non-zero if any gate fails.
 cargo run --release -q -p bench --bin ablation_pco
 
+echo "==> streaming frame protocol gate (overlap >= 1.3x, byte identity)"
+# PSF1 compress-while-sending vs sequential compress-then-send on a
+# 16 MiB BF2 message: byte-identical round-trip on every path, wire
+# bytes and virtual times deterministic across replays and window
+# sizes (fixed chunk), and the streamed path must beat sequential by
+# >= 1.3x one-way virtual time. Writes results/BENCH_streaming.json
+# (mirrored at the repo root) and exits non-zero if any gate fails.
+cargo run --release -q -p bench --bin ablation_streaming
+
 echo "==> bench reports mirrored at repo root"
 # Every bench bin mirrors its BENCH_<name>.json at the repository root;
-# at least one must exist after the bench stage.
+# the streaming gate's report must be among them.
 ls BENCH_*.json >/dev/null 2>&1 || {
     echo "verify: FAIL — no BENCH_*.json at the repository root" >&2
+    exit 1
+}
+test -f BENCH_streaming.json || {
+    echo "verify: FAIL — BENCH_streaming.json missing at the repository root" >&2
     exit 1
 }
 
