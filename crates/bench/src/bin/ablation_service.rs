@@ -231,6 +231,147 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Live metrics under overload: a calm phase, then a synchronized
+    // burst far enough in virtual time that the rolling window has
+    // forgotten the calm phase entirely. The lifetime percentiles
+    // average the two regimes together; the rolling snapshot shows the
+    // burst as it is *now* — and the per-tenant SLO table shows who is
+    // actually missing their target during it.
+    // ------------------------------------------------------------------
+    let slot = SimDuration::from_millis(50);
+    let slots = 8usize;
+    let span = SimDuration(slot.0 * slots as u64);
+    let svc = PedalService::start(
+        ServiceConfig::new(Platform::BlueField2)
+            .with_ce_channels(2)
+            .with_live_window(slot, slots)
+            .with_slo_target(SimDuration::from_millis(5)),
+    );
+    // Tenant 1 has an impossible target (1 virtual ns); tenant 2 a
+    // generous one. Attainment must read ~0% and 100% respectively.
+    svc.set_slo_target(1, SimDuration(1));
+    svc.set_slo_target(2, SimDuration::from_millis(500));
+    let sub = svc.subscribe_metrics(8).expect("live plane enabled");
+
+    // Calm phase: paced singles (tenant 0) with generous gaps, so no
+    // job ever queues — lifetime latency starts out low.
+    let calm = messages(&corpus, 24, 8 * 1024);
+    let mut arrival = SimInstant::EPOCH;
+    for m in &calm {
+        arrival = arrival + SimDuration::from_millis(5);
+        svc.submit(
+            JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone()).with_arrival(arrival),
+        )
+        .expect("submit");
+    }
+    let calm_done = svc.drain();
+    let calm_end =
+        calm_done.iter().filter_map(|j| j.metrics.map(|m| m.completed)).max().expect("calm jobs");
+
+    // Burst phase: everything arrives at once, one window-span later,
+    // so every calm sample has expired by the time the burst lands.
+    let burst_at = calm_end + span;
+    let burst = messages(&corpus, 24, 8 * 1024);
+    for (i, m) in burst.iter().enumerate() {
+        svc.submit(
+            JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, m.clone())
+                .with_arrival(burst_at)
+                .with_tenant(1 + (i % 2) as u32),
+        )
+        .expect("submit");
+    }
+    svc.drain();
+
+    let snap = svc.snapshot();
+    let rolling = snap.rolling.clone().expect("live plane enabled");
+    assert_eq!(
+        rolling.latency.count,
+        burst.len() as u64,
+        "rolling window must hold exactly the burst (calm phase expired)"
+    );
+    let frames = sub.poll();
+
+    let ns_opt = |v: Option<u64>| v.map(Json::u64).unwrap_or(Json::Null);
+    let us_opt = |v: Option<u64>| match v {
+        Some(n) => format!("{:.1}", n as f64 / 1e3),
+        None => "-".to_string(),
+    };
+    let mut t = Table::new(vec!["View", "Jobs", "Latency p50(us)", "Latency p99(us)"]);
+    t.row(vec![
+        "lifetime".to_string(),
+        snap.latency.count.to_string(),
+        us_opt(snap.latency.p50),
+        us_opt(snap.latency.p99),
+    ]);
+    t.row(vec![
+        format!("rolling {}ms", span.as_millis_f64()),
+        rolling.latency.count.to_string(),
+        us_opt(rolling.latency.p50),
+        us_opt(rolling.latency.p99),
+    ]);
+    t.print();
+
+    let mut t = Table::new(vec!["Tenant", "Target(us)", "Recent jobs", "Attainment"]);
+    let mut tenant_rows = Vec::new();
+    for ten in &snap.tenants {
+        t.row(vec![
+            ten.tenant.to_string(),
+            format!("{:.1}", ten.target.as_micros_f64()),
+            ten.recent_total.to_string(),
+            match ten.attainment {
+                Some(a) => format!("{:.0}%", a * 100.0),
+                None => "-".to_string(),
+            },
+        ]);
+        tenant_rows.push(Json::obj(vec![
+            ("tenant", Json::u64(ten.tenant as u64)),
+            ("target_ns", Json::u64(ten.target.as_nanos())),
+            ("recent_total", Json::u64(ten.recent_total)),
+            ("attainment", ten.attainment.map(Json::num).unwrap_or(Json::Null)),
+        ]));
+    }
+    t.print();
+
+    // The Prometheus exposition of the same snapshot must parse.
+    let prom = svc.prometheus();
+    let prom_check = pedal_obs::validate_exposition(&prom).expect("valid exposition");
+    let prom_path = write_results_file("prometheus_service.prom", &prom);
+    let (_, live_stats) = svc.shutdown();
+
+    report.set(
+        "live_overload",
+        Json::obj(vec![
+            ("calm_jobs", Json::u64(calm.len() as u64)),
+            ("burst_jobs", Json::u64(burst.len() as u64)),
+            ("window_ns", Json::u64(span.as_nanos())),
+            ("lifetime_count", Json::u64(snap.latency.count)),
+            ("lifetime_p50_ns", ns_opt(snap.latency.p50)),
+            ("lifetime_p99_ns", ns_opt(snap.latency.p99)),
+            ("rolling_count", Json::u64(rolling.latency.count)),
+            ("rolling_p50_ns", ns_opt(rolling.latency.p50)),
+            ("rolling_p99_ns", ns_opt(rolling.latency.p99)),
+            ("bus_frames", Json::u64(frames.len() as u64)),
+            ("bus_dropped", Json::u64(sub.dropped())),
+            ("prom_samples", Json::u64(prom_check.samples as u64)),
+            ("tenants", Json::Arr(tenant_rows)),
+        ]),
+    );
+    println!(
+        "\nLifetime percentiles blend the calm phase into the burst; the rolling\n\
+         window (last {:.0} ms of virtual time) reports only what is happening\n\
+         now — {} jobs completed: {}. Tenant 1 (1 ns target) reads 0%\n\
+         attainment, tenant 2 (500 ms) reads 100%; the lifetime stats cannot\n\
+         distinguish them. Prometheus exposition ({} samples, {} families)\n\
+         -> {}",
+        span.as_millis_f64(),
+        live_stats.completed,
+        rolling.latency.count,
+        prom_check.samples,
+        prom_check.families.len(),
+        prom_path.display()
+    );
+
+    // ------------------------------------------------------------------
     // Small-message batching: sub-threshold C-Engine compress jobs
     // coalesce into one engine submission, paying the fixed per-job
     // submission overhead (60 us on BF2, Table III) once per batch.

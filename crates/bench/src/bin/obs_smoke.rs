@@ -1,14 +1,19 @@
 //! Observability smoke check for the verify gate: run a small traced
 //! workload through the service, export both trace formats into
-//! `results/`, and structurally validate the Chrome trace (balanced,
-//! name-matched B/E pairs per thread; all pipeline stages present).
-//! Exits non-zero on any violation, so `scripts/verify.sh` can gate on
-//! it.
+//! `results/`, and structurally validate every export surface — the
+//! Chrome trace (balanced, name-matched B/E pairs per thread; all
+//! pipeline stages present), the Prometheus exposition (parses, counter
+//! families stay monotone across snapshots), and the versioned metrics
+//! JSONL (schema header first). Exits non-zero on any violation, so
+//! `scripts/verify.sh` can gate on it.
 
 use bench::write_results_file;
 use pedal::{Datatype, Design};
 use pedal_dpu::{Pcg32, Platform, SimDuration};
-use pedal_obs::{chrome_trace_json, validate_chrome_trace, SpanKind};
+use pedal_obs::{
+    chrome_trace_json, counters_monotone, validate_chrome_trace, validate_exposition, SpanKind,
+    METRICS_SCHEMA,
+};
 use pedal_service::{JobDesc, PedalService, ServiceConfig};
 
 fn main() {
@@ -40,6 +45,17 @@ fn main() {
         svc.submit(JobDesc::compress(design, Datatype::Float32, floats.clone())).expect("submit");
     }
     let done = svc.drain();
+
+    // Prometheus exposition after the compress pass: must parse, and
+    // its counters must only grow across later snapshots.
+    let prom_mid = match validate_exposition(&svc.prometheus()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("obs smoke FAILED: mid-run Prometheus exposition invalid: {e}");
+            std::process::exit(1);
+        }
+    };
+
     for job in &done {
         let out = job.result.as_ref().expect("smoke job failed");
         let expected = job.metrics.expect("metrics").bytes_in;
@@ -51,6 +67,23 @@ fn main() {
     let snap = svc.snapshot();
     assert!(snap.completed >= done.len() as u64, "snapshot missed completions");
     assert!(snap.latency.p50.is_some(), "live percentiles must have samples");
+    assert!(snap.rolling.is_some(), "live plane is on by default");
+
+    // Second exposition after the decompress pass: parse again and
+    // check counter monotonicity against the mid-run scrape.
+    let prom_text = svc.prometheus();
+    let prom_end = match validate_exposition(&prom_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("obs smoke FAILED: final Prometheus exposition invalid: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = counters_monotone(&prom_mid, &prom_end) {
+        eprintln!("obs smoke FAILED: {e}");
+        std::process::exit(1);
+    }
+    let prom_path = write_results_file("prometheus_smoke.prom", &prom_text);
 
     let metrics = svc.metrics_snapshot();
     let (_, stats, trace) = svc.shutdown_with_trace();
@@ -59,8 +92,13 @@ fn main() {
 
     let chrome = chrome_trace_json(&trace);
     let trace_path = write_results_file("trace_smoke.json", &chrome);
-    let jsonl = metrics.to_jsonl();
+    let jsonl = metrics.to_jsonl_versioned();
     let jsonl_path = write_results_file("metrics_smoke.jsonl", &jsonl);
+    let header = jsonl.lines().next().unwrap_or_default();
+    if !header.contains(METRICS_SCHEMA) {
+        eprintln!("obs smoke FAILED: JSONL header lacks schema tag {METRICS_SCHEMA}: {header}");
+        std::process::exit(1);
+    }
 
     // Structural gate: parses, every B has a name-matched E, stages all
     // present.
@@ -92,11 +130,15 @@ fn main() {
         }
     }
     println!(
-        "obs smoke OK: {} balanced spans, {} stage names -> {} ; {} metric lines -> {}",
+        "obs smoke OK: {} balanced spans, {} stage names -> {} ; {} metric lines -> {} ;\n\
+         {} Prometheus samples ({} counters monotone) -> {}",
         check.spans,
         check.names.len(),
         trace_path.display(),
         jsonl.lines().count(),
-        jsonl_path.display()
+        jsonl_path.display(),
+        prom_end.samples,
+        prom_end.counters.len(),
+        prom_path.display()
     );
 }

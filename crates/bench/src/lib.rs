@@ -11,8 +11,12 @@ use pedal::{Datatype, Design, OverheadMode, PedalConfig, PedalContext, TimingBre
 use pedal_datasets::DatasetId;
 use pedal_dpu::Platform;
 
+pub mod diff;
 pub mod report;
-pub use report::{fmt_us_opt, json_ns_opt, results_dir, write_results_file, BenchReport};
+pub use diff::{classify, compare, Better, Delta, DiffResult};
+pub use report::{
+    fmt_us_opt, json_ns_opt, repo_root, results_dir, write_results_file, BenchReport,
+};
 
 /// Dataset scale factor from the environment (default 1.0 = Table IV sizes).
 pub fn data_scale() -> f64 {

@@ -71,7 +71,7 @@ impl BenchReport {
 }
 
 /// The repository root (two levels above the bench crate).
-fn repo_root() -> PathBuf {
+pub fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())

@@ -147,19 +147,32 @@ pub struct Event {
     pub t1: u64,
     /// Free argument: byte count, job id, batch size — span-dependent.
     pub arg: u64,
+    /// Tenant label carried from enqueue to completion (0 = anonymous).
+    pub tenant: u32,
 }
 
 impl Event {
     pub fn span(kind: SpanKind, begin: SimInstant, end: SimInstant, arg: u64) -> Self {
-        Self { kind: EventKind::Span, span: kind, t0: begin.0, t1: end.0.max(begin.0), arg }
+        Self::span_for(kind, begin, end, arg, 0)
+    }
+
+    /// A span labelled with the tenant it serves.
+    pub fn span_for(
+        kind: SpanKind,
+        begin: SimInstant,
+        end: SimInstant,
+        arg: u64,
+        tenant: u32,
+    ) -> Self {
+        Self { kind: EventKind::Span, span: kind, t0: begin.0, t1: end.0.max(begin.0), arg, tenant }
     }
 
     pub fn counter(kind: SpanKind, at: SimInstant, value: u64) -> Self {
-        Self { kind: EventKind::Counter, span: kind, t0: at.0, t1: at.0, arg: value }
+        Self { kind: EventKind::Counter, span: kind, t0: at.0, t1: at.0, arg: value, tenant: 0 }
     }
 
     pub fn instant(kind: SpanKind, at: SimInstant) -> Self {
-        Self { kind: EventKind::Instant, span: kind, t0: at.0, t1: at.0, arg: 0 }
+        Self { kind: EventKind::Instant, span: kind, t0: at.0, t1: at.0, arg: 0, tenant: 0 }
     }
 
     /// Span duration in nanoseconds (0 for counters/markers).

@@ -127,6 +127,27 @@ impl LogHistogram {
         Some(result.clamp(lo, hi))
     }
 
+    /// Merge another histogram's samples into this one (atomic adds, so
+    /// both histograms stay usable concurrently). Merging an empty
+    /// histogram is a no-op, and merging into an empty one reproduces
+    /// `other`'s counts, bounds, and quantiles exactly — the identity
+    /// the windowed rollup relies on.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        if other.count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let v = src.load(Ordering::Relaxed);
+            if v > 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Reset to empty (between bench repetitions).
     pub fn reset(&self) {
         for b in &self.buckets {

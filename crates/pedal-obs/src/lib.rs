@@ -23,18 +23,26 @@
 //!
 //! [`SimInstant`]: pedal_dpu::SimInstant
 
+pub mod bus;
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod prom;
 pub mod registry;
 pub mod ring;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
+pub use bus::{BusSubscription, FrameKind, MetricsFrame, ObsBus};
 pub use event::{Event, EventKind, SpanKind};
 pub use hist::LogHistogram;
 pub use json::{parse as parse_json, Json, JsonError, ToJson};
-pub use registry::{HistSummary, MetricsRegistry, MetricsSnapshot};
+pub use prom::{counters_monotone, metric_name, validate_exposition, PromCheck, PromWriter};
+pub use registry::{HistSummary, MetricsRegistry, MetricsSnapshot, METRICS_SCHEMA};
 pub use ring::{EventRing, LaneRecorder, Track, DEFAULT_RING_CAPACITY};
+pub use slo::{SloTable, TenantId, TenantSloSnapshot};
 pub use trace::{
     chrome_trace_json, validate_chrome_trace, Collector, TraceCheck, TraceLog, TraceValidateError,
 };
+pub use window::{EwmaRate, HighWatermark, WindowConfig, WindowedCounter, WindowedHistogram};

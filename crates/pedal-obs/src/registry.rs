@@ -134,6 +134,11 @@ impl ToJson for HistSummary {
     }
 }
 
+/// Schema tag emitted by [`MetricsSnapshot::to_jsonl_versioned`].
+/// Consumers key parsers off this line; the tag only changes when the
+/// per-series line shape changes.
+pub const METRICS_SCHEMA: &str = "pedal.metrics.v2";
+
 /// A frozen copy of all series at one instant.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
@@ -167,6 +172,47 @@ impl MetricsSnapshot {
             out.push('\n');
         }
         out
+    }
+
+    /// Versioned JSONL: a schema header line (`{"schema": ..}` with
+    /// series counts) followed by the [`to_jsonl`](Self::to_jsonl)
+    /// body. The header lets a consumer reject a shape it does not
+    /// understand before touching any series line.
+    pub fn to_jsonl_versioned(&self) -> String {
+        let header = Json::obj(vec![
+            ("schema", Json::str(METRICS_SCHEMA)),
+            ("counters", Json::u64(self.counters.len() as u64)),
+            ("histograms", Json::u64(self.histograms.len() as u64)),
+        ]);
+        format!("{header}\n{}", self.to_jsonl())
+    }
+
+    /// Prometheus-style text exposition: counters as `counter` families
+    /// (suffixed `_total`), histograms as `summary` families with
+    /// `quantile` samples plus `_sum`/`_count`. Series names are
+    /// sanitized via [`crate::prom::metric_name`].
+    pub fn to_prometheus(&self) -> String {
+        let mut w = crate::prom::PromWriter::new();
+        for (name, value) in &self.counters {
+            let mut n = crate::prom::metric_name(name);
+            if !n.ends_with("_total") {
+                n.push_str("_total");
+            }
+            w.family(&n, &format!("Counter series {name}."), "counter");
+            w.sample(&n, &[], *value as f64);
+        }
+        for (name, h) in &self.histograms {
+            let n = crate::prom::metric_name(name);
+            w.family(&n, &format!("Histogram series {name}."), "summary");
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                if let Some(v) = v {
+                    w.sample(&n, &[("quantile", q.to_string())], v as f64);
+                }
+            }
+            w.sample(&format!("{n}_sum"), &[], h.sum as f64);
+            w.sample(&format!("{n}_count"), &[], h.count as f64);
+        }
+        w.finish()
     }
 }
 
@@ -226,6 +272,37 @@ mod tests {
         }
         let h = parse(lines[1]).unwrap();
         assert_eq!(h.get("p50").unwrap().as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn versioned_jsonl_leads_with_schema_header() {
+        let reg = MetricsRegistry::new();
+        reg.add("c1", 9);
+        reg.record("h1", 42);
+        let jsonl = reg.snapshot().to_jsonl_versioned();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = parse(lines[0]).unwrap();
+        assert_eq!(header.get("schema").unwrap().as_str(), Some(METRICS_SCHEMA));
+        assert_eq!(header.get("counters").unwrap().as_f64(), Some(1.0));
+        assert_eq!(header.get("histograms").unwrap().as_f64(), Some(1.0));
+        // Body lines are unchanged from to_jsonl().
+        assert_eq!(jsonl.split_once('\n').unwrap().1, reg.snapshot().to_jsonl());
+    }
+
+    #[test]
+    fn prometheus_exposition_validates_and_carries_series() {
+        let reg = MetricsRegistry::new();
+        reg.add("service.jobs_completed", 5);
+        for v in [100u64, 200, 300] {
+            reg.record("service.latency_ns", v);
+        }
+        let text = reg.snapshot().to_prometheus();
+        let check = crate::prom::validate_exposition(&text).expect("validates");
+        assert_eq!(check.counters["service_jobs_completed_total{}"], 5.0);
+        assert_eq!(check.families["service_latency_ns"], "summary");
+        assert!(text.contains("service_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("service_latency_ns_count 3"));
     }
 
     #[test]

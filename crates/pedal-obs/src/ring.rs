@@ -102,6 +102,21 @@ impl LaneRecorder {
         }
     }
 
+    /// Record a span labelled with the tenant it serves.
+    #[inline]
+    pub fn span_for(
+        &mut self,
+        kind: SpanKind,
+        begin: SimInstant,
+        end: SimInstant,
+        arg: u64,
+        tenant: u32,
+    ) {
+        if self.enabled {
+            self.ring.push(Event::span_for(kind, begin, end, arg, tenant));
+        }
+    }
+
     #[inline]
     pub fn counter(&mut self, kind: SpanKind, at: SimInstant, value: u64) {
         if self.enabled {

@@ -147,6 +147,10 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 Some(&(_, parent_end)) => e.t1.min(parent_end),
                 None => e.t1,
             };
+            let mut args = vec![("arg", Json::u64(e.arg))];
+            if e.tenant != 0 {
+                args.push(("tenant", Json::u64(e.tenant as u64)));
+            }
             events.push(Json::obj(vec![
                 ("name", Json::str(e.span.name())),
                 ("cat", Json::str(e.span.category())),
@@ -154,7 +158,7 @@ pub fn chrome_trace_json(log: &TraceLog) -> String {
                 ("pid", Json::u64(1)),
                 ("tid", Json::u64(tid)),
                 ("ts", us(e.t0)),
-                ("args", Json::obj(vec![("arg", Json::u64(e.arg))])),
+                ("args", Json::obj(args)),
             ]));
             open.push((e.span, clamped_end));
         }
@@ -388,6 +392,28 @@ mod tests {
         let pool_b = seq.iter().position(|&(ph, n)| ph == "B" && n == "pool-acquire").unwrap();
         let job_e = seq.iter().position(|&(ph, n)| ph == "E" && n == "job").unwrap();
         assert!(job_b < pool_b && pool_b < job_e, "sequence {seq:?}");
+    }
+
+    #[test]
+    fn tenant_label_surfaces_in_span_args() {
+        let mut lane = LaneRecorder::new("lane", 8);
+        lane.span_for(SpanKind::Job, SimInstant(0), SimInstant(10), 1, 7);
+        lane.span(SpanKind::QueueWait, SimInstant(20), SimInstant(30), 2);
+        let c = Collector::new();
+        c.push(lane.into_track());
+        let text = chrome_trace_json(&c.take());
+        let doc = parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let tenant_of = |name: &str| {
+            evs.iter()
+                .find(|e| {
+                    e.get("ph").and_then(Json::as_str) == Some("B")
+                        && e.get("name").and_then(Json::as_str) == Some(name)
+                })
+                .and_then(|e| e.get("args").unwrap().get("tenant").and_then(Json::as_f64))
+        };
+        assert_eq!(tenant_of("job"), Some(7.0));
+        assert_eq!(tenant_of("queue-wait"), None, "anonymous spans carry no label");
     }
 
     #[test]

@@ -63,11 +63,12 @@ mod stats;
 mod streaming;
 
 pub use job::{CompletedJob, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError};
+pub use pedal_obs::{BusSubscription, FrameKind, MetricsFrame, TenantId, TenantSloSnapshot};
 pub use queue::BackpressurePolicy;
 pub use service::{
-    series, PedalService, ServiceConfig, TraceConfig, DEFAULT_PAR_CHUNK, MIN_PAR_CHUNK,
+    series, LiveConfig, PedalService, ServiceConfig, TraceConfig, DEFAULT_PAR_CHUNK, MIN_PAR_CHUNK,
 };
-pub use stats::{LaneStats, ServiceSnapshot, ServiceStats};
+pub use stats::{LaneStats, RollingStats, ServiceSnapshot, ServiceStats};
 pub use streaming::{
     run_streaming_job, StreamingConfig, StreamingReport, DEFAULT_CHUNKS_IN_FLIGHT,
 };

@@ -13,14 +13,16 @@ use pedal_dpu::{
     Algorithm, CostModel, Direction, Placement, Platform, SimClock, SimDuration, SimInstant,
 };
 use pedal_obs::{
-    Collector, HistSummary, LaneRecorder, LogHistogram, MetricsRegistry, SpanKind, TraceLog,
+    BusSubscription, Collector, EwmaRate, FrameKind, HighWatermark, HistSummary, LaneRecorder,
+    LogHistogram, MetricsFrame, MetricsRegistry, ObsBus, SloTable, SpanKind, TenantId, TraceLog,
+    WindowConfig, WindowedCounter, WindowedHistogram,
 };
 
 use crate::job::{
     CompletedJob, Job, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError,
 };
 use crate::queue::{AdmissionQueue, BackpressurePolicy, Popped};
-use crate::stats::{LaneStats, ServiceSnapshot, ServiceStats};
+use crate::stats::{LaneStats, RollingStats, ServiceSnapshot, ServiceStats};
 
 // ---------------------------------------------------------------------
 // Configuration
@@ -58,6 +60,9 @@ pub struct ServiceConfig {
     /// Event-journal tracing (the always-on metrics registry is
     /// independent of this and has no off switch).
     pub trace: TraceConfig,
+    /// Rolling-window live metrics, per-tenant SLO accounting, and the
+    /// metrics bus. On by default; like tracing, purely observational.
+    pub live: LiveConfig,
 }
 
 /// Controls the per-lane event journal. Tracing is pure observation:
@@ -78,6 +83,34 @@ impl Default for TraceConfig {
     }
 }
 
+/// Controls the live metrics plane: rolling windows over recent
+/// completions, per-tenant SLO accounting, and the bounded
+/// [`MetricsFrame`] bus. Like tracing it is pure observation — enabled
+/// or disabled, every output byte and every virtual timestamp is
+/// identical.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    pub enabled: bool,
+    /// Width of one rolling-window slot (virtual time).
+    pub slot: SimDuration,
+    /// Number of slots; the window spans `slot * slots`.
+    pub slots: usize,
+    /// Default per-tenant latency SLO target (override per tenant with
+    /// [`PedalService::set_slo_target`]).
+    pub slo_target: SimDuration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            slot: SimDuration::from_millis(10),
+            slots: 8,
+            slo_target: SimDuration::from_millis(5),
+        }
+    }
+}
+
 impl ServiceConfig {
     pub fn new(platform: Platform) -> Self {
         Self {
@@ -94,6 +127,7 @@ impl ServiceConfig {
             par_threshold: 0,
             par_chunk: DEFAULT_PAR_CHUNK,
             trace: TraceConfig::default(),
+            live: LiveConfig::default(),
         }
     }
 
@@ -156,6 +190,28 @@ impl ServiceConfig {
         self
     }
 
+    /// Size the rolling metrics window: `slots` slots of `slot` virtual
+    /// time each (the window spans their product).
+    pub fn with_live_window(mut self, slot: SimDuration, slots: usize) -> Self {
+        self.live.enabled = true;
+        self.live.slot = slot;
+        self.live.slots = slots;
+        self
+    }
+
+    /// Default per-tenant end-to-end latency SLO target.
+    pub fn with_slo_target(mut self, target: SimDuration) -> Self {
+        self.live.slo_target = target;
+        self
+    }
+
+    /// Disable the live metrics plane entirely (rolling windows, SLO
+    /// table, and metrics bus). Lifetime counters stay on.
+    pub fn without_live_metrics(mut self) -> Self {
+        self.live.enabled = false;
+        self
+    }
+
     fn normalized(mut self) -> Self {
         self.queue_capacity = self.queue_capacity.max(1);
         self.soc_workers = self.soc_workers.max(1);
@@ -168,6 +224,10 @@ impl ServiceConfig {
             // flood descriptors; floor matches pedal-par's MIN_CHUNK.
             self.par_chunk = self.par_chunk.max(MIN_PAR_CHUNK);
         }
+        // Degenerate windows (zero-width slots, single slot) would make
+        // "recent" meaningless; WindowConfig::new applies the same floor.
+        self.live.slot = self.live.slot.max(SimDuration(1));
+        self.live.slots = self.live.slots.max(2);
         self
     }
 }
@@ -192,6 +252,131 @@ struct Shared {
     clock: SimClock,
     /// Always-on named series backing [`PedalService::snapshot`].
     metrics: MetricsRegistry,
+    /// Rolling windows, SLO table, and metrics bus; `None` when the
+    /// live plane is disabled.
+    live: Option<LivePlane>,
+}
+
+/// The live metrics plane: everything [`PedalService::snapshot`] can
+/// report about *recent* behaviour, as opposed to the lifetime series
+/// in the registry. Updates happen under the completion lock, so window
+/// contents are a pure function of each job's virtual completion
+/// instant — wall-clock interleaving cannot change what a window holds.
+struct LivePlane {
+    window: WindowConfig,
+    queue: Arc<AdmissionQueue>,
+    queue_wait: WindowedHistogram,
+    service: WindowedHistogram,
+    latency: WindowedHistogram,
+    completed_recent: WindowedCounter,
+    bytes_in_recent: WindowedCounter,
+    completion_rate: EwmaRate,
+    byte_rate: EwmaRate,
+    queue_high: HighWatermark,
+    in_flight_high: HighWatermark,
+    slos: SloTable,
+    bus: ObsBus,
+}
+
+impl LivePlane {
+    fn new(cfg: &LiveConfig, queue: Arc<AdmissionQueue>) -> Self {
+        let w = WindowConfig::new(cfg.slot, cfg.slots);
+        Self {
+            window: w,
+            queue,
+            queue_wait: WindowedHistogram::new(w),
+            service: WindowedHistogram::new(w),
+            latency: WindowedHistogram::new(w),
+            completed_recent: WindowedCounter::new(w),
+            bytes_in_recent: WindowedCounter::new(w),
+            completion_rate: EwmaRate::new(w.span()),
+            byte_rate: EwmaRate::new(w.span()),
+            queue_high: HighWatermark::new(),
+            in_flight_high: HighWatermark::new(),
+            slos: SloTable::new(cfg.slo_target, w),
+            bus: ObsBus::new(),
+        }
+    }
+
+    /// Fold one finished job into the rolling windows and SLO table and
+    /// publish a frame on the bus. `now` stamps outcomes that carry no
+    /// metrics of their own (sheds, admission-time failures).
+    fn on_complete(&self, job: &CompletedJob, now: SimInstant) {
+        match &job.result {
+            Ok(out) => {
+                let Some(m) = &job.metrics else { return };
+                let latency = m.completed.elapsed_since(m.arrival);
+                self.queue_wait.record_at(m.completed, m.queue_wait.as_nanos());
+                self.service.record_at(m.completed, m.service.as_nanos());
+                self.latency.record_at(m.completed, latency.as_nanos());
+                self.completed_recent.add_at(m.completed, 1);
+                self.bytes_in_recent.add_at(m.completed, m.bytes_in as u64);
+                self.completion_rate.observe(m.completed, 1.0);
+                self.byte_rate.observe(m.completed, m.bytes_in as f64);
+                self.slos.record_completed(job.tenant, m.completed, latency);
+                self.bus.publish(MetricsFrame {
+                    seq: 0,
+                    at: m.completed,
+                    tenant: job.tenant,
+                    kind: FrameKind::Completed,
+                    latency_ns: latency.as_nanos(),
+                    service_ns: m.service.as_nanos(),
+                    bytes_in: m.bytes_in as u64,
+                    bytes_out: out.bytes.len() as u64,
+                    queue_depth: self.queue.len() as u64,
+                });
+            }
+            Err(ServiceError::Shed) => {
+                self.slos.record_shed(job.tenant);
+                let at = job.metrics.as_ref().map(|m| m.completed).unwrap_or(now);
+                self.publish_event(FrameKind::Shed, job.tenant, at);
+            }
+            Err(_) => {
+                self.slos.record_failed(job.tenant);
+                let at = job.metrics.as_ref().map(|m| m.completed).unwrap_or(now);
+                self.publish_event(FrameKind::Failed, job.tenant, at);
+            }
+        }
+    }
+
+    fn on_rejected(&self, tenant: TenantId, now: SimInstant) {
+        self.slos.record_rejected(tenant);
+        self.publish_event(FrameKind::Rejected, tenant, now);
+    }
+
+    fn on_shed_submit(&self, tenant: TenantId, now: SimInstant) {
+        self.slos.record_shed(tenant);
+        self.publish_event(FrameKind::Shed, tenant, now);
+    }
+
+    fn publish_event(&self, kind: FrameKind, tenant: TenantId, at: SimInstant) {
+        self.bus.publish(MetricsFrame {
+            seq: 0,
+            at,
+            tenant,
+            kind,
+            latency_ns: 0,
+            service_ns: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            queue_depth: self.queue.len() as u64,
+        });
+    }
+
+    fn rolling_at(&self, now: SimInstant) -> RollingStats {
+        RollingStats {
+            window: self.window.span(),
+            queue_wait: self.queue_wait.summary_at(now),
+            service: self.service.summary_at(now),
+            latency: self.latency.summary_at(now),
+            completed_recent: self.completed_recent.sum_at(now),
+            bytes_in_recent: self.bytes_in_recent.sum_at(now),
+            completed_per_sec: self.completion_rate.per_sec(now),
+            mbps_in: self.byte_rate.per_sec(now) / 1e6,
+            queue_depth_high: self.queue_high.get(),
+            in_flight_high: self.in_flight_high.get(),
+        }
+    }
 }
 
 /// Pre-resolved registry handles held per lane so the hot path records
@@ -233,8 +418,12 @@ pub mod series {
 }
 
 impl Shared {
-    fn start_one(&self) {
-        *self.outstanding.lock().unwrap() += 1;
+    /// Admit one job into the outstanding count; returns the new count
+    /// so callers can feed the in-flight high-watermark.
+    fn start_one(&self) -> u64 {
+        let mut n = self.outstanding.lock().unwrap();
+        *n += 1;
+        *n
     }
 
     fn finish_one(&self) {
@@ -249,7 +438,15 @@ impl Shared {
         if let Some(m) = &job.metrics {
             self.clock.merge(m.completed);
         }
-        self.completed.lock().unwrap().push(job);
+        let mut done = self.completed.lock().unwrap();
+        // Fold into the live plane while holding the completion lock:
+        // window updates are serialized, so window contents depend only
+        // on virtual completion instants, never on thread interleaving.
+        if let Some(live) = &self.live {
+            live.on_complete(&job, self.clock.now());
+        }
+        done.push(job);
+        drop(done);
         self.finish_one();
     }
 }
@@ -280,6 +477,7 @@ impl PedalService {
         let cfg = cfg.normalized();
         let costs = CostModel::for_platform(cfg.platform);
         let queue = Arc::new(AdmissionQueue::new(cfg.queue_capacity, cfg.policy));
+        let live = cfg.live.enabled.then(|| LivePlane::new(&cfg.live, queue.clone()));
         let shared = Arc::new(Shared {
             completed: Mutex::new(Vec::new()),
             outstanding: Mutex::new(0),
@@ -288,6 +486,7 @@ impl PedalService {
             shed_at_submit: AtomicU64::new(0),
             clock: SimClock::new(),
             metrics: MetricsRegistry::new(),
+            live,
         });
         let lane_metrics = LaneMetrics::resolve(&shared.metrics);
         let channels = Arc::new(ChannelSet::new(costs, cfg.ce_channels, cfg.channel_depth));
@@ -400,6 +599,11 @@ impl PedalService {
         let reg = &self.shared.metrics;
         let outstanding = *self.shared.outstanding.lock().unwrap();
         let queue_depth = self.queue.len();
+        let now = self.shared.clock.now();
+        let (rolling, tenants) = match &self.shared.live {
+            Some(live) => (Some(live.rolling_at(now)), live.slos.snapshot_at(now)),
+            None => (None, Vec::new()),
+        };
         ServiceSnapshot {
             queue_depth,
             in_flight: outstanding,
@@ -412,7 +616,31 @@ impl PedalService {
             queue_wait: HistSummary::of(&reg.histogram(series::QUEUE_WAIT)),
             service: HistSummary::of(&reg.histogram(series::SERVICE)),
             latency: HistSummary::of(&reg.histogram(series::LATENCY)),
+            rolling,
+            tenants,
         }
+    }
+
+    /// Subscribe to per-completion [`MetricsFrame`]s. The channel is
+    /// bounded: a slow reader loses frames (counted on the
+    /// subscription), never blocks a lane. `None` when the live plane
+    /// is disabled.
+    pub fn subscribe_metrics(&self, capacity: usize) -> Option<BusSubscription> {
+        self.shared.live.as_ref().map(|l| l.bus.subscribe(capacity))
+    }
+
+    /// Override one tenant's end-to-end latency SLO target (the default
+    /// comes from [`LiveConfig::slo_target`]). No-op when the live
+    /// plane is disabled.
+    pub fn set_slo_target(&self, tenant: TenantId, target: SimDuration) {
+        if let Some(l) = &self.shared.live {
+            l.slos.set_target(tenant, target);
+        }
+    }
+
+    /// Prometheus text exposition of the current snapshot.
+    pub fn prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
     }
 
     /// Point-in-time copy of every metrics series (for JSONL export).
@@ -436,10 +664,22 @@ impl PedalService {
     /// configured [`BackpressurePolicy`].
     pub fn submit(&self, desc: JobDesc) -> Result<JobId, ServiceError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared.start_one();
+        let tenant = desc.tenant;
+        let in_flight = self.shared.start_one();
+        if let Some(live) = &self.shared.live {
+            live.in_flight_high.observe(in_flight);
+        }
         match self.queue.push(Job { id, desc }) {
-            Ok(None) => Ok(id),
+            Ok(None) => {
+                if let Some(live) = &self.shared.live {
+                    live.queue_high.observe(self.queue.len() as u64);
+                }
+                Ok(id)
+            }
             Ok(Some(victim)) => {
+                if let Some(live) = &self.shared.live {
+                    live.queue_high.observe(self.queue.len() as u64);
+                }
                 // The shed policy evicted a queued job to admit this one.
                 self.shared.record(CompletedJob {
                     id: victim.id,
@@ -452,12 +692,19 @@ impl PedalService {
                 Ok(id)
             }
             Err(e) => {
+                let now = self.shared.clock.now();
                 match e {
                     ServiceError::Overloaded => {
                         self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        if let Some(live) = &self.shared.live {
+                            live.on_rejected(tenant, now);
+                        }
                     }
                     ServiceError::Shed => {
                         self.shared.shed_at_submit.fetch_add(1, Ordering::Relaxed);
+                        if let Some(live) = &self.shared.live {
+                            live.on_shed_submit(tenant, now);
+                        }
                     }
                     _ => {}
                 }
@@ -900,11 +1147,11 @@ fn run_lane(
             LaneMsg::One { job, admitted_at } => {
                 let start = virt_free.max(admitted_at);
                 let begin = start + env.costs.pool_hit();
-                rec.span(SpanKind::QueueWait, job.desc.arrival, start, job.id);
+                rec.span_for(SpanKind::QueueWait, job.desc.arrival, start, job.id, job.desc.tenant);
                 rec.span(SpanKind::PoolAcquire, start, begin, 0);
                 let outcome = exec_job(&env, wq, &job.desc, begin, &mut rec);
                 virt_free = outcome.completed.max(begin);
-                rec.span(SpanKind::Job, start, virt_free, job.id);
+                rec.span_for(SpanKind::Job, start, virt_free, job.id, job.desc.tenant);
                 record_one(&env, &mut stats, lane, job, start, virt_free, outcome.result, false);
             }
             LaneMsg::Batch { jobs, admitted_at } => {
@@ -912,7 +1159,7 @@ fn run_lane(
                 let start = virt_free.max(admitted_at);
                 let begin = start + env.costs.pool_hit();
                 for j in &jobs {
-                    rec.span(SpanKind::QueueWait, j.desc.arrival, start, j.id);
+                    rec.span_for(SpanKind::QueueWait, j.desc.arrival, start, j.id, j.desc.tenant);
                 }
                 rec.span(SpanKind::PoolAcquire, start, begin, 0);
                 let engine_jobs: Vec<CompressJob> = jobs
@@ -947,7 +1194,13 @@ fn run_lane(
                 let wq = wq.expect("chunks only target C-Engine lanes");
                 let start = virt_free.max(admitted_at);
                 let begin = start + env.costs.pool_hit();
-                rec.span(SpanKind::QueueWait, parent.job.desc.arrival, start, parent.job.id);
+                rec.span_for(
+                    SpanKind::QueueWait,
+                    parent.job.desc.arrival,
+                    start,
+                    parent.job.id,
+                    parent.job.desc.tenant,
+                );
                 rec.span(SpanKind::PoolAcquire, start, begin, 0);
                 let range = parent.ranges[index].clone();
                 let last = index == parent.ranges.len() - 1;
@@ -960,7 +1213,13 @@ fn run_lane(
                     .submit_traced(cj, begin, &mut rec)
                     .expect("serial lane cannot overfill its channel");
                 virt_free = h.completed_at.max(begin);
-                rec.span(SpanKind::Chunk, start, virt_free, index as u64);
+                rec.span_for(
+                    SpanKind::Chunk,
+                    start,
+                    virt_free,
+                    index as u64,
+                    parent.job.desc.tenant,
+                );
                 // Fragment work lands on the serving lane's utilization;
                 // the finisher adds only the parent's job count, so lane
                 // byte totals stay additive across the fan-out.
@@ -1041,7 +1300,7 @@ fn finish_parent(
             }
         }
     };
-    rec.span(SpanKind::Job, started, completed, parent.job.id);
+    rec.span_for(SpanKind::Job, started, completed, parent.job.id, desc.tenant);
     let bytes_in = desc.op.input_len();
     let bytes_out = result.as_ref().map(|o| o.bytes.len()).unwrap_or(0);
     let metrics = JobMetrics {

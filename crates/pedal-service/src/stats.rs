@@ -1,7 +1,7 @@
 //! Aggregate service telemetry in virtual time.
 
 use pedal_dpu::{SimDuration, SimInstant};
-use pedal_obs::{HistSummary, Json, ToJson};
+use pedal_obs::{HistSummary, Json, PromWriter, TenantSloSnapshot, ToJson};
 
 use crate::job::{CompletedJob, LaneId};
 
@@ -266,12 +266,78 @@ pub struct ServiceSnapshot {
     pub shed: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
-    /// Rolling queue-wait distribution (virtual ns).
+    /// Lifetime queue-wait distribution (virtual ns).
     pub queue_wait: HistSummary,
-    /// Rolling service-time distribution (virtual ns).
+    /// Lifetime service-time distribution (virtual ns).
     pub service: HistSummary,
-    /// Rolling end-to-end latency distribution (virtual ns).
+    /// Lifetime end-to-end latency distribution (virtual ns).
     pub latency: HistSummary,
+    /// Rolling-window view of recent behaviour; `None` when the live
+    /// plane is disabled.
+    pub rolling: Option<RollingStats>,
+    /// Per-tenant SLO accounting, sorted by tenant id; empty when the
+    /// live plane is disabled.
+    pub tenants: Vec<TenantSloSnapshot>,
+}
+
+/// What the service looked like over the last window of virtual time —
+/// the part of a [`ServiceSnapshot`] that lifetime series cannot show.
+/// A freshly-rotated empty window reports `None` percentiles, never a
+/// stale or zero value.
+#[derive(Debug, Clone)]
+pub struct RollingStats {
+    /// Window span (slot width times slot count).
+    pub window: SimDuration,
+    pub queue_wait: HistSummary,
+    pub service: HistSummary,
+    pub latency: HistSummary,
+    /// Completions inside the window.
+    pub completed_recent: u64,
+    /// Input bytes of completions inside the window.
+    pub bytes_in_recent: u64,
+    /// EWMA completion rate (jobs per virtual second).
+    pub completed_per_sec: f64,
+    /// EWMA input throughput (MB per virtual second).
+    pub mbps_in: f64,
+    /// Deepest the admission queue has ever been.
+    pub queue_depth_high: u64,
+    /// Most jobs ever simultaneously admitted-but-unfinished.
+    pub in_flight_high: u64,
+}
+
+impl std::fmt::Display for RollingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "last {}: {} done ({} bytes in), {:.1}/s, {:.1} MB/s",
+            self.window,
+            self.completed_recent,
+            self.bytes_in_recent,
+            self.completed_per_sec,
+            self.mbps_in
+        )?;
+        writeln!(f, "  queue wait {}", fmt_hist_ns(&self.queue_wait))?;
+        writeln!(f, "  service    {}", fmt_hist_ns(&self.service))?;
+        writeln!(f, "  latency    {}", fmt_hist_ns(&self.latency))?;
+        write!(f, "  high-water queue {}, in flight {}", self.queue_depth_high, self.in_flight_high)
+    }
+}
+
+impl ToJson for RollingStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("window_ns", Json::u64(self.window.as_nanos())),
+            ("queue_wait", self.queue_wait.to_json()),
+            ("service", self.service.to_json()),
+            ("latency", self.latency.to_json()),
+            ("completed_recent", Json::u64(self.completed_recent)),
+            ("bytes_in_recent", Json::u64(self.bytes_in_recent)),
+            ("completed_per_sec", Json::Num(self.completed_per_sec)),
+            ("mbps_in", Json::Num(self.mbps_in)),
+            ("queue_depth_high", Json::u64(self.queue_depth_high)),
+            ("in_flight_high", Json::u64(self.in_flight_high)),
+        ])
+    }
 }
 
 fn fmt_hist_ns(h: &HistSummary) -> String {
@@ -292,7 +358,14 @@ impl std::fmt::Display for ServiceSnapshot {
         )?;
         writeln!(f, "  queue wait {}", fmt_hist_ns(&self.queue_wait))?;
         writeln!(f, "  service    {}", fmt_hist_ns(&self.service))?;
-        write!(f, "  latency    {}", fmt_hist_ns(&self.latency))
+        write!(f, "  latency    {}", fmt_hist_ns(&self.latency))?;
+        if let Some(r) = &self.rolling {
+            write!(f, "\n{r}")?;
+        }
+        for t in &self.tenants {
+            write!(f, "\n{t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -310,7 +383,98 @@ impl ToJson for ServiceSnapshot {
             ("queue_wait", self.queue_wait.to_json()),
             ("service", self.service.to_json()),
             ("latency", self.latency.to_json()),
+            ("rolling", self.rolling.as_ref().map(ToJson::to_json).unwrap_or(Json::Null)),
+            ("tenants", Json::Arr(self.tenants.iter().map(ToJson::to_json).collect())),
         ])
+    }
+}
+
+/// Append one summary family (quantile samples plus `_sum`/`_count`).
+/// Empty distributions emit only `_sum 0` / `_count 0` — absent
+/// quantiles are omitted rather than faked as zero.
+fn prom_summary(w: &mut PromWriter, name: &str, help: &str, h: &HistSummary) {
+    w.family(name, help, "summary");
+    for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+        if let Some(v) = v {
+            w.sample(name, &[("quantile", q.to_string())], v as f64);
+        }
+    }
+    w.sample(&format!("{name}_sum"), &[], h.sum as f64);
+    w.sample(&format!("{name}_count"), &[], h.count as f64);
+}
+
+impl ServiceSnapshot {
+    /// Prometheus text exposition: lifetime counters, live gauges,
+    /// latency summaries, rolling-window gauges, and one sample set per
+    /// tenant. The output always passes
+    /// [`pedal_obs::validate_exposition`].
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        w.family("pedal_jobs_total", "Jobs by final outcome.", "counter");
+        for (outcome, v) in [
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("rejected", self.rejected),
+            ("shed", self.shed),
+        ] {
+            w.sample("pedal_jobs_total", &[("outcome", outcome.to_string())], v as f64);
+        }
+        w.family("pedal_bytes_total", "Bytes moved through the service.", "counter");
+        w.sample("pedal_bytes_total", &[("direction", "in".to_string())], self.bytes_in as f64);
+        w.sample("pedal_bytes_total", &[("direction", "out".to_string())], self.bytes_out as f64);
+        w.family("pedal_queue_depth", "Jobs waiting in the admission queue.", "gauge");
+        w.sample("pedal_queue_depth", &[], self.queue_depth as f64);
+        w.family("pedal_in_flight", "Jobs admitted but not yet completed.", "gauge");
+        w.sample("pedal_in_flight", &[], self.in_flight as f64);
+        prom_summary(&mut w, "pedal_queue_wait_ns", "Lifetime queue wait.", &self.queue_wait);
+        prom_summary(&mut w, "pedal_service_ns", "Lifetime service time.", &self.service);
+        prom_summary(&mut w, "pedal_latency_ns", "Lifetime end-to-end latency.", &self.latency);
+        if let Some(r) = &self.rolling {
+            prom_summary(
+                &mut w,
+                "pedal_rolling_latency_ns",
+                "End-to-end latency over the rolling window.",
+                &r.latency,
+            );
+            w.family("pedal_rolling_completed", "Completions in the rolling window.", "gauge");
+            w.sample("pedal_rolling_completed", &[], r.completed_recent as f64);
+            w.family("pedal_completed_per_sec", "EWMA completion rate.", "gauge");
+            w.sample("pedal_completed_per_sec", &[], r.completed_per_sec);
+            w.family("pedal_mbps_in", "EWMA input throughput (MB/s).", "gauge");
+            w.sample("pedal_mbps_in", &[], r.mbps_in);
+            w.family("pedal_queue_depth_high", "Queue-depth high watermark.", "gauge");
+            w.sample("pedal_queue_depth_high", &[], r.queue_depth_high as f64);
+            w.family("pedal_in_flight_high", "In-flight high watermark.", "gauge");
+            w.sample("pedal_in_flight_high", &[], r.in_flight_high as f64);
+        }
+        if !self.tenants.is_empty() {
+            w.family("pedal_tenant_jobs_total", "Per-tenant jobs by outcome.", "counter");
+            for t in &self.tenants {
+                for (outcome, v) in [
+                    ("completed", t.completed),
+                    ("failed", t.failed),
+                    ("rejected", t.rejected),
+                    ("shed", t.shed),
+                ] {
+                    w.sample(
+                        "pedal_tenant_jobs_total",
+                        &[("tenant", t.tenant.to_string()), ("outcome", outcome.to_string())],
+                        v as f64,
+                    );
+                }
+            }
+            w.family(
+                "pedal_tenant_slo_attainment",
+                "Fraction of recent completions inside the tenant's latency target.",
+                "gauge",
+            );
+            for t in &self.tenants {
+                if let Some(a) = t.attainment {
+                    w.sample("pedal_tenant_slo_attainment", &[("tenant", t.tenant.to_string())], a);
+                }
+            }
+        }
+        w.finish()
     }
 }
 

@@ -19,7 +19,7 @@
 //! compressing chunk `i + 1`.
 
 use pedal_dpu::{Algorithm, CostModel, Direction, SimInstant};
-use pedal_obs::{LaneRecorder, SpanKind, Track};
+use pedal_obs::{Json, LaneRecorder, SpanKind, ToJson, Track};
 use pedal_stream::{StreamCodec, StreamConfig, StreamEncoder};
 use std::collections::VecDeque;
 
@@ -76,6 +76,8 @@ pub struct StreamingReport {
     pub wire_bytes: usize,
     /// PSF1 frames sealed by the encoder.
     pub frames: u64,
+    /// Frames raw-stored because the codec output would have expanded.
+    pub raw_frames: u64,
     /// Peak bytes simultaneously held by this job: sealed frames still
     /// in the wire window plus the encoder's internal buffers.
     pub peak_in_flight: usize,
@@ -84,6 +86,70 @@ pub struct StreamingReport {
     /// Span telemetry: one `StreamEncode` span per chunk, one
     /// `StreamFrame` span per wire transfer.
     pub track: Track,
+}
+
+impl StreamingReport {
+    /// Total virtual time spent encoding chunks.
+    pub fn encode_ns(&self) -> u64 {
+        self.track.total_ns(SpanKind::StreamEncode)
+    }
+
+    /// Total virtual time frames occupied the wire.
+    pub fn wire_ns(&self) -> u64 {
+        self.track.total_ns(SpanKind::StreamFrame)
+    }
+
+    /// How much of the theoretically hideable stage the pipeline
+    /// actually hid: `(serial - completed) / min(encode, wire)`, clamped
+    /// to `[0, 1]`. Running encode and transfer back to back would take
+    /// `encode + wire`; perfect overlap hides the shorter stage
+    /// entirely (1.0), no overlap hides nothing (0.0).
+    pub fn overlap_efficiency(&self) -> f64 {
+        let encode = self.encode_ns() as f64;
+        let wire = self.wire_ns() as f64;
+        let hideable = encode.min(wire);
+        if hideable <= 0.0 {
+            return 0.0;
+        }
+        let serial = encode + wire;
+        let actual = self.completed.elapsed_since(SimInstant::EPOCH).as_nanos() as f64;
+        ((serial - actual) / hideable).clamp(0.0, 1.0)
+    }
+
+    /// Plaintext throughput over the job's virtual lifetime, MB/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        let secs = self.completed.elapsed_since(SimInstant::EPOCH).as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.raw_bytes as f64 / 1e6 / secs
+    }
+
+    /// Plaintext over wire bytes (0.0 for an empty stream).
+    pub fn wire_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_bytes as f64 / self.wire_bytes as f64
+    }
+}
+
+impl ToJson for StreamingReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("raw_bytes", Json::u64(self.raw_bytes as u64)),
+            ("wire_bytes", Json::u64(self.wire_bytes as u64)),
+            ("frames", Json::u64(self.frames)),
+            ("raw_frames", Json::u64(self.raw_frames)),
+            ("peak_in_flight", Json::u64(self.peak_in_flight as u64)),
+            ("completed_ns", Json::u64(self.completed.0)),
+            ("encode_ns", Json::u64(self.encode_ns())),
+            ("wire_ns", Json::u64(self.wire_ns())),
+            ("overlap_efficiency", Json::Num(self.overlap_efficiency())),
+            ("throughput_mbps", Json::Num(self.throughput_mbps())),
+            ("wire_ratio", Json::Num(self.wire_ratio())),
+        ])
+    }
 }
 
 /// Wire side of a streamed job: a serial link plus a bounded window of
@@ -165,10 +231,9 @@ where
         let blob = enc.take();
         wire.ship(&blob, &mut now);
     }
-    // finish() always seals exactly one more frame (the LAST one, empty
-    // for empty input) plus the trailer.
-    let frames = enc.frames_emitted() + 1;
-    let tail = enc.finish();
+    // finish_with_stats() always seals exactly one more frame (the LAST
+    // one, empty for empty input) plus the trailer.
+    let (tail, enc_stats) = enc.finish_with_stats();
     wire.peak = wire.peak.max(wire.window_bytes + tail.len());
     wire.ship(&tail, &mut now);
 
@@ -176,7 +241,8 @@ where
     StreamingReport {
         raw_bytes: data.len(),
         wire_bytes: wire.wire_bytes,
-        frames,
+        frames: enc_stats.frames,
+        raw_frames: enc_stats.raw_frames,
         peak_in_flight: wire.peak,
         completed,
         track: wire.rec.into_track(),
@@ -294,6 +360,17 @@ mod tests {
             "no overlap: completed {completed_ns} vs serial {}",
             encode_ns + frame_ns
         );
+        // The derived metrics agree with the raw spans.
+        assert_eq!(report.encode_ns(), encode_ns);
+        assert_eq!(report.wire_ns(), frame_ns);
+        let eff = report.overlap_efficiency();
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency {eff} outside (0, 1]");
+        assert!(report.throughput_mbps() > 0.0);
+        assert!(report.wire_ratio() > 1.0, "FAST deflate should compress the sample");
+        assert_eq!(report.raw_frames, 0);
+        let v = pedal_obs::parse_json(&report.to_json().to_string()).unwrap();
+        assert_eq!(v.get("frames").unwrap().as_f64(), Some(report.frames as f64));
+        assert_eq!(v.get("overlap_efficiency").unwrap().as_f64(), Some(eff));
     }
 
     #[test]

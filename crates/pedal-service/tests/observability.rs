@@ -6,7 +6,7 @@
 use pedal::{Datatype, Design};
 use pedal_dpu::{Pcg32, Platform, SimDuration};
 use pedal_obs::{chrome_trace_json, validate_chrome_trace, SpanKind, ToJson};
-use pedal_service::{CompletedJob, JobDesc, PedalService, ServiceConfig};
+use pedal_service::{CompletedJob, FrameKind, JobDesc, PedalService, ServiceConfig};
 
 fn text_payload(rng: &mut Pcg32, len: usize) -> Vec<u8> {
     let mut data = vec![0u8; len];
@@ -204,6 +204,168 @@ fn trace_covers_queue_batch_engine_and_all_sz3_stages() {
     {
         assert!(check.names.iter().any(|n| n == name), "chrome trace missing '{name}' spans");
     }
+}
+
+/// Live metrics + ObsBus on vs off: pure observation, like tracing.
+/// Every output byte, every virtual timestamp, and the whole lifetime
+/// stats tree must be identical — with a deliberately slow subscriber
+/// attached to the "on" run to prove that even bus drops never touch
+/// the data plane.
+#[test]
+fn live_metrics_are_byte_and_timing_identical() {
+    let run_with = |cfg: ServiceConfig, subscribe: bool| {
+        let svc = PedalService::start(cfg);
+        let sub = if subscribe {
+            Some(svc.subscribe_metrics(1).expect("live plane enabled"))
+        } else {
+            None
+        };
+        let mut rng = Pcg32::seed_from_u64(0x0B5E_0003);
+        let n = submit_mixed_load(&svc, &mut rng);
+        let jobs = svc.drain();
+        assert_eq!(jobs.len(), n);
+        if let Some(sub) = &sub {
+            assert!(sub.dropped() > 0, "capacity-1 subscriber must drop under this load");
+        }
+        let (_, stats) = svc.shutdown();
+        (jobs, stats)
+    };
+    let (jobs_off, stats_off) = run_with(base_config().without_live_metrics(), false);
+    let (jobs_on, stats_on) =
+        run_with(base_config().with_live_window(SimDuration::from_millis(10), 8), true);
+    assert_eq!(jobs_off.len(), jobs_on.len());
+    for (a, b) in jobs_off.iter().zip(jobs_on.iter()) {
+        assert_eq!(a.id, b.id);
+        match (&a.result, &b.result) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.bytes, y.bytes, "job {} bytes differ with live metrics on", a.id)
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            _ => panic!("job {} outcome differs with live metrics on", a.id),
+        }
+        let (ma, mb) = (a.metrics.unwrap(), b.metrics.unwrap());
+        assert_eq!(ma.arrival, mb.arrival, "job {} arrival shifted", a.id);
+        assert_eq!(ma.started, mb.started, "job {} start shifted", a.id);
+        assert_eq!(ma.completed, mb.completed, "job {} completion shifted", a.id);
+    }
+    assert_eq!(
+        stats_off.to_json().to_string(),
+        stats_on.to_json().to_string(),
+        "aggregate stats differ with live metrics on"
+    );
+}
+
+/// The rolling window reports what happened *recently*: an empty
+/// freshly-started window reads None (never stale or zero), a calm
+/// phase fills it, and a burst one window-span later evicts the calm
+/// samples while the lifetime histogram keeps everything.
+#[test]
+fn rolling_window_forgets_the_calm_phase() {
+    let slot = SimDuration::from_millis(20);
+    let slots = 8usize;
+    let span = SimDuration(slot.0 * slots as u64);
+    let svc = PedalService::start(base_config().with_live_window(slot, slots));
+    let pre = svc.snapshot().rolling.expect("live plane enabled");
+    assert_eq!(pre.latency.count, 0);
+    assert_eq!(pre.latency.p50, None, "empty window must read None, not zero");
+    assert_eq!(pre.completed_recent, 0);
+
+    let mut rng = Pcg32::seed_from_u64(0x0B5E_0004);
+    let data = text_payload(&mut rng, 4_000);
+    for _ in 0..5 {
+        svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone())).unwrap();
+    }
+    let calm = svc.drain();
+    let calm_end = calm.iter().filter_map(|j| j.metrics.map(|m| m.completed)).max().unwrap();
+    let mid = svc.snapshot().rolling.unwrap();
+    assert_eq!(mid.latency.count, 5, "calm phase must be in the window right after it");
+    assert_eq!(mid.completed_recent, 5);
+
+    for _ in 0..3 {
+        svc.submit(
+            JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone())
+                .with_arrival(calm_end + span),
+        )
+        .unwrap();
+    }
+    svc.drain();
+    let snap = svc.snapshot();
+    let roll = snap.rolling.unwrap();
+    assert_eq!(roll.latency.count, 3, "calm samples must have expired from the window");
+    assert_eq!(roll.completed_recent, 3);
+    assert!(roll.latency.p50.is_some());
+    assert_eq!(snap.latency.count, 8, "lifetime histogram keeps every sample");
+    assert_eq!(snap.completed, 8);
+}
+
+/// Per-tenant SLO accounting: a tenant with an impossible target reads
+/// 0% attainment, one with a generous target reads 100%, and untagged
+/// jobs land on tenant 0 under the configured default target.
+#[test]
+fn per_tenant_slo_attainment_tracks_targets() {
+    let svc = PedalService::start(base_config().with_slo_target(SimDuration::from_millis(50)));
+    svc.set_slo_target(7, SimDuration(1));
+    svc.set_slo_target(8, SimDuration::from_millis(60_000));
+    let mut rng = Pcg32::seed_from_u64(0x0B5E_0005);
+    let data = text_payload(&mut rng, 4_000);
+    for tenant in [7u32, 8] {
+        for _ in 0..4 {
+            svc.submit(
+                JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone())
+                    .with_tenant(tenant),
+            )
+            .unwrap();
+        }
+    }
+    svc.submit(JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone())).unwrap();
+    svc.drain();
+    let snap = svc.snapshot();
+    let get = |id: u32| snap.tenants.iter().find(|t| t.tenant == id).expect("tenant present");
+    let tight = get(7);
+    assert_eq!(tight.completed, 4);
+    assert_eq!(tight.attainment, Some(0.0), "1 ns target is unmeetable");
+    let loose = get(8);
+    assert_eq!(loose.completed, 4);
+    assert_eq!(loose.attainment, Some(1.0), "60 s target always holds");
+    let default = get(0);
+    assert_eq!(default.target, SimDuration::from_millis(50));
+    assert_eq!(default.completed, 1);
+}
+
+/// The metrics bus streams one frame per completion in order; a slow
+/// subscriber loses frames to its own bounded queue (counted), while a
+/// roomy one sees everything. With the live plane off, there is no bus.
+#[test]
+fn metrics_bus_streams_frames_and_counts_slow_subscriber_drops() {
+    let svc = PedalService::start(base_config());
+    let roomy = svc.subscribe_metrics(64).expect("live plane on by default");
+    let slow = svc.subscribe_metrics(1).expect("second subscriber");
+    let mut rng = Pcg32::seed_from_u64(0x0B5E_0006);
+    let data = text_payload(&mut rng, 4_000);
+    for _ in 0..6 {
+        svc.submit(
+            JobDesc::compress(Design::CE_DEFLATE, Datatype::Byte, data.clone()).with_tenant(3),
+        )
+        .unwrap();
+    }
+    svc.drain();
+    let frames = roomy.poll();
+    assert_eq!(frames.len(), 6, "one frame per completion");
+    assert_eq!(roomy.dropped(), 0);
+    for w in frames.windows(2) {
+        assert!(w[0].seq < w[1].seq, "frames must arrive in sequence order");
+    }
+    for f in &frames {
+        assert_eq!(f.kind, FrameKind::Completed);
+        assert_eq!(f.tenant, 3);
+        assert!(f.latency_ns > 0 && f.bytes_in > 0 && f.bytes_out > 0);
+    }
+    assert_eq!(slow.len(), 1, "capacity-1 queue holds exactly one frame");
+    assert_eq!(slow.dropped(), 5, "the other five count as drops on the slow subscriber");
+
+    let off = PedalService::start(base_config().without_live_metrics());
+    assert!(off.subscribe_metrics(4).is_none(), "no bus without the live plane");
+    off.shutdown();
 }
 
 /// A traced fanned-out job surfaces one `chunk` span per fragment, each

@@ -69,6 +69,30 @@ impl StreamConfig {
     }
 }
 
+/// Encoder-side tallies of one finished stream, for throughput and
+/// ratio reporting without re-parsing the wire bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderStats {
+    /// Frames emitted (including the final, possibly empty, LAST frame).
+    pub frames: u64,
+    /// Frames stored raw because the codec output would have expanded.
+    pub raw_frames: u64,
+    /// Plaintext bytes consumed.
+    pub raw_bytes: u64,
+    /// Complete wire size: header + every frame + trailer.
+    pub wire_bytes: u64,
+}
+
+impl EncoderStats {
+    /// Plaintext over wire bytes (0.0 for an empty stream).
+    pub fn ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_bytes as f64 / self.wire_bytes as f64
+    }
+}
+
 /// Incremental encoder. Feed plaintext with [`push`](Self::push) (or via
 /// `std::io::Write`), drain wire bytes with [`take`](Self::take), close
 /// with [`finish`](Self::finish).
@@ -86,6 +110,8 @@ pub struct StreamEncoder {
     ready: Vec<u8>,
     next_index: u64,
     total_raw: u64,
+    raw_frames: u64,
+    wire_out: u64,
     adler: Adler32,
     finished: bool,
 }
@@ -99,6 +125,7 @@ impl StreamEncoder {
         ready.push(cfg.codec.id());
         ready.push(0); // header flags, reserved
         put_uvarint(&mut ready, chunk as u64);
+        let wire_out = ready.len() as u64;
         Self {
             codec: cfg.codec.clone(),
             chunk,
@@ -106,6 +133,8 @@ impl StreamEncoder {
             ready,
             next_index: 0,
             total_raw: 0,
+            raw_frames: 0,
+            wire_out,
             adler: Adler32::new(),
             finished: false,
         }
@@ -158,16 +187,36 @@ impl StreamEncoder {
         self.next_index
     }
 
+    /// Frames stored raw so far (codec output would have expanded).
+    pub fn raw_frames(&self) -> u64 {
+        self.raw_frames
+    }
+
     /// Emit the final frame and trailer; returns all not-yet-taken wire
     /// bytes.
-    pub fn finish(mut self) -> Vec<u8> {
+    pub fn finish(self) -> Vec<u8> {
+        self.finish_with_stats().0
+    }
+
+    /// [`finish`](Self::finish) plus the stream's encoder-side tallies.
+    /// `wire_bytes` counts the whole stream, including bytes already
+    /// drained through [`take`](Self::take).
+    pub fn finish_with_stats(mut self) -> (Vec<u8>, EncoderStats) {
         let tail = std::mem::take(&mut self.pending);
         self.emit_frame(&tail, true);
+        let before = self.ready.len();
         put_uvarint(&mut self.ready, self.total_raw);
         let sum = self.adler.finish();
         self.ready.extend_from_slice(&sum.to_le_bytes());
+        self.wire_out += (self.ready.len() - before) as u64;
         self.finished = true;
-        self.ready
+        let stats = EncoderStats {
+            frames: self.next_index,
+            raw_frames: self.raw_frames,
+            raw_bytes: self.total_raw,
+            wire_bytes: self.wire_out,
+        };
+        (self.ready, stats)
     }
 
     fn emit_frame(&mut self, chunk: &[u8], last: bool) {
@@ -199,12 +248,17 @@ impl StreamEncoder {
         if raw {
             flags |= FRAME_RAW;
         }
+        let before = self.ready.len();
         self.ready.push(flags);
         put_uvarint(&mut self.ready, self.next_index);
         put_uvarint(&mut self.ready, chunk.len() as u64);
         put_uvarint(&mut self.ready, payload.len() as u64);
         self.ready.extend_from_slice(&adler32(&payload).to_le_bytes());
         self.ready.extend_from_slice(&payload);
+        self.wire_out += (self.ready.len() - before) as u64;
+        if raw {
+            self.raw_frames += 1;
+        }
         self.adler.update(chunk);
         self.total_raw += chunk.len() as u64;
         self.next_index += 1;

@@ -55,7 +55,9 @@ pub use pedal_deflate::Level;
 pub use pedal_pco::PcoConfig;
 
 pub use decoder::{decode_all, StreamDecoder};
-pub use encoder::{encode_all, StreamCodec, StreamConfig, StreamEncoder, DEFAULT_CHUNK};
+pub use encoder::{
+    encode_all, EncoderStats, StreamCodec, StreamConfig, StreamEncoder, DEFAULT_CHUNK,
+};
 pub use frame::{
     frame_spans, max_payload_len, FrameSpan, StreamError, CODEC_DEFLATE, CODEC_LZ4, CODEC_PCO,
     FRAME_LAST, FRAME_RAW, MAGIC, MAX_CHUNK_SIZE, VERSION,
@@ -170,6 +172,39 @@ mod tests {
         let mut extra = wire.clone();
         extra.push(0);
         assert!(matches!(decode_all(&extra, 100).unwrap_err(), StreamError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn encoder_stats_count_frames_raw_fallbacks_and_wire_bytes() {
+        let cfg = StreamConfig::new(StreamCodec::Lz4 { accel: 1 }).with_chunk_size(256);
+        // Pure noise: LZ4 expands every chunk, so each frame raw-stores.
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        let noise: Vec<u8> = (0..1024)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        let mut enc = StreamEncoder::new(&cfg);
+        enc.push(&noise);
+        let mut wire = enc.take();
+        let (tail, stats) = enc.finish_with_stats();
+        wire.extend_from_slice(&tail);
+        // wire_bytes covers the whole stream, including drained takes.
+        assert_eq!(stats.wire_bytes as usize, wire.len());
+        assert_eq!(wire, encode_all(&noise, &cfg));
+        assert_eq!(stats.frames, 4);
+        assert_eq!(stats.raw_bytes, 1024);
+        assert!(stats.raw_frames > 0, "noise should force raw fallback");
+        assert!(stats.ratio() < 1.0, "raw-stored noise pays framing overhead");
+        // Compressible input: no fallbacks, ratio above 1.
+        let mut e = StreamEncoder::new(&cfg);
+        e.push(&vec![0u8; 4096]);
+        let (_, s2) = e.finish_with_stats();
+        assert_eq!(s2.raw_frames, 0);
+        assert!(s2.ratio() > 1.0);
     }
 
     #[test]

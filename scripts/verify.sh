@@ -20,10 +20,12 @@ cargo run --release -q -p pedal-testkit --bin fuzz_sweep -- --cases 2500
 
 echo "==> observability smoke (traced run + export validation)"
 # Runs a small traced workload through pedal-service, writes
-# results/trace_smoke.json + results/metrics_smoke.jsonl, and
-# structurally validates the Chrome trace (balanced name-matched B/E
-# pairs per lane, every pipeline stage present). Exits non-zero on any
-# violation.
+# results/trace_smoke.json + results/metrics_smoke.jsonl +
+# results/prometheus_smoke.prom, and structurally validates every
+# export: the Chrome trace (balanced name-matched B/E pairs per lane,
+# every pipeline stage present), the Prometheus exposition (parses,
+# counters monotone across two scrapes), and the versioned metrics
+# JSONL (schema header first). Exits non-zero on any violation.
 cargo run --release -q -p bench --bin obs_smoke
 
 echo "==> chunk-parallel determinism (1/2/8 workers, fixed-seed corpus)"
@@ -56,17 +58,43 @@ echo "==> streaming frame protocol gate (overlap >= 1.3x, byte identity)"
 # (mirrored at the repo root) and exits non-zero if any gate fails.
 cargo run --release -q -p bench --bin ablation_streaming
 
+echo "==> offload service ablation (channels, load, backpressure, live metrics)"
+# Sweeps the pedal-service offload engine and exercises the live
+# metrics plane under a deterministic overload: the rolling window must
+# hold exactly the burst (calm phase expired), per-tenant SLO
+# attainment must split 0%/100% on impossible/generous targets, and the
+# Prometheus exposition must validate. Writes
+# results/BENCH_ablation_service.json (mirrored at the repo root).
+cargo run --release -q -p bench --bin ablation_service
+
+echo "==> engine contention ablation (concurrent streams, FIFO queueing)"
+# Writes results/BENCH_ablation_contention.json (mirrored at the repo
+# root).
+cargo run --release -q -p bench --bin ablation_contention
+
 echo "==> bench reports mirrored at repo root"
 # Every bench bin mirrors its BENCH_<name>.json at the repository root;
-# the streaming gate's report must be among them.
+# all five gated reports must be present.
 ls BENCH_*.json >/dev/null 2>&1 || {
     echo "verify: FAIL — no BENCH_*.json at the repository root" >&2
     exit 1
 }
-test -f BENCH_streaming.json || {
-    echo "verify: FAIL — BENCH_streaming.json missing at the repository root" >&2
-    exit 1
-}
+for f in BENCH_ablation_par.json BENCH_ablation_pco.json BENCH_streaming.json \
+         BENCH_ablation_service.json BENCH_ablation_contention.json; do
+    test -f "$f" || {
+        echo "verify: FAIL — $f missing at the repository root" >&2
+        exit 1
+    }
+done
+
+echo "==> bench-regression gate (benchdiff vs committed baselines)"
+# Proves the gate itself trips on a synthetic 25% regression, then
+# compares every root-mirrored BENCH_*.json just regenerated above
+# against its committed copy. All numbers are virtual-time, so an
+# unchanged tree always passes; a failure is a real behaviour change
+# (refresh the committed mirrors deliberately if it is intentional).
+cargo run --release -q -p bench --bin benchdiff -- --self-test
+cargo run --release -q -p bench --bin benchdiff
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
