@@ -24,16 +24,25 @@ pub enum Better {
 
 /// Classify a JSON key by its name; `None` means "not a gated metric".
 pub fn classify(key: &str) -> Option<Better> {
-    if key.contains("throughput_mbps")
+    // `mbps` generalizes throughput_mbps to the fleet tier's
+    // goodput_mbps and the live plane's mbps_in; `met_slo` and the
+    // rate suffix cover the fleet/service serving metrics.
+    if key.contains("mbps")
+        || key.contains("goodput")
         || key.contains("speedup")
         || key.contains("attainment")
         || key.contains("overlap_efficiency")
+        || key.contains("met_slo")
+        || key.ends_with("_per_sec")
         || key == "ratio"
         || key.ends_with("_ratio")
     {
         return Some(Better::Higher);
     }
+    // On a fixed open-loop trace, shedding more means serving less —
+    // shed counts regress upward, like latencies.
     if key.contains("slowdown")
+        || key.contains("shed")
         || key.ends_with("_ns")
         || key.ends_with("_us")
         || key.ends_with("_ms")
@@ -134,6 +143,23 @@ mod tests {
         assert_eq!(classify("slowdown"), Some(Better::Lower));
         assert_eq!(classify("jobs_completed"), None);
         assert_eq!(classify("queue_depth"), None);
+    }
+
+    /// The fleet tier's metric names must not abstain silently.
+    #[test]
+    fn fleet_keys_are_classified() {
+        assert_eq!(classify("goodput_mbps"), Some(Better::Higher));
+        assert_eq!(classify("mbps_in"), Some(Better::Higher));
+        assert_eq!(classify("paying_attainment"), Some(Better::Higher));
+        assert_eq!(classify("met_slo"), Some(Better::Higher));
+        assert_eq!(classify("completed_per_sec"), Some(Better::Higher));
+        assert_eq!(classify("shed"), Some(Better::Lower));
+        assert_eq!(classify("best_effort_shed_total"), Some(Better::Lower));
+        assert_eq!(classify("shed_bucket"), Some(Better::Lower));
+        assert_eq!(classify("latency_p99_ns"), Some(Better::Lower));
+        // Still-unclassified names keep abstaining (counts, echoes).
+        assert_eq!(classify("stored"), None);
+        assert_eq!(classify("placement_records"), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! target ratios). All generators are seeded and reproducible.
 
 pub mod generators;
+pub mod workload;
 
 /// The seeded PCG32 generator every dataset generator draws from
 /// (re-exported so test-case generators can share the same stream type).

@@ -1,0 +1,196 @@
+//! Seeded property sweeps for the fleet invariants.
+//!
+//! In-tree case generation (no external proptest): every case derives
+//! from a fixed-seed PCG32 stream, reproducible by case index. Build
+//! with `--features fuzz` to multiply case counts.
+
+use pedal::Design;
+use pedal_datasets::workload::{generate_arrivals, ArrivalProcess, OpenLoopConfig};
+use pedal_datasets::DatasetId;
+use pedal_dpu::{Algorithm, Direction, Pcg32, Placement, Platform, SimDuration, SimInstant};
+use pedal_fleet::{run_fleet, BucketSpec, FleetConfig, NodeSpec, PlacementAction, TokenBucket};
+use pedal_service::LaneId;
+
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "fuzz") {
+        base * 16
+    } else {
+        base
+    }
+}
+
+/// THE fleet invariant, swept: whatever the node mix, design mix, and
+/// traffic shape, a C-Engine submission only ever lands on a node whose
+/// engine supports the (algorithm, direction) pair — so compression is
+/// never routed to a BF3 C-Engine (Table II), and LZ4/SZ3/Pco
+/// compression never to any engine. Checked at both levels: the
+/// placement log (router decisions) and completed-job lane metrics
+/// (what actually executed).
+#[test]
+fn placement_never_routes_unsupported_pairs_to_an_engine() {
+    let mut rng = Pcg32::seed_from_u64(0xF1EE_7001);
+    for case in 0..cases(12) {
+        // Random mix of 1..=3 nodes, each BF2 or BF3 — all-BF3 fleets
+        // (no compression engine at all) are deliberately reachable.
+        let n_nodes = rng.gen_range(1usize..=3);
+        let nodes: Vec<NodeSpec> = (0..n_nodes)
+            .map(|_| if rng.gen::<bool>() { NodeSpec::bf2() } else { NodeSpec::bf3() })
+            .collect();
+        let platforms: Vec<Platform> = nodes.iter().map(|n| n.platform).collect();
+        let cfg = FleetConfig::new(nodes);
+        let trace_cfg = OpenLoopConfig {
+            seed: 0xBEEF + case as u64,
+            process: ArrivalProcess::Poisson { mean_gap: SimDuration::from_micros(150) },
+            span: SimDuration::from_millis(3),
+            paying_tenants: 8,
+            tenant_space: 2_000_000,
+            paying_pct: 30,
+            payload_min: 1 << 10,
+            payload_max: 4 << 10,
+            datasets: vec![DatasetId::SilesiaXml, DatasetId::ObsError],
+        };
+        let arrivals = generate_arrivals(&trace_cfg);
+        // Random per-job design requests over the lossless algorithms,
+        // both placements (SoC requests must stay SoC; CE requests must
+        // only reach capable engines).
+        let algos = [Algorithm::Deflate, Algorithm::Zlib, Algorithm::Lz4];
+        let run = run_fleet(&cfg, &arrivals, |a| {
+            let algo = algos[(a.seq % 3) as usize];
+            let placement = if a.seq % 2 == 0 { Placement::CEngine } else { Placement::Soc };
+            Design { algorithm: algo, placement }
+        });
+
+        // Router level: the placement log.
+        for r in &run.log.records {
+            if let PlacementAction::Submitted { node, design, .. } = r.action {
+                if design.placement == Placement::CEngine {
+                    let spec = platforms[node].spec();
+                    assert!(
+                        spec.cengine.supports(design.algorithm, Direction::Compress),
+                        "case {case}: seq {} routed {} compression to a {} engine",
+                        r.seq,
+                        design.algorithm.name(),
+                        platforms[node].name(),
+                    );
+                }
+                // SoC requests are never silently promoted to an engine.
+                if r.requested.placement == Placement::Soc {
+                    assert_eq!(
+                        design.placement,
+                        Placement::Soc,
+                        "case {case}: SoC request promoted"
+                    );
+                }
+            }
+        }
+        // Execution level: completed-job lane metrics.
+        for c in &run.completions {
+            if let Some(m) = &c.job.metrics {
+                if let LaneId::Channel(_) = m.lane {
+                    let spec = platforms[c.node].spec();
+                    assert!(
+                        spec.cengine.supports(c.job.design.algorithm, c.job.direction),
+                        "case {case}: node {} ({}) executed {} {:?} on an engine lane",
+                        c.node,
+                        platforms[c.node].name(),
+                        c.job.design.algorithm.name(),
+                        c.job.direction,
+                    );
+                }
+            }
+        }
+        // No job may vanish: arrivals == log records.
+        assert_eq!(run.log.len(), arrivals.len(), "case {case}: lost arrivals");
+    }
+}
+
+/// Token-bucket conservation, swept: however a tenant hammers its
+/// bucket, admissions over any horizon never exceed burst + rate×time
+/// (plus one token of integer-division slack).
+#[test]
+fn token_bucket_conservation_under_random_schedules() {
+    let mut rng = Pcg32::seed_from_u64(0xF1EE_7002);
+    for case in 0..cases(200) {
+        let rate = rng.gen_range(1u64..=5_000);
+        let burst = rng.gen_range(1u64..=64);
+        let spec = BucketSpec::new(rate, burst);
+        let mut bucket = TokenBucket::new(spec, SimInstant::EPOCH);
+        let mut now = SimInstant::EPOCH;
+        let mut admitted = 0u64;
+        let steps = rng.gen_range(50usize..400);
+        for _ in 0..steps {
+            // Mixture of hammering (zero gap) and idle stretches.
+            let gap_ns = match rng.gen_range(0u32..10) {
+                0..=5 => rng.gen_range(0u64..2_000),
+                6..=8 => rng.gen_range(0u64..500_000),
+                _ => rng.gen_range(0u64..50_000_000),
+            };
+            now = now + SimDuration::from_nanos(gap_ns);
+            if bucket.try_take(now) {
+                admitted += 1;
+            }
+            let bound = bucket.conservation_bound(now);
+            assert!(
+                admitted <= bound,
+                "case {case}: admitted {admitted} > bound {bound} (rate {rate}/s burst {burst})"
+            );
+        }
+        assert_eq!(admitted, bucket.admitted(), "case {case}: admission counter drifted");
+    }
+}
+
+/// Bucket decisions are a pure function of the (spec, schedule) pair —
+/// the fleet's shed accounting relies on it.
+#[test]
+fn token_bucket_replay_is_deterministic() {
+    let mut rng = Pcg32::seed_from_u64(0xF1EE_7003);
+    for _ in 0..cases(50) {
+        let spec = BucketSpec::new(rng.gen_range(1u64..=2_000), rng.gen_range(1u64..=16));
+        let schedule: Vec<u64> = {
+            let mut t = 0u64;
+            (0..rng.gen_range(10usize..100))
+                .map(|_| {
+                    t += rng.gen_range(0u64..1_000_000);
+                    t
+                })
+                .collect()
+        };
+        let decide = |spec: BucketSpec, schedule: &[u64]| -> Vec<bool> {
+            let mut b = TokenBucket::new(spec, SimInstant::EPOCH);
+            schedule
+                .iter()
+                .map(|&ns| b.try_take(SimInstant::EPOCH + SimDuration::from_nanos(ns)))
+                .collect()
+        };
+        assert_eq!(decide(spec, &schedule), decide(spec, &schedule));
+    }
+}
+
+/// An all-BF3 fleet (engines that cannot compress anything) still
+/// serves every admitted compression job — entirely on SoC lanes.
+#[test]
+fn all_bf3_fleet_compresses_on_soc_only() {
+    let cfg = FleetConfig::new(vec![NodeSpec::bf3(), NodeSpec::bf3()]);
+    let trace_cfg =
+        OpenLoopConfig::poisson(99, SimDuration::from_micros(120), SimDuration::from_millis(4))
+            .with_payload(1 << 10, 4 << 10);
+    let arrivals = generate_arrivals(&trace_cfg);
+    let run = run_fleet(&cfg, &arrivals, |_| Design::CE_DEFLATE);
+    let completed = run.paying.completed + run.best_effort.completed;
+    assert!(completed > 0, "all-BF3 fleet completed nothing");
+    for r in &run.log.records {
+        if let PlacementAction::Submitted { design, .. } = r.action {
+            assert_eq!(
+                design.placement,
+                Placement::Soc,
+                "seq {}: BF3 engine got a compress",
+                r.seq
+            );
+        }
+    }
+    for c in &run.completions {
+        if let Some(m) = &c.job.metrics {
+            assert!(matches!(m.lane, LaneId::Soc(_)), "engine lane used on BF3 compress");
+        }
+    }
+}

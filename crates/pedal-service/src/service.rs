@@ -13,9 +13,9 @@ use pedal_dpu::{
     Algorithm, CostModel, Direction, Placement, Platform, SimClock, SimDuration, SimInstant,
 };
 use pedal_obs::{
-    BusSubscription, Collector, EwmaRate, FrameKind, HighWatermark, HistSummary, LaneRecorder,
-    LogHistogram, MetricsFrame, MetricsRegistry, ObsBus, SloTable, SpanKind, TenantId, TraceLog,
-    WindowConfig, WindowedCounter, WindowedHistogram,
+    BusSubscription, Collector, FrameKind, HighWatermark, HistSummary, LaneRecorder, LogHistogram,
+    MetricsFrame, MetricsRegistry, ObsBus, SloTable, SpanKind, TenantId, TraceLog, WindowConfig,
+    WindowedCounter, WindowedHistogram,
 };
 
 use crate::job::{
@@ -270,8 +270,6 @@ struct LivePlane {
     latency: WindowedHistogram,
     completed_recent: WindowedCounter,
     bytes_in_recent: WindowedCounter,
-    completion_rate: EwmaRate,
-    byte_rate: EwmaRate,
     queue_high: HighWatermark,
     in_flight_high: HighWatermark,
     slos: SloTable,
@@ -289,8 +287,6 @@ impl LivePlane {
             latency: WindowedHistogram::new(w),
             completed_recent: WindowedCounter::new(w),
             bytes_in_recent: WindowedCounter::new(w),
-            completion_rate: EwmaRate::new(w.span()),
-            byte_rate: EwmaRate::new(w.span()),
             queue_high: HighWatermark::new(),
             in_flight_high: HighWatermark::new(),
             slos: SloTable::new(cfg.slo_target, w),
@@ -311,8 +307,6 @@ impl LivePlane {
                 self.latency.record_at(m.completed, latency.as_nanos());
                 self.completed_recent.add_at(m.completed, 1);
                 self.bytes_in_recent.add_at(m.completed, m.bytes_in as u64);
-                self.completion_rate.observe(m.completed, 1.0);
-                self.byte_rate.observe(m.completed, m.bytes_in as f64);
                 self.slos.record_completed(job.tenant, m.completed, latency);
                 self.bus.publish(MetricsFrame {
                     seq: 0,
@@ -364,15 +358,22 @@ impl LivePlane {
     }
 
     fn rolling_at(&self, now: SimInstant) -> RollingStats {
+        // Rates are derived from the windowed integer counters rather
+        // than an EWMA: a windowed sum is a pure function of each job's
+        // virtual completion instant, so replays serialize byte-identical
+        // no matter how lane threads interleave in wall time.
+        let span_ns = self.window.span().as_nanos().max(1) as f64;
+        let completed = self.completed_recent.sum_at(now);
+        let bytes_in = self.bytes_in_recent.sum_at(now);
         RollingStats {
             window: self.window.span(),
             queue_wait: self.queue_wait.summary_at(now),
             service: self.service.summary_at(now),
             latency: self.latency.summary_at(now),
-            completed_recent: self.completed_recent.sum_at(now),
-            bytes_in_recent: self.bytes_in_recent.sum_at(now),
-            completed_per_sec: self.completion_rate.per_sec(now),
-            mbps_in: self.byte_rate.per_sec(now) / 1e6,
+            completed_recent: completed,
+            bytes_in_recent: bytes_in,
+            completed_per_sec: completed as f64 * 1e9 / span_ns,
+            mbps_in: bytes_in as f64 * 1e9 / span_ns / 1e6,
             queue_depth_high: self.queue_high.get(),
             in_flight_high: self.in_flight_high.get(),
         }

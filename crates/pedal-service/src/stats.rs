@@ -295,9 +295,10 @@ pub struct RollingStats {
     pub completed_recent: u64,
     /// Input bytes of completions inside the window.
     pub bytes_in_recent: u64,
-    /// EWMA completion rate (jobs per virtual second).
+    /// Windowed completion rate (jobs per virtual second): the window
+    /// sum over the window span, so replays report identical values.
     pub completed_per_sec: f64,
-    /// EWMA input throughput (MB per virtual second).
+    /// Windowed input throughput (MB per virtual second).
     pub mbps_in: f64,
     /// Deepest the admission queue has ever been.
     pub queue_depth_high: u64,
@@ -438,9 +439,9 @@ impl ServiceSnapshot {
             );
             w.family("pedal_rolling_completed", "Completions in the rolling window.", "gauge");
             w.sample("pedal_rolling_completed", &[], r.completed_recent as f64);
-            w.family("pedal_completed_per_sec", "EWMA completion rate.", "gauge");
+            w.family("pedal_completed_per_sec", "Windowed completion rate.", "gauge");
             w.sample("pedal_completed_per_sec", &[], r.completed_per_sec);
-            w.family("pedal_mbps_in", "EWMA input throughput (MB/s).", "gauge");
+            w.family("pedal_mbps_in", "Windowed input throughput (MB/s).", "gauge");
             w.sample("pedal_mbps_in", &[], r.mbps_in);
             w.family("pedal_queue_depth_high", "Queue-depth high watermark.", "gauge");
             w.sample("pedal_queue_depth_high", &[], r.queue_depth_high as f64);

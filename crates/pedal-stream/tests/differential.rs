@@ -88,6 +88,61 @@ fn byte_fed_decoder_reproduces_plaintext_exactly() {
     }
 }
 
+/// Feed the decoder exactly one frame per `feed` call — the slicing the
+/// granularity sweeps above never produce (byte-at-a-time always splits
+/// frames; one-shot merges them). Boundary-aligned feeds are what a
+/// length-prefixed transport delivers, and they exercise the "buffer is
+/// empty, frame is complete" fast path: after every frame the decoder
+/// must have nothing buffered and the plaintext so far must be a prefix
+/// of the input.
+#[test]
+fn frame_boundary_aligned_feeds_reproduce_plaintext() {
+    let data = sample(64_000);
+    for codec in codecs() {
+        for chunk in [997usize, 16 * 1024] {
+            let cfg = StreamConfig::new(codec.clone()).with_chunk_size(chunk);
+            let wire = encode_all(&data, &cfg);
+            let (header_len, spans) = frame_spans(&wire).expect("scannable stream");
+            // Frames tile the wire exactly: header, then back-to-back
+            // frames, then the trailer (raw-length varint + Adler-32).
+            let frames_end = spans.last().expect("at least one frame").end;
+            assert_eq!(spans[0].start, header_len, "{}", codec.name());
+            for w in spans.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "{}: gap between frames", codec.name());
+            }
+            assert!(frames_end < wire.len(), "{}: missing trailer", codec.name());
+
+            let mut dec = StreamDecoder::new(data.len());
+            dec.feed(&wire[..header_len]).expect("header alone parses");
+            assert!(!dec.is_finished(), "{}: finished before any frame", codec.name());
+            let mut out = dec.take();
+            for (k, s) in spans.iter().enumerate() {
+                dec.feed(&wire[s.start..s.end]).expect("whole frame parses");
+                out.extend_from_slice(&dec.take());
+                assert_eq!(
+                    dec.buffered_len(),
+                    0,
+                    "{} chunk={chunk}: leftover bytes after aligned frame {k}",
+                    codec.name()
+                );
+                assert_eq!(dec.frames_decoded(), (k + 1) as u64, "{}", codec.name());
+                assert_eq!(
+                    &data[..out.len()],
+                    &out[..],
+                    "{} chunk={chunk}: prefix diverged after frame {k}",
+                    codec.name()
+                );
+                assert_eq!(s.last, k == spans.len() - 1, "{}: LAST flag misplaced", codec.name());
+            }
+            // The trailer as its own aligned slice completes the stream.
+            dec.feed(&wire[frames_end..]).expect("trailer parses");
+            out.extend_from_slice(&dec.take());
+            assert!(dec.is_finished(), "{}", codec.name());
+            assert_eq!(out, data, "{} chunk={chunk}: aligned decode diverged", codec.name());
+        }
+    }
+}
+
 #[test]
 fn edge_sizes_stay_granularity_independent() {
     for codec in codecs() {

@@ -72,15 +72,32 @@ echo "==> engine contention ablation (concurrent streams, FIFO queueing)"
 # root).
 cargo run --release -q -p bench --bin ablation_contention
 
+echo "==> fleet determinism & property suite"
+# The multi-DPU serving tier's heavyweight correctness suite: seeded
+# replay (byte-identical report + placement log at 2 seeds x 2 node
+# mixes), placement invariant (no unsupported pair ever reaches an
+# engine lane), token-bucket conservation, and the differential oracle
+# (fleet output byte-identical to the single-service path).
+cargo test -q -p pedal-fleet
+
+echo "==> fleet overload gate (paying SLO holds, best-effort sheds)"
+# Sustained bursty overload on a BF2+BF3 fleet: paying tenants' SLO
+# attainment must stay 100% while best-effort traffic sheds; every
+# completion byte-checked against the synchronous oracle; full-run
+# replay must be digest-identical. Writes results/BENCH_fleet.json
+# (mirrored at the repo root) and exits non-zero if any gate fails.
+cargo run --release -q -p bench --bin ablation_fleet
+
 echo "==> bench reports mirrored at repo root"
 # Every bench bin mirrors its BENCH_<name>.json at the repository root;
-# all five gated reports must be present.
+# all six gated reports must be present.
 ls BENCH_*.json >/dev/null 2>&1 || {
     echo "verify: FAIL — no BENCH_*.json at the repository root" >&2
     exit 1
 }
 for f in BENCH_ablation_par.json BENCH_ablation_pco.json BENCH_streaming.json \
-         BENCH_ablation_service.json BENCH_ablation_contention.json; do
+         BENCH_ablation_service.json BENCH_ablation_contention.json \
+         BENCH_fleet.json; do
     test -f "$f" || {
         echo "verify: FAIL — $f missing at the repository root" >&2
         exit 1

@@ -1,0 +1,48 @@
+//! Whole-stack smoke for the fleet tier: open-loop trace (pedal-datasets)
+//! → capability-aware multi-node routing (pedal-fleet over pedal-service)
+//! → wire-level byte identity (pedal) and a replay-stable digest — the
+//! cross-crate contract the per-crate suites each check only half of.
+
+use pedal::{wire, Datatype, Design};
+use pedal_datasets::workload::{generate_arrivals, OpenLoopConfig};
+use pedal_dpu::SimDuration;
+use pedal_fleet::{run_fleet, FleetConfig, NodeSpec, PlacementAction};
+
+#[test]
+fn open_loop_trace_through_mixed_fleet_round_trips() {
+    let trace = generate_arrivals(
+        &OpenLoopConfig::poisson(7, SimDuration::from_micros(150), SimDuration::from_millis(6))
+            .with_payload(2 << 10, 8 << 10),
+    );
+    assert!(!trace.is_empty());
+    let cfg = FleetConfig::new(vec![NodeSpec::bf2(), NodeSpec::bf3()]);
+    let run = run_fleet(&cfg, &trace, |_| Design::CE_DEFLATE);
+
+    // Same trace, same config ⇒ same digest (the replay witness the
+    // fleet crate's own suite checks at more seeds).
+    let replay = run_fleet(&cfg, &trace, |_| Design::CE_DEFLATE);
+    assert_eq!(run.digest(), replay.digest());
+
+    // Every completion decodes back to its arrival's payload through
+    // the top-level wire API — fleet routing must never change bytes.
+    let mut design_of = std::collections::BTreeMap::new();
+    for r in &run.log.records {
+        if let PlacementAction::Submitted { design, .. } = r.action {
+            design_of.insert(r.seq, design);
+        }
+    }
+    let mut checked = 0;
+    for c in &run.completions {
+        let Some(&seq) = run.job_seq.get(&(c.node, c.job.id)) else { continue };
+        let out = c.job.result.as_ref().expect("fleet job failed");
+        let data = trace[seq as usize].payload();
+        let (decoded, _) = wire::decompress_payload(&out.bytes, data.len()).unwrap();
+        assert_eq!(decoded, data, "seq {seq} did not round-trip");
+        let (oracle, _) =
+            wire::compress_payload(design_of[&seq], Datatype::Byte, cfg.error_bound, &data)
+                .unwrap();
+        assert_eq!(out.bytes, oracle, "seq {seq} diverged from the synchronous path");
+        checked += 1;
+    }
+    assert!(checked > 10, "only {checked} completions checked — trace too light");
+}
