@@ -27,15 +27,22 @@ pub fn classify(key: &str) -> Option<Better> {
     // `mbps` generalizes throughput_mbps to the fleet tier's
     // goodput_mbps and the live plane's mbps_in; `met_slo` and the
     // rate suffix cover the fleet/service serving metrics.
+    // `ratio_cost` measures ratio *given up* (adaptive vs best static) —
+    // check before the generic ratio rules so it gates downward.
+    if key.contains("ratio_cost") {
+        return Some(Better::Lower);
+    }
     if key.contains("mbps")
         || key.contains("goodput")
         || key.contains("speedup")
         || key.contains("attainment")
         || key.contains("overlap_efficiency")
         || key.contains("met_slo")
+        || key.contains("gain_pct")
         || key.ends_with("_per_sec")
         || key == "ratio"
         || key.ends_with("_ratio")
+        || key.starts_with("ratio_vs")
     {
         return Some(Better::Higher);
     }
@@ -160,6 +167,25 @@ mod tests {
         // Still-unclassified names keep abstaining (counts, echoes).
         assert_eq!(classify("stored"), None);
         assert_eq!(classify("placement_records"), None);
+    }
+
+    /// The adaptive-policy tier's metric names must not abstain silently.
+    #[test]
+    fn adaptive_keys_are_classified() {
+        assert_eq!(classify("adaptive_goodput_mbps"), Some(Better::Higher));
+        assert_eq!(classify("best_static_goodput_mbps"), Some(Better::Higher));
+        assert_eq!(classify("goodput_gain_pct"), Some(Better::Higher));
+        assert_eq!(classify("adaptive_ratio"), Some(Better::Higher));
+        assert_eq!(classify("best_static_ratio"), Some(Better::Higher));
+        // How much of the best static ratio adaptive keeps: dropping is
+        // the regression.
+        assert_eq!(classify("ratio_vs_best_static"), Some(Better::Higher));
+        // Ratio *given up* gates in the opposite direction.
+        assert_eq!(classify("ratio_cost_pct"), Some(Better::Lower));
+        // Counts and digests keep abstaining.
+        assert_eq!(classify("policy_decisions"), None);
+        assert_eq!(classify("policy_digest"), None);
+        assert_eq!(classify("stored_round_trips_checked"), None);
     }
 
     #[test]

@@ -308,6 +308,81 @@ pub fn gen_exaalt(target: usize, seed: u64, style: ExaaltStyle) -> Vec<u8> {
     out
 }
 
+// ---------------------------------------------------------------------
+// Mixed-workload generators (adaptive-policy traces)
+// ---------------------------------------------------------------------
+
+/// Service-log text: timestamped level/key=value lines drawn from a small
+/// vocabulary. The most compressible mixed-workload class — an adaptive
+/// policy should always choose a real codec here, never store-raw.
+pub fn gen_log_text(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let levels = ["INFO", "WARN", "DEBUG", "ERROR", "TRACE"];
+    let services = ["ingest", "compactor", "frontend", "replicator", "gc", "scheduler"];
+    let verbs = ["accepted", "flushed", "retried", "compacted", "rejected", "promoted"];
+    let mut out = Vec::with_capacity(target + 256);
+    let mut ts = 1_700_000_000_000u64; // epoch-millis-looking counter
+    while out.len() < target {
+        ts += rng.gen_range(1..250) as u64;
+        let line = format!(
+            "{ts} {} {}[{}]: request {} {} bytes={} latency_us={} tenant={}\n",
+            levels[rng.gen_range(0..levels.len())],
+            services[rng.gen_range(0..services.len())],
+            rng.gen_range(1..64u32),
+            rng.gen::<u32>() % 100_000,
+            verbs[rng.gen_range(0..verbs.len())],
+            rng.gen_range(64..65_536u32),
+            rng.gen_range(50..9_000u32),
+            rng.gen_range(0..4_000u32),
+        );
+        out.extend_from_slice(line.as_bytes());
+    }
+    out.truncate(target);
+    out
+}
+
+/// Uniformly random bytes: incompressible by construction. Any codec
+/// only wastes cycles and triggers the frame layer's break-even
+/// passthrough — the case the adaptive policy must learn to store raw.
+pub fn gen_random_blob(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut out = vec![0u8; target];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// Columnar little-endian f32 telemetry: contiguous per-channel blocks of
+/// smooth drift around a stable per-channel operating point. Adjacent
+/// elements share exponent bytes — exactly the 4-byte-stride signature
+/// the adaptive probe's numeric sniff keys on, and the layout pco's
+/// delta tier compresses far better than a byte-oriented codec.
+pub fn gen_float_columns(target: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let n = target / 4 + 1;
+    let vals_per_channel = 4096usize;
+    let mut out = Vec::with_capacity(n * 4);
+    let mut i = 0usize;
+    'outer: loop {
+        // Operating point well away from zero keeps the exponent byte
+        // stable across the channel.
+        let base = rng.gen_range(20.0f64..90.0);
+        let amp = rng.gen_range(0.5..2.0);
+        let freq = rng.gen_range(0.002..0.02);
+        let mut phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        for _ in 0..vals_per_channel {
+            phase += freq;
+            let v = base + amp * phase.sin() + rng.gen_range(-0.01..0.01);
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+            i += 1;
+            if i >= n {
+                break 'outer;
+            }
+        }
+    }
+    out.truncate(target);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +395,28 @@ mod tests {
         assert_eq!(gen_obs_error(10_002, 1).len(), 10_002);
         assert_eq!(gen_executable(10_003, 1).len(), 10_003);
         assert_eq!(gen_exaalt(10_000, 1, ExaaltStyle::Smooth).len(), 10_000);
+        assert_eq!(gen_log_text(10_004, 1).len(), 10_004);
+        assert_eq!(gen_random_blob(10_005, 1).len(), 10_005);
+        assert_eq!(gen_float_columns(10_006, 1).len(), 10_006);
+    }
+
+    #[test]
+    fn mixed_generators_hit_their_compressibility_class() {
+        // Log text compresses hard, random blobs not at all, and float
+        // columns keep a stable exponent byte at stride 4.
+        let log = gen_log_text(200_000, 3);
+        let packed = pedal_deflate::compress(&log, pedal_deflate::Level::DEFAULT);
+        let log_ratio = log.len() as f64 / packed.len() as f64;
+        assert!(log_ratio > 4.0, "log deflate ratio {log_ratio:.2}");
+
+        let blob = gen_random_blob(200_000, 3);
+        let packed = pedal_deflate::compress(&blob, pedal_deflate::Level::DEFAULT);
+        assert!(packed.len() > blob.len() * 99 / 100, "blob compressed to {}", packed.len());
+
+        let cols = gen_float_columns(200_000, 3);
+        let hi: Vec<u8> = cols.chunks_exact(4).map(|c| c[3]).collect();
+        let same = hi.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(same * 10 > hi.len() * 9, "exponent bytes unstable: {same}/{}", hi.len());
     }
 
     #[test]

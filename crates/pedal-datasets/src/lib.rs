@@ -36,6 +36,15 @@ pub enum DatasetId {
     Exaalt3,
     /// exaalt dataset2 — MD simulation floats, 64 MB, SZ3 ~5.4.
     Exaalt2,
+    /// Mixed-workload class: service-log text, highly compressible
+    /// (DEFLATE > 4). Not part of Table IV; used by adaptive-policy traces.
+    LogText,
+    /// Mixed-workload class: uniformly random bytes, incompressible —
+    /// the store-raw case an adaptive policy must recognize.
+    RandomBlob,
+    /// Mixed-workload class: columnar f32 telemetry with stable exponent
+    /// bytes at stride 4 — the numeric-sniff / pco case.
+    FloatColumn,
 }
 
 impl DatasetId {
@@ -51,6 +60,13 @@ impl DatasetId {
     /// The three lossy datasets in the paper's listing order
     /// (dataset1: 10 MB, dataset3: 31 MB, dataset2: 64 MB).
     pub const LOSSY: [DatasetId; 3] = [DatasetId::Exaalt1, DatasetId::Exaalt3, DatasetId::Exaalt2];
+
+    /// The three mixed-workload classes for adaptive-policy traces, in
+    /// descending compressibility order. Deliberately *not* part of
+    /// [`Self::ALL`]: that array is the paper's Table IV corpus and is
+    /// iterated (and indexed) by the paper-reproduction benches.
+    pub const MIXED: [DatasetId; 3] =
+        [DatasetId::LogText, DatasetId::RandomBlob, DatasetId::FloatColumn];
 
     pub const ALL: [DatasetId; 8] = [
         DatasetId::SilesiaXml,
@@ -73,6 +89,9 @@ impl DatasetId {
             DatasetId::Exaalt1 => "exaalt-dataset1",
             DatasetId::Exaalt3 => "exaalt-dataset3",
             DatasetId::Exaalt2 => "exaalt-dataset2",
+            DatasetId::LogText => "mixed/log-text",
+            DatasetId::RandomBlob => "mixed/random-blob",
+            DatasetId::FloatColumn => "mixed/float-column",
         }
     }
 
@@ -87,6 +106,11 @@ impl DatasetId {
             DatasetId::Exaalt1 => 10_000_000,
             DatasetId::Exaalt3 => 31_000_000,
             DatasetId::Exaalt2 => 64_000_000,
+            // Synthetic mixed-workload classes (not in Table IV): sized
+            // like a typical serving payload corpus, not a paper figure.
+            DatasetId::LogText => 8_000_000,
+            DatasetId::RandomBlob => 8_000_000,
+            DatasetId::FloatColumn => 8_000_000,
         }
     }
 
@@ -116,6 +140,9 @@ impl DatasetId {
             DatasetId::Exaalt1 => gen_exaalt(target, 0xE0_0001, ExaaltStyle::Noisy),
             DatasetId::Exaalt3 => gen_exaalt(target, 0xE0_0003, ExaaltStyle::Smooth),
             DatasetId::Exaalt2 => gen_exaalt(target, 0xE0_0002, ExaaltStyle::Medium),
+            DatasetId::LogText => gen_log_text(target, 0x4C4F_4701),
+            DatasetId::RandomBlob => gen_random_blob(target, 0x524E_4402),
+            DatasetId::FloatColumn => gen_float_columns(target, 0x4643_4F03),
         }
     }
 
@@ -145,6 +172,17 @@ mod tests {
         assert_eq!(DatasetId::Exaalt1.size_mb(), 10.0);
         assert_eq!(DatasetId::Exaalt3.size_mb(), 31.0);
         assert_eq!(DatasetId::Exaalt2.size_mb(), 64.0);
+    }
+
+    #[test]
+    fn mixed_classes_are_deterministic_and_sized() {
+        for id in DatasetId::MIXED {
+            assert!(!DatasetId::ALL.contains(&id), "{} must stay out of ALL", id.name());
+            assert!(!id.is_lossy_dataset(), "{} rides the Byte datatype path", id.name());
+            let a = id.generate_bytes(50_000);
+            assert_eq!(a, id.generate_bytes(50_000), "{} not deterministic", id.name());
+            assert_eq!(a.len(), 50_000);
+        }
     }
 
     #[test]

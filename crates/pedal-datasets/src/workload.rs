@@ -66,6 +66,10 @@ pub struct OpenLoopConfig {
     /// Per-job payload size range in bytes (inclusive).
     pub payload_min: usize,
     pub payload_max: usize,
+    /// Round every drawn payload size up to a multiple of this (1 = no
+    /// rounding). Mixed traces with float columns use 4 so numeric
+    /// payloads stay element-aligned end to end.
+    pub payload_align: usize,
     /// Datasets the payload mix cycles through (compressibility mix).
     pub datasets: Vec<DatasetId>,
 }
@@ -83,7 +87,20 @@ impl OpenLoopConfig {
             paying_pct: 25,
             payload_min: 8 << 10,
             payload_max: 64 << 10,
+            payload_align: 1,
             datasets: vec![DatasetId::SilesiaXml, DatasetId::SilesiaSamba, DatasetId::ObsError],
+        }
+    }
+
+    /// An adversarial mixed-compressibility trace for adaptive-policy
+    /// benches: compressible log text, incompressible random blobs, and
+    /// pco-friendly float columns interleaved uniformly. Payload sizes
+    /// are 4-byte aligned so float-column messages stay element-aligned.
+    pub fn mixed(seed: u64, mean_gap: SimDuration, span: SimDuration) -> Self {
+        Self {
+            payload_align: 4,
+            datasets: DatasetId::MIXED.to_vec(),
+            ..Self::poisson(seed, mean_gap, span)
         }
     }
 
@@ -146,8 +163,17 @@ fn exp_gap(rng: &mut Pcg32, mean: SimDuration) -> SimDuration {
     let gap = -(u.ln()) * mean.as_nanos() as f64;
     // Cap at 64x the mean: keeps a single unlucky draw from swallowing
     // the whole trace span while perturbing the distribution tail only
-    // past e^-64.
-    SimDuration::from_nanos((gap as u64).min(mean.as_nanos().saturating_mul(64)).max(1))
+    // past e^-64. Compare in f64 *before* converting so a huge or
+    // non-finite draw can never reach the cast (Rust's saturating float
+    // casts would cope, but NaN would silently become 0 — a duplicate
+    // arrival instant).
+    let cap = mean.as_nanos().saturating_mul(64).max(1);
+    let ns = if gap.is_finite() && gap < cap as f64 { gap as u64 } else { cap };
+    // Truncation can yield 0 for sub-nanosecond draws (tiny means make
+    // this common); a zero gap duplicates the previous arrival instant
+    // and breaks the strict monotonicity fleet replay ordering relies
+    // on. Clamp to the 1 ns simulation quantum.
+    SimDuration::from_nanos(ns.max(1))
 }
 
 /// In a bursty schedule, is instant `t` inside a burst phase?
@@ -188,7 +214,9 @@ pub fn generate_arrivals(cfg: &OpenLoopConfig) -> Vec<Arrival> {
             cfg.paying_tenants + rng.gen_range(0..cfg.tenant_space.max(1))
         };
         let dataset = cfg.datasets[(rng.next_u32() as usize) % cfg.datasets.len()];
-        let bytes = rng.gen_range(cfg.payload_min..=cfg.payload_max);
+        // Rounding up may exceed payload_max by at most align-1 bytes.
+        let align = cfg.payload_align.max(1);
+        let bytes = rng.gen_range(cfg.payload_min..=cfg.payload_max).next_multiple_of(align);
         out.push(Arrival { seq, at: t, tenant, dataset, bytes });
         seq += 1;
     }
@@ -210,8 +238,35 @@ mod tests {
         assert_eq!(a, b);
         assert!(!a.is_empty());
         for w in a.windows(2) {
-            assert!(w[0].at.0 <= w[1].at.0, "arrivals out of order");
+            assert!(w[0].at.0 < w[1].at.0, "duplicate or out-of-order arrival instants");
             assert_eq!(w[0].seq + 1, w[1].seq);
+        }
+    }
+
+    #[test]
+    fn tiny_mean_gaps_stay_strictly_monotone() {
+        // Regression: sub-nanosecond exponential draws truncate to 0 ns,
+        // which used to duplicate arrival instants. With a 1 ns mean the
+        // *majority* of raw draws truncate to zero, so any regression
+        // shows up immediately as a duplicate instant.
+        for mean_ns in [1u64, 2, 3, 10] {
+            let cfg = OpenLoopConfig::poisson(13, SimDuration(mean_ns), SimDuration(50_000));
+            let arr = generate_arrivals(&cfg);
+            assert!(arr.len() > 1_000, "tiny mean should pack the span (got {})", arr.len());
+            for w in arr.windows(2) {
+                assert!(
+                    w[0].at.0 < w[1].at.0,
+                    "duplicate instant at seq {} (mean {mean_ns} ns)",
+                    w[1].seq
+                );
+            }
+        }
+        // And the gap clamp itself: a tiny mean can never emit a zero gap
+        // or overshoot the 64x cap, even across many draws.
+        let mut rng = Pcg32::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let g = exp_gap(&mut rng, SimDuration(1));
+            assert!((1..=64).contains(&g.as_nanos()), "gap {} out of [1, 64]", g.as_nanos());
         }
     }
 
@@ -270,6 +325,22 @@ mod tests {
         // The burst quarter runs 20x denser than the calm rest; even
         // with slack it must dominate the count.
         assert!(burst > calm, "burst {burst} <= calm {calm}: phases not modulating");
+    }
+
+    #[test]
+    fn mixed_trace_interleaves_all_three_classes_aligned() {
+        let cfg =
+            OpenLoopConfig::mixed(21, SimDuration::from_micros(50), SimDuration::from_millis(10));
+        let a = generate_arrivals(&cfg);
+        let b = generate_arrivals(&cfg);
+        assert_eq!(a, b, "mixed trace must be deterministic");
+        for id in DatasetId::MIXED {
+            assert!(a.iter().any(|x| x.dataset == id), "{} missing from mix", id.name());
+        }
+        for x in &a {
+            assert_eq!(x.bytes % 4, 0, "unaligned payload at seq {}", x.seq);
+            assert!(x.bytes >= 8 << 10);
+        }
     }
 
     #[test]

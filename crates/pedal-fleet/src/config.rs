@@ -2,6 +2,7 @@
 
 use crate::bucket::BucketSpec;
 use pedal_dpu::{Platform, SimDuration};
+use pedal_policy::PolicyConfig;
 
 /// One simulated DPU node: a platform plus the sizing knobs passed to
 /// its embedded [`pedal_service::PedalService`].
@@ -124,6 +125,10 @@ pub struct FleetConfig {
     pub est_per_kib: SimDuration,
     /// Error bound forwarded to lossy (SZ3) jobs.
     pub error_bound: f64,
+    /// Per-message adaptive policy, applied *below* the ladder: the
+    /// ladder owns overload degradation, the policy owns the per-message
+    /// codec/placement choice within the rung the ladder granted.
+    pub adaptive: Option<PolicyConfig>,
 }
 
 impl FleetConfig {
@@ -145,7 +150,19 @@ impl FleetConfig {
             est_fixed: SimDuration::from_micros(60),
             est_per_kib: SimDuration::from_micros(2),
             error_bound: 1e-3,
+            adaptive: None,
         }
+    }
+
+    /// Refine each submitted message with the [`pedal_policy`] closed
+    /// loop (probe + barrier-keyed live feedback). Replay stays
+    /// byte-identical: decisions are a pure function of the message
+    /// bytes and the epoch-barrier snapshot, witnessed by the
+    /// [`pedal_policy::PolicyLog`] digest folded into
+    /// [`crate::FleetRun::digest`].
+    pub fn with_adaptive_policy(mut self, policy: PolicyConfig) -> Self {
+        self.adaptive = Some(policy);
+        self
     }
 
     pub fn with_paying(mut self, tenants: u32, slo: SimDuration, bucket: BucketSpec) -> Self {

@@ -43,8 +43,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use pedal::{wire, Datatype, Design, PedalHeader};
 use pedal_datasets::workload::Arrival;
-use pedal_dpu::{Direction, Placement, SimDuration};
+use pedal_dpu::{Direction, Placement, SimDuration, SimInstant};
 use pedal_obs::{Json, ToJson};
+use pedal_policy::{AdaptivePolicy, PolicyLog, PolicyRecord, PolicySnapshot};
 use pedal_service::{
     BackpressurePolicy, CompletedJob, JobDesc, JobId, PedalService, ServiceConfig, ServiceStats,
 };
@@ -176,6 +177,13 @@ pub struct NodeCompletion {
 pub struct FleetRun {
     pub config_nodes: Vec<NodeSpec>,
     pub log: PlacementLog,
+    /// Per-message adaptive decisions; empty unless
+    /// [`FleetConfig::with_adaptive_policy`] was set.
+    pub policy_log: PolicyLog,
+    /// Whether the adaptive policy was enabled for this run (controls
+    /// whether policy keys appear in the report, keeping policy-free
+    /// reports byte-stable).
+    pub policy_enabled: bool,
     pub epochs: Vec<EpochSummary>,
     pub completions: Vec<NodeCompletion>,
     pub stored: Vec<StoredJob>,
@@ -210,7 +218,7 @@ impl FleetRun {
                 ])
             })
             .collect();
-        Json::obj(vec![
+        let mut fields = vec![
             ("nodes", Json::Arr(nodes)),
             ("epochs", Json::Arr(self.epochs.iter().map(|e| e.to_json()).collect())),
             ("paying", self.paying.to_json()),
@@ -218,7 +226,14 @@ impl FleetRun {
             ("node_completions", Json::Arr(per_node)),
             ("placement_records", Json::u64(self.log.len() as u64)),
             ("placement_digest", Json::str(self.log.digest())),
-        ])
+        ];
+        // Policy keys only exist when the policy ran, so policy-free
+        // reports (every committed baseline) keep their exact bytes.
+        if self.policy_enabled {
+            fields.push(("policy_records", Json::u64(self.policy_log.len() as u64)));
+            fields.push(("policy_digest", Json::str(self.policy_log.digest())));
+        }
+        Json::obj(fields)
     }
 
     pub fn report_string(&self) -> String {
@@ -227,9 +242,14 @@ impl FleetRun {
         out
     }
 
-    /// FNV-1a 64 over report + placement log: the replay witness.
+    /// FNV-1a 64 over report + placement log (+ policy log when the
+    /// adaptive policy ran): the replay witness.
     pub fn digest(&self) -> String {
-        let combined = format!("{}\n{}", self.report_string(), self.log.to_json_string());
+        let mut combined = format!("{}\n{}", self.report_string(), self.log.to_json_string());
+        if self.policy_enabled {
+            combined.push('\n');
+            combined.push_str(&self.policy_log.to_json_string());
+        }
         format!("{:016x}", fnv1a64(combined.as_bytes()))
     }
 
@@ -286,6 +306,18 @@ where
     let mut stored: Vec<StoredJob> = Vec::new();
     let mut job_seq: BTreeMap<(usize, JobId), u64> = BTreeMap::new();
     let mut seq_class: BTreeMap<u64, (u32, TenantClass)> = BTreeMap::new();
+
+    // Per-message adaptive policy (below the ladder). Its snapshot is
+    // rebuilt only at epoch barriers — nodes are drained and paused
+    // there, so every field is a pure function of virtual time — plus
+    // the router's own per-epoch submission count as the queue signal.
+    let policy = cfg.adaptive.map(AdaptivePolicy::new);
+    let mut policy_log = PolicyLog::default();
+    let engine_capable = cfg.nodes.iter().any(|n| {
+        n.platform.spec().cengine.supports(pedal_dpu::Algorithm::Deflate, Direction::Compress)
+    });
+    let mut snap_at = SimInstant::EPOCH;
+    let mut last_p99 = 0u64;
 
     let mut level = LadderLevel::Engine;
     let epoch_ns = cfg.epoch.as_nanos().max(1);
@@ -363,6 +395,11 @@ where
         let epoch = arrival.at.0 / epoch_ns;
         while epoch > current_epoch {
             barrier(&mut nodes, &mut summary, &mut level, cfg);
+            // Refresh the policy snapshot at the barrier: the boundary
+            // instant keys the decision log, and the worst rolling p99
+            // read there is the policy's latency feedback.
+            snap_at = SimInstant((current_epoch + 1).saturating_mul(epoch_ns));
+            last_p99 = summary.rolling_p99_max_ns.unwrap_or(0);
             epochs.push(summary.clone());
             current_epoch += 1;
             summary = fresh_summary(current_epoch, level);
@@ -420,6 +457,53 @@ where
             _ => want,
         };
 
+        // Per-job refinement below the ladder: the policy probes the
+        // message and picks codec/placement/datatype within the rung the
+        // ladder granted. The ladder owns overload degradation — at the
+        // Soc rung the policy may swap codecs but never climbs a
+        // best-effort job back onto the engine.
+        let mut datatype = Datatype::Byte;
+        if let Some(policy) = &policy {
+            let data = arrival.payload();
+            let snap = PolicySnapshot {
+                at: snap_at,
+                queue_depth: summary.submitted,
+                p99_ns: last_p99,
+                engine_available: engine_capable,
+            };
+            let (f, d) = policy.probe_and_decide(&data, &snap);
+            policy_log.push(PolicyRecord::of(arrival.seq, arrival.tenant, &f, &snap, &d));
+            match d.design() {
+                None => {
+                    // Store-raw: frame the payload uncompressed, exactly
+                    // like the ladder's Store rung — no compression
+                    // capacity spent, byte-identical passthrough frame.
+                    let payload = wire::frame(PedalHeader::Uncompressed, data.len(), &data);
+                    stats.stored += 1;
+                    stats.met_slo += 1;
+                    stats.bytes_out += payload.len() as u64;
+                    summary.stored += 1;
+                    stored.push(StoredJob { seq: arrival.seq, tenant: arrival.tenant, payload });
+                    log.push(PlacementRecord {
+                        seq: arrival.seq,
+                        tenant: arrival.tenant,
+                        class,
+                        requested: want,
+                        action: PlacementAction::Stored { bytes: arrival.bytes },
+                    });
+                    continue;
+                }
+                Some(chosen) => {
+                    design = if ladder_level == LadderLevel::Soc {
+                        Design { algorithm: chosen.algorithm, placement: Placement::Soc }
+                    } else {
+                        chosen
+                    };
+                    datatype = d.datatype;
+                }
+            }
+        }
+
         // Capability: find nodes that run `design` natively. A C-Engine
         // design no node supports (e.g. any compression when the fleet
         // is all-BF3) is rewritten to SoC *here*, so a BF3 engine never
@@ -455,7 +539,7 @@ where
         if node.slo_set.insert(arrival.tenant) {
             node.svc.set_slo_target(arrival.tenant, cfg.slo_for(class));
         }
-        let desc = JobDesc::compress(design, Datatype::Byte, arrival.payload())
+        let desc = JobDesc::compress(design, datatype, arrival.payload())
             .with_tenant(arrival.tenant)
             .with_arrival(arrival.at);
         match node.svc.submit(desc) {
@@ -533,6 +617,8 @@ where
     FleetRun {
         config_nodes: cfg.nodes.clone(),
         log,
+        policy_log,
+        policy_enabled: policy.is_some(),
         epochs,
         completions,
         stored,

@@ -24,6 +24,11 @@
 //!   sheds best-effort jobs outright.
 //! - **A placement log** ([`PlacementLog`]) — every decision recorded
 //!   and hashable, so replay determinism is a one-line digest compare.
+//! - **Per-message adaptive refinement**
+//!   ([`FleetConfig::with_adaptive_policy`]) — below the ladder, the
+//!   [`pedal_policy`] closed loop probes each message and picks codec,
+//!   placement, and datatype within the rung the ladder granted; every
+//!   decision lands in a [`PolicyLog`] folded into the run digest.
 //!
 //! Everything is virtual-time and seeded: the same
 //! [`pedal_datasets::workload`] trace and [`FleetConfig`] produce
@@ -40,4 +45,5 @@ mod placement;
 pub use bucket::{BucketSpec, TenantBuckets, TokenBucket};
 pub use config::{FleetConfig, LadderLevel, NodeSpec, TenantClass};
 pub use fleet::{run_fleet, ClassStats, EpochSummary, FleetRun, NodeCompletion, StoredJob};
+pub use pedal_policy::{PolicyConfig, PolicyLog, PolicyRecord, PolicySnapshot};
 pub use placement::{fnv1a64, PlacementAction, PlacementLog, PlacementRecord, ShedReason};

@@ -13,7 +13,7 @@
 use pedal::{wire, Datatype, Design};
 use pedal_datasets::workload::{generate_arrivals, OpenLoopConfig};
 use pedal_dpu::SimDuration;
-use pedal_fleet::{run_fleet, FleetConfig, NodeSpec, PlacementAction};
+use pedal_fleet::{run_fleet, FleetConfig, NodeSpec, PlacementAction, PolicyConfig};
 use pedal_service::{BackpressurePolicy, JobDesc, PedalService, ServiceConfig};
 
 fn trace(seed: u64) -> Vec<pedal_datasets::workload::Arrival> {
@@ -158,6 +158,44 @@ fn fleet_outputs_match_single_service_and_wire_paths() {
         }
     }
     assert!(checked >= 20, "oracle only exercised {checked} jobs — trace too small");
+}
+
+/// With the adaptive policy enabled, decisions are replay-deterministic:
+/// the same mixed-class trace produces byte-identical policy logs,
+/// reports, and run digests — across two node mixes. This is the fleet
+/// half of the policy's determinism contract (the snapshot is keyed by
+/// epoch-barrier virtual instants, never wall time).
+#[test]
+fn adaptive_policy_replay_is_digest_identical_across_mixes() {
+    let mixed_trace = || {
+        let cfg =
+            OpenLoopConfig::mixed(31, SimDuration::from_micros(90), SimDuration::from_millis(6))
+                .with_payload(2 << 10, 24 << 10);
+        generate_arrivals(&cfg)
+    };
+    let mut digests = Vec::new();
+    for nodes in [vec![NodeSpec::bf2(), NodeSpec::bf2()], vec![NodeSpec::bf2(), NodeSpec::bf3()]] {
+        let cfg = FleetConfig::new(nodes).with_adaptive_policy(PolicyConfig::default());
+        let arrivals = mixed_trace();
+        let a = run_fleet(&cfg, &arrivals, |_| Design::CE_DEFLATE);
+        let b = run_fleet(&cfg, &arrivals, |_| Design::CE_DEFLATE);
+        assert!(!a.policy_log.is_empty(), "policy enabled but no decisions logged");
+        assert_eq!(
+            a.policy_log.to_json_string(),
+            b.policy_log.to_json_string(),
+            "policy decisions diverged between replays"
+        );
+        assert_eq!(a.policy_log.digest(), b.policy_log.digest());
+        assert_eq!(a.report_string(), b.report_string());
+        assert_eq!(a.digest(), b.digest());
+        // The mixed trace must actually exercise more than one decision
+        // kind, or the digest compare is vacuous.
+        assert!(a.policy_log.count_decision("store-raw") > 0, "no store-raw decisions");
+        assert!(a.policy_log.count_decision("SoC_pco") > 0, "no pco decisions");
+        digests.push(a.digest());
+    }
+    digests.dedup();
+    assert_eq!(digests.len(), 2, "node mixes collapsed to identical runs");
 }
 
 /// The stored-uncompressed ladder rung is byte-checked too: framing is

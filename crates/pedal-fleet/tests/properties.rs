@@ -47,6 +47,7 @@ fn placement_never_routes_unsupported_pairs_to_an_engine() {
             paying_pct: 30,
             payload_min: 1 << 10,
             payload_max: 4 << 10,
+            payload_align: 1,
             datasets: vec![DatasetId::SilesiaXml, DatasetId::ObsError],
         };
         let arrivals = generate_arrivals(&trace_cfg);

@@ -59,11 +59,14 @@ pub enum SpanKind {
     StreamFrame = 16,
     /// Streaming decode of one received frame (arg = frame index).
     StreamDecode = 17,
+    /// One adaptive-policy decision: probe + table lookup for a message
+    /// (arg = service job id).
+    PolicyDecision = 18,
 }
 
 impl SpanKind {
     /// Every kind, for exporters that enumerate the vocabulary.
-    pub const ALL: [SpanKind; 17] = [
+    pub const ALL: [SpanKind; 18] = [
         SpanKind::QueueWait,
         SpanKind::PoolAcquire,
         SpanKind::Job,
@@ -81,6 +84,7 @@ impl SpanKind {
         SpanKind::StreamEncode,
         SpanKind::StreamFrame,
         SpanKind::StreamDecode,
+        SpanKind::PolicyDecision,
     ];
 
     /// Stable wire code.
@@ -112,6 +116,7 @@ impl SpanKind {
             SpanKind::StreamEncode => "stream-encode",
             SpanKind::StreamFrame => "stream-frame",
             SpanKind::StreamDecode => "stream-decode",
+            SpanKind::PolicyDecision => "policy-decision",
         }
     }
 
@@ -123,7 +128,8 @@ impl SpanKind {
             | SpanKind::PoolAcquire
             | SpanKind::Job
             | SpanKind::Batch
-            | SpanKind::Chunk => "service",
+            | SpanKind::Chunk
+            | SpanKind::PolicyDecision => "service",
             SpanKind::WorkqQueue | SpanKind::EngineExecute => "cengine",
             SpanKind::SocExecute | SpanKind::Checksum | SpanKind::Memcpy => "soc",
             SpanKind::Sz3Predict

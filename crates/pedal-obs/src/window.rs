@@ -68,10 +68,30 @@ pub struct WindowedHistogram {
     late_dropped: AtomicU64,
 }
 
+/// Every windowed structure divides sample timestamps by the slot width,
+/// so a zero-width slot is not a degenerate window — it is a guaranteed
+/// divide-by-zero at the first `record_at`/`summary_at`. `WindowConfig`'s
+/// fields are public (struct-literal construction bypasses the clamp in
+/// [`WindowConfig::new`]), so the constructors themselves must refuse it.
+fn checked_slot_ns(cfg: &WindowConfig) -> u64 {
+    assert!(
+        cfg.slot.as_nanos() > 0,
+        "rolling window slot width must be > 0 ns (got 0); \
+         use WindowConfig::new, which clamps, or pass a non-zero slot"
+    );
+    assert!(
+        cfg.slots >= 2,
+        "rolling window needs at least 2 slots (got {}); \
+         a single slot cannot survive rotation",
+        cfg.slots
+    );
+    cfg.slot.as_nanos()
+}
+
 impl WindowedHistogram {
     pub fn new(cfg: WindowConfig) -> Self {
         Self {
-            slot_ns: cfg.slot.as_nanos(),
+            slot_ns: checked_slot_ns(&cfg),
             slots: (0..cfg.slots)
                 .map(|_| HistSlot { tag: AtomicU64::new(EMPTY_TAG), hist: LogHistogram::new() })
                 .collect(),
@@ -148,7 +168,7 @@ pub struct WindowedCounter {
 impl WindowedCounter {
     pub fn new(cfg: WindowConfig) -> Self {
         Self {
-            slot_ns: cfg.slot.as_nanos(),
+            slot_ns: checked_slot_ns(&cfg),
             slots: (0..cfg.slots)
                 .map(|_| CountSlot { tag: AtomicU64::new(EMPTY_TAG), value: AtomicU64::new(0) })
                 .collect(),
@@ -395,5 +415,75 @@ mod tests {
         assert_eq!(c.slot.as_nanos(), 1);
         assert_eq!(c.slots, 2);
         assert_eq!(cfg(250, 8).span(), SimDuration(2_000));
+    }
+
+    // Regression: `WindowConfig`'s fields are pub, so a struct literal can
+    // smuggle a zero-width slot past `WindowConfig::new`'s clamp. Before
+    // the construction-time check this compiled fine and div-by-zero
+    // panicked at the first `record_at` — now it fails fast with a clear
+    // message at construction.
+    #[test]
+    #[should_panic(expected = "slot width must be > 0 ns")]
+    fn zero_slot_histogram_rejected_at_construction() {
+        let _ = WindowedHistogram::new(WindowConfig { slot: SimDuration(0), slots: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "slot width must be > 0 ns")]
+    fn zero_slot_counter_rejected_at_construction() {
+        let _ = WindowedCounter::new(WindowConfig { slot: SimDuration(0), slots: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 slots")]
+    fn single_slot_ring_rejected_at_construction() {
+        let _ = WindowedHistogram::new(WindowConfig { slot: SimDuration(1_000), slots: 1 });
+    }
+
+    // Audit of the liveness bound `epoch <= now_epoch && epoch + k >
+    // now_epoch`: with `now = q*slot + r`, a sample at exactly
+    // `now - span` lands in epoch `q - k` and is *always* excluded
+    // (correct — it is one full window old), while `now - span + 1` is
+    // included exactly when it still falls in epoch `q - k + 1`, i.e.
+    // when `now` sits on the last nanosecond of its slot (`r == slot-1`).
+    // The alternative bound `epoch + k >= now_epoch` would instead admit
+    // samples up to a full slot *older* than the window span. So: not an
+    // off-by-one; pin the audited behaviour across slot shapes.
+    #[test]
+    fn liveness_bound_excludes_exactly_one_window_old() {
+        for (slot_ns, k) in [(1_000u64, 4usize), (250, 8), (7, 3), (1, 2)] {
+            let span = slot_ns * k as u64;
+            for q in [k as u64, k as u64 + 3, 100] {
+                for r in [0, slot_ns / 2, slot_ns - 1] {
+                    let now = q * slot_ns + r;
+                    // A sample exactly one full window old must be gone.
+                    let w = WindowedHistogram::new(cfg(slot_ns, k));
+                    w.record_at(at(now - span), 1);
+                    assert_eq!(
+                        w.summary_at(at(now)).count,
+                        0,
+                        "sample at now-span leaked (slot={slot_ns} k={k} now={now})"
+                    );
+                    let c = WindowedCounter::new(cfg(slot_ns, k));
+                    c.add_at(at(now - span), 5);
+                    assert_eq!(c.sum_at(at(now)), 0, "counter at now-span leaked");
+
+                    // One nanosecond younger: included iff it is in a
+                    // strictly newer epoch than `now_epoch - k`, which
+                    // happens exactly when now is the last ns of its slot.
+                    let w2 = WindowedHistogram::new(cfg(slot_ns, k));
+                    w2.record_at(at(now - span + 1), 1);
+                    let included = w2.summary_at(at(now)).count == 1;
+                    let expect = (now - span + 1) / slot_ns > q - k as u64;
+                    assert_eq!(
+                        included, expect,
+                        "now-span+1 inclusion wrong (slot={slot_ns} k={k} now={now})"
+                    );
+                    if r == slot_ns - 1 {
+                        assert!(included, "last-ns now must include now-span+1");
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,363 @@
+//! The per-message decision function.
+//!
+//! CEAZ (PAPERS.md) is the template: a hardware-aware closed loop that
+//! picks the codec configuration per input instead of globally. Here the
+//! loop closes over two inputs and *only* two inputs:
+//!
+//! 1. the [`ProbeFeatures`] of the message head (pure in the bytes), and
+//! 2. a [`PolicySnapshot`] of live feedback, keyed by the virtual
+//!    instant it was taken.
+//!
+//! [`AdaptivePolicy::decide`] is a pure function of that pair — no
+//! internal state, no clocks, no randomness — so a replay that feeds the
+//! same messages and the same snapshots gets byte-identical decisions,
+//! which is what keeps fleet digests stable with the policy enabled.
+//!
+//! One deliberate narrowing: the PEDAL wire protocol pins each codec's
+//! parameters (DEFLATE level, LZ4 block level) so that SoC and engine
+//! produce byte-identical payloads. The policy therefore expresses the
+//! "effort level" axis through codec choice — LZ4 *is* the fast level,
+//! DEFLATE the thorough one — and [`Decision::level`] records the pinned
+//! level of whichever codec won, as telemetry rather than a free knob.
+
+use crate::probe::{probe, ProbeConfig, ProbeFeatures};
+use pedal::{Datatype, Design};
+use pedal_dpu::SimInstant;
+use pedal_dpu::{Algorithm, Placement};
+
+/// Thresholds for [`AdaptivePolicy`]. Defaults are tuned on the
+/// `pedal-datasets` mixed classes (see the decision-table tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyConfig {
+    pub probe: ProbeConfig,
+    /// Entropy at or above this (milli-bits/byte) with no match density
+    /// and no stride means "store raw" — the codec cannot win.
+    pub store_entropy_mbits: u32,
+    /// Match density at or below this percent counts as "no matches".
+    pub store_match_pct: u32,
+    /// Queue depth at or above this treats the engine path as backed up.
+    pub queue_high: u64,
+    /// Rolling p99 latency at or above this (ns) switches the policy to
+    /// its cheap-codec mode. 0 disables the latency trigger.
+    pub p99_redline_ns: u64,
+    /// Streaming chunk size for messages above `chunk_threshold`.
+    pub chunk_bytes: u32,
+    /// Messages at or above this many bytes are chunked for streaming.
+    pub chunk_threshold: usize,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self {
+            probe: ProbeConfig::default(),
+            store_entropy_mbits: 7800,
+            store_match_pct: 1,
+            queue_high: 48,
+            p99_redline_ns: 0,
+            chunk_bytes: 1 << 20,
+            chunk_threshold: 2 << 20,
+        }
+    }
+}
+
+/// Live feedback at one virtual instant. Integrators build this from
+/// deterministic sources only: the fleet reads rolling windows at epoch
+/// barriers (nodes paused), the service scheduler uses its own predicted
+/// lane state — never a wall clock, never a racing counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicySnapshot {
+    /// Virtual instant the snapshot was taken (keys the decision log).
+    pub at: SimInstant,
+    /// Jobs queued/in-flight ahead of this message on the engine path.
+    pub queue_depth: u64,
+    /// Rolling p99 latency in ns, if a window was live (0 = no signal).
+    pub p99_ns: u64,
+    /// Whether this node's engine can compress at all (BF3 cannot).
+    pub engine_available: bool,
+}
+
+impl PolicySnapshot {
+    /// A calm, engine-capable snapshot at the epoch — the identity
+    /// element of the feedback axis (probe features alone decide).
+    pub fn calm() -> Self {
+        Self { at: SimInstant::EPOCH, queue_depth: 0, p99_ns: 0, engine_available: true }
+    }
+}
+
+/// What the policy chose to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Frame as uncompressed passthrough; never touch a codec.
+    StoreRaw,
+    /// Typed pco on the SoC (numeric columns).
+    Pco,
+    /// LZ4 on the SoC (the fast lever under pressure).
+    Lz4,
+    /// DEFLATE, placed per [`Decision::placement`].
+    Deflate,
+}
+
+impl PolicyChoice {
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyChoice::StoreRaw => "store-raw",
+            PolicyChoice::Pco => "pco",
+            PolicyChoice::Lz4 => "lz4",
+            PolicyChoice::Deflate => "deflate",
+        }
+    }
+}
+
+/// Why the policy chose what it chose (one stable tag per table row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyReason {
+    /// Message too small to amortize framing + codec overhead.
+    Tiny,
+    /// Numeric stride detected: typed pco beats byte codecs.
+    NumericColumn,
+    /// High entropy, no matches: nothing for any codec to find.
+    Incompressible,
+    /// Compressible and the engine path is calm: offload.
+    Offload,
+    /// Compressible but the engine is busy/absent: compress on the SoC.
+    SocCompress,
+    /// Live p99 over the redline: trade ratio for cycles.
+    Pressure,
+}
+
+impl PolicyReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyReason::Tiny => "tiny",
+            PolicyReason::NumericColumn => "numeric-column",
+            PolicyReason::Incompressible => "incompressible",
+            PolicyReason::Offload => "offload",
+            PolicyReason::SocCompress => "soc-compress",
+            PolicyReason::Pressure => "pressure",
+        }
+    }
+}
+
+/// One message's full decision: codec, placement, datatype, streaming
+/// chunk, and the table row that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    pub choice: PolicyChoice,
+    pub placement: Placement,
+    /// The wire-pinned parameter level of the chosen codec (DEFLATE 6,
+    /// LZ4 block 1, pco/store 0). Telemetry, not a free knob — see the
+    /// module docs.
+    pub level: u8,
+    /// Streaming chunk size in bytes; 0 = send the message whole.
+    pub chunk: u32,
+    /// Datatype to submit with (typed pco upgrades Byte → Float32/64).
+    pub datatype: Datatype,
+    pub reason: PolicyReason,
+}
+
+impl Decision {
+    /// The design to submit, or `None` for store-raw.
+    pub fn design(&self) -> Option<Design> {
+        let algorithm = match self.choice {
+            PolicyChoice::StoreRaw => return None,
+            PolicyChoice::Pco => Algorithm::Pco,
+            PolicyChoice::Lz4 => Algorithm::Lz4,
+            PolicyChoice::Deflate => Algorithm::Deflate,
+        };
+        Some(Design { algorithm, placement: self.placement })
+    }
+
+    fn store(reason: PolicyReason) -> Self {
+        Self {
+            choice: PolicyChoice::StoreRaw,
+            placement: Placement::Soc,
+            level: 0,
+            chunk: 0,
+            datatype: Datatype::Byte,
+            reason,
+        }
+    }
+}
+
+/// The policy engine. Stateless: owning a value is just owning the
+/// thresholds.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptivePolicy {
+    cfg: PolicyConfig,
+}
+
+impl AdaptivePolicy {
+    pub fn new(cfg: PolicyConfig) -> Self {
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &PolicyConfig {
+        &self.cfg
+    }
+
+    /// Probe `data` and decide. Convenience over [`Self::decide`].
+    pub fn probe_and_decide(
+        &self,
+        data: &[u8],
+        snap: &PolicySnapshot,
+    ) -> (ProbeFeatures, Decision) {
+        let f = probe(data, &self.cfg.probe);
+        let d = self.decide(&f, snap);
+        (f, d)
+    }
+
+    /// The decision table. Pure in `(features, snapshot)`; row order is
+    /// part of the contract (documented in DESIGN.md §2.10):
+    ///
+    /// | # | condition                                   | decision        |
+    /// |---|---------------------------------------------|-----------------|
+    /// | 1 | `len <= tiny_bytes`                         | store-raw       |
+    /// | 2 | numeric stride detected                     | pco @ SoC       |
+    /// | 3 | entropy high and no matches                 | store-raw       |
+    /// | 4 | p99 over redline                            | LZ4 @ SoC       |
+    /// | 5 | engine available and queue calm             | DEFLATE @ CE    |
+    /// | 6 | otherwise                                   | DEFLATE @ SoC   |
+    ///
+    /// Rows 5–6 chunk messages above `chunk_threshold` for streaming.
+    pub fn decide(&self, f: &ProbeFeatures, snap: &PolicySnapshot) -> Decision {
+        let cfg = &self.cfg;
+        // Row 1: tiny.
+        if f.len <= cfg.probe.tiny_bytes {
+            return Decision::store(PolicyReason::Tiny);
+        }
+        // Row 2: numeric columns — typed pco on the SoC (no engine
+        // supports pco; the sniff already guaranteed alignment).
+        if f.stride == 4 || f.stride == 8 {
+            return Decision {
+                choice: PolicyChoice::Pco,
+                placement: Placement::Soc,
+                level: 0,
+                chunk: 0,
+                datatype: if f.stride == 4 { Datatype::Float32 } else { Datatype::Float64 },
+                reason: PolicyReason::NumericColumn,
+            };
+        }
+        // Row 3: incompressible — don't burn cycles to learn what the
+        // probe already knows; the frame layer would passthrough anyway.
+        if f.entropy_mbits >= cfg.store_entropy_mbits && f.match_pct <= cfg.store_match_pct {
+            return Decision::store(PolicyReason::Incompressible);
+        }
+        let chunk = if f.len >= cfg.chunk_threshold { cfg.chunk_bytes.max(1) } else { 0 };
+        // Row 4: live pressure — trade ratio for cycles until the rolling
+        // window recovers.
+        if cfg.p99_redline_ns > 0 && snap.p99_ns >= cfg.p99_redline_ns {
+            return Decision {
+                choice: PolicyChoice::Lz4,
+                placement: Placement::Soc,
+                level: 1,
+                chunk,
+                datatype: Datatype::Byte,
+                reason: PolicyReason::Pressure,
+            };
+        }
+        // Rows 5/6: compressible — offload when the engine path is calm,
+        // otherwise spend SoC cycles.
+        let engine_calm = snap.engine_available && snap.queue_depth < cfg.queue_high;
+        Decision {
+            choice: PolicyChoice::Deflate,
+            placement: if engine_calm { Placement::CEngine } else { Placement::Soc },
+            level: 6,
+            chunk,
+            datatype: Datatype::Byte,
+            reason: if engine_calm { PolicyReason::Offload } else { PolicyReason::SocCompress },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_datasets::DatasetId;
+
+    fn decide(id: DatasetId, len: usize, snap: &PolicySnapshot) -> Decision {
+        AdaptivePolicy::default().probe_and_decide(&id.generate_bytes(len), snap).1
+    }
+
+    #[test]
+    fn decision_table_on_mixed_classes() {
+        let calm = PolicySnapshot::calm();
+        // Logs: compressible → offload to the calm engine.
+        let d = decide(DatasetId::LogText, 32 << 10, &calm);
+        assert_eq!(d.reason, PolicyReason::Offload);
+        assert_eq!(d.design(), Some(Design::CE_DEFLATE));
+        // Random: store raw.
+        let d = decide(DatasetId::RandomBlob, 32 << 10, &calm);
+        assert_eq!(d.reason, PolicyReason::Incompressible);
+        assert_eq!(d.design(), None);
+        // Float columns: typed pco on the SoC.
+        let d = decide(DatasetId::FloatColumn, 32 << 10, &calm);
+        assert_eq!(d.reason, PolicyReason::NumericColumn);
+        assert_eq!(d.design(), Some(Design::SOC_PCO));
+        assert_eq!(d.datatype, Datatype::Float32);
+    }
+
+    #[test]
+    fn tiny_messages_always_store() {
+        let d = decide(DatasetId::LogText, 256, &PolicySnapshot::calm());
+        assert_eq!(d.reason, PolicyReason::Tiny);
+        assert_eq!(d.design(), None);
+    }
+
+    #[test]
+    fn busy_engine_moves_deflate_to_soc() {
+        let busy = PolicySnapshot { queue_depth: 1_000, ..PolicySnapshot::calm() };
+        let d = decide(DatasetId::LogText, 32 << 10, &busy);
+        assert_eq!(d.reason, PolicyReason::SocCompress);
+        assert_eq!(d.design(), Some(Design::SOC_DEFLATE));
+        // No engine at all (BF3): same fallback, even when calm.
+        let bf3 = PolicySnapshot { engine_available: false, ..PolicySnapshot::calm() };
+        let d = decide(DatasetId::LogText, 32 << 10, &bf3);
+        assert_eq!(d.design(), Some(Design::SOC_DEFLATE));
+    }
+
+    #[test]
+    fn p99_redline_switches_to_lz4() {
+        let policy = AdaptivePolicy::new(PolicyConfig {
+            p99_redline_ns: 1_000_000,
+            ..PolicyConfig::default()
+        });
+        let data = DatasetId::LogText.generate_bytes(32 << 10);
+        let hot = PolicySnapshot { p99_ns: 2_000_000, ..PolicySnapshot::calm() };
+        let d = policy.probe_and_decide(&data, &hot).1;
+        assert_eq!(d.reason, PolicyReason::Pressure);
+        assert_eq!(d.design(), Some(Design::SOC_LZ4));
+        // Under the redline the same message offloads.
+        let calm = PolicySnapshot { p99_ns: 500_000, ..PolicySnapshot::calm() };
+        assert_eq!(policy.probe_and_decide(&data, &calm).1.reason, PolicyReason::Offload);
+        // Pressure never overrides the store rows: random still stores.
+        let blob = DatasetId::RandomBlob.generate_bytes(32 << 10);
+        assert_eq!(policy.probe_and_decide(&blob, &hot).1.design(), None);
+    }
+
+    #[test]
+    fn large_messages_get_a_streaming_chunk() {
+        let data = DatasetId::LogText.generate_bytes(3 << 20);
+        let d = AdaptivePolicy::default().probe_and_decide(&data, &PolicySnapshot::calm()).1;
+        assert_eq!(d.chunk, 1 << 20);
+        let small = DatasetId::LogText.generate_bytes(64 << 10);
+        let d = AdaptivePolicy::default().probe_and_decide(&small, &PolicySnapshot::calm()).1;
+        assert_eq!(d.chunk, 0);
+    }
+
+    #[test]
+    fn decisions_are_pure_in_probe_and_snapshot() {
+        // Same (features, snapshot) → same decision, across fresh policy
+        // values and repeated calls — there is no hidden state to drift.
+        let data = DatasetId::LogText.generate_bytes(48 << 10);
+        let snap = PolicySnapshot {
+            at: SimInstant(123_456),
+            queue_depth: 7,
+            p99_ns: 90_000,
+            engine_available: true,
+        };
+        let a = AdaptivePolicy::default().probe_and_decide(&data, &snap);
+        for _ in 0..8 {
+            assert_eq!(AdaptivePolicy::default().probe_and_decide(&data, &snap), a);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The sampled compressibility probe.
+//!
+//! ZipLine's line-speed selection argument (PAPERS.md) rules out trial
+//! compression: deciding whether to compress must cost O(sample), not
+//! O(message), or the decision eats the savings. The probe therefore
+//! reads only the first [`ProbeConfig::sample_bytes`] of a message and
+//! extracts three cheap features:
+//!
+//! - **Byte entropy** — a 256-bin histogram Shannon estimate, in
+//!   milli-bits per byte. Uniform random data sits near 8000; text near
+//!   4000–4500. Stored as an integer so every downstream comparison is
+//!   exact and replay-deterministic.
+//! - **Match density** — the fraction of 4-gram positions whose exact
+//!   4 bytes were already seen in the sample (1024-slot direct-mapped
+//!   table, verified equality — no false positives from hashing).
+//!   This is the LZ-family signal entropy alone misses: a permuted
+//!   alphabet has low entropy but no matches, random data has neither.
+//! - **Numeric-column sniff** — for strides 4 and 8 (f32/f64), the
+//!   fraction of consecutive elements sharing their top (sign+exponent)
+//!   byte. Columnar telemetry drifting around an operating point keeps
+//!   that byte stable; text and random bytes do not.
+//!
+//! Every feature is a pure function of the sample bytes, so identical
+//! messages always probe identically — the first half of the policy's
+//! determinism argument.
+
+/// Probe tuning. All defaults are deliberately conservative: the probe
+/// reads 4 KiB regardless of message size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Bytes inspected from the head of the message.
+    pub sample_bytes: usize,
+    /// Messages at or below this size skip codecs entirely (framing and
+    /// per-job overhead dominate any possible savings).
+    pub tiny_bytes: usize,
+    /// Minimum percentage of consecutive same-top-byte elements for the
+    /// numeric sniff to report a stride.
+    pub stride_min_pct: u32,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        Self { sample_bytes: 4096, tiny_bytes: 512, stride_min_pct: 85 }
+    }
+}
+
+/// What the probe saw. All fields are integers: decisions branch on
+/// exact comparisons, never on float state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeFeatures {
+    /// Full message length (the only O(message) fact used — it is free).
+    pub len: usize,
+    /// Bytes actually probed (`min(len, sample_bytes)`).
+    pub sampled: usize,
+    /// Shannon byte entropy of the sample, milli-bits per byte (0..=8000).
+    pub entropy_mbits: u32,
+    /// Percent of 4-gram positions with an exact earlier occurrence.
+    pub match_pct: u32,
+    /// Detected numeric element stride (4 or 8), or 0. Only reported
+    /// when the *whole* message length is stride-aligned, so a typed
+    /// codec can actually be applied.
+    pub stride: u8,
+}
+
+/// Probe the head of `data`. O(sample_bytes), never O(len).
+pub fn probe(data: &[u8], cfg: &ProbeConfig) -> ProbeFeatures {
+    let sampled = data.len().min(cfg.sample_bytes);
+    let sample = &data[..sampled];
+    ProbeFeatures {
+        len: data.len(),
+        sampled,
+        entropy_mbits: entropy_mbits(sample),
+        match_pct: match_pct(sample),
+        stride: sniff_stride(sample, data.len(), cfg.stride_min_pct),
+    }
+}
+
+/// Shannon entropy of the byte histogram, in milli-bits per byte.
+fn entropy_mbits(sample: &[u8]) -> u32 {
+    if sample.is_empty() {
+        return 0;
+    }
+    let mut counts = [0u32; 256];
+    for &b in sample {
+        counts[b as usize] += 1;
+    }
+    let n = sample.len() as f64;
+    let mut h = 0.0f64;
+    for &c in counts.iter().filter(|&&c| c > 0) {
+        let p = c as f64 / n;
+        h -= p * p.log2();
+    }
+    // Clamp against rounding: 8 bits/byte is the hard ceiling.
+    (h * 1000.0).round().min(8000.0) as u32
+}
+
+/// Percent of 4-gram positions whose exact bytes occurred earlier in the
+/// sample. Direct-mapped 1024-slot table keyed by the 4-gram value
+/// itself; a hit requires byte equality, so collisions only *miss*
+/// matches (undercount), never invent them.
+fn match_pct(sample: &[u8]) -> u32 {
+    if sample.len() < 8 {
+        return 0;
+    }
+    let mut table = [0u32; 1024];
+    let mut seen = [false; 1024];
+    let mut matches = 0usize;
+    let positions = sample.len() - 3;
+    for i in 0..positions {
+        let gram = u32::from_le_bytes([sample[i], sample[i + 1], sample[i + 2], sample[i + 3]]);
+        // Multiplicative hash spreads low-entropy grams across the table.
+        let slot = (gram.wrapping_mul(0x9E37_79B1) >> 22) as usize;
+        if seen[slot] && table[slot] == gram {
+            matches += 1;
+        } else {
+            table[slot] = gram;
+            seen[slot] = true;
+        }
+    }
+    (matches * 100 / positions) as u32
+}
+
+/// Detect a 4- or 8-byte element stride by top-byte stability. Reports a
+/// stride only when the full message is stride-aligned (a typed codec
+/// must be able to consume it) and the sample holds enough elements for
+/// the statistic to mean anything.
+fn sniff_stride(sample: &[u8], full_len: usize, min_pct: u32) -> u8 {
+    for stride in [4usize, 8] {
+        if !full_len.is_multiple_of(stride) {
+            continue;
+        }
+        let elems = sample.len() / stride;
+        if elems < 64 {
+            continue;
+        }
+        let top = stride - 1;
+        let mut same = 0usize;
+        for e in 1..elems {
+            if sample[e * stride + top] == sample[(e - 1) * stride + top] {
+                same += 1;
+            }
+        }
+        if same * 100 >= (elems - 1) * min_pct as usize {
+            return stride as u8;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pedal_datasets::DatasetId;
+
+    fn features(id: DatasetId, len: usize) -> ProbeFeatures {
+        probe(&id.generate_bytes(len), &ProbeConfig::default())
+    }
+
+    #[test]
+    fn probe_is_deterministic_and_sample_bounded() {
+        let data = DatasetId::LogText.generate_bytes(1 << 20);
+        let cfg = ProbeConfig::default();
+        assert_eq!(probe(&data, &cfg), probe(&data, &cfg));
+        // Only the head matters: perturbing bytes past the sample window
+        // cannot change any feature (O(sample), not O(message)).
+        let mut tail_flipped = data.clone();
+        let n = tail_flipped.len();
+        tail_flipped[n - 1] ^= 0xFF;
+        assert_eq!(probe(&data, &cfg), probe(&tail_flipped, &cfg));
+    }
+
+    #[test]
+    fn random_bytes_probe_incompressible() {
+        let f = features(DatasetId::RandomBlob, 64 << 10);
+        assert!(f.entropy_mbits > 7800, "entropy {} too low for random", f.entropy_mbits);
+        assert!(f.match_pct <= 1, "match_pct {} on random data", f.match_pct);
+        assert_eq!(f.stride, 0, "stride sniff false-positive on random data");
+    }
+
+    #[test]
+    fn log_text_probes_compressible() {
+        let f = features(DatasetId::LogText, 64 << 10);
+        assert!(f.entropy_mbits < 6000, "entropy {} too high for text", f.entropy_mbits);
+        assert!(f.match_pct >= 20, "match_pct {} too low for text", f.match_pct);
+        assert_eq!(f.stride, 0, "stride sniff false-positive on text");
+    }
+
+    #[test]
+    fn float_columns_probe_numeric() {
+        let f = features(DatasetId::FloatColumn, 64 << 10);
+        assert_eq!(f.stride, 4, "stride sniff missed f32 columns");
+    }
+
+    #[test]
+    fn stride_requires_whole_message_alignment() {
+        let data = DatasetId::FloatColumn.generate_bytes((64 << 10) + 2);
+        let f = probe(&data, &ProbeConfig::default());
+        assert_eq!(f.stride, 0, "unaligned message must not report a stride");
+    }
+
+    #[test]
+    fn f64_stride_detected_at_eight() {
+        // Synthetic f64 column around a fixed operating point.
+        let mut data = Vec::new();
+        for i in 0..8192usize {
+            let v = 40.0f64 + (i as f64 * 0.01).sin();
+            data.extend_from_slice(&v.to_le_bytes());
+        }
+        let f = probe(&data, &ProbeConfig::default());
+        assert_eq!(f.stride, 8);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let cfg = ProbeConfig::default();
+        assert_eq!(probe(&[], &cfg).entropy_mbits, 0);
+        assert_eq!(probe(&[7u8; 4096], &cfg).entropy_mbits, 0);
+        // All 256 values equally often: exactly 8 bits/byte.
+        let uniform: Vec<u8> = (0..4096).map(|i| (i % 256) as u8).collect();
+        assert_eq!(probe(&uniform, &cfg).entropy_mbits, 8000);
+    }
+
+    #[test]
+    fn tiny_messages_probe_cheaply() {
+        let f = probe(b"abc", &ProbeConfig::default());
+        assert_eq!(f.len, 3);
+        assert_eq!(f.sampled, 3);
+        assert_eq!(f.match_pct, 0);
+    }
+}

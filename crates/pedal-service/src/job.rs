@@ -90,6 +90,9 @@ impl JobDesc {
 pub(crate) struct Job {
     pub id: JobId,
     pub desc: JobDesc,
+    /// Adaptive-policy verdict: frame the payload uncompressed instead
+    /// of running any codec. Set only by the scheduler's policy hook.
+    pub store: bool,
 }
 
 /// Which executor served a job.

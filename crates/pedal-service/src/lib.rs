@@ -64,6 +64,7 @@ mod streaming;
 
 pub use job::{CompletedJob, JobDesc, JobId, JobMetrics, JobOp, JobOutput, LaneId, ServiceError};
 pub use pedal_obs::{BusSubscription, FrameKind, MetricsFrame, TenantId, TenantSloSnapshot};
+pub use pedal_policy::{PolicyConfig, PolicyLog, PolicyRecord, PolicySnapshot};
 pub use queue::BackpressurePolicy;
 pub use service::{
     series, LiveConfig, PedalService, ServiceConfig, TraceConfig, DEFAULT_PAR_CHUNK, MIN_PAR_CHUNK,

@@ -218,7 +218,7 @@ mod tests {
             arrival: pedal_dpu::SimInstant::EPOCH,
             op: JobOp::Compress { data: vec![0; 8] },
         };
-        Job { id, desc }
+        Job { id, desc, store: false }
     }
 
     fn pop_id(q: &AdmissionQueue) -> u64 {

@@ -12,6 +12,8 @@ use pedal_doca::{ChannelSet, CompressJob, JobHandle, JobKind, Workq};
 use pedal_dpu::{
     Algorithm, CostModel, Direction, Placement, Platform, SimClock, SimDuration, SimInstant,
 };
+use pedal_policy::{AdaptivePolicy, PolicyConfig, PolicyLog, PolicyRecord, PolicySnapshot};
+
 use pedal_obs::{
     BusSubscription, Collector, FrameKind, HighWatermark, HistSummary, LaneRecorder, LogHistogram,
     MetricsFrame, MetricsRegistry, ObsBus, SloTable, SpanKind, TenantId, TraceLog, WindowConfig,
@@ -63,6 +65,10 @@ pub struct ServiceConfig {
     /// Rolling-window live metrics, per-tenant SLO accounting, and the
     /// metrics bus. On by default; like tracing, purely observational.
     pub live: LiveConfig,
+    /// Per-message adaptive policy (probe + live feedback). `None`
+    /// keeps the caller's design verbatim; see
+    /// [`ServiceConfig::with_adaptive_policy`].
+    pub adaptive: Option<PolicyConfig>,
 }
 
 /// Controls the per-lane event journal. Tracing is pure observation:
@@ -128,6 +134,7 @@ impl ServiceConfig {
             par_chunk: DEFAULT_PAR_CHUNK,
             trace: TraceConfig::default(),
             live: LiveConfig::default(),
+            adaptive: None,
         }
     }
 
@@ -205,6 +212,19 @@ impl ServiceConfig {
         self
     }
 
+    /// Choose codec, placement, datatype, and streaming chunk per
+    /// message with the [`pedal_policy`] closed loop instead of taking
+    /// the submitted design verbatim. The hook runs in the scheduler
+    /// ahead of lane placement and applies only to lossless byte-stream
+    /// compress jobs (`Deflate`/`Lz4`/`Zlib` + [`Datatype::Byte`]);
+    /// decompress jobs and explicitly typed or lossy submissions keep
+    /// the caller's design. Every decision is appended to the
+    /// [`PolicyLog`] readable via [`PedalService::policy_log`].
+    pub fn with_adaptive_policy(mut self, policy: PolicyConfig) -> Self {
+        self.adaptive = Some(policy);
+        self
+    }
+
     /// Disable the live metrics plane entirely (rolling windows, SLO
     /// table, and metrics bus). Lifetime counters stay on.
     pub fn without_live_metrics(mut self) -> Self {
@@ -236,6 +256,22 @@ impl ServiceConfig {
 pub const DEFAULT_PAR_CHUNK: usize = 1 << 20;
 /// Smallest accepted fragment size.
 pub const MIN_PAR_CHUNK: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------
+// Adaptive policy state
+// ---------------------------------------------------------------------
+
+/// Shared state of the per-message adaptive policy: the stateless
+/// decision engine, the externally fed feedback snapshot, and the
+/// decision log (a determinism witness — see `pedal_policy::log`).
+struct PolicyShared {
+    engine: AdaptivePolicy,
+    /// Latest live-feedback snapshot supplied by the integrator via
+    /// [`PedalService::set_policy_snapshot`]. The scheduler merges its
+    /// own predicted engine backlog on top before deciding.
+    snapshot: Mutex<PolicySnapshot>,
+    log: Mutex<PolicyLog>,
+}
 
 // ---------------------------------------------------------------------
 // Shared completion state
@@ -470,6 +506,8 @@ pub struct PedalService {
     /// Receives each lane's finished event track at lane exit; empty
     /// when tracing is disabled.
     collector: Collector,
+    /// Adaptive-policy state; `None` unless configured.
+    policy: Option<Arc<PolicyShared>>,
 }
 
 impl PedalService {
@@ -543,8 +581,21 @@ impl PedalService {
             );
         }
 
+        let policy = cfg.adaptive.map(|p| {
+            Arc::new(PolicyShared {
+                engine: AdaptivePolicy::new(p),
+                snapshot: Mutex::new(PolicySnapshot::calm()),
+                log: Mutex::new(PolicyLog::default()),
+            })
+        });
+
         let scheduler = {
             let queue = queue.clone();
+            // Only wire the policy trace track when the policy is on:
+            // policy-free runs must keep byte-identical traces (no empty
+            // "policy" thread shifting lane tids).
+            let (rec, sink) = recorder("policy".to_string());
+            let sink = if policy.is_some() { sink } else { None };
             let sched = Scheduler {
                 platform: cfg.platform,
                 costs,
@@ -560,6 +611,9 @@ impl PedalService {
                 par_threshold: cfg.par_threshold,
                 par_chunk: cfg.par_chunk,
                 pending: None,
+                policy: policy.clone(),
+                rec,
+                sink,
             };
             std::thread::Builder::new()
                 .name("pedal-sched".into())
@@ -575,6 +629,7 @@ impl PedalService {
             scheduler: Some(scheduler),
             lanes,
             collector,
+            policy,
         }
     }
 
@@ -639,6 +694,24 @@ impl PedalService {
         }
     }
 
+    /// Feed the adaptive policy a fresh live-feedback snapshot (rolling
+    /// p99, external queue pressure, engine availability). Determinism
+    /// is the caller's contract: build snapshots from virtual-time
+    /// sources at deterministic points (the fleet does it at epoch
+    /// barriers). No-op unless the service was started with
+    /// [`ServiceConfig::with_adaptive_policy`].
+    pub fn set_policy_snapshot(&self, snap: PolicySnapshot) {
+        if let Some(p) = &self.policy {
+            *p.snapshot.lock().unwrap() = snap;
+        }
+    }
+
+    /// Copy of the adaptive policy's decision log so far, one record per
+    /// routed compress message. `None` when the policy is disabled.
+    pub fn policy_log(&self) -> Option<PolicyLog> {
+        self.policy.as_ref().map(|p| p.log.lock().unwrap().clone())
+    }
+
     /// Prometheus text exposition of the current snapshot.
     pub fn prometheus(&self) -> String {
         self.snapshot().to_prometheus()
@@ -670,7 +743,7 @@ impl PedalService {
         if let Some(live) = &self.shared.live {
             live.in_flight_high.observe(in_flight);
         }
-        match self.queue.push(Job { id, desc }) {
+        match self.queue.push(Job { id, desc, store: false }) {
             Ok(None) => {
                 if let Some(live) = &self.shared.live {
                     live.queue_high.observe(self.queue.len() as u64);
@@ -857,6 +930,12 @@ struct Scheduler {
     par_threshold: usize,
     par_chunk: usize,
     pending: Option<PendingBatch>,
+    /// Adaptive per-message policy; `None` routes designs verbatim.
+    policy: Option<Arc<PolicyShared>>,
+    /// The scheduler's own event track ("policy"): one
+    /// [`SpanKind::PolicyDecision`] marker per decided message.
+    rec: LaneRecorder,
+    sink: Option<Collector>,
 }
 
 fn scheduler_loop(queue: Arc<AdmissionQueue>, mut sched: Scheduler) {
@@ -870,6 +949,9 @@ fn scheduler_loop(queue: Arc<AdmissionQueue>, mut sched: Scheduler) {
             }
         }
     }
+    if let Some(sink) = sched.sink.take() {
+        sink.push(sched.rec.into_track());
+    }
     // Dropping the scheduler drops every lane sender; lanes exit.
 }
 
@@ -881,6 +963,13 @@ impl Scheduler {
         if self.pending.as_ref().is_some_and(|p| job.desc.arrival > p.window_end) {
             self.flush();
         }
+        let (job, policy_chunk) = self.apply_policy(job);
+        if job.store {
+            // Store-raw never touches a codec or the engine: frame on
+            // the least-loaded SoC worker at memcpy cost.
+            self.dispatch_soc(job);
+            return;
+        }
         let dir = job.desc.op.direction();
         match job.desc.design.effective_placement(self.platform, dir) {
             Placement::Soc => self.dispatch_soc(job),
@@ -888,23 +977,80 @@ impl Scheduler {
                 // Fan-out needs at least two fragments to pay for the
                 // stitch; at or below one chunk the job takes the normal
                 // path and its output stays byte-identical to today's.
-                let fan_out = self.par_threshold > 0
+                // A policy-chosen chunk opts the job into fan-out even
+                // when the static `with_parallel` knob is off.
+                let chunk = policy_chunk.unwrap_or(self.par_chunk);
+                let fan_out = (policy_chunk.is_some() || self.par_threshold > 0)
                     && matches!(dir, Direction::Compress)
                     && matches!(job.desc.design.algorithm, Algorithm::Deflate)
-                    && job.desc.op.input_len() >= self.par_threshold
-                    && job.desc.op.input_len() > self.par_chunk;
+                    && (policy_chunk.is_some() || job.desc.op.input_len() >= self.par_threshold)
+                    && job.desc.op.input_len() > chunk;
                 let batchable = self.batch_threshold > 0
                     && self.batch_max_jobs > 1
                     && matches!(dir, Direction::Compress)
                     && matches!(job.desc.design.algorithm, Algorithm::Deflate)
                     && job.desc.op.input_len() < self.batch_threshold;
                 if fan_out {
-                    self.dispatch_chunks(job);
+                    self.dispatch_chunks(job, chunk);
                 } else if batchable {
                     self.enqueue_batch(job);
                 } else {
                     self.dispatch_ce(vec![job]);
                 }
+            }
+        }
+    }
+
+    /// The adaptive-policy hook, ahead of all placement. For lossless
+    /// byte-stream compress jobs it probes the message, merges the live
+    /// snapshot with this router's own predicted engine backlog (both
+    /// deterministic in submission order), and rewrites the job's
+    /// design/datatype — or flags it store-raw. Returns the job plus a
+    /// policy-chosen streaming chunk size, if any.
+    fn apply_policy(&mut self, mut job: Job) -> (Job, Option<usize>) {
+        let Some(policy) = self.policy.clone() else { return (job, None) };
+        if !matches!(job.desc.op.direction(), Direction::Compress)
+            || !matches!(
+                job.desc.design.algorithm,
+                Algorithm::Deflate | Algorithm::Lz4 | Algorithm::Zlib
+            )
+            || job.desc.datatype != Datatype::Byte
+        {
+            // Decompress follows the payload header; typed or lossy
+            // submissions are explicit caller intent. Leave both alone.
+            return (job, None);
+        }
+        let JobOp::Compress { data } = &job.desc.op else { unreachable!("direction checked") };
+        let arrival = job.desc.arrival;
+        let external = *policy.snapshot.lock().unwrap();
+        let snap = PolicySnapshot {
+            at: external.at.max(arrival),
+            // Engine descriptors predicted still busy at this arrival —
+            // the router's own virtual-time state, not live Workq reads.
+            queue_depth: external.queue_depth
+                + self
+                    .ce_busy
+                    .iter()
+                    .map(|q| q.iter().filter(|&&t| t > arrival).count() as u64)
+                    .sum::<u64>(),
+            p99_ns: external.p99_ns,
+            engine_available: external.engine_available
+                && Design::CE_DEFLATE.effective_placement(self.platform, Direction::Compress)
+                    == Placement::CEngine,
+        };
+        let (f, d) = policy.engine.probe_and_decide(data, &snap);
+        self.rec.span_for(SpanKind::PolicyDecision, arrival, arrival, job.id, job.desc.tenant);
+        policy.log.lock().unwrap().push(PolicyRecord::of(job.id, job.desc.tenant, &f, &snap, &d));
+        match d.design() {
+            None => {
+                job.store = true;
+                (job, None)
+            }
+            Some(design) => {
+                job.desc.design = design;
+                job.desc.datatype = d.datatype;
+                let chunk = (d.chunk > 0).then(|| (d.chunk as usize).max(MIN_PAR_CHUNK));
+                (job, chunk)
             }
         }
     }
@@ -932,7 +1078,11 @@ impl Scheduler {
 
     fn dispatch_soc(&mut self, job: Job) {
         let arrival = job.desc.arrival;
-        let service = predict_service(&self.costs, &job.desc, Placement::Soc);
+        let service = if job.store {
+            self.costs.pool_hit() + self.costs.memcpy(job.desc.op.input_len())
+        } else {
+            predict_service(&self.costs, &job.desc, Placement::Soc)
+        };
         let mut best = 0;
         for w in 1..self.soc_free.len() {
             if self.soc_free[w].max(arrival) < self.soc_free[best].max(arrival) {
@@ -1019,11 +1169,10 @@ impl Scheduler {
     /// placed on the finisher's channel would predict strictly later —
     /// hence the finisher is always the last of this job's chunks on its
     /// own lane and never waits on work queued behind itself.
-    fn dispatch_chunks(&mut self, job: Job) {
+    fn dispatch_chunks(&mut self, job: Job, chunk: usize) {
         let len = job.desc.op.input_len();
-        let n = len.div_ceil(self.par_chunk);
-        let ranges: Vec<_> =
-            (0..n).map(|i| i * self.par_chunk..((i + 1) * self.par_chunk).min(len)).collect();
+        let n = len.div_ceil(chunk);
+        let ranges: Vec<_> = (0..n).map(|i| i * chunk..((i + 1) * chunk).min(len)).collect();
         let arrival = job.desc.arrival;
         let mut placements = Vec::with_capacity(n);
         for r in &ranges {
@@ -1150,7 +1299,11 @@ fn run_lane(
                 let begin = start + env.costs.pool_hit();
                 rec.span_for(SpanKind::QueueWait, job.desc.arrival, start, job.id, job.desc.tenant);
                 rec.span(SpanKind::PoolAcquire, start, begin, 0);
-                let outcome = exec_job(&env, wq, &job.desc, begin, &mut rec);
+                let outcome = if job.store {
+                    exec_store(&env, &job.desc, begin, &mut rec)
+                } else {
+                    exec_job(&env, wq, &job.desc, begin, &mut rec)
+                };
                 virt_free = outcome.completed.max(begin);
                 rec.span_for(SpanKind::Job, start, virt_free, job.id, job.desc.tenant);
                 record_one(&env, &mut stats, lane, job, start, virt_free, outcome.result, false);
@@ -1391,6 +1544,21 @@ fn record_one(
         result,
         metrics: Some(metrics),
     });
+}
+
+/// Store-raw passthrough chosen by the adaptive policy: frame the data
+/// as an uncompressed PEDAL message without touching any codec. The
+/// wire format is the same `PedalHeader::Uncompressed` frame the codec
+/// paths emit below break-even, so decompress round-trips it without
+/// knowing a policy was involved. Charged as one memcpy.
+fn exec_store(env: &LaneEnv, desc: &JobDesc, begin: SimInstant, rec: &mut LaneRecorder) -> Outcome {
+    let JobOp::Compress { data } = &desc.op else {
+        return fail("store-raw applies to compress jobs only".into(), begin);
+    };
+    let payload = wire::frame(PedalHeader::Uncompressed, data.len(), data);
+    let completed = begin + env.costs.memcpy(data.len());
+    rec.span(SpanKind::Memcpy, begin, completed, data.len() as u64);
+    Outcome { result: Ok(JobOutput { bytes: payload, passthrough: true }), completed }
 }
 
 fn exec_job(

@@ -88,16 +88,26 @@ echo "==> fleet overload gate (paying SLO holds, best-effort sheds)"
 # (mirrored at the repo root) and exits non-zero if any gate fails.
 cargo run --release -q -p bench --bin ablation_fleet
 
+echo "==> adaptive-policy gate (closed loop beats every static config)"
+# The pedal-policy closed loop on a mixed-compressibility trace: the
+# adaptive run must strictly beat every static (codec, placement)
+# configuration in virtual-time goodput at <= 1% compression-ratio
+# cost, its replay (and policy log) must be digest-identical, and every
+# store-raw frame must round-trip byte-exact. Writes
+# results/BENCH_adaptive.json (mirrored at the repo root) and exits
+# non-zero if any gate fails.
+cargo run --release -q -p bench --bin ablation_adaptive
+
 echo "==> bench reports mirrored at repo root"
 # Every bench bin mirrors its BENCH_<name>.json at the repository root;
-# all six gated reports must be present.
+# all seven gated reports must be present.
 ls BENCH_*.json >/dev/null 2>&1 || {
     echo "verify: FAIL — no BENCH_*.json at the repository root" >&2
     exit 1
 }
 for f in BENCH_ablation_par.json BENCH_ablation_pco.json BENCH_streaming.json \
          BENCH_ablation_service.json BENCH_ablation_contention.json \
-         BENCH_fleet.json; do
+         BENCH_fleet.json BENCH_adaptive.json; do
     test -f "$f" || {
         echo "verify: FAIL — $f missing at the repository root" >&2
         exit 1
